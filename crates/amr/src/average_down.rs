@@ -1,0 +1,113 @@
+//! `AverageDown`: restrict covered coarse cells to the mean of their fine
+//! children (Algorithm 2, line 11 of the paper).
+
+use crocco_fab::MultiFab;
+use crocco_geometry::{IndexBox, IntVect};
+
+/// Sets every coarse cell covered by the fine level to the arithmetic mean of
+/// its `ratio³` covering fine cells, for every component.
+pub fn average_down(fine: &MultiFab, coarse: &mut MultiFab, ratio: IntVect) {
+    assert_eq!(fine.ncomp(), coarse.ncomp());
+    let ncomp = fine.ncomp();
+    let inv = 1.0 / (ratio[0] * ratio[1] * ratio[2]) as f64;
+    for j in 0..fine.nfabs() {
+        let fbox = fine.valid_box(j);
+        let cfoot = fbox.coarsen(ratio);
+        for (i, overlap) in coarse.boxarray().intersections(cfoot) {
+            let ffab = fine.fab(j);
+            for cp in overlap.cells() {
+                let children = IndexBox::new(cp, cp).refine(ratio).intersection(&fbox);
+                debug_assert_eq!(
+                    children.num_points(),
+                    (ratio[0] * ratio[1] * ratio[2]) as u64,
+                    "fine boxes must be ratio-aligned"
+                );
+                for c in 0..ncomp {
+                    let sum: f64 = children.cells().map(|p| ffab.get(p, c)).sum();
+                    coarse.fab_mut(i).set(cp, c, sum * inv);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crocco_fab::{BoxArray, DistributionMapping};
+    use std::sync::Arc;
+
+    fn mf(boxes: Vec<IndexBox>, ncomp: usize) -> MultiFab {
+        let ba = Arc::new(BoxArray::new(boxes));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        MultiFab::new(ba, dm, ncomp, 0)
+    }
+
+    #[test]
+    fn constant_field_restricts_to_itself() {
+        let mut coarse = mf(vec![IndexBox::from_extents(8, 8, 8)], 2);
+        let mut fine = mf(
+            vec![IndexBox::new(IntVect::new(4, 4, 4), IntVect::new(11, 11, 11))],
+            2,
+        );
+        fine.set_val(7.0);
+        coarse.set_val(1.0);
+        average_down(&fine, &mut coarse, IntVect::splat(2));
+        // Covered coarse cells (2..5)³ become 7, others stay 1.
+        assert_eq!(coarse.fab(0).get(IntVect::new(3, 3, 3), 0), 7.0);
+        assert_eq!(coarse.fab(0).get(IntVect::new(0, 0, 0), 0), 1.0);
+        assert_eq!(coarse.fab(0).get(IntVect::new(3, 3, 3), 1), 7.0);
+    }
+
+    #[test]
+    fn linear_field_restricts_exactly() {
+        // The mean of a linear field over the 8 children equals its value at
+        // the coarse center: average_down must be exact.
+        let mut coarse = mf(vec![IndexBox::from_extents(4, 4, 4)], 1);
+        let mut fine = mf(vec![IndexBox::from_extents(8, 8, 8)], 1);
+        let f = |p: IntVect, s: f64| {
+            3.0 * (p[0] as f64 + 0.5) / s - 2.0 * (p[1] as f64 + 0.5) / s
+                + 0.25 * (p[2] as f64 + 0.5) / s
+        };
+        for p in fine.valid_box(0).cells() {
+            let v = f(p, 2.0);
+            fine.fab_mut(0).set(p, 0, v);
+        }
+        average_down(&fine, &mut coarse, IntVect::splat(2));
+        for p in coarse.valid_box(0).cells() {
+            let expect = f(p, 1.0);
+            assert!((coarse.fab(0).get(p, 0) - expect).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn conservation_of_totals_over_covered_region() {
+        let mut coarse = mf(vec![IndexBox::from_extents(4, 4, 4)], 1);
+        let mut fine = mf(vec![IndexBox::from_extents(8, 8, 8)], 1);
+        // Random-ish fine data.
+        for (i, p) in fine.valid_box(0).cells().enumerate() {
+            fine.fab_mut(0).set(p, 0, (i as f64 * 0.37).sin());
+        }
+        average_down(&fine, &mut coarse, IntVect::splat(2));
+        let fine_total = fine.sum(0);
+        let coarse_total = coarse.sum(0) * 8.0; // coarse cells are 8× larger
+        assert!((fine_total - coarse_total).abs() < 1e-10);
+    }
+
+    #[test]
+    fn partial_coverage_touches_only_covered_cells() {
+        let mut coarse = mf(vec![IndexBox::from_extents(8, 8, 8)], 1);
+        let mut fine = mf(
+            vec![IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(7, 7, 7))],
+            1,
+        );
+        fine.set_val(5.0);
+        coarse.set_val(-1.0);
+        average_down(&fine, &mut coarse, IntVect::splat(2));
+        for p in coarse.valid_box(0).cells() {
+            let covered = p.all_lt(IntVect::new(4, 4, 4)) && IntVect::ZERO.all_le(p);
+            let expect = if covered { 5.0 } else { -1.0 };
+            assert_eq!(coarse.fab(0).get(p, 0), expect, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Berger–Rigoutsos clustering of tagged cells into patches.
+//!
+//! The classic signature-based algorithm AMReX uses to turn a tag field into
+//! a set of logically rectangular patches: recursively split the bounding box
+//! of the tags at signature holes (planes with no tags) or at the strongest
+//! inflection of the signature's second difference, until every box meets the
+//! grid-efficiency target. Split planes are snapped to the blocking factor so
+//! every generated patch honours the §III-B input-deck constraints, and the
+//! final boxes are chopped to the maximum grid size.
+
+use crate::tagging::TagSet;
+use crocco_geometry::decompose::{align_to_blocking, chop_to_max_size, ChopParams};
+use crocco_geometry::{IndexBox, IntVect};
+
+/// Clustering parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterParams {
+    /// Minimum fraction of cells in a generated box that must be tagged
+    /// (AMReX `grid_eff`, default 0.7).
+    pub efficiency: f64,
+    /// Patch corner/extent alignment (the paper uses 8).
+    pub blocking_factor: i64,
+    /// Maximum patch extent in any direction (the paper uses 128).
+    pub max_grid_size: i64,
+    /// Level domain: generated boxes are clipped to it.
+    pub domain: IndexBox,
+}
+
+impl ClusterParams {
+    /// Paper defaults over `domain`.
+    pub fn paper(domain: IndexBox) -> Self {
+        ClusterParams {
+            efficiency: 0.7,
+            blocking_factor: 8,
+            max_grid_size: 128,
+            domain,
+        }
+    }
+}
+
+/// Clusters tagged cells into disjoint, blocking-aligned boxes covering every
+/// tag, each at most `max_grid_size` long, targeting the efficiency bound.
+pub fn cluster_tags(tags: &TagSet, params: ClusterParams) -> Vec<IndexBox> {
+    if tags.is_empty() {
+        return Vec::new();
+    }
+    let pts = tags.restrict(params.domain).to_vec();
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    let mut accepted = Vec::new();
+    recurse(pts, &params, &mut accepted, 0);
+    // Enforce the maximum grid size.
+    let chop = ChopParams::new(params.blocking_factor, aligned_max(params));
+    let mut out = Vec::new();
+    for b in accepted {
+        out.extend(chop_to_max_size(b, chop));
+    }
+    out.sort_by_key(|b| (b.lo()[2], b.lo()[1], b.lo()[0]));
+    out
+}
+
+/// Maximum grid size rounded down to a blocking-factor multiple (≥ one tile).
+fn aligned_max(p: ClusterParams) -> i64 {
+    ((p.max_grid_size / p.blocking_factor).max(1)) * p.blocking_factor
+}
+
+/// The aligned, domain-clipped bounding box of a point set.
+fn aligned_bbox(pts: &[IntVect], params: &ClusterParams) -> IndexBox {
+    let mut lo = pts[0];
+    let mut hi = pts[0];
+    for &p in pts {
+        lo = lo.min(p);
+        hi = hi.max(p);
+    }
+    align_to_blocking(IndexBox::new(lo, hi), params.blocking_factor)
+        .intersection(&params.domain)
+}
+
+fn recurse(pts: Vec<IntVect>, params: &ClusterParams, out: &mut Vec<IndexBox>, depth: u32) {
+    debug_assert!(!pts.is_empty());
+    let bb = aligned_bbox(&pts, params);
+    let eff = pts.len() as f64 / bb.num_points() as f64;
+    // Accept when efficient enough, unsplittable, or suspiciously deep.
+    if eff >= params.efficiency || depth > 60 {
+        out.push(bb);
+        return;
+    }
+    match choose_split(&pts, bb, params.blocking_factor) {
+        None => out.push(bb),
+        Some((dir, pos)) => {
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for p in pts {
+                if p[dir] < pos {
+                    left.push(p);
+                } else {
+                    right.push(p);
+                }
+            }
+            if left.is_empty() || right.is_empty() {
+                // A degenerate split (can happen when alignment pushes the
+                // plane past all points): accept the box as-is.
+                out.push(bb);
+                return;
+            }
+            recurse(left, params, out, depth + 1);
+            recurse(right, params, out, depth + 1);
+        }
+    }
+}
+
+/// Picks a split `(direction, plane)` for the tags in `bb`, preferring
+/// signature holes, then the strongest inflection, then bisection of the
+/// longest direction. Returns `None` if no direction admits an aligned
+/// interior split plane.
+fn choose_split(pts: &[IntVect], bb: IndexBox, bf: i64) -> Option<(usize, i64)> {
+    // Signatures per direction.
+    let size = bb.size();
+    let mut sig: [Vec<u32>; 3] = [
+        vec![0; size[0] as usize],
+        vec![0; size[1] as usize],
+        vec![0; size[2] as usize],
+    ];
+    for p in pts {
+        for d in 0..3 {
+            let idx = p[d] - bb.lo()[d];
+            if idx >= 0 && idx < size[d] {
+                sig[d][idx as usize] += 1;
+            }
+        }
+    }
+
+    // 1. Hole split: an aligned interior plane position `pos` such that the
+    // tile [pos, pos+bf) contains an all-zero signature run boundary. We look
+    // for zero entries and snap outward.
+    let mut best_hole: Option<(usize, i64, i64)> = None; // (dir, pos, centrality)
+    for d in 0..3 {
+        for (i, &s) in sig[d].iter().enumerate() {
+            if s != 0 {
+                continue;
+            }
+            let abs = bb.lo()[d] + i as i64;
+            if let Some(pos) = snap_interior(abs, bb, d, bf) {
+                let central = -(pos - (bb.lo()[d] + bb.hi()[d]) / 2).abs();
+                if best_hole.map(|(_, _, c)| central > c).unwrap_or(true) {
+                    best_hole = Some((d, pos, central));
+                }
+            }
+        }
+    }
+    if let Some((d, pos, _)) = best_hole {
+        return Some((d, pos));
+    }
+
+    // 2. Inflection split: strongest sign change of the second difference.
+    let mut best_inf: Option<(usize, i64, i64)> = None; // (dir, pos, strength)
+    for d in 0..3 {
+        let s = &sig[d];
+        if s.len() < 4 {
+            continue;
+        }
+        let lap: Vec<i64> = (1..s.len() - 1)
+            .map(|i| s[i + 1] as i64 - 2 * s[i] as i64 + s[i - 1] as i64)
+            .collect();
+        for w in 1..lap.len() {
+            if (lap[w - 1] >= 0) != (lap[w] >= 0) {
+                let strength = (lap[w] - lap[w - 1]).abs();
+                let abs = bb.lo()[d] + (w + 1) as i64;
+                if let Some(pos) = snap_interior(abs, bb, d, bf) {
+                    if best_inf.map(|(_, _, st)| strength > st).unwrap_or(true) {
+                        best_inf = Some((d, pos, strength));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((d, pos, _)) = best_inf {
+        return Some((d, pos));
+    }
+
+    // 3. Bisect the longest splittable direction.
+    let mut dirs: Vec<usize> = (0..3).collect();
+    dirs.sort_by_key(|&d| std::cmp::Reverse(size[d]));
+    for d in dirs {
+        let mid = bb.lo()[d] + size[d] / 2;
+        if let Some(pos) = snap_interior(mid, bb, d, bf) {
+            return Some((d, pos));
+        }
+    }
+    None
+}
+
+/// Snaps `abs` to the nearest blocking-factor multiple strictly inside `bb`
+/// along `dir`, or `None` if the box is too thin to split.
+fn snap_interior(abs: i64, bb: IndexBox, dir: usize, bf: i64) -> Option<i64> {
+    let lo = bb.lo()[dir];
+    let hi = bb.hi()[dir];
+    let min_pos = lo + bf;
+    let max_pos = hi + 1 - bf;
+    if min_pos > max_pos {
+        return None;
+    }
+    let snapped = (abs.div_euclid(bf)) * bf;
+    Some(snapped.clamp(min_pos, max_pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crocco_fab::BoxArray;
+
+    fn params(domain: IndexBox) -> ClusterParams {
+        ClusterParams {
+            efficiency: 0.7,
+            blocking_factor: 4,
+            max_grid_size: 16,
+            domain,
+        }
+    }
+
+    fn check_invariants(tags: &TagSet, boxes: &[IndexBox], p: ClusterParams) {
+        // Every tag covered.
+        for t in tags.iter() {
+            if !p.domain.contains(t) {
+                continue;
+            }
+            assert!(
+                boxes.iter().any(|b| b.contains(t)),
+                "tag {t:?} uncovered by {boxes:?}"
+            );
+        }
+        for b in boxes {
+            assert!(b.is_blocked(p.blocking_factor), "{b:?} not blocked");
+            assert!(b.size().max_component() <= p.max_grid_size);
+            assert!(p.domain.contains_box(b));
+        }
+        // Disjointness (BoxArray construction asserts it).
+        if !boxes.is_empty() {
+            let _ = BoxArray::new(boxes.to_vec());
+        }
+    }
+
+    #[test]
+    fn empty_tags_give_no_boxes() {
+        let domain = IndexBox::from_extents(32, 32, 32);
+        assert!(cluster_tags(&TagSet::new(), params(domain)).is_empty());
+    }
+
+    #[test]
+    fn single_cluster_is_one_tight_box() {
+        let domain = IndexBox::from_extents(32, 32, 32);
+        let mut t = TagSet::new();
+        t.tag_box(IndexBox::new(IntVect::new(4, 4, 4), IntVect::new(11, 11, 11)));
+        let boxes = cluster_tags(&t, params(domain));
+        check_invariants(&t, &boxes, params(domain));
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(
+            boxes[0],
+            IndexBox::new(IntVect::new(4, 4, 4), IntVect::new(11, 11, 11))
+        );
+    }
+
+    #[test]
+    fn two_separated_clusters_split_at_the_hole() {
+        let domain = IndexBox::from_extents(64, 16, 16);
+        let mut t = TagSet::new();
+        t.tag_box(IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(7, 7, 7)));
+        t.tag_box(IndexBox::new(IntVect::new(48, 0, 0), IntVect::new(55, 7, 7)));
+        let boxes = cluster_tags(&t, params(domain));
+        check_invariants(&t, &boxes, params(domain));
+        assert_eq!(boxes.len(), 2, "{boxes:?}");
+        let total: u64 = boxes.iter().map(|b| b.num_points()).sum();
+        assert_eq!(total, 2 * 512);
+    }
+
+    #[test]
+    fn diagonal_tags_meet_efficiency() {
+        let domain = IndexBox::from_extents(64, 64, 8);
+        let mut t = TagSet::new();
+        for i in 0..64 {
+            t.tag(IntVect::new(i, i, 0)); // a shock-like diagonal front
+        }
+        let p = params(domain);
+        let boxes = cluster_tags(&t, p);
+        check_invariants(&t, &boxes, p);
+        // The clusterer must do much better than one huge bounding box.
+        let covered: u64 = boxes.iter().map(|b| b.num_points()).sum();
+        assert!(
+            covered < 64 * 64 * 8 / 4,
+            "covered {covered} cells — clustering too loose"
+        );
+    }
+
+    #[test]
+    fn max_grid_size_enforced_on_large_blobs() {
+        let domain = IndexBox::from_extents(64, 64, 64);
+        let mut t = TagSet::new();
+        t.tag_box(IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(47, 31, 15)));
+        let p = params(domain);
+        let boxes = cluster_tags(&t, p);
+        check_invariants(&t, &boxes, p);
+        assert!(boxes.len() >= 6); // 48×32×16 with max 16 ⇒ ≥ 3×2×1
+    }
+
+    #[test]
+    fn tags_outside_domain_are_ignored() {
+        let domain = IndexBox::from_extents(16, 16, 16);
+        let mut t = TagSet::new();
+        t.tag(IntVect::new(100, 0, 0));
+        assert!(cluster_tags(&t, params(domain)).is_empty());
+    }
+
+    #[test]
+    fn random_tags_are_always_covered() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let domain = IndexBox::from_extents(48, 48, 24);
+        for trial in 0..10 {
+            let mut t = TagSet::new();
+            let n = rng.gen_range(1..200);
+            for _ in 0..n {
+                t.tag(IntVect::new(
+                    rng.gen_range(0..48),
+                    rng.gen_range(0..48),
+                    rng.gen_range(0..24),
+                ));
+            }
+            let p = params(domain);
+            let boxes = cluster_tags(&t, p);
+            check_invariants(&t, &boxes, p);
+            assert!(!boxes.is_empty(), "trial {trial}");
+        }
+    }
+}

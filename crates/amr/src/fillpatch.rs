@@ -1,0 +1,514 @@
+//! `FillPatch`: ghost-cell filling within and across AMR levels.
+//!
+//! Adapted, as the paper's implementation is (§III-A), from AMReX's
+//! `FillPatchUtil`: [`fill_patch_single_level`] handles the coarsest level
+//! (same-level ghost exchange + physical boundary fill), and
+//! [`fill_patch_two_levels`] additionally interpolates coarse data into fine
+//! ghost cells not covered by the fine level. When the interpolator is the
+//! custom curvilinear one, the coordinate MultiFab is `ParallelCopy`-ed into
+//! a ghosted temporary first — the paper's global communication bottleneck.
+
+use crate::interp::Interpolator;
+use crocco_fab::plan::{CopyChunk, CopyPlan};
+use crocco_fab::{boxarray::subtract_box, FArrayBox, MultiFab};
+use crocco_geometry::{IndexBox, IntVect, ProblemDomain};
+
+/// Applies physical boundary conditions to one patch (the paper's custom
+/// `BC_Fill` kernel).
+pub trait BoundaryFiller: Send + Sync {
+    /// Fills the ghost cells of `fab` that lie outside `domain` in
+    /// non-periodic directions. `valid` is the patch's valid box.
+    fn fill(&self, fab: &mut FArrayBox, valid: IndexBox, domain: &ProblemDomain, time: f64);
+}
+
+/// A boundary filler that does nothing (fully periodic problems and tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoOpBoundary;
+
+impl BoundaryFiller for NoOpBoundary {
+    fn fill(&self, _fab: &mut FArrayBox, _valid: IndexBox, _domain: &ProblemDomain, _time: f64) {}
+}
+
+/// What a FillPatch call did — the communication record priced by the
+/// Summit model in the scaling studies.
+#[derive(Clone, Debug, Default)]
+pub struct FillPatchReport {
+    /// Same-level neighbor exchange (`FillBoundary`).
+    pub fb_plan: CopyPlan,
+    /// Coarse→fine state gather (the state `ParallelCopy`), if two-level.
+    pub pc_plan: Option<CopyPlan>,
+    /// Coordinate gather for the curvilinear interpolator, if used.
+    pub coord_pc_plan: Option<CopyPlan>,
+    /// Number of fine ghost cells produced by interpolation.
+    pub interpolated_cells: u64,
+}
+
+/// Fills ghosts at the coarsest level: neighbor exchange + physical BCs.
+pub fn fill_patch_single_level(
+    mf: &mut MultiFab,
+    domain: &ProblemDomain,
+    bc: &dyn BoundaryFiller,
+    time: f64,
+) -> FillPatchReport {
+    let fb_plan = mf.fill_boundary(domain);
+    for i in 0..mf.nfabs() {
+        let valid = mf.valid_box(i);
+        bc.fill(mf.fab_mut(i), valid, domain, time);
+    }
+    FillPatchReport {
+        fb_plan,
+        ..Default::default()
+    }
+}
+
+/// Fills ghosts at a fine level: interpolate coarse data wherever the fine
+/// level has no data, exchange fine-fine ghosts, then apply physical BCs.
+///
+/// `coarse_coords` / `fine_coords` must be supplied when
+/// `interp.needs_coords()`; `fine_coords` must carry at least as many ghost
+/// cells as `fine`.
+#[allow(clippy::too_many_arguments)]
+pub fn fill_patch_two_levels(
+    fine: &mut MultiFab,
+    coarse: &MultiFab,
+    fine_domain: &ProblemDomain,
+    coarse_domain: &ProblemDomain,
+    ratio: IntVect,
+    interp: &dyn Interpolator,
+    bc: &dyn BoundaryFiller,
+    coarse_bc: &dyn BoundaryFiller,
+    coarse_coords: Option<&MultiFab>,
+    fine_coords: Option<&MultiFab>,
+    time: f64,
+) -> FillPatchReport {
+    let ncomp = fine.ncomp();
+    let nghost = fine.nghost();
+    let mut pc_plan = CopyPlan {
+        chunks: Vec::new(),
+        ncomp,
+    };
+    let mut coord_pc_plan = CopyPlan {
+        chunks: Vec::new(),
+        ncomp: 3,
+    };
+    let mut interpolated_cells = 0u64;
+
+    // The region of index space where ghost data is *defined*: the domain,
+    // extended outward in periodic directions (wrapped data exists there).
+    let mut defined = fine_domain.bx;
+    for d in 0..3 {
+        if fine_domain.periodic[d] {
+            defined = defined.grow_lo(d, nghost).grow_hi(d, nghost);
+        }
+    }
+
+    for i in 0..fine.nfabs() {
+        let valid = fine.valid_box(i);
+        let grown = valid.grow(nghost).intersection(&defined);
+        // Ghost regions not covered by the fine level (including periodic
+        // images of fine patches).
+        let needed = uncovered_regions(grown, fine, fine_domain);
+        if needed.is_empty() {
+            continue;
+        }
+        // Temporary coarse fab footprint: coarsened grown box + interp ghost.
+        let cbox = grown.coarsen(ratio).grow(interp.coarse_ghost());
+        let mut ctmp = FArrayBox::new(cbox, ncomp);
+        gather(coarse, &mut ctmp, i, fine, coarse_domain, false, &mut pc_plan);
+        // Physical-exterior cells of the temporary were not gathered (they
+        // lie outside every coarse valid box); the coarse-level boundary
+        // conditions supply them so interpolation next to walls/inflows has
+        // sound source data.
+        coarse_bc.fill(
+            &mut ctmp,
+            cbox.intersection(&coarse_domain.bx),
+            coarse_domain,
+            time,
+        );
+
+        let (cc_tmp, fc_ref);
+        if interp.needs_coords() {
+            let ccmf = coarse_coords.expect("curvilinear interp requires coarse coords");
+            let fcmf = fine_coords.expect("curvilinear interp requires fine coords");
+            assert!(
+                fcmf.nghost() >= nghost,
+                "fine coords need >= state ghost width"
+            );
+            let mut c = FArrayBox::new(cbox, 3);
+            // Coordinates are analytic everywhere (including ghosts), so the
+            // gather may read the source fabs' ghost regions too — this is
+            // how physical-exterior temporary cells get correct coordinates.
+            gather(ccmf, &mut c, i, fine, coarse_domain, true, &mut coord_pc_plan);
+            cc_tmp = Some(c);
+            fc_ref = Some(fcmf.fab(i).clone());
+        } else {
+            cc_tmp = None;
+            fc_ref = None;
+        }
+
+        let fab = fine.fab_mut(i);
+        for region in needed {
+            interpolated_cells += region.num_points();
+            interp.interp(
+                &ctmp,
+                fab,
+                region,
+                ratio,
+                cc_tmp.as_ref(),
+                fc_ref.as_ref(),
+            );
+        }
+    }
+
+    // Fine-fine exchange overwrites any interpolated cell that has true
+    // fine data available, then physical BCs.
+    let fb_plan = fine.fill_boundary(fine_domain);
+    for i in 0..fine.nfabs() {
+        let valid = fine.valid_box(i);
+        bc.fill(fine.fab_mut(i), valid, fine_domain, time);
+    }
+
+    FillPatchReport {
+        fb_plan,
+        pc_plan: Some(pc_plan),
+        coord_pc_plan: if interp.needs_coords() {
+            Some(coord_pc_plan)
+        } else {
+            None
+        },
+        interpolated_cells,
+    }
+}
+
+/// Parts of `probe` not covered by `mf`'s BoxArray or any of its periodic
+/// images.
+fn uncovered_regions(probe: IndexBox, mf: &MultiFab, domain: &ProblemDomain) -> Vec<IndexBox> {
+    let mut remaining = vec![probe];
+    for shift in domain.periodic_shifts() {
+        if remaining.is_empty() {
+            break;
+        }
+        let mut next = Vec::with_capacity(remaining.len());
+        for r in remaining {
+            // Boxes of the array appear shifted by `shift`.
+            let hits = mf.boxarray().intersections(r.shift(-shift));
+            if hits.is_empty() {
+                next.push(r);
+                continue;
+            }
+            let mut pieces = vec![r];
+            for (_, overlap) in hits {
+                let cut = overlap.shift(shift);
+                let mut nn = Vec::with_capacity(pieces.len());
+                for piece in pieces {
+                    subtract_box(piece, cut, &mut nn);
+                }
+                pieces = nn;
+            }
+            next.extend(pieces);
+        }
+        remaining = next;
+    }
+    remaining
+}
+
+/// Copies into `dst_fab` (which belongs to fine patch `dst_id`) every
+/// overlapping piece of `src`'s patches, with periodic wrapping, recording
+/// chunks in `plan`. This is the ParallelCopy gather primitive.
+///
+/// With `include_ghosts` the source fabs' ghost regions are also read —
+/// only sound when ghost contents are globally consistent (e.g. analytic
+/// coordinates).
+fn gather(
+    src: &MultiFab,
+    dst_fab: &mut FArrayBox,
+    dst_id: usize,
+    dst_mf: &MultiFab,
+    src_domain: &ProblemDomain,
+    include_ghosts: bool,
+    plan: &mut CopyPlan,
+) {
+    let ncomp = dst_fab.ncomp();
+    let g = if include_ghosts { src.nghost() } else { 0 };
+    for shift in src_domain.periodic_shifts() {
+        let probe = dst_fab.bx().shift(-shift);
+        for (src_id, _) in src.boxarray().intersections(probe.grow(g)) {
+            let src_cover = if include_ghosts {
+                src.fab(src_id).bx()
+            } else {
+                src.valid_box(src_id)
+            };
+            let overlap_src = src_cover.intersection(&probe);
+            if overlap_src.is_empty() {
+                continue;
+            }
+            let region = overlap_src.shift(shift);
+            dst_fab.copy_shifted_from(src.fab(src_id), region, shift, ncomp);
+            plan.chunks.push(CopyChunk {
+                src_id,
+                dst_id,
+                src_rank: src.distribution().owner(src_id),
+                dst_rank: dst_mf.distribution().owner(dst_id),
+                region,
+                shift,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{CurvilinearInterp, TrilinearInterp};
+    use crocco_fab::{BoxArray, DistributionMapping};
+    use std::sync::Arc;
+
+    /// Linear field in *coarse* cell-center coordinates at any level.
+    fn linear_value(level: u32, p: IntVect) -> f64 {
+        let scale = (1 << level) as f64;
+        let x = (p[0] as f64 + 0.5) / scale;
+        let y = (p[1] as f64 + 0.5) / scale;
+        let z = (p[2] as f64 + 0.5) / scale;
+        2.0 + 3.0 * x - 1.5 * y + 0.5 * z
+    }
+
+    fn make_level(boxes: Vec<IndexBox>, ncomp: usize, nghost: i64, level: u32) -> MultiFab {
+        let ba = Arc::new(BoxArray::new(boxes));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        let mut mf = MultiFab::new(ba, dm, ncomp, nghost);
+        for i in 0..mf.nfabs() {
+            let b = mf.valid_box(i);
+            for p in b.cells() {
+                for c in 0..ncomp {
+                    let v = linear_value(level, p) + c as f64;
+                    mf.fab_mut(i).set(p, c, v);
+                }
+            }
+        }
+        mf
+    }
+
+    #[test]
+    fn single_level_fillpatch_fills_interior_ghosts() {
+        let domain_box = IndexBox::from_extents(16, 8, 8);
+        let domain = ProblemDomain::non_periodic(domain_box);
+        let mut mf = make_level(
+            vec![
+                IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(7, 7, 7)),
+                IndexBox::new(IntVect::new(8, 0, 0), IntVect::new(15, 7, 7)),
+            ],
+            1,
+            2,
+            0,
+        );
+        let report = fill_patch_single_level(&mut mf, &domain, &NoOpBoundary, 0.0);
+        assert!(!report.fb_plan.chunks.is_empty());
+        // Ghosts of patch 0 inside patch 1 must match the linear field.
+        for p in IndexBox::new(IntVect::new(8, 0, 0), IntVect::new(9, 7, 7)).cells() {
+            assert_eq!(mf.fab(0).get(p, 0), linear_value(0, p));
+        }
+    }
+
+    #[test]
+    fn two_level_fillpatch_interpolates_uncovered_ghosts() {
+        // Coarse level covers the whole domain; one fine patch in the middle.
+        let cdom_box = IndexBox::from_extents(16, 16, 8);
+        let cdomain = ProblemDomain::non_periodic(cdom_box);
+        let fdomain = cdomain.refine(IntVect::splat(2));
+        let coarse = make_level(
+            vec![cdom_box],
+            1,
+            2,
+            0,
+        );
+        let mut fine = make_level(
+            vec![IndexBox::new(IntVect::new(8, 8, 4), IntVect::new(23, 23, 11))],
+            1,
+            2,
+            1,
+        );
+        let report = fill_patch_two_levels(
+            &mut fine,
+            &coarse,
+            &fdomain,
+            &cdomain,
+            IntVect::splat(2),
+            &TrilinearInterp,
+            &NoOpBoundary,
+            &NoOpBoundary,
+            None,
+            None,
+            0.0,
+        );
+        assert!(report.interpolated_cells > 0);
+        assert!(report.pc_plan.is_some());
+        assert!(report.coord_pc_plan.is_none());
+        // Every ghost cell (all uncovered by fine data, all interior to the
+        // fine domain) must now hold the linear field — trilinear is exact
+        // on linear data.
+        let valid = fine.valid_box(0);
+        for p in valid.grow(2).cells() {
+            if valid.contains(p) {
+                continue;
+            }
+            let got = fine.fab(0).get(p, 0);
+            let expect = linear_value(1, p);
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "ghost {p:?}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn fine_fine_data_wins_over_interpolation() {
+        // Two adjacent fine patches: the shared face ghosts must come from
+        // the neighbor (exact), not interpolation.
+        let cdom_box = IndexBox::from_extents(16, 8, 8);
+        let cdomain = ProblemDomain::non_periodic(cdom_box);
+        let fdomain = cdomain.refine(IntVect::splat(2));
+        let coarse = make_level(vec![cdom_box], 1, 2, 0);
+        let mut fine = make_level(
+            vec![
+                IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(15, 15, 15)),
+                IndexBox::new(IntVect::new(16, 0, 0), IntVect::new(31, 15, 15)),
+            ],
+            1,
+            2,
+            1,
+        );
+        // Poison fine ghosts to catch unfilled cells.
+        let poison = -1e30;
+        for i in 0..2 {
+            let valid = fine.valid_box(i);
+            let all = fine.fab(i).bx();
+            for p in all.cells() {
+                if !valid.contains(p) {
+                    fine.fab_mut(i).set(p, 0, poison);
+                }
+            }
+        }
+        fill_patch_two_levels(
+            &mut fine,
+            &coarse,
+            &fdomain,
+            &cdomain,
+            IntVect::splat(2),
+            &TrilinearInterp,
+            &NoOpBoundary,
+            &NoOpBoundary,
+            None,
+            None,
+            0.0,
+        );
+        // The ghost column of patch 0 at x=16..17 lies inside patch 1: exact.
+        for p in IndexBox::new(IntVect::new(16, 0, 0), IntVect::new(17, 15, 15)).cells() {
+            assert_eq!(fine.fab(0).get(p, 0), linear_value(1, p));
+        }
+        // No poison left anywhere interior to the domain.
+        for i in 0..2 {
+            let valid = fine.valid_box(i);
+            for p in valid.grow(2).intersection(&fdomain.bx).cells() {
+                assert!(fine.fab(i).get(p, 0) > poison / 2.0, "unfilled {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn curvilinear_interp_triggers_coordinate_parallel_copy() {
+        let cdom_box = IndexBox::from_extents(16, 16, 8);
+        let cdomain = ProblemDomain::non_periodic(cdom_box);
+        let fdomain = cdomain.refine(IntVect::splat(2));
+        let coarse = make_level(vec![cdom_box], 1, 2, 0);
+        let mut fine = make_level(
+            vec![IndexBox::new(IntVect::new(8, 8, 4), IntVect::new(23, 23, 11))],
+            1,
+            2,
+            1,
+        );
+        // Uniform physical coordinates at both levels.
+        let mut ccoords = MultiFab::new(
+            coarse.boxarray().clone(),
+            coarse.distribution().clone(),
+            3,
+            2,
+        );
+        for i in 0..ccoords.nfabs() {
+            let b = ccoords.fab(i).bx();
+            for p in b.cells() {
+                for d in 0..3 {
+                    ccoords.fab_mut(i).set(p, d, p[d] as f64 + 0.5);
+                }
+            }
+        }
+        let mut fcoords =
+            MultiFab::new(fine.boxarray().clone(), fine.distribution().clone(), 3, 2);
+        for i in 0..fcoords.nfabs() {
+            let b = fcoords.fab(i).bx();
+            for p in b.cells() {
+                for d in 0..3 {
+                    fcoords.fab_mut(i).set(p, d, (p[d] as f64 + 0.5) / 2.0);
+                }
+            }
+        }
+        let report = fill_patch_two_levels(
+            &mut fine,
+            &coarse,
+            &fdomain,
+            &cdomain,
+            IntVect::splat(2),
+            &CurvilinearInterp,
+            &NoOpBoundary,
+            &NoOpBoundary,
+            Some(&ccoords),
+            Some(&fcoords),
+            0.0,
+        );
+        let cpc = report.coord_pc_plan.expect("coordinate ParallelCopy missing");
+        assert!(!cpc.chunks.is_empty());
+        assert_eq!(cpc.ncomp, 3);
+        // And the interpolation is exact on the linear field.
+        let valid = fine.valid_box(0);
+        for p in valid.grow(2).cells() {
+            if valid.contains(p) {
+                continue;
+            }
+            assert!((fine.fab(0).get(p, 0) - linear_value(1, p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn periodic_ghosts_use_wrapped_coarse_data() {
+        // z-periodic domain; fine patch spans full z, so its z ghosts wrap.
+        let cdom_box = IndexBox::from_extents(16, 16, 4);
+        let cdomain = ProblemDomain::new(cdom_box, [false, false, true]);
+        let fdomain = cdomain.refine(IntVect::splat(2));
+        let coarse = make_level(vec![cdom_box], 1, 2, 0);
+        let mut fine = make_level(
+            vec![IndexBox::new(IntVect::new(8, 8, 0), IntVect::new(23, 23, 7))],
+            1,
+            2,
+            1,
+        );
+        fill_patch_two_levels(
+            &mut fine,
+            &coarse,
+            &fdomain,
+            &cdomain,
+            IntVect::splat(2),
+            &TrilinearInterp,
+            &NoOpBoundary,
+            &NoOpBoundary,
+            None,
+            None,
+            0.0,
+        );
+        // A z-ghost below the domain must hold the wrapped fine value.
+        let p = IntVect::new(12, 12, -1);
+        let wrapped = IntVect::new(12, 12, 7);
+        assert!(
+            (fine.fab(0).get(p, 0) - linear_value(1, wrapped)).abs() < 1e-12,
+            "periodic ghost {p:?}"
+        );
+    }
+}

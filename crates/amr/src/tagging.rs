@@ -1,0 +1,169 @@
+//! Cell tagging for refinement.
+
+use crocco_fab::MultiFab;
+use crocco_geometry::{IndexBox, IntVect};
+use std::collections::HashSet;
+
+/// The set of cells tagged for refinement at one level.
+///
+/// Tags live in that level's index space. The solver produces them from its
+/// refinement criteria (density/momentum gradients, §II-B, or the pure
+/// turbulence-resolving criterion of §III-C); this container buffers and
+/// restricts them for the regridder.
+#[derive(Clone, Debug, Default)]
+pub struct TagSet {
+    cells: HashSet<IntVect>,
+}
+
+impl TagSet {
+    /// An empty tag set.
+    pub fn new() -> Self {
+        TagSet::default()
+    }
+
+    /// Tags one cell.
+    pub fn tag(&mut self, p: IntVect) {
+        self.cells.insert(p);
+    }
+
+    /// Tags every cell of `bx`.
+    pub fn tag_box(&mut self, bx: IndexBox) {
+        for p in bx.cells() {
+            self.cells.insert(p);
+        }
+    }
+
+    /// Number of tagged cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if nothing is tagged.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// `true` if `p` is tagged.
+    pub fn contains(&self, p: IntVect) -> bool {
+        self.cells.contains(&p)
+    }
+
+    /// Iterates over tagged cells (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = IntVect> + '_ {
+        self.cells.iter().copied()
+    }
+
+    /// Tagged cells as a vector (arbitrary order).
+    pub fn to_vec(&self) -> Vec<IntVect> {
+        self.cells.iter().copied().collect()
+    }
+
+    /// Grows every tag by `buffer` cells in each direction (the AMReX
+    /// `n_error_buf`): guarantees features stay inside the fine patch until
+    /// the next regrid, per the CFL-based regrid-frequency argument of §II-B.
+    pub fn buffer(&self, buffer: i64, domain: IndexBox) -> TagSet {
+        let mut out = TagSet::new();
+        for &p in &self.cells {
+            let b = IndexBox::new(p, p).grow(buffer).intersection(&domain);
+            for q in b.cells() {
+                out.cells.insert(q);
+            }
+        }
+        out
+    }
+
+    /// Restricts tags to `domain`.
+    pub fn restrict(&self, domain: IndexBox) -> TagSet {
+        TagSet {
+            cells: self
+                .cells
+                .iter()
+                .copied()
+                .filter(|p| domain.contains(*p))
+                .collect(),
+        }
+    }
+
+    /// Tags every valid cell of `mf`'s component `comp` whose absolute value
+    /// exceeds `threshold` — the building block for gradient-based criteria
+    /// (the solver stores |∇ρ| or |∇(ρu)| into a scratch component first).
+    pub fn tag_where_above(mf: &MultiFab, comp: usize, threshold: f64) -> TagSet {
+        let mut out = TagSet::new();
+        for (i, vbx) in mf.iter_valid() {
+            let fab = mf.fab(i);
+            for p in vbx.cells() {
+                if fab.get(p, comp).abs() > threshold {
+                    out.tag(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Coarsens all tags by `ratio` (deduplicating).
+    pub fn coarsen(&self, ratio: IntVect) -> TagSet {
+        TagSet {
+            cells: self.cells.iter().map(|p| p.coarsen(ratio)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crocco_fab::{BoxArray, DistributionMapping};
+    use std::sync::Arc;
+
+    #[test]
+    fn tag_and_query() {
+        let mut t = TagSet::new();
+        assert!(t.is_empty());
+        t.tag(IntVect::new(1, 2, 3));
+        t.tag(IntVect::new(1, 2, 3)); // idempotent
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(IntVect::new(1, 2, 3)));
+        assert!(!t.contains(IntVect::ZERO));
+    }
+
+    #[test]
+    fn buffer_grows_and_clips() {
+        let domain = IndexBox::from_extents(8, 8, 8);
+        let mut t = TagSet::new();
+        t.tag(IntVect::ZERO); // at the corner
+        let b = t.buffer(1, domain);
+        // 2×2×2 clipped block around the corner.
+        assert_eq!(b.len(), 8);
+        assert!(b.contains(IntVect::new(1, 1, 1)));
+        assert!(!b.contains(IntVect::new(-1, 0, 0)));
+    }
+
+    #[test]
+    fn restrict_drops_outside_tags() {
+        let mut t = TagSet::new();
+        t.tag(IntVect::new(0, 0, 0));
+        t.tag(IntVect::new(100, 0, 0));
+        let r = t.restrict(IndexBox::from_extents(8, 8, 8));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn coarsen_deduplicates() {
+        let mut t = TagSet::new();
+        t.tag_box(IndexBox::from_extents(4, 4, 4));
+        let c = t.coarsen(IntVect::splat(2));
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn threshold_tagging_from_multifab() {
+        let bx = IndexBox::from_extents(8, 8, 8);
+        let ba = Arc::new(BoxArray::new(vec![bx]));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        let mut mf = MultiFab::new(ba, dm, 1, 0);
+        mf.fab_mut(0).set(IntVect::new(3, 3, 3), 0, -5.0);
+        mf.fab_mut(0).set(IntVect::new(4, 4, 4), 0, 0.5);
+        let t = TagSet::tag_where_above(&mf, 0, 1.0);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(IntVect::new(3, 3, 3))); // |−5| > 1
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the AMR framework invariants.
+
+use crocco_amr::interp::{
+    ConservativeLinearInterp, Interpolator, PiecewiseConstantInterp, TrilinearInterp,
+};
+use crocco_amr::{cluster_tags, ClusterParams, TagSet};
+use crocco_fab::{BoxArray, FArrayBox};
+use crocco_geometry::{IndexBox, IntVect};
+use proptest::prelude::*;
+
+fn arb_tags(domain: IndexBox, max_tags: usize) -> impl Strategy<Value = TagSet> {
+    prop::collection::vec(
+        (
+            0..domain.size()[0],
+            0..domain.size()[1],
+            0..domain.size()[2],
+        ),
+        1..max_tags,
+    )
+    .prop_map(|pts| {
+        let mut t = TagSet::new();
+        for (i, j, k) in pts {
+            t.tag(IntVect::new(i, j, k));
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clustering_covers_all_tags_with_valid_boxes(
+        tags in arb_tags(IndexBox::from_extents(48, 48, 24), 120),
+    ) {
+        let domain = IndexBox::from_extents(48, 48, 24);
+        let params = ClusterParams {
+            efficiency: 0.7,
+            blocking_factor: 4,
+            max_grid_size: 16,
+            domain,
+        };
+        let boxes = cluster_tags(&tags, params);
+        for t in tags.iter() {
+            prop_assert!(boxes.iter().any(|b| b.contains(t)), "tag {:?} uncovered", t);
+        }
+        for b in &boxes {
+            prop_assert!(b.is_blocked(4));
+            prop_assert!(b.size().max_component() <= 16);
+            prop_assert!(domain.contains_box(b));
+        }
+        // Disjoint (BoxArray construction panics otherwise).
+        let _ = BoxArray::new(boxes);
+    }
+
+    #[test]
+    fn buffered_tags_remain_covered(
+        tags in arb_tags(IndexBox::from_extents(32, 32, 16), 40),
+        buffer in 0i64..3,
+    ) {
+        let domain = IndexBox::from_extents(32, 32, 16);
+        let buffered = tags.buffer(buffer, domain);
+        prop_assert!(buffered.len() >= tags.len());
+        for t in tags.iter() {
+            prop_assert!(buffered.contains(t));
+        }
+    }
+
+    #[test]
+    fn interpolators_are_exact_on_constants(
+        value in -10.0f64..10.0,
+    ) {
+        let cbx = IndexBox::new(IntVect::new(-2, -2, -2), IntVect::new(5, 5, 5));
+        let coarse = FArrayBox::filled(cbx, 2, value);
+        let region = IndexBox::from_extents(8, 8, 8);
+        let interps: Vec<Box<dyn Interpolator>> = vec![
+            Box::new(PiecewiseConstantInterp),
+            Box::new(TrilinearInterp),
+            Box::new(ConservativeLinearInterp),
+        ];
+        for interp in interps {
+            let mut fine = FArrayBox::new(region, 2);
+            interp.interp(&coarse, &mut fine, region, IntVect::splat(2), None, None);
+            for p in region.cells() {
+                for c in 0..2 {
+                    prop_assert!((fine.get(p, c) - value).abs() < 1e-12,
+                        "{} at {:?}", interp.name(), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_interp_conserves_random_fields(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cbx = IndexBox::new(IntVect::new(-1, -1, -1), IntVect::new(4, 4, 4));
+        let mut coarse = FArrayBox::new(cbx, 1);
+        for p in cbx.cells() {
+            coarse.set(p, 0, rng.gen_range(-1.0..1.0));
+        }
+        let cregion = IndexBox::from_extents(4, 4, 4);
+        let fregion = cregion.refine(IntVect::splat(2));
+        let mut fine = FArrayBox::new(fregion, 1);
+        ConservativeLinearInterp.interp(&coarse, &mut fine, fregion, IntVect::splat(2), None, None);
+        for cp in cregion.cells() {
+            let children = IndexBox::new(cp, cp).refine(IntVect::splat(2));
+            let mean: f64 = children.cells().map(|p| fine.get(p, 0)).sum::<f64>() / 8.0;
+            prop_assert!((mean - coarse.get(cp, 0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trilinear_respects_local_bounds(seed in any::<u64>()) {
+        // Trilinear interpolation is a convex combination: every fine value
+        // lies within the min/max of its 8 coarse neighbors.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cbx = IndexBox::new(IntVect::new(-2, -2, -2), IntVect::new(5, 5, 5));
+        let mut coarse = FArrayBox::new(cbx, 1);
+        for p in cbx.cells() {
+            coarse.set(p, 0, rng.gen_range(-5.0..5.0));
+        }
+        let region = IndexBox::from_extents(8, 8, 8);
+        let mut fine = FArrayBox::new(region, 1);
+        TrilinearInterp.interp(&coarse, &mut fine, region, IntVect::splat(2), None, None);
+        let lo = coarse.min_region(cbx, 0);
+        let hi = coarse.max_region(cbx, 0);
+        for p in region.cells() {
+            let v = fine.get(p, 0);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn weno_conservative_interp_conserves_random_fields(seed in any::<u64>()) {
+        use crocco_amr::interp::WenoConservativeInterp;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cbx = IndexBox::new(IntVect::new(-1, -1, -1), IntVect::new(4, 4, 4));
+        let mut coarse = FArrayBox::new(cbx, 2);
+        for c in 0..2 {
+            for p in cbx.cells() {
+                coarse.set(p, c, rng.gen_range(-3.0..3.0));
+            }
+        }
+        let cregion = IndexBox::from_extents(4, 4, 4);
+        let fregion = cregion.refine(IntVect::splat(2));
+        let mut fine = FArrayBox::new(fregion, 2);
+        WenoConservativeInterp.interp(&coarse, &mut fine, fregion, IntVect::splat(2), None, None);
+        for c in 0..2 {
+            for cp in cregion.cells() {
+                let children = IndexBox::new(cp, cp).refine(IntVect::splat(2));
+                let mean: f64 =
+                    children.cells().map(|p| fine.get(p, c)).sum::<f64>() / 8.0;
+                prop_assert!(
+                    (mean - coarse.get(cp, c)).abs() < 1e-12,
+                    "conservation violated at {:?} comp {}", cp, c
+                );
+            }
+        }
+    }
+}

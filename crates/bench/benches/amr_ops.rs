@@ -1,0 +1,195 @@
+//! Criterion microbenchmarks of the AMR framework operations: FillBoundary,
+//! two-level FillPatch (both interpolators — the 2.0/2.1 axis), AverageDown,
+//! Berger–Rigoutsos clustering, Morton encoding, and plan construction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use crocco_amr::fillpatch::{fill_patch_two_levels, NoOpBoundary};
+use crocco_amr::interp::{CurvilinearInterp, TrilinearInterp};
+use crocco_amr::{average_down, cluster_tags, ClusterParams, TagSet};
+use crocco_fab::plan::fill_boundary_plan;
+use crocco_fab::{BoxArray, DistributionMapping, DistributionStrategy, MultiFab};
+use crocco_geometry::{decompose::ChopParams, morton, IndexBox, IntVect, ProblemDomain};
+use std::sync::Arc;
+
+fn level(domain_box: IndexBox, max_grid: i64, ncomp: usize, nghost: i64) -> MultiFab {
+    let ba = Arc::new(BoxArray::decompose(domain_box, ChopParams::new(4, max_grid)));
+    let dm = Arc::new(DistributionMapping::new(
+        &ba,
+        8,
+        DistributionStrategy::MortonSfc,
+    ));
+    let mut mf = MultiFab::new(ba, dm, ncomp, nghost);
+    for i in 0..mf.nfabs() {
+        let bx = mf.fab(i).bx();
+        for p in bx.cells() {
+            for c in 0..ncomp {
+                let v = (p[0] + 3 * p[1] + 7 * p[2]) as f64 + c as f64;
+                mf.fab_mut(i).set(p, c, v);
+            }
+        }
+    }
+    mf
+}
+
+fn bench_fill_boundary(c: &mut Criterion) {
+    let domain_box = IndexBox::from_extents(64, 32, 16);
+    let domain = ProblemDomain::new(domain_box, [false, false, true]);
+    let mut mf = level(domain_box, 16, 5, 4);
+    let mut group = c.benchmark_group("fill_boundary");
+    group.throughput(Throughput::Elements(domain_box.num_points()));
+    group.bench_function("64x32x16_g4", |b| {
+        b.iter(|| {
+            black_box(mf.fill_boundary(&domain));
+        });
+    });
+    group.finish();
+}
+
+fn bench_fill_boundary_plan_only(c: &mut Criterion) {
+    // Metadata-path cost: what the Summit-scale studies pay per level.
+    let domain_box = IndexBox::from_extents(128, 64, 32);
+    let domain = ProblemDomain::new(domain_box, [false, false, true]);
+    let ba = BoxArray::decompose(domain_box, ChopParams::new(8, 16));
+    let dm = DistributionMapping::new(&ba, 64, DistributionStrategy::MortonSfc);
+    let mut group = c.benchmark_group("fill_boundary_plan");
+    group.throughput(Throughput::Elements(ba.len() as u64));
+    group.bench_function("1024_boxes", |b| {
+        b.iter(|| black_box(fill_boundary_plan(&ba, &dm, &domain, 4, 5).stats()));
+    });
+    group.finish();
+}
+
+fn bench_fill_patch_two_levels(c: &mut Criterion) {
+    let cdom_box = IndexBox::from_extents(32, 32, 16);
+    let cdomain = ProblemDomain::new(cdom_box, [false, false, true]);
+    let fdomain = cdomain.refine(IntVect::splat(2));
+    let coarse = level(cdom_box, 16, 5, 4);
+    let fine_box = IndexBox::new(IntVect::new(16, 16, 8), IntVect::new(47, 47, 23));
+    let mut fine = {
+        let ba = Arc::new(BoxArray::decompose(fine_box, ChopParams::new(4, 16)));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        MultiFab::new(ba, dm, 5, 4)
+    };
+    // Coordinates for the curvilinear interpolator.
+    let mk_coords = |mf: &MultiFab, scale: f64| {
+        let mut coords = MultiFab::new(mf.boxarray().clone(), mf.distribution().clone(), 3, 4);
+        for i in 0..coords.nfabs() {
+            let bx = coords.fab(i).bx();
+            for p in bx.cells() {
+                for d in 0..3 {
+                    coords.fab_mut(i).set(p, d, (p[d] as f64 + 0.5) * scale);
+                }
+            }
+        }
+        coords
+    };
+    let ccoords = mk_coords(&coarse, 1.0);
+    let fcoords = mk_coords(&fine, 0.5);
+
+    let mut group = c.benchmark_group("fill_patch_two_levels");
+    group.throughput(Throughput::Elements(fine.boxarray().num_points()));
+    group.bench_function("trilinear_v2_1", |b| {
+        b.iter(|| {
+            black_box(fill_patch_two_levels(
+                &mut fine,
+                &coarse,
+                &fdomain,
+                &cdomain,
+                IntVect::splat(2),
+                &TrilinearInterp,
+                &NoOpBoundary,
+                &NoOpBoundary,
+                None,
+                None,
+                0.0,
+            ));
+        });
+    });
+    group.bench_function("curvilinear_v2_0", |b| {
+        b.iter(|| {
+            black_box(fill_patch_two_levels(
+                &mut fine,
+                &coarse,
+                &fdomain,
+                &cdomain,
+                IntVect::splat(2),
+                &CurvilinearInterp,
+                &NoOpBoundary,
+                &NoOpBoundary,
+                Some(&ccoords),
+                Some(&fcoords),
+                0.0,
+            ));
+        });
+    });
+    group.finish();
+}
+
+fn bench_average_down(c: &mut Criterion) {
+    let fine = level(IndexBox::from_extents(64, 32, 16), 16, 5, 0);
+    let mut coarse = level(IndexBox::from_extents(32, 16, 8), 16, 5, 0);
+    let mut group = c.benchmark_group("average_down");
+    group.throughput(Throughput::Elements(fine.boxarray().num_points()));
+    group.bench_function("64x32x16", |b| {
+        b.iter(|| {
+            average_down::average_down(&fine, &mut coarse, IntVect::splat(2));
+            black_box(&coarse);
+        });
+    });
+    group.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    // A diagonal shock-front tag pattern, the hard case for clustering.
+    let domain = IndexBox::from_extents(128, 128, 16);
+    let mut tags = TagSet::new();
+    for i in 0..128 {
+        for k in 0..16 {
+            for w in -2i64..3 {
+                let j = (i + w).clamp(0, 127);
+                tags.tag(IntVect::new(i, j, k));
+            }
+        }
+    }
+    let params = ClusterParams {
+        efficiency: 0.7,
+        blocking_factor: 8,
+        max_grid_size: 32,
+        domain,
+    };
+    let mut group = c.benchmark_group("berger_rigoutsos");
+    group.throughput(Throughput::Elements(tags.len() as u64));
+    group.bench_function("diagonal_front", |b| {
+        b.iter(|| black_box(cluster_tags(&tags, params)));
+    });
+    group.finish();
+}
+
+fn bench_morton(c: &mut Criterion) {
+    let points: Vec<IntVect> = (0..4096)
+        .map(|i| IntVect::new(i % 64, (i / 64) % 64, i / 4096))
+        .collect();
+    let mut group = c.benchmark_group("morton");
+    group.throughput(Throughput::Elements(points.len() as u64));
+    group.bench_function("encode_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &points {
+                acc ^= morton::encode(p);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fill_boundary,
+    bench_fill_boundary_plan_only,
+    bench_fill_patch_two_levels,
+    bench_average_down,
+    bench_cluster,
+    bench_morton
+);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Criterion microbenchmarks of the actual Rust numerics kernels (the
+//! host-measured counterpart of the modeled Fig. 3 curves): WENO sweeps per
+//! direction, the viscous kernel, ComputeDt, the RK update, and the
+//! reference-vs-optimized implementation pair.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crocco_fab::{BoxArray, DistributionMapping, FArrayBox, MultiFab};
+use crocco_geometry::{IndexBox, IntVect, RealVect, StretchedMapping};
+use crocco_solver::kernels::{compute_dt_patch, viscous_flux, weno_flux, NGHOST};
+use crocco_solver::metrics::{compute_metrics, generate_coords, NCOORDS, NMETRICS};
+use crocco_solver::reference::weno_flux_reference;
+use crocco_solver::state::{Conserved, Primitive, NCONS};
+use crocco_solver::{PerfectGas, WenoVariant};
+use std::sync::Arc;
+
+struct Patch {
+    state: MultiFab,
+    metrics: MultiFab,
+    gas: PerfectGas,
+}
+
+fn make_patch(edge: i64) -> Patch {
+    let gas = PerfectGas::nondimensional();
+    let extents = IntVect::new(edge, edge, edge);
+    let bx = IndexBox::from_extents(edge, edge, edge);
+    let ba = Arc::new(BoxArray::new(vec![bx]));
+    let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+    let map = StretchedMapping::new(RealVect::ZERO, RealVect::splat(1.0), 1.2, 1);
+    let mut coords = MultiFab::new(ba.clone(), dm.clone(), NCOORDS, NGHOST + 2);
+    generate_coords(&map, extents, &mut coords);
+    let mut metrics = MultiFab::new(ba.clone(), dm.clone(), NMETRICS, NGHOST);
+    compute_metrics(&coords, &mut metrics);
+    let mut state = MultiFab::new(ba, dm, NCONS, NGHOST);
+    let all = state.fab(0).bx();
+    for p in all.cells() {
+        let x = p[0] as f64 / edge as f64;
+        let w = Primitive {
+            rho: 1.0 + 0.2 * (6.0 * x).sin(),
+            vel: [0.7, -0.2, 0.1],
+            p: 1.0 + 0.1 * (4.0 * x).cos(),
+            t: 0.0,
+        };
+        let u = Conserved::from_primitive(&w, &gas);
+        for c in 0..NCONS {
+            state.fab_mut(0).set(p, c, u.0[c]);
+        }
+    }
+    Patch {
+        state,
+        metrics,
+        gas,
+    }
+}
+
+fn bench_weno(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weno_flux");
+    for edge in [16i64, 32] {
+        let patch = make_patch(edge);
+        let valid = patch.state.valid_box(0);
+        group.throughput(Throughput::Elements(valid.num_points()));
+        for dir in 0..3 {
+            group.bench_with_input(
+                BenchmarkId::new(format!("dir{dir}"), edge),
+                &dir,
+                |b, &dir| {
+                    let mut rhs = FArrayBox::new(valid, NCONS);
+                    b.iter(|| {
+                        weno_flux(
+                            patch.state.fab(0),
+                            patch.metrics.fab(0),
+                            &mut rhs,
+                            valid,
+                            dir,
+                            &patch.gas,
+                            WenoVariant::Symbo,
+                        );
+                        black_box(&rhs);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_reference_vs_optimized(c: &mut Criterion) {
+    // The host-measured analog of the paper's Fortran/C++ comparison: the
+    // reference implementation recomputes per face and is expected to be
+    // measurably slower at identical results.
+    let patch = make_patch(24);
+    let valid = patch.state.valid_box(0);
+    let mut group = c.benchmark_group("weno_impl");
+    group.throughput(Throughput::Elements(valid.num_points()));
+    group.bench_function("optimized", |b| {
+        let mut rhs = FArrayBox::new(valid, NCONS);
+        b.iter(|| {
+            weno_flux(
+                patch.state.fab(0),
+                patch.metrics.fab(0),
+                &mut rhs,
+                valid,
+                0,
+                &patch.gas,
+                WenoVariant::Js5,
+            );
+            black_box(&rhs);
+        });
+    });
+    group.bench_function("reference", |b| {
+        let mut rhs = FArrayBox::new(valid, NCONS);
+        b.iter(|| {
+            weno_flux_reference(
+                patch.state.fab(0),
+                patch.metrics.fab(0),
+                &mut rhs,
+                valid,
+                0,
+                &patch.gas,
+                WenoVariant::Js5,
+            );
+            black_box(&rhs);
+        });
+    });
+    group.finish();
+}
+
+fn bench_viscous(c: &mut Criterion) {
+    let gas_air = PerfectGas::air();
+    let patch = make_patch(24);
+    let valid = patch.state.valid_box(0);
+    let mut group = c.benchmark_group("viscous_flux");
+    group.throughput(Throughput::Elements(valid.num_points()));
+    group.bench_function("air", |b| {
+        let mut rhs = FArrayBox::new(valid, NCONS);
+        b.iter(|| {
+            viscous_flux(
+                patch.state.fab(0),
+                patch.metrics.fab(0),
+                &mut rhs,
+                valid,
+                &gas_air,
+            );
+            black_box(&rhs);
+        });
+    });
+    group.finish();
+}
+
+fn bench_compute_dt(c: &mut Criterion) {
+    let patch = make_patch(32);
+    let valid = patch.state.valid_box(0);
+    let mut group = c.benchmark_group("compute_dt");
+    group.throughput(Throughput::Elements(valid.num_points()));
+    group.bench_function("patch32", |b| {
+        b.iter(|| {
+            black_box(compute_dt_patch(
+                patch.state.fab(0),
+                patch.metrics.fab(0),
+                valid,
+                &patch.gas,
+                0.6,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let bx = IndexBox::from_extents(32, 32, 32);
+    let mut du = FArrayBox::filled(bx, NCONS, 1.0);
+    let rhs = FArrayBox::filled(bx, NCONS, 0.5);
+    let mut group = c.benchmark_group("rk_update");
+    group.throughput(Throughput::Elements(bx.num_points()));
+    group.bench_function("lincomb32", |b| {
+        b.iter(|| {
+            du.lincomb(black_box(-5.0 / 9.0), black_box(1e-3), &rhs);
+            black_box(&du);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_weno,
+    bench_reference_vs_optimized,
+    bench_viscous,
+    bench_compute_dt,
+    bench_update
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation: load-balancing strategy (the paper uses AMReX's default
+//! Z-Morton SFC, §III-B). Compares SFC, round-robin, and greedy knapsack on
+//! the scaled DMR hierarchy: balance quality vs locality (off-node
+//! FillBoundary traffic).
+
+use crocco_bench::dmrscale::amr_case;
+use crocco_bench::report::print_table;
+use crocco_bench::table1::weak_config;
+use crocco_fab::plan::fill_boundary_plan;
+use crocco_fab::{DistributionMapping, DistributionStrategy};
+use crocco_perfmodel::SummitPlatform;
+use crocco_solver::CodeVersion;
+
+fn main() {
+    let platform = SummitPlatform::new();
+    let nodes = 64u32;
+    let cfg = weak_config(nodes);
+    let ranks = crocco_bench::simbench::ranks_for(CodeVersion::V2_0, nodes, &platform);
+    let case = amr_case(cfg.extents, ranks);
+
+    let mut rows = Vec::new();
+    for (name, strategy) in [
+        ("Morton SFC", DistributionStrategy::MortonSfc),
+        ("round-robin", DistributionStrategy::RoundRobin),
+        ("knapsack", DistributionStrategy::Knapsack),
+    ] {
+        let mut imb_worst: f64 = 1.0;
+        let mut remote = 0u64;
+        let mut local = 0u64;
+        for level in &case.levels {
+            let dm = DistributionMapping::new(&level.ba, ranks, strategy);
+            imb_worst = imb_worst.max(dm.imbalance(&level.ba));
+            let stats = fill_boundary_plan(&level.ba, &dm, &level.domain, 4, 5).stats();
+            remote += stats.remote_bytes;
+            local += stats.local_bytes;
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{imb_worst:.3}"),
+            format!("{:.1} MB", remote as f64 / 1e6),
+            format!(
+                "{:.0}%",
+                100.0 * local as f64 / (local + remote).max(1) as f64
+            ),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Ablation: load balancing ({} ranks, {} boxes, FillBoundary per stage)",
+            ranks,
+            case.total_boxes()
+        ),
+        &["strategy", "worst imbalance", "off-rank ghost bytes", "on-rank share"],
+        &rows,
+    );
+    println!("\nSFC trades a little balance for much better locality (fewer off-rank");
+    println!("ghost bytes); knapsack balances best but scatters neighbors. The paper");
+    println!("relies on AMReX's default SFC: \"we are confident in relying on their");
+    println!("provided parallelization and load balancing methods\".");
+}

@@ -1,0 +1,53 @@
+//! Ablation: regrid frequency (§II-B ties the optimal cadence to the CFL
+//! number — features must not convect across level interfaces between
+//! regrids). Runs the real DMR solver at several cadences and reports
+//! accuracy/robustness indicators and regrid cost share.
+
+use crocco_bench::report::print_table;
+use crocco_solver::config::{CodeVersion, SolverConfig};
+use crocco_solver::driver::Simulation;
+use crocco_solver::problems::ProblemKind;
+use crocco_solver::state::cons;
+
+fn main() {
+    let mut rows = Vec::new();
+    for freq in [2u32, 5, 10, 20] {
+        let cfg = SolverConfig::builder()
+            .problem(ProblemKind::DoubleMach)
+            .extents(64, 16, 8)
+            .version(CodeVersion::V2_1)
+            .max_levels(2)
+            .regrid_freq(freq)
+            .build();
+        let mut sim = Simulation::new(cfg);
+        let report = sim.advance_steps(20);
+        let regrid_s = sim.profiler.total("Regrid");
+        let total_s: f64 = ["Regrid", "ComputeDt", "FillPatch", "Advance", "AverageDown"]
+            .iter()
+            .map(|r| sim.profiler.total(r))
+            .sum();
+        rows.push(vec![
+            freq.to_string(),
+            format!("{:.4}", report.final_time),
+            format!("{:.1}%", 100.0 * report.reduction_fraction),
+            format!("{:.3e}", sim.conserved_integral(cons::RHO)),
+            format!("{:.1}%", 100.0 * regrid_s / total_s.max(1e-12)),
+            (!sim.has_nonfinite()).to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: regrid frequency on the DMR (20 steps, 2 levels, executed)",
+        &[
+            "regrid every",
+            "final time",
+            "point reduction",
+            "total mass",
+            "regrid share",
+            "finite",
+        ],
+        &rows,
+    );
+    println!("\nFrequent regridding tracks the shock tightly (higher reduction is");
+    println!("possible with tight tagging) but costs walltime; §II-B sizes the cadence");
+    println!("so features cannot cross a patch between regrids at CFL<=1.");
+}

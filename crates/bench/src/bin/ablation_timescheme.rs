@@ -1,0 +1,54 @@
+//! Ablation: low-storage time integrator (executed). The paper marches with
+//! Williamson RK3 (§II-A); AMReX's pluggable time integrators (§III-B) make
+//! the scheme a free axis. Compares Euler / RK3 / RK4(5) on the smooth
+//! vortex at a fixed horizon: error vs RHS-evaluation cost.
+
+use crocco_bench::report::print_table;
+use crocco_solver::config::{CodeVersion, SolverConfig};
+use crocco_solver::driver::Simulation;
+use crocco_solver::integrators::TimeScheme;
+use crocco_solver::problems::ProblemKind;
+use crocco_solver::validation::vortex_density_error;
+use crocco_solver::PerfectGas;
+
+fn main() {
+    let gas = PerfectGas::nondimensional();
+    let mut rows = Vec::new();
+    for (name, scheme, cfl) in [
+        // Euler is only conditionally stable with WENO; run it gently.
+        ("Euler (1 stage)", TimeScheme::Euler, 0.2),
+        ("Williamson RK3", TimeScheme::Rk3Williamson, 0.4),
+        ("Carpenter-Kennedy RK4(5)", TimeScheme::Rk45CarpenterKennedy, 0.4),
+    ] {
+        let cfg = SolverConfig::builder()
+            .problem(ProblemKind::IsentropicVortex)
+            .extents(24, 24, 4)
+            .version(CodeVersion::V1_1)
+            .time_scheme(scheme)
+            .cfl(cfl)
+            .threads(4)
+            .build();
+        let mut sim = Simulation::new(cfg);
+        while sim.time() < 0.25 {
+            sim.step();
+        }
+        let rhs_evals = sim.step_count() as usize * scheme.stages();
+        rows.push(vec![
+            name.to_string(),
+            scheme.stages().to_string(),
+            format!("{cfl}"),
+            sim.step_count().to_string(),
+            rhs_evals.to_string(),
+            format!("{:.3e}", vortex_density_error(&sim, &gas)),
+            (!sim.has_nonfinite()).to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation (executed): time integrator on the vortex to t = 0.25",
+        &["scheme", "stages", "CFL", "steps", "RHS evals", "L2 density err", "stable"],
+        &rows,
+    );
+    println!("\nAt smooth-flow resolutions the spatial WENO error dominates, so the");
+    println!("higher-order schemes buy stability margin (larger usable CFL) more than");
+    println!("accuracy — why the paper's production choice is the cheap 2N RK3.");
+}

@@ -1,0 +1,64 @@
+//! Ablation: WENO linear-weight family (upwind JS5 vs max-order symmetric vs
+//! bandwidth-optimized SYMBO, §II-A). Measures dissipation on the smooth
+//! isentropic vortex and robustness on the Sod shock, executed for real.
+
+use crocco_bench::report::print_table;
+use crocco_solver::config::{CodeVersion, SolverConfig};
+use crocco_solver::driver::Simulation;
+use crocco_solver::problems::ProblemKind;
+use crocco_solver::validation::{sod_density_error, vortex_density_error};
+use crocco_solver::{PerfectGas, WenoVariant};
+
+fn main() {
+    let gas = PerfectGas::nondimensional();
+    let variants = [
+        ("WENO5-JS (upwind)", WenoVariant::Js5),
+        ("central-6 (max order)", WenoVariant::CentralSym6),
+        ("WENO-SYMBO", WenoVariant::Symbo),
+    ];
+    let mut rows = Vec::new();
+    for (name, w) in variants {
+        // Smooth-flow dissipation: vortex L2 density error at t=0.5.
+        let cfg = SolverConfig::builder()
+            .problem(ProblemKind::IsentropicVortex)
+            .extents(32, 32, 4)
+            .version(CodeVersion::V1_1)
+            .weno(w)
+            .cfl(0.5)
+            .build();
+        let mut vortex = Simulation::new(cfg);
+        while vortex.time() < 0.5 {
+            vortex.step();
+        }
+        let e_smooth = vortex_density_error(&vortex, &gas);
+
+        // Shock robustness: Sod at t=0.1.
+        let cfg = SolverConfig::builder()
+            .problem(ProblemKind::SodX)
+            .extents(64, 4, 4)
+            .version(CodeVersion::V1_1)
+            .weno(w)
+            .cfl(0.5)
+            .build();
+        let mut sod = Simulation::new(cfg);
+        while sod.time() < 0.1 {
+            sod.step();
+        }
+        let e_shock = sod_density_error(&sod, &gas);
+        rows.push(vec![
+            name.to_string(),
+            format!("{e_smooth:.3e}"),
+            format!("{e_shock:.3e}"),
+            (!vortex.has_nonfinite() && !sod.has_nonfinite()).to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: WENO variant (executed: vortex t=0.5, Sod t=0.1)",
+        &["scheme", "smooth L2 err", "shock L2 err", "stable"],
+        &rows,
+    );
+    println!("\npaper: WENO-SYMBO resolves small scales on fewer points than shock-");
+    println!("tuned upwind WENO (lower smooth-flow dissipation) while remaining");
+    println!("shock-capturing; that is why CRoCCo can use AMR purely as a");
+    println!("turbulence-resolving tool (§III-C).");
+}

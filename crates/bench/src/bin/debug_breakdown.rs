@@ -1,0 +1,34 @@
+//! Developer utility: print the simulated per-region breakdown for one
+//! version/node-count (used to calibrate the Summit model).
+
+use crocco_bench::dmrscale::{amr_case, uniform_case};
+use crocco_bench::simbench::{ranks_for, simulate_iteration};
+use crocco_bench::table1::strong_config;
+use crocco_perfmodel::SummitPlatform;
+use crocco_solver::CodeVersion;
+
+fn main() {
+    let platform = SummitPlatform::new();
+    let cfg = strong_config();
+    for (ver, nodes) in [
+        (CodeVersion::V1_1, 16u32),
+        (CodeVersion::V1_2, 16),
+        (CodeVersion::V2_0, 16),
+        (CodeVersion::V1_1, 1024),
+        (CodeVersion::V1_2, 1024),
+        (CodeVersion::V2_0, 1024),
+    ] {
+        let ranks = ranks_for(ver, nodes, &platform);
+        let case = if ver.amr_enabled() {
+            amr_case(cfg.extents, ranks)
+        } else {
+            uniform_case(cfg.extents, ranks)
+        };
+        let b = simulate_iteration(ver, &case, &platform);
+        println!("\n{ver:?} @ {nodes} nodes ({ranks} ranks, {} boxes):", case.total_boxes());
+        for (k, v) in &b.regions {
+            println!("  {k:<36} {:>12.3} ms", v * 1e3);
+        }
+        println!("  {:<36} {:>12.3} ms", "TOTAL", b.total() * 1e3);
+    }
+}

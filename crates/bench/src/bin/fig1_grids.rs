@@ -1,0 +1,86 @@
+//! Fig. 1: example of a block-structured AMR grid — three levels, the
+//! coarsest active across the entire domain, finer patches overset as
+//! contiguous block structures (no parent–child quadtree relationship).
+//!
+//! Builds a real 3-level hierarchy with the production tagging → buffering →
+//! Berger–Rigoutsos → proper-nesting pipeline and renders the patch layout.
+
+use crocco_amr::{AmrHierarchy, AmrParams, TagSet};
+use crocco_fab::DistributionStrategy;
+use crocco_geometry::{IndexBox, IntVect, ProblemDomain};
+
+fn main() {
+    let domain = ProblemDomain::non_periodic(IndexBox::from_extents(64, 48, 8));
+    let params = AmrParams {
+        max_levels: 3,
+        ref_ratio: IntVect::splat(2),
+        blocking_factor: 4,
+        max_grid_size: 32,
+        grid_eff: 0.7,
+        n_error_buf: 1,
+        regrid_freq: 10,
+        nesting_buffer: 4,
+    };
+    let mut h = AmrHierarchy::new(domain, params, 4, DistributionStrategy::MortonSfc);
+
+    // A curved "flow feature" to refine around (an arc through the domain),
+    // tagged at level 0 and, more tightly, at level 1.
+    let mut t0 = TagSet::new();
+    let mut t1 = TagSet::new();
+    for i in 0..64i64 {
+        let y = 10.0 + 28.0 * (std::f64::consts::PI * i as f64 / 64.0).sin();
+        for w in -3i64..=3 {
+            let j = (y as i64 + w).clamp(0, 47);
+            for k in 0..8 {
+                t0.tag(IntVect::new(i, j, k));
+            }
+        }
+        for w in -2i64..=2 {
+            let j = (2.0 * y) as i64 + w;
+            for k in 0..16 {
+                t1.tag(IntVect::new(2 * i, j.clamp(0, 95), k));
+                t1.tag(IntVect::new(2 * i + 1, j.clamp(0, 95), k));
+            }
+        }
+    }
+    h.regrid(&[t0, t1]);
+
+    println!("Fig. 1 analog: a 3-level block-structured AMR grid (executed pipeline)\n");
+    for l in 0..h.nlevels() {
+        let lev = h.level(l);
+        println!(
+            "level {l}: {:3} patches, {:8} cells, domain {:?}",
+            lev.ba.len(),
+            lev.ba.num_points(),
+            h.domain(l).bx.size()
+        );
+    }
+
+    // ASCII overlay: deepest level owning each coarse cell (z = 0 plane).
+    println!("\nfinest level covering each coarse cell (z = 0):");
+    let d0 = h.domain(0).bx;
+    for j in (0..d0.size()[1]).rev() {
+        let mut line = String::new();
+        for i in 0..d0.size()[0] {
+            let mut deepest = 0;
+            for l in 1..h.nlevels() {
+                let scale = 1 << l;
+                let p = IntVect::new(i * scale, j * scale, 0);
+                if h.level(l).ba.intersects_any(IndexBox::new(p, p)) {
+                    deepest = l;
+                }
+            }
+            line.push(match deepest {
+                0 => '.',
+                1 => '+',
+                _ => '#',
+            });
+        }
+        println!("{line}");
+    }
+    println!("\n. = level 0 only   + = level 1   # = level 2");
+    println!("The coarsest grid remains active across the entire domain; finer");
+    println!("patches are overset, contiguous, and properly nested (paper Fig. 1).");
+    let r = h.reduction_fraction();
+    println!("active-point reduction vs uniform-fine: {:.1}%", 100.0 * r);
+}

@@ -1,0 +1,88 @@
+//! Fig. 2: density contour of the canonical DMR problem with three-level
+//! curvilinear AMR — rendered as an ASCII density map with the AMR level
+//! overlay, from a real (executed) run.
+
+use crocco_solver::config::{CodeVersion, SolverConfig};
+use crocco_solver::driver::Simulation;
+use crocco_solver::problems::ProblemKind;
+use crocco_solver::state::cons;
+
+fn main() {
+    let cfg = SolverConfig::builder()
+        .problem(ProblemKind::DoubleMach)
+        .extents(96, 24, 8)
+        .version(CodeVersion::V2_0)
+        .max_levels(3)
+        .blocking_factor(4)
+        .max_grid_size(32)
+        .regrid_freq(5)
+        .threads(4)
+        .build();
+    let mut sim = Simulation::new(cfg);
+    let steps = 60;
+    println!("running the Mach-10 double Mach reflection, {steps} steps ...");
+    sim.advance_steps(steps);
+    assert!(!sim.has_nonfinite());
+
+    // Sample density on a uniform raster from the finest level available at
+    // each point (the overset-patch picture of the paper's Fig. 1/Fig. 2).
+    let (w, h) = (96usize, 24usize);
+    let mut rho = vec![vec![0.0f64; w]; h];
+    let mut lev_of = vec![vec![0usize; w]; h];
+    for l in 0..sim.nlevels() {
+        let state = &sim.level(l).state;
+        let dom = sim.hierarchy().domain(l).bx;
+        let (nx, ny, nz) = (dom.size()[0], dom.size()[1], dom.size()[2]);
+        for i in 0..state.nfabs() {
+            let valid = state.valid_box(i);
+            for p in valid.cells() {
+                if p[2] != nz / 2 {
+                    continue;
+                }
+                let px = (p[0] * w as i64 / nx) as usize;
+                let py = (p[1] * h as i64 / ny) as usize;
+                if l >= lev_of[py][px] {
+                    lev_of[py][px] = l;
+                    rho[py][px] = state.fab(i).get(p, cons::RHO);
+                }
+            }
+        }
+    }
+
+    let (lo, hi) = rho
+        .iter()
+        .flatten()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
+    println!(
+        "\ndensity contour at t = {:.4} (z mid-plane), rho in [{lo:.2}, {hi:.2}]:",
+        sim.time()
+    );
+    let shades: &[u8] = b" .:-=+*#%@";
+    for row in rho.iter().rev() {
+        let mut line = String::with_capacity(w);
+        for &v in row {
+            let t = ((v - lo) / (hi - lo) * (shades.len() - 1) as f64) as usize;
+            line.push(shades[t.min(shades.len() - 1)] as char);
+        }
+        println!("{line}");
+    }
+    println!("\nAMR level ownership (0 = coarse, 2 = finest):");
+    for row in lev_of.iter().rev() {
+        let mut line = String::with_capacity(w);
+        for &l in row {
+            line.push(char::from_digit(l as u32, 10).unwrap());
+        }
+        println!("{line}");
+    }
+    println!(
+        "\nactive points: {} of {} equivalent ({:.1}% reduction) across {} levels",
+        sim.report().active_points,
+        sim.report().equivalent_points,
+        100.0 * sim.report().reduction_fraction,
+        sim.nlevels()
+    );
+    println!("paper Fig. 2: the incident shock, Mach stem, and slip line carry the");
+    println!("fine patches; the quiescent pre-shock region stays coarse.");
+}

@@ -1,0 +1,129 @@
+//! Fig. 5: strong (left) and weak (right) scaling of CRoCCo on the modeled
+//! Summit platform.
+//!
+//! Usage: `fig5_scaling [strong|weak]` (default: both).
+
+use crocco_bench::dmrscale::{amr_case, uniform_case};
+use crocco_bench::report::{fmt_ratio, fmt_time, print_table};
+use crocco_bench::simbench::{ranks_for, simulate_iteration};
+use crocco_bench::table1::{strong_config, weak_configs, STRONG_NODES};
+use crocco_perfmodel::SummitPlatform;
+use crocco_solver::CodeVersion;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    let platform = SummitPlatform::new();
+    if arg == "strong" || arg == "both" {
+        strong(&platform);
+    }
+    if arg == "weak" || arg == "both" {
+        weak(&platform);
+    }
+}
+
+fn time_for(
+    version: CodeVersion,
+    nodes: u32,
+    equiv: crocco_geometry::IntVect,
+    platform: &SummitPlatform,
+) -> f64 {
+    let ranks = ranks_for(version, nodes, platform);
+    let case = if version.amr_enabled() {
+        amr_case(equiv, ranks)
+    } else {
+        uniform_case(equiv, ranks)
+    };
+    simulate_iteration(version, &case, platform).total()
+}
+
+fn strong(platform: &SummitPlatform) {
+    let cfg = strong_config();
+    println!(
+        "Strong scaling, {} equivalent grid points {:?}",
+        cfg.points, cfg.extents
+    );
+    let mut rows = Vec::new();
+    let mut first: Option<(f64, f64, f64)> = None;
+    for &nodes in &STRONG_NODES {
+        let t11 = time_for(CodeVersion::V1_1, nodes, cfg.extents, platform);
+        let t12 = time_for(CodeVersion::V1_2, nodes, cfg.extents, platform);
+        let t20 = time_for(CodeVersion::V2_0, nodes, cfg.extents, platform);
+        first.get_or_insert((t11, t12, t20));
+        rows.push(vec![
+            nodes.to_string(),
+            fmt_time(t11),
+            fmt_time(t12),
+            fmt_time(t20),
+            fmt_ratio(t11 / t12),
+            fmt_ratio(t12 / t20),
+            fmt_ratio(t11 / t20),
+        ]);
+    }
+    print_table(
+        "Fig. 5 (left): strong scaling, time per iteration",
+        &[
+            "nodes",
+            "v1.1 CPU",
+            "v1.2 CPU+AMR",
+            "v2.0 GPU+AMR",
+            "AMR speedup",
+            "GPU speedup",
+            "cumulative",
+        ],
+        &rows,
+    );
+    println!(
+        "paper: AMR speedup 4.6x -> 0.91x; GPU speedup 44x -> 6x; cumulative 201x -> 5.5x (16 -> 1024 nodes)"
+    );
+}
+
+fn weak(platform: &SummitPlatform) {
+    let mut rows = Vec::new();
+    let mut base: Option<(f64, f64, f64, f64)> = None;
+    let mut eff_400 = (0.0, 0.0);
+    let mut eff_1024 = 0.0;
+    for cfg in weak_configs() {
+        let t11 = time_for(CodeVersion::V1_1, cfg.nodes, cfg.extents, platform);
+        let t12 = time_for(CodeVersion::V1_2, cfg.nodes, cfg.extents, platform);
+        let t20 = time_for(CodeVersion::V2_0, cfg.nodes, cfg.extents, platform);
+        let t21 = time_for(CodeVersion::V2_1, cfg.nodes, cfg.extents, platform);
+        let b = *base.get_or_insert((t11, t12, t20, t21));
+        if cfg.nodes == 400 {
+            eff_400 = (b.2 / t20, b.3 / t21);
+        }
+        if cfg.nodes == 1024 {
+            eff_1024 = b.2 / t20;
+        }
+        rows.push(vec![
+            cfg.nodes.to_string(),
+            format!("{:.2E}", cfg.points as f64),
+            fmt_time(t11),
+            fmt_time(t12),
+            fmt_time(t20),
+            fmt_time(t21),
+            format!("{:.0}%", 100.0 * b.2 / t20),
+            format!("{:.0}%", 100.0 * b.3 / t21),
+        ]);
+    }
+    print_table(
+        "Fig. 5 (right): weak scaling, time per iteration",
+        &[
+            "nodes",
+            "points",
+            "v1.1 CPU",
+            "v1.2 CPU+AMR",
+            "v2.0 GPU",
+            "v2.1 GPU+tri",
+            "eff 2.0",
+            "eff 2.1",
+        ],
+        &rows,
+    );
+    println!(
+        "measured: 2.0 efficiency @400 = {:.0}%, @1024 = {:.0}%; 2.1 @400 = {:.0}%",
+        eff_400.0 * 100.0,
+        eff_1024 * 100.0,
+        eff_400.1 * 100.0
+    );
+    println!("paper:    2.0 efficiency @400 = 54%, @1024 = 40%; 2.1 @400 = ~70%");
+}

@@ -1,0 +1,56 @@
+//! Fig. 7: decomposition of FillPatch runtime (v2.1) into the asynchronous
+//! (`_nowait`) and synchronous (`_finish`) halves of `ParallelCopy` and
+//! `FillBoundary` across the weak-scaling cases.
+
+use crocco_bench::dmrscale::amr_case;
+use crocco_bench::report::print_table;
+use crocco_bench::simbench::{ranks_for, simulate_iteration};
+use crocco_bench::table1::weak_configs;
+use crocco_perfmodel::SummitPlatform;
+use crocco_solver::CodeVersion;
+
+fn main() {
+    let platform = SummitPlatform::new();
+    let version = CodeVersion::V2_1;
+    let parts = [
+        "FillPatch/ParallelCopy_finish",
+        "FillPatch/ParallelCopy_nowait",
+        "FillPatch/FillBoundary_finish",
+        "FillPatch/FillBoundary_nowait",
+    ];
+    let mut rows = Vec::new();
+    let mut pc_finish = Vec::new();
+    for cfg in weak_configs() {
+        let ranks = ranks_for(version, cfg.nodes, &platform);
+        let case = amr_case(cfg.extents, ranks);
+        let b = simulate_iteration(version, &case, &platform);
+        pc_finish.push((cfg.nodes, b.get(parts[0])));
+        let mut row = vec![cfg.nodes.to_string()];
+        for p in parts {
+            row.push(format!("{:.2}", b.get(p) * 1e3));
+        }
+        row.push(format!("{:.2}", b.get("FillPatch") * 1e3));
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 7: FillPatch decomposition (ms per iteration, CRoCCo 2.1)",
+        &[
+            "nodes",
+            "ParallelCopy_finish",
+            "ParallelCopy_nowait",
+            "FillBoundary_finish",
+            "FillBoundary_nowait",
+            "FillPatch total",
+        ],
+        &rows,
+    );
+    let first = pc_finish.first().unwrap().1;
+    let last = pc_finish.last().unwrap().1;
+    println!(
+        "\nParallelCopy_finish grows {:.1}x from {} to {} nodes",
+        last / first,
+        pc_finish.first().unwrap().0,
+        pc_finish.last().unwrap().0
+    );
+    println!("paper: ParallelCopy_finish increases in execution time as node count goes up.");
+}

@@ -1,0 +1,52 @@
+//! §IV-A / §IV-C: cross-implementation L2-norm validation.
+//!
+//! Runs the same Sod problem with the reference ("Fortran", CRoCCo 1.0) and
+//! optimized ("C++", CRoCCo 1.1) kernels and reports the relative L2 norm of
+//! the difference per flow variable over time. The paper observes the norm
+//! "plateaued at 1E-7 ... within machine precision differences given the
+//! quantity of operations required".
+
+use crocco_bench::report::print_table;
+use crocco_solver::config::{CodeVersion, SolverConfig};
+use crocco_solver::driver::Simulation;
+use crocco_solver::problems::ProblemKind;
+use crocco_solver::validation::{relative_l2_difference, VARIABLE_NAMES};
+
+fn main() {
+    let mk = |v: CodeVersion| {
+        SolverConfig::builder()
+            .problem(ProblemKind::SodX)
+            .extents(64, 8, 8)
+            .version(v)
+            .build()
+    };
+    let mut fortran = Simulation::new(mk(CodeVersion::V1_0));
+    let mut cpp = Simulation::new(mk(CodeVersion::V1_1));
+    let mut rows = Vec::new();
+    let checkpoints = [5u32, 10, 20, 40];
+    let mut done = 0;
+    for &target in &checkpoints {
+        fortran.advance_steps(target - done);
+        cpp.advance_steps(target - done);
+        done = target;
+        let rel = relative_l2_difference(&fortran, &cpp);
+        let mut row = vec![target.to_string(), format!("{:.4}", fortran.time())];
+        for d in rel {
+            row.push(format!("{d:.2e}"));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["steps", "time"];
+    headers.extend(VARIABLE_NAMES);
+    print_table(
+        "Reference (Fortran) vs optimized (C++) kernels: relative L2 difference",
+        &headers,
+        &rows,
+    );
+    println!("\npaper: plateaus at ~1e-7 (machine precision for this operation count).");
+    let final_rel = relative_l2_difference(&fortran, &cpp);
+    let worst = final_rel.iter().cloned().fold(0.0, f64::max);
+    println!("measured worst-variable relative L2 after 40 steps: {worst:.2e}");
+    assert!(worst < 1e-7, "validation failed: {worst}");
+    println!("PASS: below the 1e-7 plateau.");
+}

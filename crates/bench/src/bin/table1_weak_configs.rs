@@ -1,0 +1,44 @@
+//! Table I: weak scaling configurations used for evaluating performance.
+
+use crocco_bench::report::{fmt_points, print_table};
+use crocco_bench::table1::weak_configs;
+use crocco_perfmodel::summit::CURVILINEAR_BYTES_PER_POINT;
+use crocco_perfmodel::SummitPlatform;
+
+fn main() {
+    let platform = SummitPlatform::new();
+    let mut rows = Vec::new();
+    for cfg in weak_configs() {
+        let per_gpu = cfg.points / cfg.gpus as u64;
+        rows.push(vec![
+            "1.1, 1.2, 2.0".to_string(),
+            cfg.nodes.to_string(),
+            cfg.gpus.to_string(),
+            fmt_points(cfg.points),
+            fmt_points(cfg.target_points as u64),
+            format!(
+                "{}x{}x{}",
+                cfg.extents[0], cfg.extents[1], cfg.extents[2]
+            ),
+            format!(
+                "{}",
+                platform.gpu_points_fit(per_gpu, CURVILINEAR_BYTES_PER_POINT)
+            ),
+        ]);
+    }
+    print_table(
+        "Table I: weak scaling configurations",
+        &[
+            "code versions",
+            "# nodes",
+            "# GPUs",
+            "# equiv points",
+            "paper target",
+            "equiv extents",
+            "fits V100",
+        ],
+        &rows,
+    );
+    println!("\nConstraints honoured: 2:1 x:z aspect, extents multiples of 32");
+    println!("(blocking factor 8 after two coarsenings), ~constant points/GPU.");
+}

@@ -1,0 +1,74 @@
+//! Table-printing helpers shared by the experiment binaries.
+
+/// Prints an aligned ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(ncols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (c, cell) in cells.iter().enumerate().take(ncols) {
+            s.push_str(&format!("{:>w$}  ", cell, w = widths[c]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_time(t: f64) -> String {
+    if t >= 1.0 {
+        format!("{t:.2} s")
+    } else if t >= 1e-3 {
+        format!("{:.2} ms", t * 1e3)
+    } else {
+        format!("{:.1} us", t * 1e6)
+    }
+}
+
+/// Formats a ratio like `44.3x`.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.1}x")
+}
+
+/// Formats a large count in scientific notation (Table I style).
+pub fn fmt_points(p: u64) -> String {
+    format!("{:.2E}", p as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_time(2.5), "2.50 s");
+        assert_eq!(fmt_time(0.0025), "2.50 ms");
+        assert_eq!(fmt_time(2.5e-5), "25.0 us");
+        assert_eq!(fmt_ratio(44.31), "44.3x");
+        assert_eq!(fmt_points(164_000_000), "1.64E8");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

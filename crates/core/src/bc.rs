@@ -1,0 +1,353 @@
+//! Physical boundary conditions (the paper's custom `BC_Fill` kernel,
+//! Algorithm 2 line 4).
+
+use crate::eos::PerfectGas;
+use crate::problems::{dmr, dmr_post_shock, dmr_pre_shock, ramp_inflow, ProblemKind};
+use crate::state::{cons, Conserved, NCONS};
+use crocco_amr::BoundaryFiller;
+use crocco_fab::FArrayBox;
+use crocco_geometry::{GridMapping, IndexBox, IntVect, ProblemDomain, RealVect};
+use std::sync::Arc;
+
+/// Per-problem physical boundary filler for one AMR level.
+///
+/// Holds the level's extents and mapping so ghost-cell physical positions can
+/// be reconstructed for position-dependent conditions (the DMR's mixed
+/// wall/post-shock bottom boundary and time-dependent top boundary).
+pub struct PhysicalBc {
+    problem: ProblemKind,
+    gas: PerfectGas,
+    /// Cells per direction at this level.
+    extents: IntVect,
+    mapping: Arc<dyn GridMapping>,
+}
+
+impl PhysicalBc {
+    /// Creates the filler for one level.
+    pub fn new(problem: ProblemKind, gas: PerfectGas, extents: IntVect) -> Self {
+        PhysicalBc {
+            problem,
+            gas,
+            extents,
+            mapping: problem.mapping(),
+        }
+    }
+
+    /// Physical position of cell center `p` at this level.
+    fn xphys(&self, p: IntVect) -> RealVect {
+        self.mapping.coords(RealVect::new(
+            (p[0] as f64 + 0.5) / self.extents[0] as f64,
+            (p[1] as f64 + 0.5) / self.extents[1] as f64,
+            (p[2] as f64 + 0.5) / self.extents[2] as f64,
+        ))
+    }
+}
+
+/// Copies the conserved state from `src` into `dst` at `p`.
+fn set_state(fab: &mut FArrayBox, p: IntVect, u: &Conserved) {
+    for c in 0..NCONS {
+        fab.set(p, c, u.0[c]);
+    }
+}
+
+/// Zeroth-order extrapolation: ghost takes the nearest interior cell's state.
+fn outflow(fab: &mut FArrayBox, p: IntVect, interior: IntVect) {
+    for c in 0..NCONS {
+        let v = fab.get(interior, c);
+        fab.set(p, c, v);
+    }
+}
+
+/// Reflecting slip wall across direction `dir`: mirror the interior cell and
+/// negate the normal momentum.
+fn slip_wall(fab: &mut FArrayBox, p: IntVect, mirror: IntVect, dir: usize) {
+    for c in 0..NCONS {
+        let mut v = fab.get(mirror, c);
+        if c == cons::MX + dir {
+            v = -v;
+        }
+        fab.set(p, c, v);
+    }
+}
+
+/// Slip wall on an *inclined* surface: mirror the interior cell in
+/// computational space (the grid is wall-fitted) and reflect the momentum
+/// vector about the physical wall plane with unit normal `n`:
+/// `m' = m − 2(m·n)n`. This is what makes a uniform stream feel the ramp.
+fn slip_wall_inclined(fab: &mut FArrayBox, p: IntVect, mirror: IntVect, n: [f64; 3]) {
+    let m = [
+        fab.get(mirror, cons::MX),
+        fab.get(mirror, cons::MY),
+        fab.get(mirror, cons::MZ),
+    ];
+    let mn = m[0] * n[0] + m[1] * n[1] + m[2] * n[2];
+    fab.set(p, cons::RHO, fab.get(mirror, cons::RHO));
+    fab.set(p, cons::MX, m[0] - 2.0 * mn * n[0]);
+    fab.set(p, cons::MY, m[1] - 2.0 * mn * n[1]);
+    fab.set(p, cons::MZ, m[2] - 2.0 * mn * n[2]);
+    fab.set(p, cons::ENER, fab.get(mirror, cons::ENER));
+}
+
+/// Clamps `p` to the nearest cell inside `bx` (used to find the interior
+/// neighbor of a ghost cell).
+fn clamp_into(p: IntVect, bx: IndexBox) -> IntVect {
+    let mut q = p;
+    for d in 0..3 {
+        q[d] = q[d].clamp(bx.lo()[d], bx.hi()[d]);
+    }
+    q
+}
+
+/// Mirror image of ghost `p` across the face of `domain` it sits beyond in
+/// direction `dir`.
+fn mirror_across(p: IntVect, domain: IndexBox, dir: usize) -> IntVect {
+    let mut q = p;
+    if p[dir] < domain.lo()[dir] {
+        q[dir] = 2 * domain.lo()[dir] - 1 - p[dir];
+    } else {
+        q[dir] = 2 * domain.hi()[dir] + 1 - p[dir];
+    }
+    q
+}
+
+impl BoundaryFiller for PhysicalBc {
+    fn fill(&self, fab: &mut FArrayBox, _valid: IndexBox, domain: &ProblemDomain, time: f64) {
+        let gbox = fab.bx();
+        let dbx = domain.bx;
+        for p in gbox.cells() {
+            // Skip anything inside the domain (or wrapped into it) — those
+            // cells belong to FillBoundary / interpolation.
+            let mut outside_dirs = [false; 3];
+            let mut is_outside = false;
+            for d in 0..3 {
+                if domain.periodic[d] {
+                    continue;
+                }
+                if p[d] < dbx.lo()[d] || p[d] > dbx.hi()[d] {
+                    outside_dirs[d] = true;
+                    is_outside = true;
+                }
+            }
+            if !is_outside {
+                continue;
+            }
+            match self.problem {
+                ProblemKind::SodX => {
+                    // Outflow on both x faces.
+                    outflow(fab, p, clamp_into(p, dbx));
+                }
+                ProblemKind::IsentropicVortex => {
+                    // Fully periodic: nothing to do (defensive outflow).
+                    outflow(fab, p, clamp_into(p, dbx));
+                }
+                ProblemKind::DoubleMach => {
+                    let x = self.xphys(p);
+                    if outside_dirs[0] {
+                        if p[0] < dbx.lo()[0] {
+                            // Left: post-shock inflow.
+                            set_state(
+                                fab,
+                                p,
+                                &Conserved::from_primitive(&dmr_post_shock(), &self.gas),
+                            );
+                        } else {
+                            // Right: outflow.
+                            outflow(fab, p, clamp_into(p, dbx));
+                        }
+                    } else if outside_dirs[1] {
+                        if p[1] < dbx.lo()[1] {
+                            // Bottom: post-shock upstream of x₀, reflecting
+                            // wall downstream (the ramp surface).
+                            if x[0] < dmr::X0 {
+                                set_state(
+                                    fab,
+                                    p,
+                                    &Conserved::from_primitive(&dmr_post_shock(), &self.gas),
+                                );
+                            } else {
+                                let m = mirror_across(p, dbx, 1);
+                                slip_wall(fab, p, clamp_into(m, gbox), 1);
+                            }
+                        } else {
+                            // Top: exact shock position at this time.
+                            let w = if x[0] < dmr::shock_x(x[1].min(1.0), time) {
+                                dmr_post_shock()
+                            } else {
+                                dmr_pre_shock()
+                            };
+                            set_state(fab, p, &Conserved::from_primitive(&w, &self.gas));
+                        }
+                    }
+                }
+                ProblemKind::Ramp => {
+                    if outside_dirs[0] && p[0] < dbx.lo()[0] {
+                        set_state(
+                            fab,
+                            p,
+                            &Conserved::from_primitive(&ramp_inflow(), &self.gas),
+                        );
+                    } else if outside_dirs[1] && p[1] < dbx.lo()[1] {
+                        // Ramp surface: slip wall with the *local* physical
+                        // wall normal — flat upstream of the corner, tilted
+                        // by the ramp angle beyond it.
+                        let x = self.xphys(p);
+                        let ramp = crocco_geometry::RampMapping::paper_dmr();
+                        let n = if x[0] <= ramp.corner_x {
+                            [0.0, 1.0, 0.0]
+                        } else {
+                            let th = ramp.ramp_angle;
+                            [-th.sin(), th.cos(), 0.0]
+                        };
+                        let m = mirror_across(p, dbx, 1);
+                        slip_wall_inclined(fab, p, clamp_into(m, gbox), n);
+                    } else {
+                        outflow(fab, p, clamp_into(p, dbx));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Primitive;
+
+    fn fill_interior(fab: &mut FArrayBox, valid: IndexBox, gas: &PerfectGas) {
+        let w = Primitive {
+            rho: 2.0,
+            vel: [1.0, -0.5, 0.25],
+            p: 3.0,
+            t: 0.0,
+        };
+        let u = Conserved::from_primitive(&w, gas);
+        for p in valid.cells() {
+            set_state(fab, p, &u);
+        }
+    }
+
+    #[test]
+    fn sod_outflow_extrapolates() {
+        let gas = PerfectGas::nondimensional();
+        let extents = IntVect::new(8, 4, 4);
+        let domain = ProblemDomain::new(IndexBox::from_extents(8, 4, 4), [false, true, true]);
+        let valid = domain.bx;
+        let mut fab = FArrayBox::new(valid.grow(2), NCONS);
+        fill_interior(&mut fab, valid, &gas);
+        let bc = PhysicalBc::new(ProblemKind::SodX, gas, extents);
+        bc.fill(&mut fab, valid, &domain, 0.0);
+        // Left ghosts copy the first interior cell.
+        let g = IntVect::new(-1, 2, 2);
+        let i = IntVect::new(0, 2, 2);
+        for c in 0..NCONS {
+            assert_eq!(fab.get(g, c), fab.get(i, c), "comp {c}");
+        }
+        // Periodic y ghosts untouched (still zero).
+        assert_eq!(fab.get(IntVect::new(2, -1, 2), cons::RHO), 0.0);
+    }
+
+    #[test]
+    fn dmr_left_inflow_is_post_shock() {
+        let gas = PerfectGas::nondimensional();
+        let extents = IntVect::new(32, 8, 4);
+        let domain = ProblemDomain::new(IndexBox::from_extents(32, 8, 4), [false, false, true]);
+        let valid = domain.bx;
+        let mut fab = FArrayBox::new(valid.grow(2), NCONS);
+        fill_interior(&mut fab, valid, &gas);
+        let bc = PhysicalBc::new(ProblemKind::DoubleMach, gas, extents);
+        bc.fill(&mut fab, valid, &domain, 0.0);
+        let g = IntVect::new(-1, 4, 2);
+        let expect = Conserved::from_primitive(&dmr_post_shock(), &gas);
+        for c in 0..NCONS {
+            assert!((fab.get(g, c) - expect.0[c]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dmr_bottom_wall_reflects_normal_momentum() {
+        let gas = PerfectGas::nondimensional();
+        let extents = IntVect::new(32, 8, 4);
+        let domain = ProblemDomain::new(IndexBox::from_extents(32, 8, 4), [false, false, true]);
+        let valid = domain.bx;
+        let mut fab = FArrayBox::new(valid.grow(2), NCONS);
+        fill_interior(&mut fab, valid, &gas);
+        let bc = PhysicalBc::new(ProblemKind::DoubleMach, gas, extents);
+        bc.fill(&mut fab, valid, &domain, 0.0);
+        // Bottom ghost beyond x0 (x = 4·(20.5/32) ≈ 2.56 > 1/6): wall.
+        let g = IntVect::new(20, -1, 2);
+        let m = IntVect::new(20, 0, 2);
+        assert_eq!(fab.get(g, cons::RHO), fab.get(m, cons::RHO));
+        assert_eq!(fab.get(g, cons::MY), -fab.get(m, cons::MY));
+        assert_eq!(fab.get(g, cons::MX), fab.get(m, cons::MX));
+        // Bottom ghost before x0 (x = 4·(0.5/32) = 0.0625 < 1/6): post-shock.
+        let g2 = IntVect::new(0, -1, 2);
+        let expect = Conserved::from_primitive(&dmr_post_shock(), &gas);
+        assert!((fab.get(g2, cons::RHO) - expect.0[cons::RHO]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dmr_top_boundary_tracks_the_shock_in_time() {
+        let gas = PerfectGas::nondimensional();
+        let extents = IntVect::new(32, 8, 4);
+        let domain = ProblemDomain::new(IndexBox::from_extents(32, 8, 4), [false, false, true]);
+        let valid = domain.bx;
+        let bc = PhysicalBc::new(ProblemKind::DoubleMach, gas, extents);
+
+        let probe = |t: f64| {
+            let mut fab = FArrayBox::new(valid.grow(2), NCONS);
+            fill_interior(&mut fab, valid, &gas);
+            bc.fill(&mut fab, valid, &domain, t);
+            // Count post-shock ghost cells along the top row (z = 2).
+            let mut count = 0;
+            for i in 0..32 {
+                let g = IntVect::new(i, 8, 2);
+                if (fab.get(g, cons::RHO) - 8.0).abs() < 1e-9 {
+                    count += 1;
+                }
+            }
+            count
+        };
+        let c0 = probe(0.0);
+        let c1 = probe(0.05);
+        assert!(c1 > c0, "shock must sweep right along the top: {c0} -> {c1}");
+        assert!(c0 > 0, "part of the top starts post-shock");
+    }
+
+    #[test]
+    fn ramp_wall_and_inflow() {
+        let gas = PerfectGas::nondimensional();
+        let extents = IntVect::new(32, 16, 4);
+        let domain = ProblemDomain::new(IndexBox::from_extents(32, 16, 4), [false, false, true]);
+        let valid = domain.bx;
+        let mut fab = FArrayBox::new(valid.grow(2), NCONS);
+        fill_interior(&mut fab, valid, &gas);
+        let bc = PhysicalBc::new(ProblemKind::Ramp, gas, extents);
+        bc.fill(&mut fab, valid, &domain, 0.0);
+        // Inflow.
+        let g = IntVect::new(-1, 8, 2);
+        let expect = Conserved::from_primitive(&ramp_inflow(), &gas);
+        assert!((fab.get(g, cons::MX) - expect.0[cons::MX]).abs() < 1e-12);
+        // Flat wall upstream of the corner (x = 4*(4.5/32) = 0.56 < 1).
+        let gw = IntVect::new(4, -1, 2);
+        let mw = IntVect::new(4, 0, 2);
+        assert_eq!(fab.get(gw, cons::MY), -fab.get(mw, cons::MY));
+        assert_eq!(fab.get(gw, cons::MX), fab.get(mw, cons::MX));
+        // Inclined wall beyond the corner: the wall-normal momentum flips
+        // while the tangential momentum is preserved.
+        let gi = IntVect::new(24, -1, 2);
+        let mi = IntVect::new(24, 0, 2);
+        let th = 30f64.to_radians();
+        let n = [-th.sin(), th.cos(), 0.0];
+        let mg = [fab.get(gi, cons::MX), fab.get(gi, cons::MY), 0.0];
+        let mm = [fab.get(mi, cons::MX), fab.get(mi, cons::MY), 0.0];
+        let dot = |a: [f64; 3], b: [f64; 3]| a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+        assert!((dot(mg, n) + dot(mm, n)).abs() < 1e-12, "normal momentum must flip");
+        let t = [th.cos(), th.sin(), 0.0];
+        assert!((dot(mg, t) - dot(mm, t)).abs() < 1e-12, "tangential momentum preserved");
+        // Top outflow.
+        let gt = IntVect::new(16, 16, 2);
+        let it = IntVect::new(16, 15, 2);
+        assert_eq!(fab.get(gt, cons::RHO), fab.get(it, cons::RHO));
+    }
+}

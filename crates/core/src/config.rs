@@ -1,0 +1,386 @@
+//! Solver configuration and the paper's code-version ladder.
+
+use crate::integrators::TimeScheme;
+use crate::problems::ProblemKind;
+use crate::sgs::Smagorinsky;
+use crate::weno::{Reconstruction, WenoVariant};
+use crocco_amr::{
+    ConservativeLinearInterp, CurvilinearInterp, Interpolator, PiecewiseConstantInterp,
+    TrilinearInterp, WenoConservativeInterp,
+};
+use crocco_geometry::IntVect;
+use serde::{Deserialize, Serialize};
+
+/// Where regridding gets coordinates for newly created patches (§III-C,
+/// "Regridding"): the paper's first implementation serially read them from a
+/// binary file at every regrid (noticeable overhead on CPU, worse on GPU);
+/// the current one keeps the grid in memory and calls `getCoords()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoordSource {
+    /// Evaluate/retrieve stored coordinates in memory (`getCoords()`).
+    Memory,
+    /// Seek-and-read each new patch's coordinates from a per-level binary
+    /// file — the measured-slow first implementation.
+    BinaryFile,
+}
+
+/// Explicit interpolator selection, overriding the version default — the
+/// §III-C design axis plus the future-work conservative schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterpKind {
+    /// AMReX's trilinear (CRoCCo 2.1).
+    Trilinear,
+    /// The custom curvilinear interpolator with its coordinate ParallelCopy
+    /// (CRoCCo 1.2/2.0).
+    Curvilinear,
+    /// Piecewise-constant injection.
+    PiecewiseConstant,
+    /// Minmod-limited conservative linear.
+    ConservativeLinear,
+    /// The §III-C future-work WENO conservative interpolation.
+    WenoConservative,
+}
+
+impl InterpKind {
+    /// Instantiates the interpolator.
+    pub fn build(&self) -> Box<dyn Interpolator> {
+        match self {
+            InterpKind::Trilinear => Box::new(TrilinearInterp),
+            InterpKind::Curvilinear => Box::new(CurvilinearInterp),
+            InterpKind::PiecewiseConstant => Box::new(PiecewiseConstantInterp),
+            InterpKind::ConservativeLinear => Box::new(ConservativeLinearInterp),
+            InterpKind::WenoConservative => Box::new(WenoConservativeInterp),
+        }
+    }
+}
+
+/// The CRoCCo version ladder of §V-C. Versions differ in which kernel
+/// implementation runs, whether AMR is enabled, which coarse→fine
+/// interpolator `FillPatchTwoLevels` uses, and (for performance accounting)
+/// which execution backend is modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CodeVersion {
+    /// C++ AMReX framework + Fortran numerics kernels; AMR disabled, no GPU.
+    V1_0,
+    /// Fortran kernels swapped for C++ kernels.
+    V1_1,
+    /// AMR enabled (CPU).
+    V1_2,
+    /// GPU support added; custom curvilinear interpolator (its coordinate
+    /// `ParallelCopy` is the paper's global-communication bottleneck).
+    V2_0,
+    /// GPU + AMR with AMReX's built-in trilinear interpolator (no global
+    /// communication in FillPatch).
+    V2_1,
+}
+
+impl CodeVersion {
+    /// All versions, in the paper's order.
+    pub const ALL: [CodeVersion; 5] = [
+        CodeVersion::V1_0,
+        CodeVersion::V1_1,
+        CodeVersion::V1_2,
+        CodeVersion::V2_0,
+        CodeVersion::V2_1,
+    ];
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CodeVersion::V1_0 => "CRoCCo 1.0 (Fortran, no AMR)",
+            CodeVersion::V1_1 => "CRoCCo 1.1 (C++, no AMR)",
+            CodeVersion::V1_2 => "CRoCCo 1.2 (C++, AMR)",
+            CodeVersion::V2_0 => "CRoCCo 2.0 (GPU, AMR, curvilinear interp)",
+            CodeVersion::V2_1 => "CRoCCo 2.1 (GPU, AMR, trilinear interp)",
+        }
+    }
+
+    /// `true` if adaptive mesh refinement is active.
+    pub fn amr_enabled(&self) -> bool {
+        matches!(self, CodeVersion::V1_2 | CodeVersion::V2_0 | CodeVersion::V2_1)
+    }
+
+    /// `true` if kernels run on the (modeled) GPU.
+    pub fn gpu(&self) -> bool {
+        matches!(self, CodeVersion::V2_0 | CodeVersion::V2_1)
+    }
+
+    /// `true` if the reference ("Fortran") kernel implementations run.
+    pub fn reference_kernels(&self) -> bool {
+        matches!(self, CodeVersion::V1_0)
+    }
+
+    /// The coarse→fine interpolator this version uses.
+    pub fn interpolator(&self) -> Box<dyn Interpolator> {
+        match self {
+            CodeVersion::V2_1 => Box::new(TrilinearInterp),
+            _ => Box::new(CurvilinearInterp),
+        }
+    }
+}
+
+/// Full solver configuration. Build with [`SolverConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// The problem to run.
+    pub problem: ProblemKind,
+    /// Coarse-level cells per direction.
+    pub extents: IntVect,
+    /// Total AMR levels (forced to 1 when the version disables AMR).
+    pub max_levels: usize,
+    /// Code version under test.
+    pub version: CodeVersion,
+    /// WENO variant (the paper's production scheme is WENO-SYMBO).
+    pub weno: WenoVariant,
+    /// Reconstruction basis (component-wise or Roe characteristic).
+    pub reconstruction: Reconstruction,
+    /// Low-storage time integrator (the paper marches with Williamson RK3).
+    pub time_scheme: TimeScheme,
+    /// Optional Smagorinsky SGS closure (LES mode, §II-A). `None` = DNS.
+    pub les: Option<Smagorinsky>,
+    /// Coordinate source for new patches at regrid time.
+    pub coord_source: CoordSource,
+    /// Interpolator override (None = the version's default).
+    pub interpolator: Option<InterpKind>,
+    /// CFL number (RK3 requires ≤ 1).
+    pub cfl: f64,
+    /// AMReX blocking factor.
+    pub blocking_factor: i64,
+    /// AMReX max grid size.
+    pub max_grid_size: i64,
+    /// Berger–Rigoutsos efficiency target.
+    pub grid_eff: f64,
+    /// Tag buffer cells.
+    pub n_error_buf: i64,
+    /// Steps between regrids.
+    pub regrid_freq: u32,
+    /// |∇ρ| threshold for refinement tagging.
+    pub tag_threshold: f64,
+    /// Simulated MPI ranks (ownership only; execution is in-process).
+    pub nranks: usize,
+    /// Host threads for patch loops.
+    pub threads: usize,
+}
+
+impl SolverConfig {
+    /// Starts a builder with defaults matching the paper's DMR setup at
+    /// test scale.
+    pub fn builder() -> SolverConfigBuilder {
+        SolverConfigBuilder::default()
+    }
+
+    /// Effective level count (1 unless the version enables AMR).
+    pub fn effective_levels(&self) -> usize {
+        if self.version.amr_enabled() {
+            self.max_levels
+        } else {
+            1
+        }
+    }
+}
+
+/// Builder for [`SolverConfig`].
+#[derive(Clone, Debug)]
+pub struct SolverConfigBuilder {
+    cfg: SolverConfig,
+}
+
+impl Default for SolverConfigBuilder {
+    fn default() -> Self {
+        SolverConfigBuilder {
+            cfg: SolverConfig {
+                problem: ProblemKind::SodX,
+                extents: IntVect::new(32, 8, 8),
+                max_levels: 1,
+                version: CodeVersion::V1_1,
+                weno: WenoVariant::Symbo,
+                reconstruction: Reconstruction::ComponentWise,
+                time_scheme: TimeScheme::Rk3Williamson,
+                les: None,
+                coord_source: CoordSource::Memory,
+                interpolator: None,
+                cfl: 0.6,
+                blocking_factor: 4,
+                max_grid_size: 32,
+                grid_eff: 0.7,
+                n_error_buf: 2,
+                regrid_freq: 5,
+                tag_threshold: f64::NAN, // resolved from the problem default
+                nranks: 1,
+                threads: 1,
+            },
+        }
+    }
+}
+
+impl SolverConfigBuilder {
+    /// Sets the problem.
+    pub fn problem(mut self, p: ProblemKind) -> Self {
+        self.cfg.problem = p;
+        self
+    }
+
+    /// Sets the coarse-level extents.
+    pub fn extents(mut self, nx: i64, ny: i64, nz: i64) -> Self {
+        self.cfg.extents = IntVect::new(nx, ny, nz);
+        self
+    }
+
+    /// Sets the AMR level count.
+    pub fn max_levels(mut self, n: usize) -> Self {
+        self.cfg.max_levels = n;
+        self
+    }
+
+    /// Sets the code version.
+    pub fn version(mut self, v: CodeVersion) -> Self {
+        self.cfg.version = v;
+        self
+    }
+
+    /// Sets the WENO variant.
+    pub fn weno(mut self, w: WenoVariant) -> Self {
+        self.cfg.weno = w;
+        self
+    }
+
+    /// Sets the reconstruction basis.
+    pub fn reconstruction(mut self, r: Reconstruction) -> Self {
+        self.cfg.reconstruction = r;
+        self
+    }
+
+    /// Sets the time integrator.
+    pub fn time_scheme(mut self, t: TimeScheme) -> Self {
+        self.cfg.time_scheme = t;
+        self
+    }
+
+    /// Enables LES mode with the given Smagorinsky constant.
+    pub fn les(mut self, cs: f64) -> Self {
+        self.cfg.les = Some(Smagorinsky { cs });
+        self
+    }
+
+    /// Sets the regrid-time coordinate source.
+    pub fn coord_source(mut self, c: CoordSource) -> Self {
+        self.cfg.coord_source = c;
+        self
+    }
+
+    /// Overrides the interpolator (otherwise the version's default).
+    pub fn interpolator(mut self, k: InterpKind) -> Self {
+        self.cfg.interpolator = Some(k);
+        self
+    }
+
+    /// Sets the CFL number.
+    pub fn cfl(mut self, c: f64) -> Self {
+        self.cfg.cfl = c;
+        self
+    }
+
+    /// Sets the blocking factor.
+    pub fn blocking_factor(mut self, b: i64) -> Self {
+        self.cfg.blocking_factor = b;
+        self
+    }
+
+    /// Sets the maximum grid size.
+    pub fn max_grid_size(mut self, m: i64) -> Self {
+        self.cfg.max_grid_size = m;
+        self
+    }
+
+    /// Sets the regrid interval.
+    pub fn regrid_freq(mut self, f: u32) -> Self {
+        self.cfg.regrid_freq = f;
+        self
+    }
+
+    /// Sets the tagging threshold (defaults to the problem's).
+    pub fn tag_threshold(mut self, t: f64) -> Self {
+        self.cfg.tag_threshold = t;
+        self
+    }
+
+    /// Sets the simulated rank count.
+    pub fn nranks(mut self, n: usize) -> Self {
+        self.cfg.nranks = n;
+        self
+    }
+
+    /// Sets the host thread count for patch loops.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Finalizes, validating invariants.
+    pub fn build(mut self) -> SolverConfig {
+        if self.cfg.tag_threshold.is_nan() {
+            self.cfg.tag_threshold = self.cfg.problem.tag_threshold();
+        }
+        let c = &self.cfg;
+        assert!(c.max_levels >= 1);
+        assert!(c.cfl > 0.0 && c.cfl <= 1.0, "RK3 needs CFL in (0, 1]");
+        for d in 0..3 {
+            assert!(
+                c.extents[d] % c.blocking_factor == 0,
+                "extent {} not divisible by blocking factor {}",
+                c.extents[d],
+                c.blocking_factor
+            );
+        }
+        assert!(c.max_grid_size % c.blocking_factor == 0);
+        assert!(c.nranks >= 1 && c.threads >= 1);
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_properties_match_the_paper_table() {
+        use CodeVersion::*;
+        assert!(!V1_0.amr_enabled() && !V1_0.gpu() && V1_0.reference_kernels());
+        assert!(!V1_1.amr_enabled() && !V1_1.gpu() && !V1_1.reference_kernels());
+        assert!(V1_2.amr_enabled() && !V1_2.gpu());
+        assert!(V2_0.amr_enabled() && V2_0.gpu());
+        assert!(V2_1.amr_enabled() && V2_1.gpu());
+        assert_eq!(V2_1.interpolator().name(), "trilinear");
+        assert_eq!(V2_0.interpolator().name(), "curvilinear");
+        assert!(V2_0.interpolator().needs_coords());
+        assert!(!V2_1.interpolator().needs_coords());
+    }
+
+    #[test]
+    fn builder_applies_problem_default_threshold() {
+        let cfg = SolverConfig::builder().problem(ProblemKind::DoubleMach).build();
+        assert_eq!(cfg.tag_threshold, ProblemKind::DoubleMach.tag_threshold());
+        let cfg2 = SolverConfig::builder().tag_threshold(0.5).build();
+        assert_eq!(cfg2.tag_threshold, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_extents_rejected() {
+        SolverConfig::builder().extents(30, 8, 8).build();
+    }
+
+    #[test]
+    fn effective_levels_collapse_without_amr() {
+        let cfg = SolverConfig::builder()
+            .max_levels(3)
+            .version(CodeVersion::V1_1)
+            .build();
+        assert_eq!(cfg.effective_levels(), 1);
+        let cfg = SolverConfig::builder()
+            .max_levels(3)
+            .version(CodeVersion::V2_1)
+            .build();
+        assert_eq!(cfg.effective_levels(), 3);
+    }
+}

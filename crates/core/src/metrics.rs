@@ -1,0 +1,406 @@
+//! Curvilinear coordinates and grid metrics.
+//!
+//! §III-C ("Data management"): curvilinear grids are generated from complex
+//! mappings, so CRoCCo *stores* physical coordinates in a 3-component
+//! MultiFab and the grid metrics in a **27-component MultiFab** — "the
+//! high-order reconstructions of the first and second derivatives of each
+//! i, j, k with respect to x, y, z" — giving the ≈3× memory overhead the
+//! paper reports. This module reproduces that layout and computes the
+//! metrics with 4th-order central differences of the stored coordinates.
+
+use crocco_fab::MultiFab;
+use crocco_geometry::{GridMapping, IntVect, RealVect};
+
+/// Number of metric components (paper: "a 27-component `amrex::MultiFab` to
+/// store the metrics").
+pub const NMETRICS: usize = 27;
+
+/// Number of coordinate components.
+pub const NCOORDS: usize = 3;
+
+/// Metric component layout.
+pub mod comp {
+    /// `M[d][j] = J·∂ξ_d/∂x_j` (contravariant metrics × Jacobian), component
+    /// `M + d*3 + j`. These transform Cartesian fluxes into computational
+    /// space.
+    pub const M: usize = 0;
+    /// Jacobian `J = det(∂x/∂ξ)` (cell volume per unit computational volume).
+    pub const JAC: usize = 9;
+    /// Forward metrics `F[i][j] = ∂x_i/∂ξ_j`, component `FWD + i*3 + j`.
+    pub const FWD: usize = 10;
+    /// `∇²ξ_d` (Laplacians of the inverse mapping), components 19–21 — the
+    /// second-order metric terms of non-conservative curvilinear operators.
+    pub const LAPXI: usize = 19;
+    /// Diagonal curvature `∂²x_i/∂ξ_i²`, components 22–24.
+    pub const CURV: usize = 22;
+    /// Grid skewness monitor (off-diagonality of `F`), component 25.
+    pub const SKEW: usize = 25;
+    /// Minimum physical spacing across directions (for CFL), component 26.
+    pub const MINSP: usize = 26;
+}
+
+/// Fills a 3-component coordinates MultiFab (valid + ghost cells) with the
+/// physical cell-center positions of `mapping` at a level whose domain has
+/// `extents` cells per direction.
+///
+/// Ghost coordinates are generated through the same mapping (smooth
+/// extrapolation outside the unit cube), exactly as the paper's `getCoords()`
+/// retrieves stored coordinates for newly created patches (§III-C
+/// "Regridding").
+pub fn generate_coords(mapping: &dyn GridMapping, extents: IntVect, coords: &mut MultiFab) {
+    assert_eq!(coords.ncomp(), NCOORDS);
+    let n = [
+        extents[0] as f64,
+        extents[1] as f64,
+        extents[2] as f64,
+    ];
+    for i in 0..coords.nfabs() {
+        let fab = coords.fab_mut(i);
+        let bx = fab.bx();
+        for p in bx.cells() {
+            let xi = RealVect::new(
+                (p[0] as f64 + 0.5) / n[0],
+                (p[1] as f64 + 0.5) / n[1],
+                (p[2] as f64 + 0.5) / n[2],
+            );
+            let x = mapping.coords(xi);
+            for d in 0..3 {
+                fab.set(p, d, x[d]);
+            }
+        }
+    }
+}
+
+/// 4th-order central first derivative along `dir` of coordinate component
+/// `c` at `p` (unit computational spacing).
+#[inline]
+fn d1(fab: &crocco_fab::FArrayBox, p: IntVect, dir: usize, c: usize) -> f64 {
+    let e = IntVect::unit(dir);
+    (fab.get(p - e * 2, c) - 8.0 * fab.get(p - e, c) + 8.0 * fab.get(p + e, c)
+        - fab.get(p + e * 2, c))
+        / 12.0
+}
+
+/// 4th-order central second derivative along `dir`.
+#[inline]
+fn d2(fab: &crocco_fab::FArrayBox, p: IntVect, dir: usize, c: usize) -> f64 {
+    let e = IntVect::unit(dir);
+    (-fab.get(p - e * 2, c) + 16.0 * fab.get(p - e, c) - 30.0 * fab.get(p, c)
+        + 16.0 * fab.get(p + e, c)
+        - fab.get(p + e * 2, c))
+        / 12.0
+}
+
+/// Writes the full coordinate grid of one level to a binary file: the
+/// §III-C "first implementation" stored grids on disk and had each newly
+/// formed AMR patch "serially read from a binary file using std::iostream".
+/// Layout: for each domain cell in Fortran (x-fastest) order, three
+/// little-endian f64 coordinates.
+pub fn write_coords_file(
+    mapping: &dyn GridMapping,
+    extents: IntVect,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let n = [extents[0] as f64, extents[1] as f64, extents[2] as f64];
+    let domain = crocco_geometry::IndexBox::from_extents(extents[0], extents[1], extents[2]);
+    for p in domain.cells() {
+        let xi = RealVect::new(
+            (p[0] as f64 + 0.5) / n[0],
+            (p[1] as f64 + 0.5) / n[1],
+            (p[2] as f64 + 0.5) / n[2],
+        );
+        let x = mapping.coords(xi);
+        for d in 0..3 {
+            w.write_all(&x[d].to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Fills a coordinates MultiFab by *seek-and-read* from a coordinates file —
+/// the slow path the paper measured before switching to in-memory
+/// `getCoords()`. Cells outside the domain (ghost coordinates) fall back to
+/// evaluating the mapping, since the file only stores the domain interior.
+pub fn read_coords_from_file(
+    path: &std::path::Path,
+    mapping: &dyn GridMapping,
+    extents: IntVect,
+    coords: &mut MultiFab,
+) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    assert_eq!(coords.ncomp(), NCOORDS);
+    let mut f = std::fs::File::open(path)?;
+    let (nx, ny) = (extents[0], extents[1]);
+    let n = [extents[0] as f64, extents[1] as f64, extents[2] as f64];
+    let domain = crocco_geometry::IndexBox::from_extents(extents[0], extents[1], extents[2]);
+    for i in 0..coords.nfabs() {
+        let bx = coords.fab(i).bx();
+        let mut buf = Vec::new();
+        for p in bx.cells() {
+            if domain.contains(p) {
+                // One seek per cell: deliberately faithful to the paper's
+                // serial std::iostream implementation.
+                let cell_index = (p[2] * ny + p[1]) * nx + p[0];
+                f.seek(SeekFrom::Start(cell_index as u64 * 24))?;
+                buf.resize(24, 0);
+                f.read_exact(&mut buf)?;
+                for d in 0..3 {
+                    let v = f64::from_le_bytes(buf[d * 8..d * 8 + 8].try_into().unwrap());
+                    coords.fab_mut(i).set(p, d, v);
+                }
+            } else {
+                let xi = RealVect::new(
+                    (p[0] as f64 + 0.5) / n[0],
+                    (p[1] as f64 + 0.5) / n[1],
+                    (p[2] as f64 + 0.5) / n[2],
+                );
+                let x = mapping.coords(xi);
+                for d in 0..3 {
+                    coords.fab_mut(i).set(p, d, x[d]);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes all 27 metric components from stored coordinates.
+///
+/// `coords` must carry at least `metrics.nghost() + 2` ghost cells so the
+/// 4th-order stencils reach. The contravariant metrics are formed from the
+/// adjugate of the forward Jacobian (`M = adj(F)`, so `M/J = ∂ξ/∂x`).
+pub fn compute_metrics(coords: &MultiFab, metrics: &mut MultiFab) {
+    assert_eq!(metrics.ncomp(), NMETRICS);
+    assert!(
+        coords.nghost() >= metrics.nghost() + 2,
+        "coords need 2 more ghosts than metrics for 4th-order stencils"
+    );
+    for i in 0..metrics.nfabs() {
+        let cfab = coords.fab(i);
+        let mfab = metrics.fab_mut(i);
+        let bx = mfab.bx();
+        for p in bx.cells() {
+            // Forward Jacobian F[i][j] = ∂x_i/∂ξ_j.
+            let mut f = [[0.0; 3]; 3];
+            for xi_dir in 0..3 {
+                for xc in 0..3 {
+                    f[xc][xi_dir] = d1(cfab, p, xi_dir, xc);
+                }
+            }
+            let jac = det3(&f);
+            debug_assert!(jac > 0.0, "negative Jacobian {jac} at {p:?}");
+            // Adjugate: M[d][j] = J ∂ξ_d/∂x_j = cofactor matrix transpose.
+            let adj = adjugate(&f);
+            for d in 0..3 {
+                for j in 0..3 {
+                    mfab.set(p, comp::M + d * 3 + j, adj[d][j]);
+                }
+            }
+            mfab.set(p, comp::JAC, jac);
+            for xc in 0..3 {
+                for xi_dir in 0..3 {
+                    mfab.set(p, comp::FWD + xc * 3 + xi_dir, f[xc][xi_dir]);
+                }
+            }
+            // Diagonal curvature and skewness.
+            let mut offdiag = 0.0;
+            let mut diag = 0.0;
+            for d in 0..3 {
+                mfab.set(p, comp::CURV + d, d2(cfab, p, d, d));
+                for j in 0..3 {
+                    if j == d {
+                        diag += f[d][j].abs();
+                    } else {
+                        offdiag += f[d][j].abs();
+                    }
+                }
+            }
+            mfab.set(p, comp::SKEW, offdiag / diag.max(1e-300));
+            // Minimum physical spacing: column norms of F.
+            let mut minsp = f64::INFINITY;
+            for xi_dir in 0..3 {
+                let len = (f[0][xi_dir].powi(2) + f[1][xi_dir].powi(2) + f[2][xi_dir].powi(2))
+                    .sqrt();
+                minsp = minsp.min(len);
+            }
+            mfab.set(p, comp::MINSP, minsp);
+        }
+        // ∇²ξ_d needs second differences of M/J, i.e. a second pass over the
+        // interior of the metric box (stencil radius 1 using already-written
+        // M and J; the outermost ring keeps zero).
+        let inner = bx.grow(-1);
+        let snapshot = mfab.clone();
+        for p in inner.cells() {
+            for d in 0..3 {
+                let mut lap = 0.0;
+                for j in 0..3 {
+                    let e = IntVect::unit(j);
+                    let val = |q: IntVect| {
+                        snapshot.get(q, comp::M + d * 3 + j) / snapshot.get(q, comp::JAC)
+                    };
+                    // Second difference of ∂ξ_d/∂x_j along ξ_j approximates
+                    // the physical Laplacian contribution on smooth grids.
+                    lap += val(p + e) - 2.0 * val(p) + val(p - e);
+                }
+                mfab.set(p, comp::LAPXI + d, lap);
+            }
+        }
+    }
+}
+
+/// Determinant of a 3×3 matrix.
+fn det3(f: &[[f64; 3]; 3]) -> f64 {
+    f[0][0] * (f[1][1] * f[2][2] - f[1][2] * f[2][1])
+        - f[0][1] * (f[1][0] * f[2][2] - f[1][2] * f[2][0])
+        + f[0][2] * (f[1][0] * f[2][1] - f[1][1] * f[2][0])
+}
+
+/// Adjugate (transposed cofactor matrix): `adj(F) · F = det(F) · I`.
+fn adjugate(f: &[[f64; 3]; 3]) -> [[f64; 3]; 3] {
+    let c = |r1: usize, c1: usize, r2: usize, c2: usize| f[r1][c1] * f[r2][c2] - f[r1][c2] * f[r2][c1];
+    [
+        [c(1, 1, 2, 2), -c(0, 1, 2, 2), c(0, 1, 1, 2)],
+        [-c(1, 0, 2, 2), c(0, 0, 2, 2), -c(0, 0, 1, 2)],
+        [c(1, 0, 2, 1), -c(0, 0, 2, 1), c(0, 0, 1, 1)],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crocco_fab::{BoxArray, DistributionMapping};
+    use crocco_geometry::{IndexBox, RampMapping, StretchedMapping, UniformMapping};
+    use std::sync::Arc;
+
+    fn build(
+        mapping: &dyn GridMapping,
+        extents: IntVect,
+        nghost: i64,
+    ) -> (MultiFab, MultiFab) {
+        let bx = IndexBox::from_extents(extents[0], extents[1], extents[2]);
+        let ba = Arc::new(BoxArray::new(vec![bx]));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        let mut coords = MultiFab::new(ba.clone(), dm.clone(), NCOORDS, nghost + 2);
+        generate_coords(mapping, extents, &mut coords);
+        let mut metrics = MultiFab::new(ba, dm, NMETRICS, nghost);
+        compute_metrics(&coords, &mut metrics);
+        (coords, metrics)
+    }
+
+    #[test]
+    fn uniform_mapping_gives_diagonal_metrics() {
+        let m = UniformMapping::new(RealVect::ZERO, RealVect::new(2.0, 1.0, 0.5));
+        let n = IntVect::new(8, 8, 8);
+        let (_c, metrics) = build(&m, n, 1);
+        let fab = metrics.fab(0);
+        let p = IntVect::new(4, 4, 4);
+        // dx = 2/8, dy = 1/8, dz = 0.5/8 per index.
+        let dx = [0.25, 0.125, 0.0625];
+        let jac = fab.get(p, comp::JAC);
+        assert!((jac - dx[0] * dx[1] * dx[2]).abs() < 1e-12);
+        for d in 0..3 {
+            for j in 0..3 {
+                let expect = if d == j { jac / dx[d] } else { 0.0 };
+                assert!(
+                    (fab.get(p, comp::M + d * 3 + j) - expect).abs() < 1e-12,
+                    "M[{d}][{j}]"
+                );
+                let fexp = if d == j { dx[d] } else { 0.0 };
+                assert!((fab.get(p, comp::FWD + j * 3 + d) - fexp).abs() < 1e-12);
+            }
+        }
+        assert_eq!(fab.get(p, comp::SKEW), 0.0);
+        assert!((fab.get(p, comp::MINSP) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjugate_times_forward_is_det_identity() {
+        let f = [[1.0, 0.2, 0.0], [-0.1, 0.8, 0.3], [0.05, 0.0, 1.2]];
+        let adj = adjugate(&f);
+        let det = det3(&f);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += adj[i][k] * f[k][j];
+                }
+                let expect = if i == j { det } else { 0.0 };
+                assert!((s - expect).abs() < 1e-14, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn stretched_mapping_metrics_match_analytic_jacobian() {
+        let m = StretchedMapping::new(RealVect::ZERO, RealVect::splat(1.0), 2.0, 1);
+        let n = IntVect::new(8, 32, 8);
+        let (_c, metrics) = build(&m, n, 0);
+        let fab = metrics.fab(0);
+        let p = IntVect::new(4, 16, 4);
+        // Analytic: dy/dη at η=(16.5)/32 with y = sinh(βη)/sinh(β).
+        let eta = 16.5 / 32.0;
+        let dyd_eta = 2.0 * (2.0 * eta as f64).cosh() / 2.0f64.sinh();
+        let per_index = dyd_eta / 32.0;
+        let got = fab.get(p, comp::FWD + 1 * 3 + 1);
+        assert!(
+            (got - per_index).abs() / per_index < 1e-4,
+            "{got} vs {per_index}"
+        );
+    }
+
+    #[test]
+    fn ramp_mapping_has_positive_jacobian_and_skew_past_corner() {
+        let m = RampMapping::paper_dmr();
+        let n = IntVect::new(32, 16, 4);
+        let (_c, metrics) = build(&m, n, 0);
+        let fab = metrics.fab(0);
+        let mut any_skew = false;
+        for p in metrics.valid_box(0).cells() {
+            assert!(fab.get(p, comp::JAC) > 0.0, "J<=0 at {p:?}");
+            if fab.get(p, comp::SKEW) > 1e-6 {
+                any_skew = true;
+            }
+        }
+        assert!(any_skew, "ramp grid must be sheared beyond the corner");
+    }
+
+    #[test]
+    fn metric_identity_sum_vanishes_on_smooth_grids() {
+        // Analytic identity: Σ_d ∂(J ∂ξ_d/∂x_j)/∂ξ_d = 0. Discretely it holds
+        // to the truncation order of the difference scheme.
+        let m = StretchedMapping::new(RealVect::ZERO, RealVect::splat(1.0), 1.5, 0);
+        let n = IntVect::new(32, 8, 8);
+        let (_c, metrics) = build(&m, n, 2);
+        let fab = metrics.fab(0);
+        let inner = metrics.valid_box(0).grow(-2);
+        for p in inner.cells() {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for d in 0..3 {
+                    let e = IntVect::unit(d);
+                    s += (fab.get(p - e * 2, comp::M + d * 3 + j)
+                        - 8.0 * fab.get(p - e, comp::M + d * 3 + j)
+                        + 8.0 * fab.get(p + e, comp::M + d * 3 + j)
+                        - fab.get(p + e * 2, comp::M + d * 3 + j))
+                        / 12.0;
+                }
+                assert!(s.abs() < 1e-6, "identity residual {s} at {p:?} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn curvature_components_vanish_on_uniform_grids() {
+        let m = UniformMapping::unit();
+        let (_c, metrics) = build(&m, IntVect::new(8, 8, 8), 0);
+        let fab = metrics.fab(0);
+        for p in metrics.valid_box(0).cells() {
+            for d in 0..3 {
+                assert!(fab.get(p, comp::CURV + d).abs() < 1e-13);
+                assert!(fab.get(p, comp::LAPXI + d).abs() < 1e-10);
+            }
+        }
+    }
+}

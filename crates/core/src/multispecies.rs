@@ -1,0 +1,386 @@
+//! One-dimensional multi-species reacting flow: the species slice of Eq. 1.
+//!
+//! The paper's governing equations (§II-A) carry, beyond the single-gas
+//! terms, exactly three species-specific pieces:
+//!
+//! * per-species continuity `∂ρ_s/∂t + ∂(ρ_s u_j + ρ_s v_sj)/∂x_j = w_s`,
+//! * the diffusion velocities `v_sj` (Fickian closure here:
+//!   `ρ_s v_sj = −ρ D ∂Y_s/∂x_j`, which sums to zero over species since
+//!   `Σ Y_s = 1`),
+//! * the diffusive enthalpy transport `Σ_s ρ_s v_sj h_s` in the energy
+//!   equation.
+//!
+//! This module implements all three in a finite-volume x-pencil solver over
+//! the [`GasMixture`]/[`Mechanism`] thermodynamics, marching with the same
+//! low-storage schemes as the main code. It is the reference implementation
+//! of the multi-species extension (the 3-D production driver stays
+//! single-species, like the paper's DMR evaluation).
+
+use crate::chemistry::Mechanism;
+use crate::integrators::TimeScheme;
+use crate::species::{MixturePrimitive, MixtureState};
+
+/// A 1-D multi-species reacting solver on a uniform grid with reflective
+/// (closed-box) walls.
+pub struct Species1d {
+    /// The reaction mechanism (owns the mixture).
+    pub mech: Mechanism,
+    /// Cells.
+    pub nx: usize,
+    /// Cell width.
+    pub dx: f64,
+    /// Fickian mass diffusivity `D` (m²/s).
+    pub diffusivity: f64,
+    /// Conserved state per cell: `[ρ_1 … ρ_ns, ρu, E]`.
+    pub state: Vec<Vec<f64>>,
+    time: f64,
+}
+
+impl Species1d {
+    /// Number of conserved components (`ns + 2` in 1-D).
+    pub fn ncomp(&self) -> usize {
+        self.mech.mixture.ns() + 2
+    }
+
+    /// Builds the solver with an initial condition given as primitives per
+    /// cell center position.
+    pub fn new(
+        mech: Mechanism,
+        nx: usize,
+        length: f64,
+        diffusivity: f64,
+        ic: impl Fn(f64) -> MixturePrimitive,
+    ) -> Self {
+        let dx = length / nx as f64;
+        let mut state = Vec::with_capacity(nx);
+        for i in 0..nx {
+            let x = (i as f64 + 0.5) * dx;
+            let w = ic(x);
+            let u = mech.mixture.from_primitive(&w);
+            let mut cell = u.rho_s.clone();
+            cell.push(u.mom[0]);
+            cell.push(u.energy);
+            state.push(cell);
+        }
+        Species1d {
+            mech,
+            nx,
+            dx,
+            diffusivity,
+            state,
+            time: 0.0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The full [`MixtureState`] of cell `i` (1-D: v = w = 0).
+    pub fn cell_state(&self, i: usize) -> MixtureState {
+        let ns = self.mech.mixture.ns();
+        MixtureState {
+            rho_s: self.state[i][..ns].to_vec(),
+            mom: [self.state[i][ns], 0.0, 0.0],
+            energy: self.state[i][ns + 1],
+        }
+    }
+
+    /// Primitive state of cell `i`.
+    pub fn cell_primitive(&self, i: usize) -> MixturePrimitive {
+        self.mech.mixture.to_primitive(&self.cell_state(i))
+    }
+
+    /// Total mass of species `s` in the box.
+    pub fn species_mass(&self, s: usize) -> f64 {
+        self.state.iter().map(|c| c[s]).sum::<f64>() * self.dx
+    }
+
+    /// Total energy in the box.
+    pub fn total_energy(&self) -> f64 {
+        let ns = self.mech.mixture.ns();
+        self.state.iter().map(|c| c[ns + 1]).sum::<f64>() * self.dx
+    }
+
+    /// Stable time step under CFL + diffusion constraints.
+    pub fn stable_dt(&self, cfl: f64) -> f64 {
+        let mut dt = f64::INFINITY;
+        for i in 0..self.nx {
+            let w = self.cell_primitive(i);
+            let a = self.mech.mixture.sound_speed(&w.rho_s, w.t);
+            let conv = cfl * self.dx / (w.vel[0].abs() + a);
+            dt = dt.min(conv);
+        }
+        if self.diffusivity > 0.0 {
+            dt = dt.min(0.4 * self.dx * self.dx / self.diffusivity);
+        }
+        dt
+    }
+
+    /// Mirror-state of cell `idx` for the reflective walls.
+    fn ghost(&self, idx: isize) -> Vec<f64> {
+        let ns = self.mech.mixture.ns();
+        let j = if idx < 0 {
+            (-idx - 1) as usize
+        } else if idx as usize >= self.nx {
+            2 * self.nx - 1 - idx as usize
+        } else {
+            return self.state[idx as usize].clone();
+        };
+        let mut g = self.state[j].clone();
+        g[ns] = -g[ns]; // reflect momentum
+        g
+    }
+
+    /// Physical flux of a cell state: `[ρ_s u, ρu² + p, (E + p)u]`.
+    fn flux(&self, cell: &[f64]) -> (Vec<f64>, f64) {
+        let ns = self.mech.mixture.ns();
+        let st = MixtureState {
+            rho_s: cell[..ns].to_vec(),
+            mom: [cell[ns], 0.0, 0.0],
+            energy: cell[ns + 1],
+        };
+        let w = self.mech.mixture.to_primitive(&st);
+        let rho = self.mech.mixture.density(&w.rho_s);
+        let u = w.vel[0];
+        let mut f = Vec::with_capacity(ns + 2);
+        for s in 0..ns {
+            f.push(cell[s] * u);
+        }
+        f.push(rho * u * u + w.p);
+        f.push((cell[ns + 1] + w.p) * u);
+        let a = self.mech.mixture.sound_speed(&w.rho_s, w.t);
+        (f, u.abs() + a)
+    }
+
+    /// Right-hand side: convective (Rusanov) + species diffusion (with the
+    /// Eq. 1 enthalpy transport) + chemistry source.
+    fn rhs(&self) -> Vec<Vec<f64>> {
+        let ns = self.mech.mixture.ns();
+        let ncomp = self.ncomp();
+        let mut out = vec![vec![0.0; ncomp]; self.nx];
+
+        // Convective face fluxes (Rusanov).
+        let mut face = vec![vec![0.0; ncomp]; self.nx + 1];
+        for f in 0..=self.nx {
+            let l = self.ghost(f as isize - 1);
+            let r = self.ghost(f as isize);
+            let (fl, sl) = self.flux(&l);
+            let (fr, sr) = self.flux(&r);
+            let lam = sl.max(sr);
+            for c in 0..ncomp {
+                face[f][c] = 0.5 * (fl[c] + fr[c]) - 0.5 * lam * (r[c] - l[c]);
+            }
+        }
+        for i in 0..self.nx {
+            for c in 0..ncomp {
+                out[i][c] -= (face[i + 1][c] - face[i][c]) / self.dx;
+            }
+        }
+
+        // Species diffusion: face flux ρ_s v_s = −ρ D ∂Y_s/∂x, plus the
+        // Σ ρ_s v_s h_s energy transport (h_s = c_ps T + h°_s).
+        if self.diffusivity > 0.0 {
+            for f in 0..=self.nx {
+                let l = self.ghost(f as isize - 1);
+                let r = self.ghost(f as isize);
+                let rho_l: f64 = l[..ns].iter().sum();
+                let rho_r: f64 = r[..ns].iter().sum();
+                let rho_face = 0.5 * (rho_l + rho_r);
+                // Face temperature for the enthalpy carried by diffusion.
+                let t_face = 0.5
+                    * (self.mech.mixture.temperature(&MixtureState {
+                        rho_s: l[..ns].to_vec(),
+                        mom: [l[ns], 0.0, 0.0],
+                        energy: l[ns + 1],
+                    }) + self.mech.mixture.temperature(&MixtureState {
+                        rho_s: r[..ns].to_vec(),
+                        mom: [r[ns], 0.0, 0.0],
+                        energy: r[ns + 1],
+                    }));
+                for s in 0..ns {
+                    let y_l = l[s] / rho_l;
+                    let y_r = r[s] / rho_r;
+                    let jflux = -rho_face * self.diffusivity * (y_r - y_l) / self.dx;
+                    let sp = &self.mech.mixture.species[s];
+                    let h_s = sp.cp() * t_face + sp.h_formation;
+                    // Apply to the two adjacent cells (interior only).
+                    if f > 0 {
+                        out[f - 1][s] -= jflux / self.dx;
+                        out[f - 1][ns + 1] -= jflux * h_s / self.dx;
+                    }
+                    if f < self.nx {
+                        out[f][s] += jflux / self.dx;
+                        out[f][ns + 1] += jflux * h_s / self.dx;
+                    }
+                }
+            }
+        }
+
+        // Chemistry source w_s (momentum and energy untouched: Eq. 2 absorbs
+        // the heat release through the formation enthalpies).
+        for i in 0..self.nx {
+            let st = self.cell_state(i);
+            let t = self.mech.mixture.temperature(&st);
+            let w = self.mech.production_rates(&st.rho_s, t);
+            for s in 0..ns {
+                out[i][s] += w[s];
+            }
+        }
+        out
+    }
+
+    /// One low-storage step.
+    pub fn step(&mut self, dt: f64, scheme: TimeScheme) {
+        let ncomp = self.ncomp();
+        let mut du = vec![vec![0.0; ncomp]; self.nx];
+        for s in 0..scheme.stages() {
+            let rhs = self.rhs();
+            for i in 0..self.nx {
+                for c in 0..ncomp {
+                    du[i][c] = scheme.a(s) * du[i][c] + dt * rhs[i][c];
+                    self.state[i][c] += scheme.b(s) * du[i][c];
+                }
+            }
+        }
+        self.time += dt;
+    }
+
+    /// `true` if any cell is unphysical (negative partial density beyond
+    /// round-off, non-finite values).
+    pub fn is_physical(&self) -> bool {
+        let ns = self.mech.mixture.ns();
+        self.state.iter().all(|c| {
+            c.iter().all(|v| v.is_finite()) && c[..ns].iter().all(|&r| r > -1e-10)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chemistry::Mechanism;
+
+    /// Mechanism with chemistry switched off (zero rate).
+    fn inert() -> Mechanism {
+        let mut m = Mechanism::dissociation();
+        for rx in &mut m.reactions {
+            rx.forward.a = 0.0;
+            rx.reverse = None;
+        }
+        m
+    }
+
+    fn uniform_ic(t: f64) -> impl Fn(f64) -> MixturePrimitive {
+        move |_x| MixturePrimitive {
+            rho_s: vec![0.7, 0.3],
+            vel: [0.0; 3],
+            p: 0.0,
+            t,
+        }
+    }
+
+    #[test]
+    fn uniform_state_is_steady() {
+        let mut s = Species1d::new(inert(), 32, 1.0, 0.0, uniform_ic(1500.0));
+        let before = s.state.clone();
+        for _ in 0..20 {
+            let dt = s.stable_dt(0.5);
+            s.step(dt, TimeScheme::Rk3Williamson);
+        }
+        for (a, b) in s.state.iter().zip(&before) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-8 * y.abs().max(1.0), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn diffusion_mixes_composition_and_conserves_each_species() {
+        // Composition step at constant p, T: diffusion must flatten Y while
+        // conserving every species' total mass.
+        let mech = inert();
+        let mut s = Species1d::new(mech, 64, 1e-3, 5e-4, |x| {
+            let y0 = if x < 5e-4 { 0.9 } else { 0.1 };
+            MixturePrimitive {
+                rho_s: vec![y0, 1.0 - y0],
+                vel: [0.0; 3],
+                p: 0.0,
+                t: 1000.0,
+            }
+        });
+        let m0 = s.species_mass(0);
+        let m1 = s.species_mass(1);
+        // Initial composition contrast at the two ends.
+        let y_left0 = s.cell_primitive(2).rho_s[0]
+            / (s.cell_primitive(2).rho_s[0] + s.cell_primitive(2).rho_s[1]);
+        for _ in 0..400 {
+            let dt = s.stable_dt(0.4);
+            s.step(dt, TimeScheme::Rk3Williamson);
+        }
+        assert!(s.is_physical());
+        assert!(((s.species_mass(0) - m0) / m0).abs() < 1e-8, "species-0 mass drift");
+        assert!(((s.species_mass(1) - m1) / m1).abs() < 1e-8, "species-1 mass drift");
+        let w = s.cell_primitive(2);
+        let y_left1 = w.rho_s[0] / (w.rho_s[0] + w.rho_s[1]);
+        assert!(
+            y_left1 < y_left0 - 1e-3,
+            "diffusion must erode the step: {y_left0} -> {y_left1}"
+        );
+    }
+
+    #[test]
+    fn closed_box_conserves_mass_and_energy_with_chemistry() {
+        // Hot closed box with live chemistry: species convert, but the box's
+        // total mass and total energy are invariants of Eq. 1 with walls.
+        let mech = Mechanism::dissociation();
+        let mut s = Species1d::new(mech, 32, 0.1, 1e-4, |x| MixturePrimitive {
+            rho_s: vec![1.0, 1e-4],
+            vel: [0.0; 3],
+            p: 0.0,
+            t: 4500.0 + 1500.0 * (-((x - 0.05) / 0.01).powi(2)).exp(),
+        });
+        let mass0: f64 = s.species_mass(0) + s.species_mass(1);
+        let e0 = s.total_energy();
+        let atoms0 = s.species_mass(1);
+        for _ in 0..300 {
+            let dt = s.stable_dt(0.4).min(2e-9);
+            s.step(dt, TimeScheme::Rk3Williamson);
+        }
+        assert!(s.is_physical());
+        let mass1: f64 = s.species_mass(0) + s.species_mass(1);
+        let e1 = s.total_energy();
+        assert!(((mass1 - mass0) / mass0).abs() < 1e-10, "total mass drift");
+        assert!(((e1 - e0) / e0).abs() < 1e-9, "total energy drift");
+        assert!(s.species_mass(1) > atoms0, "hot spot must dissociate");
+    }
+
+    #[test]
+    fn acoustic_pulse_moves_at_mixture_sound_speed() {
+        // A small pressure pulse in a uniform mixture propagates at the
+        // frozen sound speed: check arrival at a probe.
+        let mech = inert();
+        let t_gas = 1200.0;
+        let mut s = Species1d::new(mech, 256, 1.0, 0.0, move |x| MixturePrimitive {
+            rho_s: vec![0.7, 0.3],
+            vel: [0.0; 3],
+            p: 0.0,
+            t: t_gas * (1.0 + 0.01 * (-((x - 0.2) / 0.02).powi(2)).exp()),
+        });
+        let a = s.mech.mixture.sound_speed(&[0.7, 0.3], t_gas);
+        let probe = 200; // x = 0.783
+        let travel = (0.783 - 0.2) / a;
+        let p0 = s.cell_primitive(probe).p;
+        while s.time() < travel * 1.05 {
+            let dt = s.stable_dt(0.5);
+            s.step(dt, TimeScheme::Rk3Williamson);
+        }
+        let p1 = s.cell_primitive(probe).p;
+        assert!(
+            (p1 - p0) / p0 > 1e-4,
+            "pulse should have arrived: dp/p = {}",
+            (p1 - p0) / p0
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Reference ("Fortran") kernel implementations.
+//!
+//! §IV-A of the paper translates the original Fortran numerics to C++ and
+//! validates the translation by comparing L2 norms of each flow variable
+//! between the two implementations, observing a plateau at ~1e-7 — "within
+//! machine precision differences given the quantity of operations".
+//!
+//! We reproduce that methodology with a second, independently structured
+//! implementation of the convective kernel: no pencil buffers, per-face
+//! recomputation, a different (but algebraically equivalent) association
+//! order for the flux assembly. CRoCCo 1.0 runs these kernels; the
+//! cross-implementation L2 comparison lives in `validation` and the
+//! `l2_validation` experiment.
+
+use crate::eos::PerfectGas;
+use crate::metrics::comp as mcomp;
+use crate::state::{cons, Conserved, NCONS};
+use crate::weno::{reconstruct_face, WenoVariant};
+use crocco_fab::FArrayBox;
+use crocco_geometry::{IndexBox, IntVect};
+
+/// Reference one-direction WENO convective flux: algebraically the same
+/// scheme as [`crate::kernels::weno_flux`], written in the
+/// loop-over-faces-recompute-everything style of the original Fortran.
+pub fn weno_flux_reference(
+    u: &FArrayBox,
+    met: &FArrayBox,
+    rhs: &mut FArrayBox,
+    valid: IndexBox,
+    dir: usize,
+    gas: &PerfectGas,
+    variant: WenoVariant,
+) {
+    let e = IntVect::unit(dir);
+
+    // Per-cell contravariant flux, J·U, and wave speed — recomputed at every
+    // use, exactly as a straightforward translation would.
+    let cell_quantities = |p: IntVect| -> ([f64; NCONS], [f64; NCONS], f64) {
+        let cellu = Conserved([
+            u.get(p, cons::RHO),
+            u.get(p, cons::MX),
+            u.get(p, cons::MY),
+            u.get(p, cons::MZ),
+            u.get(p, cons::ENER),
+        ]);
+        let w = cellu.to_primitive(gas);
+        let jac = met.get(p, mcomp::JAC);
+        let m0 = met.get(p, mcomp::M + dir * 3);
+        let m1 = met.get(p, mcomp::M + dir * 3 + 1);
+        let m2 = met.get(p, mcomp::M + dir * 3 + 2);
+        // Different association order from the optimized kernel — the same
+        // algebra the way a Fortran compiler would have scheduled it, so
+        // results differ at the last-ulp level exactly as §IV-A describes
+        // for the Fortran/C++ pair.
+        let uc = m2 * w.vel[2] + (m1 * w.vel[1] + m0 * w.vel[0]);
+        let mnorm = (m2 * m2 + m1 * m1 + m0 * m0).sqrt();
+        let a = gas.sound_speed(w.rho, w.p.max(1e-300));
+        // Distributed division (vs the optimized kernel's single divide).
+        let speed = uc.abs() / jac + a * mnorm / jac;
+        let fhat = [
+            cellu.0[cons::RHO] * uc,
+            w.p * m0 + cellu.0[cons::MX] * uc,
+            w.p * m1 + cellu.0[cons::MY] * uc,
+            w.p * m2 + cellu.0[cons::MZ] * uc,
+            // Distributed product (vs the optimized kernel's (E + p)·uc).
+            uc * cellu.0[cons::ENER] + uc * w.p,
+        ];
+        let mut v = [0.0; NCONS];
+        for c in 0..NCONS {
+            v[c] = cellu.0[c] * jac;
+        }
+        (fhat, v, speed)
+    };
+
+    let face_flux = |cell_right_of_face: IntVect| -> [f64; NCONS] {
+        // Window cells i-3 .. i+2 relative to the cell right of the face.
+        let mut fh = [[0.0; NCONS]; 6];
+        let mut vv = [[0.0; NCONS]; 6];
+        let mut lambda: f64 = 0.0;
+        for (k, off) in (-3i64..3).enumerate() {
+            let q = cell_right_of_face + e * off;
+            let (f, v, s) = cell_quantities(q);
+            fh[k] = f;
+            vv[k] = v;
+            lambda = lambda.max(s);
+        }
+        let mut out = [0.0; NCONS];
+        for c in 0..NCONS {
+            let mut wp = [0.0; 6];
+            let mut wm = [0.0; 6];
+            for k in 0..6 {
+                wp[k] = 0.5 * (fh[k][c] + lambda * vv[k][c]);
+                wm[k] = 0.5 * (fh[5 - k][c] - lambda * vv[5 - k][c]);
+            }
+            out[c] = reconstruct_face(&wp, variant) + reconstruct_face(&wm, variant);
+        }
+        out
+    };
+
+    for p in valid.cells() {
+        let lo_face = face_flux(p);
+        let hi_face = face_flux(p + e);
+        let jac = met.get(p, mcomp::JAC);
+        for c in 0..NCONS {
+            rhs.add(p, c, -(hi_face[c] - lo_face[c]) / jac);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{weno_flux, NGHOST};
+    use crate::metrics::{compute_metrics, generate_coords, NCOORDS, NMETRICS};
+    use crate::state::Primitive;
+    use crocco_fab::{BoxArray, DistributionMapping, MultiFab};
+    use crocco_geometry::{RealVect, StretchedMapping};
+    use std::sync::Arc;
+
+    #[test]
+    fn reference_and_optimized_agree_to_machine_precision() {
+        // The two implementations differ in loop structure and association
+        // order; on identical inputs their outputs must agree to the paper's
+        // "machine precision given the quantity of operations" level.
+        let gas = PerfectGas::nondimensional();
+        let extents = IntVect::new(16, 12, 8);
+        let bx = IndexBox::from_extents(16, 12, 8);
+        let ba = Arc::new(BoxArray::new(vec![bx]));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        let map = StretchedMapping::new(RealVect::ZERO, RealVect::splat(1.0), 1.1, 1);
+        let mut coords = MultiFab::new(ba.clone(), dm.clone(), NCOORDS, NGHOST + 2);
+        generate_coords(&map, extents, &mut coords);
+        let mut metrics = MultiFab::new(ba.clone(), dm.clone(), NMETRICS, NGHOST);
+        compute_metrics(&coords, &mut metrics);
+        let mut state = MultiFab::new(ba, dm, NCONS, NGHOST);
+        // Smooth nontrivial field.
+        let all = state.fab(0).bx();
+        for p in all.cells() {
+            let x = p[0] as f64 / 16.0;
+            let y = p[1] as f64 / 12.0;
+            let w = Primitive {
+                rho: 1.0 + 0.2 * (6.3 * x).sin(),
+                vel: [0.5 + 0.1 * (6.3 * y).cos(), -0.2, 0.05],
+                p: 1.0 + 0.1 * (6.3 * (x + y)).sin(),
+                t: 0.0,
+            };
+            let u = Conserved::from_primitive(&w, &gas);
+            for c in 0..NCONS {
+                state.fab_mut(0).set(p, c, u.0[c]);
+            }
+        }
+        let valid = state.valid_box(0);
+        for dir in 0..3 {
+            let mut rhs_opt = FArrayBox::new(valid, NCONS);
+            let mut rhs_ref = FArrayBox::new(valid, NCONS);
+            weno_flux(
+                state.fab(0),
+                metrics.fab(0),
+                &mut rhs_opt,
+                valid,
+                dir,
+                &gas,
+                WenoVariant::Js5,
+            );
+            weno_flux_reference(
+                state.fab(0),
+                metrics.fab(0),
+                &mut rhs_ref,
+                valid,
+                dir,
+                &gas,
+                WenoVariant::Js5,
+            );
+            for c in 0..NCONS {
+                let mut num = 0.0;
+                let mut den = 0.0f64;
+                for p in valid.cells() {
+                    num += (rhs_opt.get(p, c) - rhs_ref.get(p, c)).powi(2);
+                    den += rhs_ref.get(p, c).powi(2);
+                }
+                let l2 = (num / valid.num_points() as f64).sqrt();
+                let scale = (den / valid.num_points() as f64).sqrt().max(1e-300);
+                assert!(
+                    l2 / scale < 1e-7,
+                    "dir {dir} comp {c}: relative L2 {}",
+                    l2 / scale
+                );
+            }
+        }
+    }
+}

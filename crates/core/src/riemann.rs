@@ -1,0 +1,268 @@
+//! Exact Riemann solver for the 1-D Euler equations (Toro's iterative
+//! star-state solver). Used to validate the WENO solver against the Sod
+//! shock-tube solution.
+
+use crate::eos::PerfectGas;
+use crate::state::Primitive;
+
+/// A 1-D gas state (density, normal velocity, pressure).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gas1d {
+    /// Density.
+    pub rho: f64,
+    /// Normal velocity.
+    pub u: f64,
+    /// Pressure.
+    pub p: f64,
+}
+
+impl Gas1d {
+    /// The Sod left state.
+    pub fn sod_left() -> Self {
+        Gas1d {
+            rho: 1.0,
+            u: 0.0,
+            p: 1.0,
+        }
+    }
+
+    /// The Sod right state.
+    pub fn sod_right() -> Self {
+        Gas1d {
+            rho: 0.125,
+            u: 0.0,
+            p: 0.1,
+        }
+    }
+}
+
+/// Pressure function f_K(p) and its derivative for one side of the Riemann
+/// problem (Toro §4.3).
+fn pressure_fn(p: f64, s: &Gas1d, gamma: f64) -> (f64, f64) {
+    let a = (gamma * s.p / s.rho).sqrt();
+    if p > s.p {
+        // Shock branch.
+        let ak = 2.0 / ((gamma + 1.0) * s.rho);
+        let bk = (gamma - 1.0) / (gamma + 1.0) * s.p;
+        let q = (ak / (p + bk)).sqrt();
+        let f = (p - s.p) * q;
+        let df = q * (1.0 - (p - s.p) / (2.0 * (bk + p)));
+        (f, df)
+    } else {
+        // Rarefaction branch.
+        let pr = p / s.p;
+        let f = 2.0 * a / (gamma - 1.0) * (pr.powf((gamma - 1.0) / (2.0 * gamma)) - 1.0);
+        let df = 1.0 / (s.rho * a) * pr.powf(-(gamma + 1.0) / (2.0 * gamma));
+        (f, df)
+    }
+}
+
+/// Solves for the star-region pressure and velocity by Newton iteration.
+pub fn star_state(l: &Gas1d, r: &Gas1d, gamma: f64) -> (f64, f64) {
+    // Initial guess: two-rarefaction approximation.
+    let al = (gamma * l.p / l.rho).sqrt();
+    let ar = (gamma * r.p / r.rho).sqrt();
+    let z = (gamma - 1.0) / (2.0 * gamma);
+    let mut p = ((al + ar - 0.5 * (gamma - 1.0) * (r.u - l.u))
+        / (al / l.p.powf(z) + ar / r.p.powf(z)))
+    .powf(1.0 / z);
+    if !p.is_finite() || p <= 0.0 {
+        p = 0.5 * (l.p + r.p);
+    }
+    for _ in 0..60 {
+        let (fl, dfl) = pressure_fn(p, l, gamma);
+        let (fr, dfr) = pressure_fn(p, r, gamma);
+        let f = fl + fr + (r.u - l.u);
+        let step = f / (dfl + dfr);
+        let pn = (p - step).max(1e-12);
+        if (pn - p).abs() / (0.5 * (pn + p)) < 1e-14 {
+            p = pn;
+            break;
+        }
+        p = pn;
+    }
+    let (fl, _) = pressure_fn(p, l, gamma);
+    let (fr, _) = pressure_fn(p, r, gamma);
+    let u = 0.5 * (l.u + r.u) + 0.5 * (fr - fl);
+    (p, u)
+}
+
+/// Samples the exact solution at similarity coordinate `xi = x/t`.
+pub fn sample(l: &Gas1d, r: &Gas1d, gamma: f64, xi: f64) -> Gas1d {
+    let (ps, us) = star_state(l, r, gamma);
+    let g1 = (gamma - 1.0) / (gamma + 1.0);
+    if xi <= us {
+        // Left of the contact.
+        let a = (gamma * l.p / l.rho).sqrt();
+        if ps > l.p {
+            // Left shock.
+            let sl = l.u - a * ((gamma + 1.0) / (2.0 * gamma) * ps / l.p
+                + (gamma - 1.0) / (2.0 * gamma))
+                .sqrt();
+            if xi < sl {
+                *l
+            } else {
+                let rho = l.rho * (ps / l.p + g1) / (g1 * ps / l.p + 1.0);
+                Gas1d {
+                    rho,
+                    u: us,
+                    p: ps,
+                }
+            }
+        } else {
+            // Left rarefaction.
+            let a_star = a * (ps / l.p).powf((gamma - 1.0) / (2.0 * gamma));
+            let head = l.u - a;
+            let tail = us - a_star;
+            if xi < head {
+                *l
+            } else if xi > tail {
+                let rho = l.rho * (ps / l.p).powf(1.0 / gamma);
+                Gas1d {
+                    rho,
+                    u: us,
+                    p: ps,
+                }
+            } else {
+                // Inside the fan.
+                let u = 2.0 / (gamma + 1.0) * (a + (gamma - 1.0) / 2.0 * l.u + xi);
+                let af = a - (gamma - 1.0) / 2.0 * (u - l.u);
+                let rho = l.rho * (af / a).powf(2.0 / (gamma - 1.0));
+                let p = l.p * (af / a).powf(2.0 * gamma / (gamma - 1.0));
+                Gas1d { rho, u, p }
+            }
+        }
+    } else {
+        // Right of the contact (mirror).
+        let a = (gamma * r.p / r.rho).sqrt();
+        if ps > r.p {
+            let sr = r.u + a * ((gamma + 1.0) / (2.0 * gamma) * ps / r.p
+                + (gamma - 1.0) / (2.0 * gamma))
+                .sqrt();
+            if xi > sr {
+                *r
+            } else {
+                let rho = r.rho * (ps / r.p + g1) / (g1 * ps / r.p + 1.0);
+                Gas1d {
+                    rho,
+                    u: us,
+                    p: ps,
+                }
+            }
+        } else {
+            let a_star = a * (ps / r.p).powf((gamma - 1.0) / (2.0 * gamma));
+            let head = r.u + a;
+            let tail = us + a_star;
+            if xi > head {
+                *r
+            } else if xi < tail {
+                let rho = r.rho * (ps / r.p).powf(1.0 / gamma);
+                Gas1d {
+                    rho,
+                    u: us,
+                    p: ps,
+                }
+            } else {
+                let u = 2.0 / (gamma + 1.0) * (-a + (gamma - 1.0) / 2.0 * r.u + xi);
+                let af = a + (gamma - 1.0) / 2.0 * (u - r.u);
+                let rho = r.rho * (af / a).powf(2.0 / (gamma - 1.0));
+                let p = r.p * (af / a).powf(2.0 * gamma / (gamma - 1.0));
+                Gas1d { rho, u, p }
+            }
+        }
+    }
+}
+
+/// Exact Sod-tube solution at position `x ∈ [0, 1]` (diaphragm at 0.5) and
+/// time `t`, as a full [`Primitive`].
+pub fn sod_exact(x: f64, t: f64, gas: &PerfectGas) -> Primitive {
+    let s = if t <= 0.0 {
+        if x < 0.5 {
+            Gas1d::sod_left()
+        } else {
+            Gas1d::sod_right()
+        }
+    } else {
+        sample(
+            &Gas1d::sod_left(),
+            &Gas1d::sod_right(),
+            gas.gamma,
+            (x - 0.5) / t,
+        )
+    };
+    Primitive {
+        rho: s.rho,
+        vel: [s.u, 0.0, 0.0],
+        p: s.p,
+        t: gas.temperature(s.rho, s.p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sod_star_state_matches_literature() {
+        // Toro Table 4.1, test 1: p* = 0.30313, u* = 0.92745.
+        let (p, u) = star_state(&Gas1d::sod_left(), &Gas1d::sod_right(), 1.4);
+        assert!((p - 0.30313).abs() < 1e-4, "p* = {p}");
+        assert!((u - 0.92745).abs() < 1e-4, "u* = {u}");
+    }
+
+    #[test]
+    fn sod_wave_structure_at_t02() {
+        let gas = PerfectGas::nondimensional();
+        let t = 0.2;
+        // Undisturbed far field.
+        assert_eq!(sod_exact(0.05, t, &gas).rho, 1.0);
+        assert_eq!(sod_exact(0.95, t, &gas).rho, 0.125);
+        // Contact: density jumps across x ≈ 0.5 + 0.9274·0.2 = 0.685.
+        let dl = sod_exact(0.66, t, &gas).rho;
+        let dr = sod_exact(0.70, t, &gas).rho;
+        assert!((dl - 0.4263).abs() < 1e-3, "ρ*L = {dl}");
+        assert!((dr - 0.2656).abs() < 1e-3, "ρ*R = {dr}");
+        // Shock ahead of the contact, around x ≈ 0.85.
+        assert!(sod_exact(0.84, t, &gas).p > 0.29);
+        assert!((sod_exact(0.88, t, &gas).p - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solution_is_self_similar() {
+        let gas = PerfectGas::nondimensional();
+        let a = sod_exact(0.6, 0.1, &gas);
+        let b = sod_exact(0.7, 0.2, &gas); // same xi = 1.0
+        assert!((a.rho - b.rho).abs() < 1e-12);
+        assert!((a.p - b.p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_problem_has_zero_contact_velocity() {
+        let l = Gas1d {
+            rho: 1.0,
+            u: 0.0,
+            p: 1.0,
+        };
+        let (p, u) = star_state(&l, &l, 1.4);
+        assert!((p - 1.0).abs() < 1e-10);
+        assert!(u.abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_shock_case_converges() {
+        // Toro test 3: pL = 1000, pR = 0.01.
+        let l = Gas1d {
+            rho: 1.0,
+            u: 0.0,
+            p: 1000.0,
+        };
+        let r = Gas1d {
+            rho: 1.0,
+            u: 0.0,
+            p: 0.01,
+        };
+        let (p, u) = star_state(&l, &r, 1.4);
+        assert!((p - 460.894).abs() < 0.1, "p* = {p}");
+        assert!((u - 19.5975).abs() < 1e-2, "u* = {u}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the solver numerics invariants.
+
+use crocco_solver::eos::PerfectGas;
+use crocco_solver::riemann::{sample, star_state, Gas1d};
+use crocco_solver::state::{Conserved, Primitive};
+use crocco_solver::weno::{
+    linear_weights, nonlinear_weights, reconstruct_face, WenoVariant,
+};
+use proptest::prelude::*;
+
+const VARIANTS: [WenoVariant; 3] = [
+    WenoVariant::Js5,
+    WenoVariant::CentralSym6,
+    WenoVariant::Symbo,
+];
+
+proptest! {
+    #[test]
+    fn weno_weights_are_a_partition_of_unity(
+        w in prop::array::uniform6(-100.0f64..100.0),
+        variant in prop::sample::select(VARIANTS.to_vec()),
+    ) {
+        let om = nonlinear_weights(&w, variant);
+        let sum: f64 = om.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "weights sum {}", sum);
+        for o in om {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&o));
+        }
+    }
+
+    #[test]
+    fn weno_reconstruction_is_scale_equivariant(
+        w in prop::array::uniform6(-10.0f64..10.0),
+        variant in prop::sample::select(VARIANTS.to_vec()),
+    ) {
+        // f(x) → f(x) + c shifts the reconstruction by c (consistency).
+        let c = 3.7;
+        let shifted: [f64; 6] = std::array::from_fn(|i| w[i] + c);
+        let a = reconstruct_face(&w, variant);
+        let b = reconstruct_face(&shifted, variant);
+        prop_assert!((b - a - c).abs() < 1e-7, "{} vs {}", a, b - c);
+    }
+
+    #[test]
+    fn weno_respects_monotone_data_bounds(
+        start in -5.0f64..5.0,
+        steps in prop::array::uniform5(0.0f64..3.0),
+        variant in prop::sample::select(VARIANTS.to_vec()),
+    ) {
+        // On monotone increasing data the reconstruction stays within the
+        // global data range (no over/undershoot beyond the stencil bounds).
+        let mut w = [start; 6];
+        for i in 1..6 {
+            w[i] = w[i - 1] + steps[i - 1];
+        }
+        let f = reconstruct_face(&w, variant);
+        prop_assert!(f >= w[0] - 1e-9 && f <= w[5] + 1e-9, "{} outside [{}, {}]", f, w[0], w[5]);
+    }
+
+    #[test]
+    fn linear_weight_families_sum_to_one(variant in prop::sample::select(VARIANTS.to_vec())) {
+        let d = linear_weights(variant);
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primitive_conserved_roundtrip(
+        rho in 0.01f64..100.0,
+        u in -50.0f64..50.0,
+        v in -50.0f64..50.0,
+        wv in -50.0f64..50.0,
+        p in 0.01f64..1000.0,
+    ) {
+        let gas = PerfectGas::nondimensional();
+        let w = Primitive { rho, vel: [u, v, wv], p, t: 0.0 };
+        let c = Conserved::from_primitive(&w, &gas);
+        let w2 = c.to_primitive(&gas);
+        prop_assert!((w2.rho - rho).abs() / rho < 1e-12);
+        prop_assert!((w2.p - p).abs() / p < 1e-9);
+        for d in 0..3 {
+            prop_assert!((w2.vel[d] - w.vel[d]).abs() < 1e-9);
+        }
+        prop_assert!(w2.t > 0.0);
+    }
+
+    #[test]
+    fn riemann_star_state_is_physical_and_bracketed(
+        rho_l in 0.1f64..10.0,
+        p_l in 0.1f64..100.0,
+        rho_r in 0.1f64..10.0,
+        p_r in 0.1f64..100.0,
+        du in -2.0f64..2.0,
+    ) {
+        let l = Gas1d { rho: rho_l, u: 0.0, p: p_l };
+        let r = Gas1d { rho: rho_r, u: du, p: p_r };
+        let (ps, us) = star_state(&l, &r, 1.4);
+        prop_assert!(ps > 0.0, "p* = {}", ps);
+        prop_assert!(us.is_finite());
+        // Sampling at extreme wave speeds recovers the input states.
+        let far_left = sample(&l, &r, 1.4, -1e6);
+        let far_right = sample(&l, &r, 1.4, 1e6);
+        prop_assert!((far_left.rho - l.rho).abs() < 1e-12);
+        prop_assert!((far_right.rho - r.rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sound_speed_and_viscosity_are_monotone(
+        t1 in 100.0f64..500.0,
+        dt in 1.0f64..500.0,
+    ) {
+        let gas = PerfectGas::air();
+        prop_assert!(gas.viscosity(t1 + dt) > gas.viscosity(t1));
+        let p = 1e5;
+        let rho1 = p / (gas.r_gas * t1);
+        let rho2 = p / (gas.r_gas * (t1 + dt));
+        // Hotter gas at the same pressure → faster sound.
+        prop_assert!(gas.sound_speed(rho2, p) > gas.sound_speed(rho1, p));
+    }
+}

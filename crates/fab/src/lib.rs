@@ -1,0 +1,32 @@
+//! Field containers for block-structured AMR.
+//!
+//! This crate reproduces the AMReX data layer that CRoCCo is hosted on in the
+//! paper:
+//!
+//! * [`FArrayBox`] — a multi-component double-precision array over one
+//!   [`IndexBox`](crocco_geometry::IndexBox) (the per-patch container),
+//! * [`BoxArray`] — the list of patch boxes at one AMR level,
+//! * [`DistributionMapping`] — the box → rank ownership map with the Z-Morton
+//!   space-filling-curve balancer the paper uses (plus round-robin and
+//!   knapsack alternatives for the ablation study),
+//! * [`MultiFab`] — the distributed multi-patch field: the paper stores the
+//!   primitive variables, the 5-component conservative update `dU`, the
+//!   3-component curvilinear coordinates, and the 27-component grid metrics
+//!   each in one of these,
+//! * [`plan`] — communication *plans*: the exact point-to-point message lists
+//!   behind `FillBoundary` and `ParallelCopy`, which both execute the data
+//!   motion locally and feed the simulated Summit network model.
+
+pub mod boxarray;
+pub mod distribution;
+pub mod fab;
+pub mod multifab;
+pub mod plan;
+pub mod tiles;
+
+pub use boxarray::BoxArray;
+pub use distribution::{DistributionMapping, DistributionStrategy};
+pub use fab::FArrayBox;
+pub use multifab::MultiFab;
+pub use plan::{CopyChunk, CopyPlan};
+pub use tiles::{tile_boxes, tiled_work_list, TileItem, DEFAULT_TILE};

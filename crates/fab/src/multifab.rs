@@ -1,0 +1,358 @@
+//! `MultiFab`: the distributed multi-patch field container.
+
+use crate::boxarray::BoxArray;
+use crate::distribution::DistributionMapping;
+use crate::fab::FArrayBox;
+use crate::plan::{fill_boundary_plan, parallel_copy_plan, CopyPlan};
+use crocco_geometry::{IndexBox, ProblemDomain};
+use std::sync::Arc;
+
+/// A multi-component field distributed over the patches of one AMR level
+/// (AMReX `MultiFab`).
+///
+/// The paper stores four of these per level for the curvilinear solver: the
+/// conserved state, the 5-component `dU` update, the 3-component physical
+/// coordinates, and the 27-component grid metrics (§III-C "Data management").
+///
+/// This reproduction executes single-process: every patch's data lives here,
+/// while the [`DistributionMapping`] still records which *simulated rank*
+/// owns each patch so communication plans can be priced on the Summit model.
+#[derive(Clone, Debug)]
+pub struct MultiFab {
+    ba: Arc<BoxArray>,
+    dm: Arc<DistributionMapping>,
+    ncomp: usize,
+    nghost: i64,
+    fabs: Vec<FArrayBox>,
+}
+
+impl MultiFab {
+    /// Allocates a zero-initialized MultiFab: one fab per box, each grown by
+    /// `nghost` ghost cells.
+    pub fn new(ba: Arc<BoxArray>, dm: Arc<DistributionMapping>, ncomp: usize, nghost: i64) -> Self {
+        assert_eq!(ba.len(), dm.owners().len(), "BoxArray/DistributionMapping size mismatch");
+        let fabs = ba
+            .boxes()
+            .iter()
+            .map(|b| FArrayBox::new(b.grow(nghost), ncomp))
+            .collect();
+        MultiFab {
+            ba,
+            dm,
+            ncomp,
+            nghost,
+            fabs,
+        }
+    }
+
+    /// The box array.
+    #[inline]
+    pub fn boxarray(&self) -> &Arc<BoxArray> {
+        &self.ba
+    }
+
+    /// The distribution mapping.
+    #[inline]
+    pub fn distribution(&self) -> &Arc<DistributionMapping> {
+        &self.dm
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn ncomp(&self) -> usize {
+        self.ncomp
+    }
+
+    /// Ghost width.
+    #[inline]
+    pub fn nghost(&self) -> i64 {
+        self.nghost
+    }
+
+    /// Number of local patches.
+    #[inline]
+    pub fn nfabs(&self) -> usize {
+        self.fabs.len()
+    }
+
+    /// The valid (ghost-free) box of patch `i`.
+    #[inline]
+    pub fn valid_box(&self, i: usize) -> IndexBox {
+        self.ba.get(i)
+    }
+
+    /// Patch `i`'s fab (valid + ghost data).
+    #[inline]
+    pub fn fab(&self, i: usize) -> &FArrayBox {
+        &self.fabs[i]
+    }
+
+    /// Patch `i`'s fab, mutably.
+    #[inline]
+    pub fn fab_mut(&mut self, i: usize) -> &mut FArrayBox {
+        &mut self.fabs[i]
+    }
+
+    /// Split-borrow: mutable access to fab `i` plus shared access to all fabs,
+    /// for neighbor-reading updates. (Returns `(dst, all_others)` where
+    /// `all_others[i]` must not be used.)
+    pub fn fabs_mut(&mut self) -> &mut [FArrayBox] {
+        &mut self.fabs
+    }
+
+    /// Iterator over `(patch_id, valid_box)` pairs — the MFIter analog.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, IndexBox)> + '_ {
+        (0..self.fabs.len()).map(|i| (i, self.ba.get(i)))
+    }
+
+    /// Sets every component of every patch (including ghosts) to `v`.
+    pub fn set_val(&mut self, v: f64) {
+        for f in &mut self.fabs {
+            f.fill(v);
+        }
+    }
+
+    /// Fills ghost cells of every patch from same-level neighbors (and
+    /// periodic images): the `FillBoundary` operation. Returns the executed
+    /// [`CopyPlan`] so callers can price it on the network model.
+    pub fn fill_boundary(&mut self, domain: &ProblemDomain) -> CopyPlan {
+        let plan = fill_boundary_plan(&self.ba, &self.dm, domain, self.nghost, self.ncomp);
+        self.execute_plan_within(&plan);
+        plan
+    }
+
+    /// Executes a plan whose source and destination are both this MultiFab.
+    fn execute_plan_within(&mut self, plan: &CopyPlan) {
+        for c in &plan.chunks {
+            if c.src_id == c.dst_id {
+                // Periodic self-copy: clone the source region values first.
+                let src = self.fabs[c.src_id].clone();
+                self.fabs[c.dst_id].copy_shifted_from(&src, c.region, c.shift, self.ncomp);
+            } else {
+                let (a, b) = split_two(&mut self.fabs, c.dst_id, c.src_id);
+                a.copy_shifted_from(b, c.region, c.shift, self.ncomp);
+            }
+        }
+    }
+
+    /// Copies data from `src` (a MultiFab over a *different* BoxArray) into
+    /// this MultiFab's valid+ghost regions wherever they overlap: the
+    /// `ParallelCopy` operation. Returns the executed plan.
+    pub fn parallel_copy_from(&mut self, src: &MultiFab, domain: &ProblemDomain) -> CopyPlan {
+        assert_eq!(self.ncomp, src.ncomp, "ParallelCopy component mismatch");
+        let plan = parallel_copy_plan(
+            &src.ba,
+            &src.dm,
+            &self.ba,
+            &self.dm,
+            domain,
+            self.nghost,
+            self.ncomp,
+        );
+        for c in &plan.chunks {
+            self.fabs[c.dst_id].copy_shifted_from(&src.fabs[c.src_id], c.region, c.shift, self.ncomp);
+        }
+        plan
+    }
+
+    /// Global minimum of `comp` over valid regions.
+    pub fn min(&self, comp: usize) -> f64 {
+        self.iter_valid()
+            .map(|(i, b)| self.fabs[i].min_region(b, comp))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Global maximum of `comp` over valid regions.
+    pub fn max(&self, comp: usize) -> f64 {
+        self.iter_valid()
+            .map(|(i, b)| self.fabs[i].max_region(b, comp))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Global sum of `comp` over valid regions.
+    pub fn sum(&self, comp: usize) -> f64 {
+        self.iter_valid()
+            .map(|(i, b)| self.fabs[i].sum_region(b, comp))
+            .sum()
+    }
+
+    /// Global L2 norm of `comp` over valid regions.
+    pub fn norm2(&self, comp: usize) -> f64 {
+        self.iter_valid()
+            .map(|(i, b)| self.fabs[i].norm2_sq_region(b, comp))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// L2 norm of the difference of one component between two compatible
+    /// MultiFabs — the validation metric of §IV-A/§IV-C.
+    pub fn l2_diff(&self, other: &MultiFab, comp: usize) -> f64 {
+        assert_eq!(self.ba.boxes(), other.ba.boxes(), "incompatible BoxArrays");
+        let mut acc = 0.0;
+        let mut n = 0u64;
+        for (i, b) in self.iter_valid() {
+            for p in b.cells() {
+                let d = self.fabs[i].get(p, comp) - other.fabs[i].get(p, comp);
+                acc += d * d;
+                n += 1;
+            }
+        }
+        (acc / n.max(1) as f64).sqrt()
+    }
+
+    /// `true` if any valid-region value is NaN/∞.
+    pub fn has_nonfinite(&self) -> bool {
+        self.iter_valid()
+            .any(|(i, b)| self.fabs[i].has_nonfinite(b))
+    }
+}
+
+/// Simultaneous `&mut`/`&` borrows of two distinct slice elements.
+fn split_two(fabs: &mut [FArrayBox], a: usize, b: usize) -> (&mut FArrayBox, &FArrayBox) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = fabs.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = fabs.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::DistributionStrategy;
+    use crocco_geometry::{decompose::ChopParams, IntVect};
+
+    fn setup(nghost: i64) -> (MultiFab, ProblemDomain) {
+        let domain_box = IndexBox::from_extents(16, 16, 8);
+        let ba = Arc::new(BoxArray::decompose(domain_box, ChopParams::new(4, 8)));
+        let dm = Arc::new(DistributionMapping::new(
+            &ba,
+            3,
+            DistributionStrategy::MortonSfc,
+        ));
+        let mf = MultiFab::new(ba, dm, 2, nghost);
+        let domain = ProblemDomain::new(domain_box, [false, false, true]);
+        (mf, domain)
+    }
+
+    /// Fill valid regions with a global linear function of the index.
+    fn fill_linear(mf: &mut MultiFab) {
+        for i in 0..mf.nfabs() {
+            let b = mf.valid_box(i);
+            for p in b.cells() {
+                let v0 = p[0] as f64 + 100.0 * p[1] as f64 + 10_000.0 * p[2] as f64;
+                mf.fab_mut(i).set(p, 0, v0);
+                mf.fab_mut(i).set(p, 1, -v0);
+            }
+        }
+    }
+
+    #[test]
+    fn fill_boundary_reproduces_interior_values() {
+        let (mut mf, domain) = setup(2);
+        fill_linear(&mut mf);
+        mf.fill_boundary(&domain);
+        // Every ghost cell that maps into the domain interior must equal the
+        // linear function there.
+        for i in 0..mf.nfabs() {
+            let valid = mf.valid_box(i);
+            for p in valid.grow(2).cells() {
+                if valid.contains(p) {
+                    continue;
+                }
+                if !domain.bx.contains(p) {
+                    continue; // physical boundary ghost, untouched
+                }
+                let expect = p[0] as f64 + 100.0 * p[1] as f64 + 10_000.0 * p[2] as f64;
+                assert_eq!(mf.fab(i).get(p, 0), expect, "patch {i} cell {p:?}");
+                assert_eq!(mf.fab(i).get(p, 1), -expect);
+            }
+        }
+    }
+
+    #[test]
+    fn fill_boundary_periodic_wraps_in_z() {
+        let (mut mf, domain) = setup(2);
+        fill_linear(&mut mf);
+        mf.fill_boundary(&domain);
+        // A ghost cell below z=0 must hold the value from z wrapped to 7.
+        let i = (0..mf.nfabs())
+            .find(|&i| mf.valid_box(i).lo() == IntVect::new(0, 0, 0))
+            .unwrap();
+        let ghost = IntVect::new(0, 0, -1);
+        let wrapped = IntVect::new(0, 0, 7);
+        let expect = wrapped[0] as f64 + 100.0 * wrapped[1] as f64 + 10_000.0 * wrapped[2] as f64;
+        assert_eq!(mf.fab(i).get(ghost, 0), expect);
+    }
+
+    #[test]
+    fn parallel_copy_moves_across_boxarrays() {
+        let (mut src, domain) = setup(0);
+        fill_linear(&mut src);
+        // Destination: a single box straddling several source patches.
+        let dst_ba = Arc::new(BoxArray::new(vec![IndexBox::new(
+            IntVect::new(2, 2, 2),
+            IntVect::new(13, 13, 5),
+        )]));
+        let dst_dm = Arc::new(DistributionMapping::all_on_root(&dst_ba));
+        let mut dst = MultiFab::new(dst_ba, dst_dm, 2, 1);
+        let plan = dst.parallel_copy_from(&src, &domain);
+        assert!(!plan.chunks.is_empty());
+        for p in dst.valid_box(0).grow(1).cells() {
+            let expect = p[0] as f64 + 100.0 * p[1] as f64 + 10_000.0 * p[2] as f64;
+            assert_eq!(dst.fab(0).get(p, 0), expect);
+        }
+    }
+
+    #[test]
+    fn reductions_match_closed_forms() {
+        let (mut mf, _domain) = setup(1);
+        mf.set_val(3.0);
+        let n = mf.boxarray().num_points() as f64;
+        assert_eq!(mf.sum(0), 3.0 * n);
+        assert_eq!(mf.min(0), 3.0);
+        assert_eq!(mf.max(1), 3.0);
+        assert!((mf.norm2(0) - 3.0 * n.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_diff_is_zero_for_identical_and_positive_otherwise() {
+        let (mut a, _d) = setup(0);
+        fill_linear(&mut a);
+        let b = a.clone();
+        assert_eq!(a.l2_diff(&b, 0), 0.0);
+        let lo = a.valid_box(0).lo();
+        a.fab_mut(0).add(lo, 0, 1e-6);
+        let d = a.l2_diff(&b, 0);
+        assert!(d > 0.0 && d < 1e-6);
+    }
+
+    #[test]
+    fn ghost_cells_not_counted_in_reductions() {
+        let (mut mf, domain) = setup(2);
+        mf.set_val(0.0);
+        fill_linear(&mut mf);
+        let sum_before = mf.sum(0);
+        mf.fill_boundary(&domain); // populates ghosts
+        assert_eq!(mf.sum(0), sum_before);
+    }
+
+    #[test]
+    fn split_two_borrows_correct_elements() {
+        let bx = IndexBox::from_extents(2, 2, 2);
+        let mut fabs = vec![
+            FArrayBox::filled(bx, 1, 0.0),
+            FArrayBox::filled(bx, 1, 1.0),
+            FArrayBox::filled(bx, 1, 2.0),
+        ];
+        let (a, b) = split_two(&mut fabs, 2, 0);
+        assert_eq!(a.get(IntVect::ZERO, 0), 2.0);
+        assert_eq!(b.get(IntVect::ZERO, 0), 0.0);
+        let (a, b) = split_two(&mut fabs, 0, 1);
+        assert_eq!(a.get(IntVect::ZERO, 0), 0.0);
+        assert_eq!(b.get(IntVect::ZERO, 0), 1.0);
+    }
+}

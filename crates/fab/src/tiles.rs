@@ -1,0 +1,119 @@
+//! Logical tiling of patches (BoxLib/AMReX tiling, the paper's ref. [24]).
+//!
+//! Large patches are traversed as a sequence of cache-sized *tiles*: the
+//! `MFIter`-with-tiling pattern that keeps stencil working sets resident in
+//! cache and exposes finer-grained parallelism than whole patches. Tiles are
+//! a pure index-space decomposition — no data is copied.
+
+use crate::multifab::MultiFab;
+use crocco_geometry::{IndexBox, IntVect};
+
+/// Default AMReX tile shape: pencils long in x (the unit-stride direction),
+/// short in y/z.
+pub const DEFAULT_TILE: IntVect = IntVect([1_000_000, 8, 8]);
+
+/// Splits `bx` into tiles no larger than `tile` in each direction. Tiles
+/// partition the box exactly (no overlap, full coverage), in z-then-y-then-x
+/// order.
+pub fn tile_boxes(bx: IndexBox, tile: IntVect) -> Vec<IndexBox> {
+    assert!((0..3).all(|d| tile[d] > 0), "tile extents must be positive");
+    let mut out = Vec::new();
+    let lo = bx.lo();
+    let hi = bx.hi();
+    let mut kz = lo[2];
+    while kz <= hi[2] {
+        let z1 = (kz + tile[2] - 1).min(hi[2]);
+        let mut ky = lo[1];
+        while ky <= hi[1] {
+            let y1 = (ky + tile[1] - 1).min(hi[1]);
+            let mut kx = lo[0];
+            while kx <= hi[0] {
+                let x1 = (kx + tile[0] - 1).min(hi[0]);
+                out.push(IndexBox::new(
+                    IntVect::new(kx, ky, kz),
+                    IntVect::new(x1, y1, z1),
+                ));
+                kx = x1 + 1;
+            }
+            ky = y1 + 1;
+        }
+        kz = z1 + 1;
+    }
+    out
+}
+
+/// A `(patch index, tile box)` work item.
+pub type TileItem = (usize, IndexBox);
+
+/// Builds the tiled work list over a MultiFab's valid regions — the MFIter
+/// loop order with tiling enabled. The flat list is what on-node workers
+/// (threads in this reproduction, GPU blocks in the paper's) consume.
+pub fn tiled_work_list(mf: &MultiFab, tile: IntVect) -> Vec<TileItem> {
+    let mut out = Vec::new();
+    for (i, valid) in mf.iter_valid() {
+        for t in tile_boxes(valid, tile) {
+            out.push((i, t));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxarray::BoxArray;
+    use crate::distribution::DistributionMapping;
+    use crocco_geometry::decompose::ChopParams;
+    use std::sync::Arc;
+
+    #[test]
+    fn tiles_partition_the_box() {
+        let bx = IndexBox::from_extents(20, 12, 10);
+        let tiles = tile_boxes(bx, IntVect::new(8, 5, 4));
+        let total: u64 = tiles.iter().map(|t| t.num_points()).sum();
+        assert_eq!(total, bx.num_points());
+        for (i, a) in tiles.iter().enumerate() {
+            assert!(bx.contains_box(a));
+            assert!(a.size()[0] <= 8 && a.size()[1] <= 5 && a.size()[2] <= 4);
+            for b in &tiles[i + 1..] {
+                assert!(!a.intersects(b));
+            }
+        }
+        // ceil(20/8)·ceil(12/5)·ceil(10/4) = 3·3·3.
+        assert_eq!(tiles.len(), 27);
+    }
+
+    #[test]
+    fn default_tile_is_pencil_shaped() {
+        let bx = IndexBox::from_extents(64, 32, 32);
+        let tiles = tile_boxes(bx, DEFAULT_TILE);
+        // Never split in x.
+        assert!(tiles.iter().all(|t| t.size()[0] == 64));
+        assert_eq!(tiles.len(), (32 / 8) * (32 / 8));
+    }
+
+    #[test]
+    fn one_cell_tiles_enumerate_cells() {
+        let bx = IndexBox::from_extents(3, 2, 2);
+        let tiles = tile_boxes(bx, IntVect::ONE);
+        assert_eq!(tiles.len(), 12);
+        assert!(tiles.iter().all(|t| t.num_points() == 1));
+    }
+
+    #[test]
+    fn work_list_covers_every_patch() {
+        let ba = Arc::new(BoxArray::decompose(
+            IndexBox::from_extents(32, 32, 16),
+            ChopParams::new(4, 16),
+        ));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        let mf = MultiFab::new(ba.clone(), dm, 1, 0);
+        let work = tiled_work_list(&mf, IntVect::new(16, 8, 8));
+        let total: u64 = work.iter().map(|(_, t)| t.num_points()).sum();
+        assert_eq!(total, ba.num_points());
+        // Every patch contributes.
+        for i in 0..ba.len() {
+            assert!(work.iter().any(|(p, _)| *p == i));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the container and communication-plan layer.
+
+use crocco_fab::plan::fill_boundary_plan;
+use crocco_fab::{BoxArray, DistributionMapping, DistributionStrategy, FArrayBox, MultiFab};
+use crocco_geometry::decompose::ChopParams;
+use crocco_geometry::{IndexBox, IntVect, ProblemDomain};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_domain() -> impl Strategy<Value = IndexBox> {
+    (1i64..5, 1i64..5, 1i64..5)
+        .prop_map(|(a, b, c)| IndexBox::from_extents(a * 8, b * 8, c * 8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decomposition_counts_are_invariant(domain in arb_domain(), mg in prop::sample::select(vec![8i64, 16, 24])) {
+        let ba = BoxArray::decompose(domain, ChopParams::new(4, mg));
+        prop_assert_eq!(ba.num_points(), domain.num_points());
+        prop_assert!(ba.covers(domain));
+        prop_assert_eq!(ba.hull(), domain);
+    }
+
+    #[test]
+    fn every_strategy_balances_within_one_box(
+        domain in arb_domain(),
+        nranks in 1usize..16,
+        strat in prop::sample::select(vec![
+            DistributionStrategy::RoundRobin,
+            DistributionStrategy::MortonSfc,
+            DistributionStrategy::Knapsack,
+        ]),
+    ) {
+        let ba = BoxArray::decompose(domain, ChopParams::new(4, 8));
+        let dm = DistributionMapping::new(&ba, nranks, strat);
+        let loads = dm.rank_loads(&ba);
+        prop_assert_eq!(loads.iter().sum::<u64>(), ba.num_points());
+        // No rank exceeds the mean by more than the largest box (uniform
+        // boxes here), for SFC and knapsack.
+        if strat != DistributionStrategy::RoundRobin {
+            let max_box = ba.boxes().iter().map(|b| b.num_points()).max().unwrap();
+            let mean = ba.num_points() as f64 / nranks as f64;
+            let max = *loads.iter().max().unwrap();
+            prop_assert!(
+                (max as f64) <= mean + max_box as f64,
+                "max {} mean {} box {}", max, mean, max_box
+            );
+        }
+    }
+
+    #[test]
+    fn fill_boundary_plan_conserves_data_motion_across_distributions(
+        domain in arb_domain(),
+        nranks in 1usize..9,
+        periodic_z in any::<bool>(),
+    ) {
+        // Total bytes moved (local + remote) must not depend on ownership.
+        let pd = ProblemDomain::new(domain, [false, false, periodic_z]);
+        let ba = BoxArray::decompose(domain, ChopParams::new(4, 8));
+        let serial = DistributionMapping::all_on_root(&ba);
+        let dist = DistributionMapping::new(&ba, nranks, DistributionStrategy::MortonSfc);
+        let s = fill_boundary_plan(&ba, &serial, &pd, 2, 5).stats();
+        let d = fill_boundary_plan(&ba, &dist, &pd, 2, 5).stats();
+        prop_assert_eq!(s.local_bytes + s.remote_bytes, d.local_bytes + d.remote_bytes);
+        prop_assert_eq!(s.remote_bytes, 0);
+    }
+
+    #[test]
+    fn fill_boundary_ghosts_match_a_global_field(
+        domain in arb_domain(),
+        nranks in 1usize..5,
+    ) {
+        // Fill valid cells from a global linear function, exchange, and
+        // check every interior ghost agrees with the function.
+        let pd = ProblemDomain::new(domain, [false, true, false]);
+        let ba = Arc::new(BoxArray::decompose(domain, ChopParams::new(4, 8)));
+        let dm = Arc::new(DistributionMapping::new(&ba, nranks, DistributionStrategy::MortonSfc));
+        let mut mf = MultiFab::new(ba, dm, 1, 2);
+        let f = |p: IntVect| p[0] as f64 + 17.0 * p[1] as f64 - 3.0 * p[2] as f64;
+        for i in 0..mf.nfabs() {
+            let valid = mf.valid_box(i);
+            for p in valid.cells() {
+                mf.fab_mut(i).set(p, 0, f(p));
+            }
+        }
+        mf.fill_boundary(&pd);
+        for i in 0..mf.nfabs() {
+            let valid = mf.valid_box(i);
+            for p in valid.grow(2).cells() {
+                if valid.contains(p) || !pd.contains_wrapped(p) {
+                    continue;
+                }
+                let mut q = p;
+                // Unwrap periodic y.
+                let ny = domain.size()[1];
+                q[1] = q[1].rem_euclid(ny);
+                prop_assert_eq!(mf.fab(i).get(p, 0), f(q));
+            }
+        }
+    }
+
+    #[test]
+    fn fab_lincomb_matches_pointwise(a in -2.0f64..2.0, b in -2.0f64..2.0, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bx = IndexBox::from_extents(4, 4, 4);
+        let mut x = FArrayBox::new(bx, 2);
+        let mut y = FArrayBox::new(bx, 2);
+        let mut expect = Vec::new();
+        for c in 0..2 {
+            for p in bx.cells() {
+                let xv: f64 = rng.gen_range(-1.0..1.0);
+                let yv: f64 = rng.gen_range(-1.0..1.0);
+                x.set(p, c, xv);
+                y.set(p, c, yv);
+                expect.push(a * xv + b * yv);
+            }
+        }
+        x.lincomb(a, b, &y);
+        let mut it = expect.into_iter();
+        for c in 0..2 {
+            for p in bx.cells() {
+                prop_assert_eq!(x.get(p, c), it.next().unwrap());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tiles_partition_any_box(
+        lo in prop::array::uniform3(-10i64..10),
+        size in prop::array::uniform3(1i64..20),
+        tile in prop::array::uniform3(1i64..9),
+    ) {
+        use crocco_fab::tiles::tile_boxes;
+        let bx = IndexBox::new(
+            IntVect::new(lo[0], lo[1], lo[2]),
+            IntVect::new(lo[0] + size[0] - 1, lo[1] + size[1] - 1, lo[2] + size[2] - 1),
+        );
+        let t = IntVect::new(tile[0], tile[1], tile[2]);
+        let tiles = tile_boxes(bx, t);
+        let total: u64 = tiles.iter().map(|b| b.num_points()).sum();
+        prop_assert_eq!(total, bx.num_points());
+        for (i, a) in tiles.iter().enumerate() {
+            prop_assert!(bx.contains_box(a));
+            for d in 0..3 {
+                prop_assert!(a.size()[d] <= t[d]);
+            }
+            for b in &tiles[i + 1..] {
+                prop_assert!(!a.intersects(b));
+            }
+        }
+    }
+}

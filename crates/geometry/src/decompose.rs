@@ -1,0 +1,163 @@
+//! Decomposition of boxes into AMR patches.
+//!
+//! AMReX controls how the domain is divided with two input-deck parameters
+//! (§III-B of the paper): the *blocking factor* — every patch corner and
+//! extent must be a multiple of it — and the *maximum grid size* — no patch
+//! may be longer than it in any direction. The paper sets the blocking factor
+//! to 8 (the WENO ghost requirement) and max grid size to 128.
+
+use crate::ibox::IndexBox;
+use crate::intvect::IntVect;
+
+/// Patch-generation constraints (the AMReX input-deck knobs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChopParams {
+    /// Every box corner/extent must be a multiple of this (per direction).
+    pub blocking_factor: i64,
+    /// No box may exceed this extent in any direction.
+    pub max_grid_size: i64,
+}
+
+impl ChopParams {
+    /// The paper's hand-tuned values: blocking factor 8, max grid size 128.
+    pub const PAPER: ChopParams = ChopParams {
+        blocking_factor: 8,
+        max_grid_size: 128,
+    };
+
+    /// Creates parameters, validating that `max_grid_size` is a positive
+    /// multiple of `blocking_factor`.
+    pub fn new(blocking_factor: i64, max_grid_size: i64) -> Self {
+        assert!(blocking_factor > 0, "blocking factor must be positive");
+        assert!(
+            max_grid_size > 0 && max_grid_size % blocking_factor == 0,
+            "max grid size must be a positive multiple of the blocking factor"
+        );
+        ChopParams {
+            blocking_factor,
+            max_grid_size,
+        }
+    }
+}
+
+/// Recursively chops `bx` into boxes no longer than `max_grid_size` in any
+/// direction, cutting at blocking-factor-aligned positions.
+///
+/// The input box must itself be blocking-factor aligned (which regridded
+/// boxes always are); this is asserted.
+pub fn chop_to_max_size(bx: IndexBox, params: ChopParams) -> Vec<IndexBox> {
+    assert!(
+        bx.is_blocked(params.blocking_factor),
+        "box {bx:?} is not aligned to blocking factor {}",
+        params.blocking_factor
+    );
+    let mut out = Vec::new();
+    let mut stack = vec![bx];
+    while let Some(b) = stack.pop() {
+        let size = b.size();
+        let dir = size.argmax();
+        if size[dir] <= params.max_grid_size {
+            out.push(b);
+            continue;
+        }
+        // Cut as close to the midpoint as blocking allows.
+        let half_tiles = (size[dir] / params.blocking_factor) / 2;
+        let pos = b.lo()[dir] + half_tiles.max(1) * params.blocking_factor;
+        let (l, r) = b.chop(dir, pos);
+        stack.push(l);
+        stack.push(r);
+    }
+    out
+}
+
+/// Decomposes a whole level domain into a patch list, as AMReX does when a
+/// level is created without tagging (the coarsest level, or an AMR-disabled
+/// run).
+pub fn decompose_domain(domain: IndexBox, params: ChopParams) -> Vec<IndexBox> {
+    let mut boxes = chop_to_max_size(domain, params);
+    // Deterministic order: sort by low corner for reproducible distribution.
+    boxes.sort_by_key(|b| (b.lo()[2], b.lo()[1], b.lo()[0]));
+    boxes
+}
+
+/// Grows a box outward until it is aligned to the blocking factor (used when
+/// converting tagged regions into patch candidates).
+pub fn align_to_blocking(bx: IndexBox, blocking_factor: i64) -> IndexBox {
+    if bx.is_empty() {
+        return bx;
+    }
+    let bf = IntVect::splat(blocking_factor);
+    bx.coarsen(bf).refine(bf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_are_consistent() {
+        let p = ChopParams::PAPER;
+        assert_eq!(p.blocking_factor, 8);
+        assert_eq!(p.max_grid_size, 128);
+        // Constructor accepts them.
+        let q = ChopParams::new(8, 128);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    #[should_panic]
+    fn max_size_must_be_multiple_of_blocking() {
+        ChopParams::new(8, 100);
+    }
+
+    #[test]
+    fn chop_covers_domain_exactly() {
+        let params = ChopParams::new(8, 32);
+        let domain = IndexBox::from_extents(128, 64, 32);
+        let boxes = decompose_domain(domain, params);
+        let total: u64 = boxes.iter().map(|b| b.num_points()).sum();
+        assert_eq!(total, domain.num_points());
+        for b in &boxes {
+            assert!(domain.contains_box(b));
+            assert!(b.is_blocked(params.blocking_factor));
+            assert!(b.size().max_component() <= params.max_grid_size);
+        }
+        // No overlaps.
+        for (i, a) in boxes.iter().enumerate() {
+            for b in &boxes[i + 1..] {
+                assert!(!a.intersects(b), "{a:?} overlaps {b:?}");
+            }
+        }
+        assert_eq!(boxes.len(), 4 * 2 * 1);
+    }
+
+    #[test]
+    fn chop_handles_non_power_of_two_extents() {
+        let params = ChopParams::new(4, 16);
+        let domain = IndexBox::from_extents(40, 24, 12);
+        let boxes = decompose_domain(domain, params);
+        let total: u64 = boxes.iter().map(|b| b.num_points()).sum();
+        assert_eq!(total, domain.num_points());
+        for b in &boxes {
+            assert!(b.size().max_component() <= 16);
+            assert!(b.is_blocked(4));
+        }
+    }
+
+    #[test]
+    fn small_domain_is_a_single_box() {
+        let params = ChopParams::new(8, 128);
+        let domain = IndexBox::from_extents(64, 64, 64);
+        assert_eq!(decompose_domain(domain, params), vec![domain]);
+    }
+
+    #[test]
+    fn align_to_blocking_grows_outward() {
+        let bx = IndexBox::new(IntVect::new(3, 9, -1), IntVect::new(10, 14, 5));
+        let a = align_to_blocking(bx, 8);
+        assert!(a.contains_box(&bx));
+        assert!(a.is_blocked(8));
+        assert_eq!(a.lo(), IntVect::new(0, 8, -8));
+        assert_eq!(a.hi(), IntVect::new(15, 15, 7));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the index-space algebra.
+
+use crocco_geometry::decompose::{align_to_blocking, chop_to_max_size, ChopParams};
+use crocco_geometry::{morton, IndexBox, IntVect};
+use proptest::prelude::*;
+
+fn arb_ivec(lo: i64, hi: i64) -> impl Strategy<Value = IntVect> {
+    (lo..hi, lo..hi, lo..hi).prop_map(|(a, b, c)| IntVect::new(a, b, c))
+}
+
+fn arb_box() -> impl Strategy<Value = IndexBox> {
+    (arb_ivec(-32, 32), arb_ivec(1, 24))
+        .prop_map(|(lo, size)| IndexBox::new(lo, lo + size - IntVect::ONE))
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_commutative_and_contained(a in arb_box(), b in arb_box()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+        if !ab.is_empty() {
+            prop_assert!(a.contains_box(&ab));
+            prop_assert!(b.contains_box(&ab));
+        }
+    }
+
+    #[test]
+    fn hull_contains_both_operands(a in arb_box(), b in arb_box()) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains_box(&a));
+        prop_assert!(h.contains_box(&b));
+        // Minimality along each axis: the hull's bounds coincide with one
+        // of the operands' bounds.
+        for d in 0..3 {
+            prop_assert!(h.lo()[d] == a.lo()[d] || h.lo()[d] == b.lo()[d]);
+            prop_assert!(h.hi()[d] == a.hi()[d] || h.hi()[d] == b.hi()[d]);
+        }
+    }
+
+    #[test]
+    fn refine_coarsen_roundtrip(b in arb_box(), r in 1i64..4) {
+        let ratio = IntVect::splat(r);
+        prop_assert_eq!(b.refine(ratio).coarsen(ratio), b);
+        prop_assert_eq!(b.refine(ratio).num_points(), b.num_points() * (r * r * r) as u64);
+    }
+
+    #[test]
+    fn coarsen_covers_every_fine_cell(b in arb_box(), r in 2i64..4) {
+        let ratio = IntVect::splat(r);
+        let c = b.coarsen(ratio);
+        for p in b.cells().take(200) {
+            prop_assert!(c.contains(p.coarsen(ratio)));
+        }
+    }
+
+    #[test]
+    fn grow_shrink_roundtrip(b in arb_box(), g in 0i64..5) {
+        prop_assert_eq!(b.grow(g).grow(-g), b);
+        prop_assert!(b.grow(g).contains_box(&b));
+    }
+
+    #[test]
+    fn chop_partitions(b in arb_box()) {
+        for dir in 0..3 {
+            if b.length(dir) >= 2 {
+                let pos = b.lo()[dir] + b.length(dir) / 2;
+                let (l, r) = b.chop(dir, pos.max(b.lo()[dir] + 1));
+                prop_assert_eq!(l.num_points() + r.num_points(), b.num_points());
+                prop_assert!(!l.intersects(&r));
+                prop_assert_eq!(l.hull(&r), b);
+            }
+        }
+    }
+
+    #[test]
+    fn morton_roundtrip_and_axis_monotonicity(p in arb_ivec(0, 1 << 15)) {
+        let code = morton::encode(p);
+        prop_assert_eq!(morton::decode(code), p);
+        for d in 0..3 {
+            let q = p + IntVect::unit(d);
+            prop_assert!(morton::encode(q) > code);
+        }
+    }
+
+    #[test]
+    fn alignment_grows_outward_and_is_blocked(b in arb_box(), bf in prop::sample::select(vec![2i64, 4, 8])) {
+        let a = align_to_blocking(b, bf);
+        prop_assert!(a.contains_box(&b));
+        prop_assert!(a.is_blocked(bf));
+    }
+
+    #[test]
+    fn chopping_preserves_cells_and_constraints(
+        n in 1i64..6,
+        m in 1i64..6,
+        p in 1i64..6,
+    ) {
+        let bf = 4;
+        let mg = 8;
+        let domain = IndexBox::from_extents(n * bf, m * bf, p * bf);
+        let boxes = chop_to_max_size(domain, ChopParams::new(bf, mg));
+        let total: u64 = boxes.iter().map(|b| b.num_points()).sum();
+        prop_assert_eq!(total, domain.num_points());
+        for (i, a) in boxes.iter().enumerate() {
+            prop_assert!(a.is_blocked(bf));
+            prop_assert!(a.size().max_component() <= mg);
+            for b in &boxes[i + 1..] {
+                prop_assert!(!a.intersects(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! TinyProfiler-style region profiler.
+//!
+//! The paper collects Figs. 6–7 with the AMReX TinyProfiler, "which provides
+//! timer macros to track time spent in code regions". This profiler plays the
+//! same role for the reproduction. It accumulates *simulated* seconds (from
+//! the platform models) or measured seconds (from wall-clock scopes) into
+//! named, slash-separated regions, e.g. `FillPatch/ParallelCopy_finish`.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A thread-safe accumulating region profiler.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    totals: Mutex<HashMap<String, f64>>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Adds `seconds` of (simulated or measured) time to `region`.
+    pub fn add(&self, region: &str, seconds: f64) {
+        let mut t = self.totals.lock();
+        *t.entry(region.to_string()).or_default() += seconds;
+    }
+
+    /// Total accumulated seconds in `region` (0 if never recorded).
+    pub fn total(&self, region: &str) -> f64 {
+        self.totals.lock().get(region).copied().unwrap_or(0.0)
+    }
+
+    /// Sum over all regions whose name starts with `prefix` (inclusive of the
+    /// exact region). Lets callers roll `FillPatch/...` children into
+    /// `FillPatch`.
+    pub fn total_with_prefix(&self, prefix: &str) -> f64 {
+        self.totals
+            .lock()
+            .iter()
+            .filter(|(k, _)| k.as_str() == prefix || k.starts_with(&format!("{prefix}/")))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// All regions and totals, sorted by descending time — the TinyProfiler
+    /// report order.
+    pub fn report(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .totals
+            .lock()
+            .iter()
+            .map(|(k, t)| (k.clone(), *t))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Clears all accumulated time.
+    pub fn reset(&self) {
+        self.totals.lock().clear();
+    }
+
+    /// Runs `f`, measuring wall-clock time into `region`, and returns its
+    /// result. (Simulated-time callers use [`Profiler::add`] directly.)
+    pub fn scope<R>(&self, region: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(region, start.elapsed().as_secs_f64());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_lookup() {
+        let p = Profiler::new();
+        p.add("FillPatch", 1.0);
+        p.add("FillPatch", 0.5);
+        p.add("Advance", 2.0);
+        assert_eq!(p.total("FillPatch"), 1.5);
+        assert_eq!(p.total("Advance"), 2.0);
+        assert_eq!(p.total("Regrid"), 0.0);
+    }
+
+    #[test]
+    fn prefix_rollup() {
+        let p = Profiler::new();
+        p.add("FillPatch/ParallelCopy_finish", 1.0);
+        p.add("FillPatch/FillBoundary_nowait", 0.25);
+        p.add("FillPatch", 0.25);
+        p.add("FillPatchOther", 9.0); // must NOT be rolled up
+        assert_eq!(p.total_with_prefix("FillPatch"), 1.5);
+    }
+
+    #[test]
+    fn report_sorted_descending() {
+        let p = Profiler::new();
+        p.add("a", 1.0);
+        p.add("b", 3.0);
+        p.add("c", 2.0);
+        let r = p.report();
+        assert_eq!(r[0].0, "b");
+        assert_eq!(r[1].0, "c");
+        assert_eq!(r[2].0, "a");
+    }
+
+    #[test]
+    fn scope_measures_wall_time() {
+        let p = Profiler::new();
+        let out = p.scope("work", || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(p.total("work") >= 0.004);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let p = Profiler::new();
+        p.add("x", 1.0);
+        p.reset();
+        assert_eq!(p.total("x"), 0.0);
+        assert!(p.report().is_empty());
+    }
+}
+
+impl Profiler {
+    /// Renders a TinyProfiler-style report: regions sorted by time with
+    /// percentages of the top-level total; slash-separated children are
+    /// indented under their parents.
+    pub fn render_report(&self) -> String {
+        let report = self.report();
+        let total: f64 = report
+            .iter()
+            .filter(|(k, _)| !k.contains('/'))
+            .map(|(_, t)| t)
+            .sum();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<32} {:>12} {:>7}\n",
+            "region", "seconds", "%"
+        ));
+        for (name, t) in &report {
+            let indent = if name.contains('/') { "  " } else { "" };
+            out.push_str(&format!(
+                "{indent}{:<30} {:>12.6} {:>6.1}%\n",
+                name,
+                t,
+                100.0 * t / total.max(1e-300)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_percentages_of_top_level_total() {
+        let p = Profiler::new();
+        p.add("Advance", 3.0);
+        p.add("FillPatch", 1.0);
+        p.add("FillPatch/ParallelCopy_finish", 0.5);
+        let s = p.render_report();
+        assert!(s.contains("Advance"));
+        assert!(s.contains("75.0%"), "{s}");
+        assert!(s.contains("25.0%"));
+        // Child shown indented, measured against the 4.0 s total.
+        assert!(s.contains("12.5%"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Hierarchical roofline evaluation (Yang, Kurth & Williams), as used for
+//! Fig. 4 of the paper.
+
+use crate::gpu::GpuModel;
+use crate::kernelspec::KernelSpec;
+use serde::{Deserialize, Serialize};
+
+/// One memory level of the hierarchical roofline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RooflineLevel {
+    /// L1 cache traffic.
+    L1,
+    /// L2 cache traffic.
+    L2,
+    /// Device memory (HBM2) traffic.
+    Dram,
+}
+
+impl RooflineLevel {
+    /// All levels, innermost first.
+    pub const ALL: [RooflineLevel; 3] = [RooflineLevel::L1, RooflineLevel::L2, RooflineLevel::Dram];
+
+    /// Printable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RooflineLevel::L1 => "L1",
+            RooflineLevel::L2 => "L2",
+            RooflineLevel::Dram => "DRAM",
+        }
+    }
+}
+
+/// One kernel's placement on the roofline at one memory level.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Memory level of the traffic measurement.
+    pub level: RooflineLevel,
+    /// Arithmetic intensity at this level (flop/byte).
+    pub ai: f64,
+    /// Achieved performance (flop/s).
+    pub achieved: f64,
+    /// The bandwidth ceiling at this AI (flop/s): `AI × BW(level)`.
+    pub bandwidth_ceiling: f64,
+    /// The occupancy-derated compute ceiling (flop/s).
+    pub compute_ceiling: f64,
+    /// `true` if the kernel sits under the sloped (bandwidth) part of the
+    /// roofline at this level — i.e. the level's bandwidth ceiling at this AI
+    /// lies below the machine's peak flop rate. This is the sense in which
+    /// §VI-A declares the kernels "bandwidth-bound for L1, L2, and DRAM".
+    pub bandwidth_bound: bool,
+}
+
+/// Evaluates the full hierarchical roofline of `spec` on `gpu` at problem
+/// size `ncells`: one point per memory level.
+pub fn evaluate(gpu: &GpuModel, spec: &KernelSpec, ncells: u64) -> Vec<RooflinePoint> {
+    let achieved = gpu.achieved_flops(spec, ncells);
+    let compute_ceiling = gpu.flop_ceiling(spec);
+    RooflineLevel::ALL
+        .iter()
+        .map(|&level| {
+            let (ai, bw) = match level {
+                RooflineLevel::L1 => (spec.ai_l1(), gpu.l1_bw),
+                RooflineLevel::L2 => (spec.ai_l2(), gpu.l2_bw),
+                RooflineLevel::Dram => (spec.ai_dram(), gpu.dram_bw * gpu.dram_efficiency),
+            };
+            let bandwidth_ceiling = ai * bw;
+            RooflinePoint {
+                kernel: spec.name,
+                level,
+                ai,
+                achieved,
+                bandwidth_ceiling,
+                compute_ceiling,
+                bandwidth_bound: bandwidth_ceiling < gpu.peak_flops,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernelspec::{stage_kernels, weno_spec};
+
+    #[test]
+    fn weno_is_bandwidth_bound_at_every_level() {
+        // §VI-A: "All of our kernels are bandwidth-bound ... for L1 cache, L2
+        // cache, and DRAM."
+        let gpu = GpuModel::v100();
+        for k in stage_kernels() {
+            for p in evaluate(&gpu, &k, 20_000_000) {
+                assert!(
+                    p.bandwidth_bound,
+                    "{} at {} should be bandwidth-bound (ai={:.2})",
+                    p.kernel,
+                    p.level.name(),
+                    p.ai
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn achieved_never_exceeds_ceilings() {
+        let gpu = GpuModel::v100();
+        let pts = evaluate(&gpu, &weno_spec(0), 20_000_000);
+        for p in &pts {
+            let ceiling = p.bandwidth_ceiling.min(p.compute_ceiling);
+            assert!(
+                p.achieved <= ceiling * 1.0 + 1e-6,
+                "{:?} achieved above ceiling",
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn dram_point_matches_paper_numbers() {
+        let gpu = GpuModel::v100();
+        let p = evaluate(&gpu, &weno_spec(0), 20_000_000)
+            .into_iter()
+            .find(|p| p.level == RooflineLevel::Dram)
+            .unwrap();
+        // ≈300 DP Gflop/s, ≈4 % of the 7.8 Tflop/s peak.
+        assert!((250e9..350e9).contains(&p.achieved), "{}", p.achieved);
+        assert!(p.achieved / gpu.peak_flops > 0.03);
+        assert!(p.achieved / gpu.peak_flops < 0.05);
+    }
+}

@@ -1,0 +1,27 @@
+//! Parallel runtime substrate for the CRoCCo reproduction.
+//!
+//! The paper runs MPI across up to 1,024 Summit nodes. This crate substitutes
+//! two runtimes (see `DESIGN.md` §3):
+//!
+//! * [`sim`] — a *simulated* communicator: per-rank virtual clocks advanced
+//!   by compute and communication costs from the
+//!   [`crocco-perfmodel`](crocco_perfmodel) Summit models. The scaling
+//!   studies (Figs. 5–7) replay the exact communication plans of the real
+//!   AMR metadata path through this simulator.
+//! * [`cluster`] — a *real* threaded message-passing cluster: N rank threads
+//!   connected by crossbeam channels moving [`bytes::Bytes`] payloads. Used
+//!   by tests and examples to demonstrate that the distributed code path
+//!   (pack → send → receive → unpack) actually executes, at laptop scale.
+//! * [`pool`] — a scoped thread pool for on-node parallel patch loops (the
+//!   OpenMP/GPU-thread analog below MPI, §IV-B).
+//! * [`topology`] — rank ↔ node placement for Summit-like machines.
+
+pub mod cluster;
+pub mod pool;
+pub mod sim;
+pub mod topology;
+
+pub use cluster::{LocalCluster, Packet, RankEndpoint};
+pub use pool::{parallel_for, parallel_for_each_mut};
+pub use sim::{CommOp, SimComm};
+pub use topology::Topology;

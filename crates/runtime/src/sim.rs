@@ -1,0 +1,256 @@
+//! The simulated communicator: per-rank virtual clocks.
+//!
+//! Scaling experiments replay the real communication plans (exact message
+//! lists from box intersections) through this simulator. Each rank carries a
+//! virtual clock; compute advances one clock, communication phases advance
+//! all participating clocks by their α–β costs and couple them (a message
+//! cannot be received before it was sent). Iteration time is the maximum
+//! clock — the critical path across ranks, which is what the paper's
+//! walltime-per-iteration plots measure.
+
+use crocco_perfmodel::NetworkModel;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// One message in a communication phase.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CommOp {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// A simulated communicator over `nranks` virtual ranks.
+#[derive(Clone, Debug)]
+pub struct SimComm {
+    clock: Vec<f64>,
+    net: NetworkModel,
+    topo: Topology,
+    /// NVLink/shared-memory bandwidth for same-node traffic (B/s).
+    intranode_bw: f64,
+    /// Total simulated messages posted (diagnostics).
+    pub total_messages: u64,
+    /// Total simulated bytes moved (diagnostics).
+    pub total_bytes: u64,
+}
+
+impl SimComm {
+    /// Creates a communicator with all clocks at zero.
+    pub fn new(topo: Topology, net: NetworkModel) -> Self {
+        SimComm {
+            clock: vec![0.0; topo.nranks()],
+            net,
+            topo,
+            // Summit NVLink 2.0: 50 GB/s per direction between GPU pairs.
+            intranode_bw: 50.0e9,
+            total_messages: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.clock.len()
+    }
+
+    /// Current virtual time of `rank`.
+    pub fn time_of(&self, rank: usize) -> f64 {
+        self.clock[rank]
+    }
+
+    /// Maximum clock — the critical-path elapsed time.
+    pub fn elapsed(&self) -> f64 {
+        self.clock.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Advances one rank's clock by `seconds` of computation.
+    pub fn compute(&mut self, rank: usize, seconds: f64) {
+        self.clock[rank] += seconds;
+    }
+
+    /// Advances every rank's clock by `seconds` (perfectly parallel work).
+    pub fn compute_all(&mut self, seconds: f64) {
+        for c in &mut self.clock {
+            *c += seconds;
+        }
+    }
+
+    /// Executes a point-to-point exchange phase and returns the phase's
+    /// critical-path duration.
+    ///
+    /// Per rank the phase costs `α·(messages posted) + (bytes in or out,
+    /// whichever larger)/bandwidth`; same-node messages use the intranode
+    /// bandwidth and no network latency. Every participating rank finishes
+    /// no earlier than the slowest rank it exchanged with had *started*
+    /// sending plus that transfer cost; we conservatively couple the phase by
+    /// synchronizing participants to the phase maximum, matching the
+    /// `_finish` semantics of the AMReX calls in Fig. 7.
+    pub fn exchange(&mut self, ops: &[CommOp]) -> f64 {
+        if ops.is_empty() {
+            return 0.0;
+        }
+        let n = self.nranks();
+        let mut send_msgs = vec![0u64; n];
+        let mut net_in = vec![0u64; n];
+        let mut net_out = vec![0u64; n];
+        let mut local_in = vec![0u64; n];
+        let mut local_out = vec![0u64; n];
+        let mut touched = vec![false; n];
+        for op in ops {
+            debug_assert!(op.src < n && op.dst < n && op.src != op.dst);
+            touched[op.src] = true;
+            touched[op.dst] = true;
+            self.total_messages += 1;
+            self.total_bytes += op.bytes;
+            if self.topo.same_node(op.src, op.dst) {
+                local_out[op.src] += op.bytes;
+                local_in[op.dst] += op.bytes;
+            } else {
+                send_msgs[op.src] += 1;
+                net_out[op.src] += op.bytes;
+                net_in[op.dst] += op.bytes;
+            }
+        }
+        let mut phase_end: f64 = 0.0;
+        for r in 0..n {
+            if !touched[r] {
+                continue;
+            }
+            let t_net = self.net.alpha * send_msgs[r] as f64
+                + net_in[r].max(net_out[r]) as f64 / self.net.bandwidth;
+            let t_local = local_in[r].max(local_out[r]) as f64 / self.intranode_bw;
+            phase_end = phase_end.max(self.clock[r] + t_net + t_local);
+        }
+        let start: f64 = self
+            .clock
+            .iter()
+            .zip(&touched)
+            .filter(|(_, &t)| t)
+            .map(|(c, _)| *c)
+            .fold(0.0, f64::max);
+        for r in 0..n {
+            if touched[r] {
+                self.clock[r] = phase_end;
+            }
+        }
+        phase_end - start.min(phase_end)
+    }
+
+    /// An all-reduce (the `ReduceRealMin(dt)` of §III-B): synchronizes every
+    /// clock to the maximum plus the tree cost.
+    pub fn allreduce(&mut self) -> f64 {
+        let cost = self.net.allreduce_time(self.nranks());
+        let max = self.elapsed() + cost;
+        for c in &mut self.clock {
+            *c = max;
+        }
+        cost
+    }
+
+    /// A barrier without communication cost (used at iteration boundaries to
+    /// model the lock-step time-marching loop).
+    pub fn barrier(&mut self) {
+        let max = self.elapsed();
+        for c in &mut self.clock {
+            *c = max;
+        }
+    }
+
+    /// Adds a fixed per-rank overhead to every clock (e.g. ParallelCopy
+    /// metadata handshakes).
+    pub fn overhead_all(&mut self, seconds: f64) {
+        self.compute_all(seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm(nodes: usize, rpn: usize) -> SimComm {
+        SimComm::new(Topology::new(nodes, rpn), NetworkModel::summit())
+    }
+
+    #[test]
+    fn compute_advances_single_clock() {
+        let mut c = comm(1, 4);
+        c.compute(2, 1.5);
+        assert_eq!(c.time_of(2), 1.5);
+        assert_eq!(c.time_of(0), 0.0);
+        assert_eq!(c.elapsed(), 1.5);
+    }
+
+    #[test]
+    fn exchange_couples_participants() {
+        let mut c = comm(2, 1);
+        c.compute(0, 1.0);
+        // Rank 1 must wait for rank 0's data.
+        c.exchange(&[CommOp {
+            src: 0,
+            dst: 1,
+            bytes: 125_000_000, // 0.01 s at 12.5 GB/s
+        }]);
+        assert!(c.time_of(1) >= 1.0 + 0.009);
+        assert_eq!(c.time_of(0), c.time_of(1)); // coupled phase
+    }
+
+    #[test]
+    fn same_node_traffic_is_cheaper() {
+        let mut a = comm(1, 2); // both ranks on one node
+        let mut b = comm(2, 1); // ranks on different nodes
+        let ops = [CommOp {
+            src: 0,
+            dst: 1,
+            bytes: 1_000_000_000,
+        }];
+        let ta = a.exchange(&ops);
+        let tb = b.exchange(&ops);
+        assert!(ta < tb, "intranode {ta} should beat internode {tb}");
+    }
+
+    #[test]
+    fn allreduce_synchronizes_clocks() {
+        let mut c = comm(4, 2);
+        c.compute(3, 2.0);
+        let cost = c.allreduce();
+        assert!(cost > 0.0);
+        for r in 0..c.nranks() {
+            assert_eq!(c.time_of(r), 2.0 + cost);
+        }
+    }
+
+    #[test]
+    fn untouched_ranks_keep_their_clocks() {
+        let mut c = comm(4, 1);
+        c.exchange(&[CommOp {
+            src: 0,
+            dst: 1,
+            bytes: 8,
+        }]);
+        assert_eq!(c.time_of(2), 0.0);
+        assert_eq!(c.time_of(3), 0.0);
+        assert!(c.time_of(0) > 0.0);
+    }
+
+    #[test]
+    fn message_accounting() {
+        let mut c = comm(2, 2);
+        c.exchange(&[
+            CommOp {
+                src: 0,
+                dst: 3,
+                bytes: 100,
+            },
+            CommOp {
+                src: 1,
+                dst: 2,
+                bytes: 50,
+            },
+        ]);
+        assert_eq!(c.total_messages, 2);
+        assert_eq!(c.total_bytes, 150);
+    }
+}

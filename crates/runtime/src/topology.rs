@@ -1,0 +1,58 @@
+//! Rank ↔ node placement.
+
+use serde::{Deserialize, Serialize};
+
+/// Placement of MPI ranks onto nodes (block placement, as `jsrun` does on
+/// Summit: ranks 0..r-1 on node 0, r..2r-1 on node 1, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Ranks per node.
+    pub ranks_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology; both arguments must be positive.
+    pub fn new(nodes: usize, ranks_per_node: usize) -> Self {
+        assert!(nodes > 0 && ranks_per_node > 0);
+        Topology {
+            nodes,
+            ranks_per_node,
+        }
+    }
+
+    /// Total rank count.
+    pub fn nranks(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.nranks());
+        rank / self.ranks_per_node
+    }
+
+    /// `true` if two ranks share a node (their traffic stays on NVLink /
+    /// shared memory rather than the fat tree).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement() {
+        let t = Topology::new(4, 6);
+        assert_eq!(t.nranks(), 24);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(5), 0);
+        assert_eq!(t.node_of(6), 1);
+        assert_eq!(t.node_of(23), 3);
+        assert!(t.same_node(0, 5));
+        assert!(!t.same_node(5, 6));
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's evaluation case: double Mach reflection of a Mach 10 shock
+//! (Woodward & Colella), solved in 3-D with three-level AMR on the
+//! curvilinear code path — the configuration of Fig. 2.
+//!
+//! Writes a density slice (z mid-plane of the finest level) to
+//! `target/dmr_density.csv` and prints the AMR grid statistics, including
+//! the active-point reduction the paper reports as 89–94 %.
+//!
+//! ```sh
+//! cargo run --release --example double_mach_reflection
+//! ```
+
+use crocco::solver::config::{CodeVersion, SolverConfig};
+use crocco::solver::driver::Simulation;
+use crocco::solver::problems::ProblemKind;
+use crocco::solver::state::cons;
+use std::io::Write;
+
+fn main() {
+    let cfg = SolverConfig::builder()
+        .problem(ProblemKind::DoubleMach)
+        .extents(96, 24, 8)
+        .version(CodeVersion::V2_0)
+        .max_levels(3)
+        .blocking_factor(4)
+        .max_grid_size(32)
+        .regrid_freq(5)
+        .nranks(12)
+        .threads(4)
+        .build();
+    let mut sim = Simulation::new(cfg);
+
+    println!("Double Mach reflection: Mach 10 shock, 30-degree ramp frame");
+    println!("3-level AMR, curvilinear interpolator (CRoCCo 2.0 configuration)\n");
+    print_grid(&sim);
+
+    let steps = 60;
+    for _ in 0..steps {
+        sim.step();
+        if sim.step_count() % 20 == 0 {
+            println!(
+                "step {:3}  t = {:.5}  dt = {:.2e}  levels = {}  reduction = {:.1}%",
+                sim.step_count(),
+                sim.time(),
+                sim.dt(),
+                sim.nlevels(),
+                100.0 * sim.hierarchy().reduction_fraction()
+            );
+        }
+    }
+    assert!(!sim.has_nonfinite(), "solution went non-finite");
+    print_grid(&sim);
+
+    // Density slice at the finest level's z mid-plane.
+    let path = "target/dmr_density.csv";
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).unwrap());
+    writeln!(f, "x,y,level,rho").unwrap();
+    for l in 0..sim.nlevels() {
+        let state = &sim.level(l).state;
+        let coords = &sim.level(l).coords;
+        let zmid = sim.hierarchy().domain(l).bx.size()[2] / 2;
+        for i in 0..state.nfabs() {
+            let valid = state.valid_box(i);
+            for p in valid.cells() {
+                if p[2] != zmid {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "{},{},{},{}",
+                    coords.fab(i).get(p, 0),
+                    coords.fab(i).get(p, 1),
+                    l,
+                    state.fab(i).get(p, cons::RHO)
+                )
+                .unwrap();
+            }
+        }
+    }
+    println!("\nwrote {path}");
+
+    let report = sim.report();
+    println!(
+        "\nfinal: t = {:.5}, active points = {}, equivalent = {}, reduction = {:.1}%",
+        report.final_time,
+        report.active_points,
+        report.equivalent_points,
+        100.0 * report.reduction_fraction
+    );
+    println!("paper (\u{a7}V-C): AMR reduces active grid points by 89-94% on this case.");
+    println!(
+        "communication: {} FillBoundary msgs ({} B), {} state-PC msgs, {} coord-PC msgs",
+        report.comm.fb_messages,
+        report.comm.fb_bytes,
+        report.comm.pc_messages,
+        report.comm.coord_pc_messages
+    );
+}
+
+fn print_grid(sim: &Simulation) {
+    println!("grid hierarchy:");
+    for l in 0..sim.nlevels() {
+        let lev = sim.hierarchy().level(l);
+        println!(
+            "  level {l}: {:5} boxes, {:9} cells, domain {:?}",
+            lev.ba.len(),
+            lev.ba.num_points(),
+            sim.hierarchy().domain(l).bx.size()
+        );
+    }
+}

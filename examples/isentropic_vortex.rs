@@ -1,0 +1,58 @@
+//! Order verification on the isentropic vortex: a smooth exact solution of
+//! the Euler equations advecting through a periodic box. Demonstrates the
+//! grid-convergence methodology behind CRoCCo's validated numerics (§II-A)
+//! and compares the WENO variants' dissipation.
+//!
+//! ```sh
+//! cargo run --release --example isentropic_vortex
+//! ```
+
+use crocco::solver::config::{CodeVersion, SolverConfig};
+use crocco::solver::driver::Simulation;
+use crocco::solver::problems::ProblemKind;
+use crocco::solver::validation::vortex_density_error;
+use crocco::solver::{PerfectGas, WenoVariant};
+
+fn run(n: i64, weno: WenoVariant, t_end: f64) -> f64 {
+    let gas = PerfectGas::nondimensional();
+    let cfg = SolverConfig::builder()
+        .problem(ProblemKind::IsentropicVortex)
+        .extents(n, n, 4)
+        .version(CodeVersion::V1_1)
+        .weno(weno)
+        .cfl(0.4)
+        .threads(4)
+        .build();
+    let mut sim = Simulation::new(cfg);
+    while sim.time() < t_end {
+        sim.step();
+    }
+    vortex_density_error(&sim, &gas)
+}
+
+fn main() {
+    let t_end = 0.25;
+    println!("Isentropic vortex, t = {t_end}: L2 density error vs exact solution\n");
+    println!("{:>6} {:>14} {:>14} {:>8}", "N", "WENO-SYMBO", "WENO5-JS", "order");
+    let mut prev: Option<(f64, f64)> = None;
+    for n in [16i64, 32, 64] {
+        let e_symbo = run(n, WenoVariant::Symbo, t_end);
+        let e_js = run(n, WenoVariant::Js5, t_end);
+        let order = prev
+            .map(|(p, _)| (p / e_symbo).log2())
+            .map(|o| format!("{o:.2}"))
+            .unwrap_or_else(|| "-".into());
+        println!("{n:>6} {e_symbo:>14.4e} {e_js:>14.4e} {order:>8}");
+        prev = Some((e_symbo, e_js));
+    }
+    let (e_symbo, e_js) = prev.unwrap();
+    println!(
+        "\nat the finest grid, SYMBO error / JS error = {:.2}",
+        e_symbo / e_js
+    );
+    println!("Note the crossover: at marginal resolution (N=16) the bandwidth-");
+    println!("optimized symmetric weights beat upwind WENO5-JS — the 'resolve the");
+    println!("smallest scales on a reduced number of grid points' property CRoCCo");
+    println!("relies on (SS II-A) — while at asymptotic resolution JS5's higher");
+    println!("formal order wins. SYMBO trades formal order for spectral resolution.");
+}

@@ -1,0 +1,66 @@
+//! Quickstart: solve the Sod shock tube with CRoCCo-rs and compare against
+//! the exact Riemann solution.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use crocco::solver::config::{CodeVersion, SolverConfig};
+use crocco::solver::driver::Simulation;
+use crocco::solver::problems::ProblemKind;
+use crocco::solver::riemann::sod_exact;
+use crocco::solver::state::cons;
+use crocco::solver::validation::sod_density_error;
+use crocco::solver::PerfectGas;
+
+fn main() {
+    let gas = PerfectGas::nondimensional();
+    let cfg = SolverConfig::builder()
+        .problem(ProblemKind::SodX)
+        .extents(128, 4, 4)
+        .version(CodeVersion::V1_1)
+        .cfl(0.5)
+        .threads(4)
+        .build();
+    let mut sim = Simulation::new(cfg);
+
+    println!("Sod shock tube, 128 cells, WENO-SYMBO + RK3");
+    println!("step      time        dt   total mass");
+    while sim.time() < 0.15 {
+        sim.step();
+        if sim.step_count() % 20 == 0 {
+            println!(
+                "{:4}  {:.5}  {:.2e}  {:.10}",
+                sim.step_count(),
+                sim.time(),
+                sim.dt(),
+                sim.conserved_integral(cons::RHO)
+            );
+        }
+    }
+
+    // Density profile along the tube axis vs the exact solution.
+    println!("\n    x    computed    exact");
+    let state = &sim.level(0).state;
+    let coords = &sim.level(0).coords;
+    for i in 0..state.nfabs() {
+        let valid = state.valid_box(i);
+        for p in valid.cells() {
+            if p[1] != 2 || p[2] != 2 || p[0] % 8 != 4 {
+                continue;
+            }
+            let x = coords.fab(i).get(p, 0);
+            let rho = state.fab(i).get(p, cons::RHO);
+            let exact = sod_exact(x, sim.time(), &gas).rho;
+            println!("{x:.3}    {rho:.5}    {exact:.5}");
+        }
+    }
+    let err = sod_density_error(&sim, &gas);
+    println!("\nL2 density error vs exact solution: {err:.3e}");
+    println!("profiled regions:");
+    for (region, t) in sim.profiler.report() {
+        println!("  {region:<12} {:.1} ms", t * 1e3);
+    }
+    assert!(err < 0.02, "Sod error unexpectedly large");
+    println!("\nOK");
+}

@@ -1,0 +1,60 @@
+//! Multi-species reacting flow demo: the species terms of Eq. 1 in action.
+//!
+//! A closed 1-D box of molecular gas with a hot spot: the hot region
+//! dissociates (A₂ → 2A, consuming thermal energy), composition and heat
+//! diffuse outward (the `ρ_s v_sj` and `Σ ρ_s v_sj h_s` terms), acoustic
+//! waves redistribute pressure — while total mass and total energy stay
+//! exactly conserved.
+//!
+//! ```sh
+//! cargo run --release --example reacting_mixture
+//! ```
+
+use crocco::solver::chemistry::Mechanism;
+use crocco::solver::integrators::TimeScheme;
+use crocco::solver::multispecies::Species1d;
+use crocco::solver::species::MixturePrimitive;
+
+fn main() {
+    let mech = Mechanism::dissociation();
+    let mut sim = Species1d::new(mech, 64, 0.1, 2e-4, |x| MixturePrimitive {
+        rho_s: vec![1.0, 1e-4],
+        vel: [0.0; 3],
+        p: 0.0,
+        t: 4000.0 + 2500.0 * (-((x - 0.05) / 0.012).powi(2)).exp(),
+    });
+
+    let mass0 = sim.species_mass(0) + sim.species_mass(1);
+    let e0 = sim.total_energy();
+    println!("closed-box dissociating gas: A2 <-> 2A with Fickian diffusion");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "time [us]", "T_center", "T_edge", "atom frac", "mass drift", "energy drift"
+    );
+    for snapshot in 0..8 {
+        for _ in 0..250 {
+            let dt = sim.stable_dt(0.4).min(3e-9);
+            sim.step(dt, TimeScheme::Rk3Williamson);
+        }
+        let center = sim.cell_primitive(32);
+        let edge = sim.cell_primitive(2);
+        let atoms = sim.species_mass(1) / (sim.species_mass(0) + sim.species_mass(1));
+        let mass = sim.species_mass(0) + sim.species_mass(1);
+        println!(
+            "{:>10.3} {:>12.1} {:>12.1} {:>10.5} {:>12.2e} {:>12.2e}",
+            sim.time() * 1e6,
+            center.t,
+            edge.t,
+            atoms,
+            (mass - mass0) / mass0,
+            (sim.total_energy() - e0) / e0
+        );
+        let _ = snapshot;
+    }
+    assert!(sim.is_physical(), "unphysical state");
+    let atoms_final = sim.species_mass(1) / (sim.species_mass(0) + sim.species_mass(1));
+    assert!(atoms_final > 1e-3, "no dissociation happened");
+    println!("\nThe hot spot dissociates and cools (endothermic), diffusion spreads");
+    println!("the products, and the Eq. 2 energy bookkeeping keeps the box's total");
+    println!("mass and energy conserved to round-off.");
+}

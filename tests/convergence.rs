@@ -1,0 +1,81 @@
+//! Integration test: grid convergence against exact solutions — the
+//! validation discipline behind CRoCCo's published DNS results (§II-A).
+
+use crocco::solver::config::{CodeVersion, SolverConfig};
+use crocco::solver::driver::Simulation;
+use crocco::solver::problems::ProblemKind;
+use crocco::solver::validation::{sod_density_error, vortex_density_error};
+use crocco::solver::{PerfectGas, WenoVariant};
+
+#[test]
+fn sod_converges_toward_the_exact_riemann_solution() {
+    let gas = PerfectGas::nondimensional();
+    let mut errors = Vec::new();
+    for nx in [32i64, 64, 128] {
+        let cfg = SolverConfig::builder()
+            .problem(ProblemKind::SodX)
+            .extents(nx, 4, 4)
+            .version(CodeVersion::V1_1)
+            .cfl(0.5)
+            .build();
+        let mut sim = Simulation::new(cfg);
+        while sim.time() < 0.1 {
+            sim.step();
+        }
+        errors.push(sod_density_error(&sim, &gas));
+    }
+    assert!(
+        errors[1] < errors[0] && errors[2] < errors[1],
+        "errors must decrease monotonically: {errors:?}"
+    );
+    // Shock-limited convergence is at least ~0.7th order overall.
+    let order = (errors[0] / errors[2]).log2() / 2.0;
+    assert!(order > 0.5, "observed order {order:.2} from {errors:?}");
+}
+
+#[test]
+fn vortex_converges_at_high_order_on_smooth_flow() {
+    let gas = PerfectGas::nondimensional();
+    let mut errors = Vec::new();
+    for n in [16i64, 32] {
+        let cfg = SolverConfig::builder()
+            .problem(ProblemKind::IsentropicVortex)
+            .extents(n, n, 4)
+            .version(CodeVersion::V1_1)
+            .weno(WenoVariant::CentralSym6)
+            .cfl(0.4)
+            .build();
+        let mut sim = Simulation::new(cfg);
+        while sim.time() < 0.1 {
+            sim.step();
+        }
+        errors.push(vortex_density_error(&sim, &gas));
+    }
+    let order = (errors[0] / errors[1]).log2();
+    assert!(
+        order > 1.8,
+        "smooth-flow order {order:.2} too low ({errors:?})"
+    );
+}
+
+#[test]
+fn vortex_preserves_all_invariants_in_periodic_box() {
+    use crocco::solver::state::cons;
+    let cfg = SolverConfig::builder()
+        .problem(ProblemKind::IsentropicVortex)
+        .extents(16, 16, 4)
+        .version(CodeVersion::V1_1)
+        .build();
+    let mut sim = Simulation::new(cfg);
+    let before: Vec<f64> = (0..5).map(|c| sim.conserved_integral(c)).collect();
+    sim.advance_steps(8);
+    for c in [cons::RHO, cons::MX, cons::MY, cons::MZ, cons::ENER] {
+        let after = sim.conserved_integral(c);
+        let scale = before[cons::ENER].abs().max(1.0);
+        assert!(
+            (after - before[c]).abs() / scale < 1e-11,
+            "component {c}: {} -> {after}",
+            before[c]
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration test: the paper's §IV-A/§IV-C correctness methodology across
+//! the full stack — reference ("Fortran") vs optimized ("C++") kernels, and
+//! the GPU-configuration versions vs the CPU ones, compared by per-variable
+//! L2 norms over a real multi-step run.
+
+use crocco::solver::config::{CodeVersion, SolverConfig};
+use crocco::solver::driver::Simulation;
+use crocco::solver::problems::ProblemKind;
+use crocco::solver::validation::{l2_difference, relative_l2_difference, VARIABLE_NAMES};
+
+fn cfg(version: CodeVersion) -> SolverConfig {
+    SolverConfig::builder()
+        .problem(ProblemKind::SodX)
+        .extents(48, 4, 4)
+        .version(version)
+        .build()
+}
+
+#[test]
+fn fortran_to_cpp_translation_preserves_accuracy() {
+    let mut reference = Simulation::new(cfg(CodeVersion::V1_0));
+    let mut optimized = Simulation::new(cfg(CodeVersion::V1_1));
+    reference.advance_steps(15);
+    optimized.advance_steps(15);
+    let rel = relative_l2_difference(&reference, &optimized);
+    for (c, d) in rel.iter().enumerate() {
+        assert!(
+            *d < 1e-7,
+            "{}: relative L2 {} above the paper's 1e-7 plateau",
+            VARIABLE_NAMES[c],
+            d
+        );
+    }
+    // And the difference is *nonzero*: two genuinely different
+    // implementations, not one function called twice.
+    assert!(
+        rel.iter().any(|&d| d > 0.0),
+        "implementations are suspiciously identical"
+    );
+}
+
+#[test]
+fn gpu_versions_match_cpu_versions_on_single_level() {
+    // With one level there is no interpolator difference: 2.0/2.1 must
+    // reproduce 1.1 exactly (the §IV-C "no change in accuracy when running
+    // on GPUs" check; our GPU backend is a performance model, so the
+    // numerics are bitwise shared).
+    let mut cpu = Simulation::new(cfg(CodeVersion::V1_1));
+    let mut gpu = Simulation::new(cfg(CodeVersion::V2_1));
+    cpu.advance_steps(10);
+    gpu.advance_steps(10);
+    for (c, d) in l2_difference(&cpu, &gpu).iter().enumerate() {
+        assert_eq!(*d, 0.0, "{} differs", VARIABLE_NAMES[c]);
+    }
+}
+
+#[test]
+fn interpolator_choice_perturbs_only_at_truncation_level() {
+    // 2.0 (curvilinear) vs 2.1 (trilinear) on a uniform grid differ only in
+    // ghost-fill rounding; after a few steps the solutions stay close.
+    let mk = |v| {
+        SolverConfig::builder()
+            .problem(ProblemKind::SodX)
+            .extents(48, 4, 4)
+            .version(v)
+            .max_levels(2)
+            .build()
+    };
+    let mut curvi = Simulation::new(mk(CodeVersion::V2_0));
+    let mut tri = Simulation::new(mk(CodeVersion::V2_1));
+    curvi.advance_steps(10);
+    tri.advance_steps(10);
+    assert!(!curvi.has_nonfinite() && !tri.has_nonfinite());
+    let rel = relative_l2_difference(&curvi, &tri);
+    for (c, d) in rel.iter().enumerate() {
+        assert!(*d < 1e-3, "{}: interpolator gap {}", VARIABLE_NAMES[c], d);
+    }
+}
