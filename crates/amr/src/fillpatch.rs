@@ -10,8 +10,12 @@
 
 use crate::interp::Interpolator;
 use crocco_fab::plan::{CopyChunk, CopyPlan};
-use crocco_fab::{boxarray::subtract_box, FArrayBox, MultiFab};
+use crocco_fab::plan_cache::{CachedPlan, PlanCache, PlanKey, PlanOp};
+use crocco_fab::{boxarray::subtract_box, BoxArray, DistributionMapping, FArrayBox, MultiFab};
 use crocco_geometry::{IndexBox, IntVect, ProblemDomain};
+use crocco_runtime::parallel_for_each_mut;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Applies physical boundary conditions to one patch (the paper's custom
 /// `BC_Fill` kernel).
@@ -30,17 +34,58 @@ impl BoundaryFiller for NoOpBoundary {
 }
 
 /// What a FillPatch call did — the communication record priced by the
-/// Summit model in the scaling studies.
+/// Summit model in the scaling studies. Plans are shared [`CachedPlan`]s:
+/// when a [`PlanCache`] is supplied they alias the cache entries (stats come
+/// for free), otherwise they wrap plans built for this call only.
 #[derive(Clone, Debug, Default)]
 pub struct FillPatchReport {
     /// Same-level neighbor exchange (`FillBoundary`).
-    pub fb_plan: CopyPlan,
+    pub fb_plan: Arc<CachedPlan>,
     /// Coarse→fine state gather (the state `ParallelCopy`), if two-level.
-    pub pc_plan: Option<CopyPlan>,
+    pub pc_plan: Option<Arc<CachedPlan>>,
     /// Coordinate gather for the curvilinear interpolator, if used.
-    pub coord_pc_plan: Option<CopyPlan>,
+    pub coord_pc_plan: Option<Arc<CachedPlan>>,
     /// Number of fine ghost cells produced by interpolation.
     pub interpolated_cells: u64,
+}
+
+/// Execution options for FillPatch: where to memoize communication plans and
+/// how many worker threads the data motion / interpolation may use.
+///
+/// The default (`cache: None, threads: 1`) reproduces the original serial,
+/// plan-per-call behavior exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct FillOpts<'a> {
+    /// Plan memoization table (normally the hierarchy's); `None` rebuilds
+    /// plans every call.
+    pub cache: Option<&'a PlanCache>,
+    /// Worker threads for plan execution, interpolation and BC fills.
+    pub threads: usize,
+}
+
+impl Default for FillOpts<'_> {
+    fn default() -> Self {
+        FillOpts {
+            cache: None,
+            threads: 1,
+        }
+    }
+}
+
+/// Aux-cache tag for the two-level state-gather plan.
+const AUX_TWO_LEVEL_STATE: u32 = 1;
+/// Aux-cache tag for the two-level coordinate-gather plan.
+const AUX_TWO_LEVEL_COORDS: u32 = 2;
+
+/// Packs the remaining inputs the two-level planner reads into the key's
+/// client bits: interpolator coarse ghost, coordinate source ghost width and
+/// the refinement ratio (each well below 256 in practice).
+fn two_level_aux(coarse_ghost: i64, ratio: IntVect, coord_nghost: i64) -> u64 {
+    (coarse_ghost as u64 & 0xff)
+        | ((coord_nghost as u64 & 0xff) << 8)
+        | ((ratio[0] as u64 & 0xff) << 16)
+        | ((ratio[1] as u64 & 0xff) << 24)
+        | ((ratio[2] as u64 & 0xff) << 32)
 }
 
 /// Fills ghosts at the coarsest level: neighbor exchange + physical BCs.
@@ -50,11 +95,25 @@ pub fn fill_patch_single_level(
     bc: &dyn BoundaryFiller,
     time: f64,
 ) -> FillPatchReport {
-    let fb_plan = mf.fill_boundary(domain);
-    for i in 0..mf.nfabs() {
-        let valid = mf.valid_box(i);
-        bc.fill(mf.fab_mut(i), valid, domain, time);
-    }
+    fill_patch_single_level_with(mf, domain, bc, time, FillOpts::default())
+}
+
+/// [`fill_patch_single_level`] with explicit [`FillOpts`].
+pub fn fill_patch_single_level_with(
+    mf: &mut MultiFab,
+    domain: &ProblemDomain,
+    bc: &dyn BoundaryFiller,
+    time: f64,
+    opts: FillOpts<'_>,
+) -> FillPatchReport {
+    let fb_plan = match opts.cache {
+        Some(cache) => mf.fill_boundary_cached(domain, cache, opts.threads),
+        None => Arc::new(CachedPlan::new(mf.fill_boundary(domain))),
+    };
+    let ba = mf.boxarray().clone();
+    parallel_for_each_mut(mf.fabs_mut(), opts.threads, |i, fab| {
+        bc.fill(fab, ba.get(i), domain, time);
+    });
     FillPatchReport {
         fb_plan,
         ..Default::default()
@@ -81,18 +140,231 @@ pub fn fill_patch_two_levels(
     fine_coords: Option<&MultiFab>,
     time: f64,
 ) -> FillPatchReport {
+    fill_patch_two_levels_with(
+        fine,
+        coarse,
+        fine_domain,
+        coarse_domain,
+        ratio,
+        interp,
+        bc,
+        coarse_bc,
+        coarse_coords,
+        fine_coords,
+        time,
+        FillOpts::default(),
+    )
+}
+
+/// [`fill_patch_two_levels`] with explicit [`FillOpts`]: the uncovered-region
+/// geometry and both gather plans are memoized in the cache (they only depend
+/// on the grids), and the per-patch gather + interpolation loop fans out over
+/// `opts.threads` workers.
+#[allow(clippy::too_many_arguments)]
+pub fn fill_patch_two_levels_with(
+    fine: &mut MultiFab,
+    coarse: &MultiFab,
+    fine_domain: &ProblemDomain,
+    coarse_domain: &ProblemDomain,
+    ratio: IntVect,
+    interp: &dyn Interpolator,
+    bc: &dyn BoundaryFiller,
+    coarse_bc: &dyn BoundaryFiller,
+    coarse_coords: Option<&MultiFab>,
+    fine_coords: Option<&MultiFab>,
+    time: f64,
+    opts: FillOpts<'_>,
+) -> FillPatchReport {
     let ncomp = fine.ncomp();
     let nghost = fine.nghost();
-    let mut pc_plan = CopyPlan {
-        chunks: Vec::new(),
-        ncomp,
-    };
-    let mut coord_pc_plan = CopyPlan {
-        chunks: Vec::new(),
-        ncomp: 3,
-    };
-    let mut interpolated_cells = 0u64;
+    let coarse_ghost = interp.coarse_ghost();
 
+    // The cache key carries the fine domain (which fixes `defined` and the
+    // periodic images) and the ratio; the planner derives everything else
+    // from the grids, so a coarse domain inconsistent with `fine_domain /
+    // ratio` would alias — assert the standard AMR invariant instead.
+    debug_assert_eq!(
+        coarse_domain.bx,
+        fine_domain.bx.coarsen(ratio),
+        "coarse domain must be the fine domain coarsened by the ratio"
+    );
+
+    let tl: Arc<TwoLevelPlan> = {
+        let f: &MultiFab = fine;
+        match opts.cache {
+            Some(cache) => {
+                let key = PlanKey {
+                    op: PlanOp::Aux(AUX_TWO_LEVEL_STATE),
+                    aux: two_level_aux(coarse_ghost, ratio, 0),
+                    ..PlanKey::parallel_copy(
+                        coarse.boxarray(),
+                        coarse.distribution(),
+                        f.boxarray(),
+                        f.distribution(),
+                        fine_domain,
+                        nghost,
+                        ncomp,
+                    )
+                };
+                cache.get_or_build_aux(key, || {
+                    build_two_level_plan(f, coarse, fine_domain, coarse_domain, ratio, coarse_ghost)
+                })
+            }
+            None => Arc::new(build_two_level_plan(
+                f,
+                coarse,
+                fine_domain,
+                coarse_domain,
+                ratio,
+                coarse_ghost,
+            )),
+        }
+    };
+
+    let coord_plan: Option<Arc<CoordGatherPlan>> = if interp.needs_coords() {
+        let ccmf = coarse_coords.expect("curvilinear interp requires coarse coords");
+        let fcmf = fine_coords.expect("curvilinear interp requires fine coords");
+        assert!(
+            fcmf.nghost() >= nghost,
+            "fine coords need >= state ghost width"
+        );
+        let f: &MultiFab = fine;
+        Some(match opts.cache {
+            Some(cache) => {
+                let key = PlanKey {
+                    op: PlanOp::Aux(AUX_TWO_LEVEL_COORDS),
+                    aux: two_level_aux(coarse_ghost, ratio, ccmf.nghost()),
+                    ..PlanKey::parallel_copy(
+                        ccmf.boxarray(),
+                        ccmf.distribution(),
+                        f.boxarray(),
+                        f.distribution(),
+                        fine_domain,
+                        nghost,
+                        3,
+                    )
+                };
+                cache.get_or_build_aux(key, || {
+                    build_coord_gather(ccmf, &tl, f.distribution(), coarse_domain)
+                })
+            }
+            None => Arc::new(build_coord_gather(
+                ccmf,
+                &tl,
+                f.distribution(),
+                coarse_domain,
+            )),
+        })
+    } else {
+        None
+    };
+
+    // Per-patch gather + interpolation. Patches are independent (each writes
+    // only its own fab), so the loop fans out over the worker pool.
+    let interpolated = AtomicU64::new(0);
+    {
+        let tl = &tl;
+        let coord_plan = coord_plan.as_deref();
+        parallel_for_each_mut(fine.fabs_mut(), opts.threads, |i, fab| {
+            let needed = &tl.needed[i];
+            if needed.is_empty() {
+                return;
+            }
+            let cbox = tl.cbox[i];
+            let mut ctmp = FArrayBox::new(cbox, ncomp);
+            let (s, e) = tl.ranges[i];
+            execute_gather(coarse, &mut ctmp, &tl.state.plan.chunks[s..e], ncomp);
+            // Physical-exterior cells of the temporary were not gathered
+            // (they lie outside every coarse valid box); the coarse-level
+            // boundary conditions supply them so interpolation next to
+            // walls/inflows has sound source data.
+            coarse_bc.fill(
+                &mut ctmp,
+                cbox.intersection(&coarse_domain.bx),
+                coarse_domain,
+                time,
+            );
+
+            let cc_tmp = coord_plan.map(|cg| {
+                let ccmf = coarse_coords.expect("coord plan implies coarse coords");
+                let mut c = FArrayBox::new(cbox, 3);
+                let (cs, ce) = cg.ranges[i];
+                execute_gather(ccmf, &mut c, &cg.coords.plan.chunks[cs..ce], 3);
+                c
+            });
+            let fc = if coord_plan.is_some() {
+                fine_coords.map(|m| m.fab(i))
+            } else {
+                None
+            };
+
+            let mut cells = 0u64;
+            for region in needed {
+                cells += region.num_points();
+                interp.interp(&ctmp, fab, *region, ratio, cc_tmp.as_ref(), fc);
+            }
+            interpolated.fetch_add(cells, Ordering::Relaxed);
+        });
+    }
+
+    // Fine-fine exchange overwrites any interpolated cell that has true
+    // fine data available, then physical BCs.
+    let fb_plan = match opts.cache {
+        Some(cache) => fine.fill_boundary_cached(fine_domain, cache, opts.threads),
+        None => Arc::new(CachedPlan::new(fine.fill_boundary(fine_domain))),
+    };
+    let ba = fine.boxarray().clone();
+    parallel_for_each_mut(fine.fabs_mut(), opts.threads, |i, fab| {
+        bc.fill(fab, ba.get(i), fine_domain, time);
+    });
+
+    FillPatchReport {
+        fb_plan,
+        pc_plan: Some(tl.state.clone()),
+        coord_pc_plan: coord_plan.map(|cg| cg.coords.clone()),
+        interpolated_cells: interpolated.into_inner(),
+    }
+}
+
+/// The memoized geometry of one two-level FillPatch: which ghost regions of
+/// each fine patch need interpolation, the coarse temporary's footprint, and
+/// the chunk list of the coarse→fine state gather (the `ParallelCopy`).
+/// Rebuilt only when the grids change.
+#[derive(Debug)]
+pub struct TwoLevelPlan {
+    /// Per-patch ghost regions not covered by fine data.
+    needed: Vec<Vec<IndexBox>>,
+    /// Per-patch coarse temporary box (meaningful where `needed` is not
+    /// empty).
+    cbox: Vec<IndexBox>,
+    /// The state-gather plan; chunk `dst_id`s are fine patch indices.
+    state: Arc<CachedPlan>,
+    /// Per-patch `[start, end)` ranges into `state.plan.chunks`.
+    ranges: Vec<(usize, usize)>,
+}
+
+/// The memoized coordinate-gather companion of a [`TwoLevelPlan`] (only
+/// built for coordinate-reading interpolators).
+#[derive(Debug)]
+pub struct CoordGatherPlan {
+    /// The coordinate-gather plan (3 components).
+    coords: Arc<CachedPlan>,
+    /// Per-patch `[start, end)` ranges into `coords.plan.chunks`.
+    ranges: Vec<(usize, usize)>,
+}
+
+/// Plans the coarse→fine gathers for every fine patch. Pure geometry — no
+/// data moves here.
+fn build_two_level_plan(
+    fine: &MultiFab,
+    coarse: &MultiFab,
+    fine_domain: &ProblemDomain,
+    coarse_domain: &ProblemDomain,
+    ratio: IntVect,
+    coarse_ghost: i64,
+) -> TwoLevelPlan {
+    let ncomp = fine.ncomp();
+    let nghost = fine.nghost();
     // The region of index space where ghost data is *defined*: the domain,
     // extended outward in periodic directions (wrapped data exists there).
     let mut defined = fine_domain.bx;
@@ -101,88 +373,83 @@ pub fn fill_patch_two_levels(
             defined = defined.grow_lo(d, nghost).grow_hi(d, nghost);
         }
     }
-
-    for i in 0..fine.nfabs() {
+    let n = fine.nfabs();
+    let mut needed = Vec::with_capacity(n);
+    let mut cbox = Vec::with_capacity(n);
+    let mut ranges = Vec::with_capacity(n);
+    let mut chunks = Vec::new();
+    for i in 0..n {
         let valid = fine.valid_box(i);
         let grown = valid.grow(nghost).intersection(&defined);
         // Ghost regions not covered by the fine level (including periodic
         // images of fine patches).
-        let needed = uncovered_regions(grown, fine, fine_domain);
-        if needed.is_empty() {
-            continue;
-        }
+        let need = uncovered_regions(grown, fine.boxarray(), fine_domain);
         // Temporary coarse fab footprint: coarsened grown box + interp ghost.
-        let cbox = grown.coarsen(ratio).grow(interp.coarse_ghost());
-        let mut ctmp = FArrayBox::new(cbox, ncomp);
-        gather(coarse, &mut ctmp, i, fine, coarse_domain, false, &mut pc_plan);
-        // Physical-exterior cells of the temporary were not gathered (they
-        // lie outside every coarse valid box); the coarse-level boundary
-        // conditions supply them so interpolation next to walls/inflows has
-        // sound source data.
-        coarse_bc.fill(
-            &mut ctmp,
-            cbox.intersection(&coarse_domain.bx),
-            coarse_domain,
-            time,
-        );
-
-        let (cc_tmp, fc_ref);
-        if interp.needs_coords() {
-            let ccmf = coarse_coords.expect("curvilinear interp requires coarse coords");
-            let fcmf = fine_coords.expect("curvilinear interp requires fine coords");
-            assert!(
-                fcmf.nghost() >= nghost,
-                "fine coords need >= state ghost width"
-            );
-            let mut c = FArrayBox::new(cbox, 3);
-            // Coordinates are analytic everywhere (including ghosts), so the
-            // gather may read the source fabs' ghost regions too — this is
-            // how physical-exterior temporary cells get correct coordinates.
-            gather(ccmf, &mut c, i, fine, coarse_domain, true, &mut coord_pc_plan);
-            cc_tmp = Some(c);
-            fc_ref = Some(fcmf.fab(i).clone());
-        } else {
-            cc_tmp = None;
-            fc_ref = None;
-        }
-
-        let fab = fine.fab_mut(i);
-        for region in needed {
-            interpolated_cells += region.num_points();
-            interp.interp(
-                &ctmp,
-                fab,
-                region,
-                ratio,
-                cc_tmp.as_ref(),
-                fc_ref.as_ref(),
+        let cb = grown.coarsen(ratio).grow(coarse_ghost);
+        let start = chunks.len();
+        if !need.is_empty() {
+            plan_gather(
+                coarse.boxarray(),
+                coarse.distribution(),
+                coarse.nghost(),
+                cb,
+                i,
+                fine.distribution().owner(i),
+                coarse_domain,
+                false,
+                &mut chunks,
             );
         }
+        needed.push(need);
+        cbox.push(cb);
+        ranges.push((start, chunks.len()));
     }
-
-    // Fine-fine exchange overwrites any interpolated cell that has true
-    // fine data available, then physical BCs.
-    let fb_plan = fine.fill_boundary(fine_domain);
-    for i in 0..fine.nfabs() {
-        let valid = fine.valid_box(i);
-        bc.fill(fine.fab_mut(i), valid, fine_domain, time);
-    }
-
-    FillPatchReport {
-        fb_plan,
-        pc_plan: Some(pc_plan),
-        coord_pc_plan: if interp.needs_coords() {
-            Some(coord_pc_plan)
-        } else {
-            None
-        },
-        interpolated_cells,
+    TwoLevelPlan {
+        needed,
+        cbox,
+        state: Arc::new(CachedPlan::new(CopyPlan { chunks, ncomp })),
+        ranges,
     }
 }
 
-/// Parts of `probe` not covered by `mf`'s BoxArray or any of its periodic
-/// images.
-fn uncovered_regions(probe: IndexBox, mf: &MultiFab, domain: &ProblemDomain) -> Vec<IndexBox> {
+/// Plans the coordinate gathers matching `tl`'s patch footprints. The source
+/// fabs' ghost regions are also read (`include_ghosts`) — sound because
+/// coordinates are analytic everywhere, and required so physical-exterior
+/// temporary cells get correct coordinates.
+fn build_coord_gather(
+    ccmf: &MultiFab,
+    tl: &TwoLevelPlan,
+    fine_dm: &DistributionMapping,
+    coarse_domain: &ProblemDomain,
+) -> CoordGatherPlan {
+    let n = tl.needed.len();
+    let mut ranges = Vec::with_capacity(n);
+    let mut chunks = Vec::new();
+    for i in 0..n {
+        let start = chunks.len();
+        if !tl.needed[i].is_empty() {
+            plan_gather(
+                ccmf.boxarray(),
+                ccmf.distribution(),
+                ccmf.nghost(),
+                tl.cbox[i],
+                i,
+                fine_dm.owner(i),
+                coarse_domain,
+                true,
+                &mut chunks,
+            );
+        }
+        ranges.push((start, chunks.len()));
+    }
+    CoordGatherPlan {
+        coords: Arc::new(CachedPlan::new(CopyPlan { chunks, ncomp: 3 })),
+        ranges,
+    }
+}
+
+/// Parts of `probe` not covered by `ba` or any of its periodic images.
+fn uncovered_regions(probe: IndexBox, ba: &BoxArray, domain: &ProblemDomain) -> Vec<IndexBox> {
     let mut remaining = vec![probe];
     for shift in domain.periodic_shifts() {
         if remaining.is_empty() {
@@ -191,7 +458,7 @@ fn uncovered_regions(probe: IndexBox, mf: &MultiFab, domain: &ProblemDomain) -> 
         let mut next = Vec::with_capacity(remaining.len());
         for r in remaining {
             // Boxes of the array appear shifted by `shift`.
-            let hits = mf.boxarray().intersections(r.shift(-shift));
+            let hits = ba.intersections(r.shift(-shift));
             if hits.is_empty() {
                 next.push(r);
                 continue;
@@ -212,47 +479,56 @@ fn uncovered_regions(probe: IndexBox, mf: &MultiFab, domain: &ProblemDomain) -> 
     remaining
 }
 
-/// Copies into `dst_fab` (which belongs to fine patch `dst_id`) every
-/// overlapping piece of `src`'s patches, with periodic wrapping, recording
-/// chunks in `plan`. This is the ParallelCopy gather primitive.
+/// Plans the copy of every overlapping piece of `src_ba`'s patches into a
+/// destination box `dst_box` (fine patch `dst_id`'s coarse temporary), with
+/// periodic wrapping. This is the ParallelCopy gather primitive; execution
+/// is [`execute_gather`].
 ///
 /// With `include_ghosts` the source fabs' ghost regions are also read —
 /// only sound when ghost contents are globally consistent (e.g. analytic
 /// coordinates).
-fn gather(
-    src: &MultiFab,
-    dst_fab: &mut FArrayBox,
+#[allow(clippy::too_many_arguments)]
+fn plan_gather(
+    src_ba: &BoxArray,
+    src_dm: &DistributionMapping,
+    src_nghost: i64,
+    dst_box: IndexBox,
     dst_id: usize,
-    dst_mf: &MultiFab,
+    dst_rank: usize,
     src_domain: &ProblemDomain,
     include_ghosts: bool,
-    plan: &mut CopyPlan,
+    chunks: &mut Vec<CopyChunk>,
 ) {
-    let ncomp = dst_fab.ncomp();
-    let g = if include_ghosts { src.nghost() } else { 0 };
+    let g = if include_ghosts { src_nghost } else { 0 };
     for shift in src_domain.periodic_shifts() {
-        let probe = dst_fab.bx().shift(-shift);
-        for (src_id, _) in src.boxarray().intersections(probe.grow(g)) {
+        let probe = dst_box.shift(-shift);
+        for (src_id, _) in src_ba.intersections(probe.grow(g)) {
             let src_cover = if include_ghosts {
-                src.fab(src_id).bx()
+                src_ba.get(src_id).grow(src_nghost)
             } else {
-                src.valid_box(src_id)
+                src_ba.get(src_id)
             };
             let overlap_src = src_cover.intersection(&probe);
             if overlap_src.is_empty() {
                 continue;
             }
-            let region = overlap_src.shift(shift);
-            dst_fab.copy_shifted_from(src.fab(src_id), region, shift, ncomp);
-            plan.chunks.push(CopyChunk {
+            chunks.push(CopyChunk {
                 src_id,
                 dst_id,
-                src_rank: src.distribution().owner(src_id),
-                dst_rank: dst_mf.distribution().owner(dst_id),
-                region,
+                src_rank: src_dm.owner(src_id),
+                dst_rank,
+                region: overlap_src.shift(shift),
                 shift,
             });
         }
+    }
+}
+
+/// Executes gather chunks planned by [`plan_gather`]: for each chunk,
+/// `dst_fab[region] = src.fab(src_id)[region - shift]`.
+fn execute_gather(src: &MultiFab, dst_fab: &mut FArrayBox, chunks: &[CopyChunk], ncomp: usize) {
+    for c in chunks {
+        dst_fab.copy_shifted_from(src.fab(c.src_id), c.region, c.shift, ncomp);
     }
 }
 
@@ -302,7 +578,7 @@ mod tests {
             0,
         );
         let report = fill_patch_single_level(&mut mf, &domain, &NoOpBoundary, 0.0);
-        assert!(!report.fb_plan.chunks.is_empty());
+        assert!(!report.fb_plan.plan.chunks.is_empty());
         // Ghosts of patch 0 inside patch 1 must match the linear field.
         for p in IndexBox::new(IntVect::new(8, 0, 0), IntVect::new(9, 7, 7)).cells() {
             assert_eq!(mf.fab(0).get(p, 0), linear_value(0, p));
@@ -465,8 +741,8 @@ mod tests {
             0.0,
         );
         let cpc = report.coord_pc_plan.expect("coordinate ParallelCopy missing");
-        assert!(!cpc.chunks.is_empty());
-        assert_eq!(cpc.ncomp, 3);
+        assert!(!cpc.plan.chunks.is_empty());
+        assert_eq!(cpc.plan.ncomp, 3);
         // And the interpolation is exact on the linear field.
         let valid = fine.valid_box(0);
         for p in valid.grow(2).cells() {
@@ -475,6 +751,106 @@ mod tests {
             }
             assert!((fine.fab(0).get(p, 0) - linear_value(1, p)).abs() < 1e-12);
         }
+    }
+
+    /// Builds the curvilinear two-level problem once: clones of `fine` share
+    /// grid identity, so repeated fills exercise real cache hits.
+    fn curvilinear_setup() -> (MultiFab, MultiFab, MultiFab, MultiFab, ProblemDomain, ProblemDomain)
+    {
+        let cdom_box = IndexBox::from_extents(16, 16, 8);
+        let cdomain = ProblemDomain::new(cdom_box, [false, false, true]);
+        let fdomain = cdomain.refine(IntVect::splat(2));
+        let coarse = make_level(vec![cdom_box], 1, 2, 0);
+        let fine = make_level(
+            vec![
+                IndexBox::new(IntVect::new(4, 4, 0), IntVect::new(15, 19, 15)),
+                IndexBox::new(IntVect::new(16, 4, 0), IntVect::new(27, 19, 15)),
+            ],
+            1,
+            2,
+            1,
+        );
+        let mut ccoords = MultiFab::new(
+            coarse.boxarray().clone(),
+            coarse.distribution().clone(),
+            3,
+            2,
+        );
+        for i in 0..ccoords.nfabs() {
+            let b = ccoords.fab(i).bx();
+            for p in b.cells() {
+                for d in 0..3 {
+                    ccoords.fab_mut(i).set(p, d, p[d] as f64 + 0.5);
+                }
+            }
+        }
+        let mut fcoords =
+            MultiFab::new(fine.boxarray().clone(), fine.distribution().clone(), 3, 2);
+        for i in 0..fcoords.nfabs() {
+            let b = fcoords.fab(i).bx();
+            for p in b.cells() {
+                for d in 0..3 {
+                    fcoords.fab_mut(i).set(p, d, (p[d] as f64 + 0.5) / 2.0);
+                }
+            }
+        }
+        (coarse, fine, ccoords, fcoords, cdomain, fdomain)
+    }
+
+    #[test]
+    fn cached_parallel_two_level_fill_bitwise_matches_uncached() {
+        let (coarse, fine0, ccoords, fcoords, cdomain, fdomain) = curvilinear_setup();
+        let run = |opts: FillOpts<'_>| -> (MultiFab, FillPatchReport) {
+            let mut fine = fine0.clone();
+            let report = fill_patch_two_levels_with(
+                &mut fine,
+                &coarse,
+                &fdomain,
+                &cdomain,
+                IntVect::splat(2),
+                &CurvilinearInterp,
+                &NoOpBoundary,
+                &NoOpBoundary,
+                Some(&ccoords),
+                Some(&fcoords),
+                0.0,
+                opts,
+            );
+            (fine, report)
+        };
+        let (base, base_report) = run(FillOpts::default());
+        let cache = PlanCache::new();
+        for threads in [1usize, 4] {
+            // Every iteration past the first must be served from cache and
+            // still agree bitwise with the uncached serial fill.
+            for pass in 0..2 {
+                let (got, report) = run(FillOpts {
+                    cache: Some(&cache),
+                    threads,
+                });
+                for i in 0..base.nfabs() {
+                    assert_eq!(
+                        got.fab(i).data(),
+                        base.fab(i).data(),
+                        "threads={threads} pass={pass} patch {i}"
+                    );
+                }
+                assert_eq!(report.fb_plan.plan.chunks, base_report.fb_plan.plan.chunks);
+                assert_eq!(
+                    report.pc_plan.as_ref().unwrap().plan.chunks,
+                    base_report.pc_plan.as_ref().unwrap().plan.chunks
+                );
+                assert_eq!(
+                    report.coord_pc_plan.as_ref().unwrap().plan.chunks,
+                    base_report.coord_pc_plan.as_ref().unwrap().plan.chunks
+                );
+                assert_eq!(report.interpolated_cells, base_report.interpolated_cells);
+            }
+        }
+        // 3 entries (state gather, coord gather, fill-boundary) built once,
+        // then reused by the remaining 3 cached runs.
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 9);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod interp;
 pub mod tagging;
 
 pub use cluster::{cluster_tags, ClusterParams};
-pub use fillpatch::{BoundaryFiller, FillPatchReport, NoOpBoundary};
+pub use fillpatch::{BoundaryFiller, FillOpts, FillPatchReport, NoOpBoundary};
 pub use flux_register::{FluxRegister, InterfaceFace};
 pub use hierarchy::{AmrHierarchy, AmrParams, Level};
 pub use interp::{

@@ -1,0 +1,172 @@
+//! Criterion benchmarks for the communication-plan cache: cold plan builds
+//! vs cached lookups on the 3-level DMR-shaped hierarchy, and repeat-call
+//! `FillBoundary` execution (uncached / cached serial / cached parallel) on a
+//! ≥256-patch level. The cached paths are verified bitwise against the
+//! uncached serial fill before anything is timed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use crocco_bench::dmrscale::amr_case;
+use crocco_fab::plan::fill_boundary_plan;
+use crocco_fab::plan_cache::PlanCache;
+use crocco_fab::{BoxArray, DistributionMapping, DistributionStrategy, MultiFab};
+use crocco_geometry::{decompose::ChopParams, IndexBox, IntVect, ProblemDomain};
+use crocco_runtime::default_threads;
+use std::sync::Arc;
+
+/// One refined level with ≥256 patches of `max_grid`³ cells each.
+fn level(extents: [i64; 3], max_grid: i64, ncomp: usize, nghost: i64) -> (MultiFab, ProblemDomain) {
+    let domain_box = IndexBox::from_extents(extents[0], extents[1], extents[2]);
+    let domain = ProblemDomain::new(domain_box, [false, false, true]);
+    let ba = Arc::new(BoxArray::decompose(
+        domain_box,
+        ChopParams::new(max_grid / 2, max_grid),
+    ));
+    assert!(ba.len() >= 256, "need a ≥256-patch level, got {}", ba.len());
+    let dm = Arc::new(DistributionMapping::new(
+        &ba,
+        64,
+        DistributionStrategy::MortonSfc,
+    ));
+    let mut mf = MultiFab::new(ba, dm, ncomp, nghost);
+    for i in 0..mf.nfabs() {
+        let valid = mf.valid_box(i);
+        for p in valid.cells() {
+            for c in 0..ncomp {
+                let v = (p[0] + 3 * p[1] + 7 * p[2]) as f64 + c as f64;
+                mf.fab_mut(i).set(p, c, v);
+            }
+        }
+    }
+    (mf, domain)
+}
+
+/// Bulk-data regime: 512 patches of 16³ cells, 5 components, 4 ghosts — the
+/// solver's own state MultiFab shape. Ghost-copy volume dominates here.
+fn big_level() -> (MultiFab, ProblemDomain) {
+    level([256, 128, 64], 16, 5, 4)
+}
+
+/// Metadata-dominated regime: 512 patches of 4³ cells, 1 component, 1 ghost —
+/// the many-small-patches shape where AMR plan construction outweighs the
+/// ghost copies themselves (the regime the paper's Fig. 7 scaling hits).
+fn fine_level() -> (MultiFab, ProblemDomain) {
+    level([64, 32, 16], 4, 1, 1)
+}
+
+/// Asserts that cached serial and cached parallel fills reproduce the
+/// uncached serial fill bit for bit (the acceptance condition for swapping
+/// the execution path).
+fn verify_bitwise(template: &MultiFab, domain: &ProblemDomain) {
+    let mut base = template.clone();
+    base.fill_boundary(domain);
+    let cache = PlanCache::new();
+    for threads in [1, default_threads()] {
+        let mut mf = template.clone();
+        mf.fill_boundary_cached(domain, &cache, threads);
+        for i in 0..base.nfabs() {
+            assert_eq!(
+                mf.fab(i).data(),
+                base.fab(i).data(),
+                "cached fill (threads={threads}) diverged on patch {i}"
+            );
+        }
+    }
+}
+
+/// Plan acquisition on the 3-level DMR metadata: every iteration asks for
+/// all three levels' FillBoundary plans, either rebuilding them (cold) or
+/// hitting the cache.
+fn bench_plan_acquisition(c: &mut Criterion) {
+    let case = amr_case(IntVect::new(1024, 256, 64), 64);
+    let nboxes = case.total_boxes();
+    assert!(nboxes >= 256, "DMR case too small: {nboxes} patches");
+    let mut group = c.benchmark_group("plan_acquisition_dmr3");
+    group.throughput(Throughput::Elements(nboxes as u64));
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            for lev in &case.levels {
+                black_box(fill_boundary_plan(&lev.ba, &lev.dm, &lev.domain, 4, 5));
+            }
+        });
+    });
+    let cache = PlanCache::new();
+    for lev in &case.levels {
+        cache.fill_boundary(&lev.ba, &lev.dm, &lev.domain, 4, 5);
+    }
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            for lev in &case.levels {
+                black_box(cache.fill_boundary(&lev.ba, &lev.dm, &lev.domain, 4, 5));
+            }
+        });
+    });
+    group.finish();
+}
+
+/// Repeat-call FillBoundary on the 512-patch level: the steady-state cost
+/// per RK stage. `uncached` rebuilds the plan every call (the
+/// pre-optimization behavior); the cached variants reuse it, serially and
+/// across the worker pool.
+fn bench_fill_execution(c: &mut Criterion) {
+    let (mut mf, domain) = big_level();
+    verify_bitwise(&mf, &domain);
+    let nboxes = mf.nfabs() as u64;
+    let mut group = c.benchmark_group("fill_boundary_512_patches");
+    group.throughput(Throughput::Elements(nboxes));
+    group.sample_size(10);
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            black_box(mf.fill_boundary(&domain));
+        });
+    });
+    let cache = PlanCache::new();
+    group.bench_function("cached_serial", |b| {
+        b.iter(|| {
+            black_box(mf.fill_boundary_cached(&domain, &cache, 1));
+        });
+    });
+    let threads = default_threads();
+    group.bench_function("cached_parallel", |b| {
+        b.iter(|| {
+            black_box(mf.fill_boundary_cached(&domain, &cache, threads));
+        });
+    });
+    group.finish();
+}
+
+/// Repeat-call FillBoundary in the metadata-dominated regime (512 tiny
+/// patches): here the cached path must be ≥5× faster than rebuilding the
+/// plan each call — the headline acceptance number for plan reuse.
+fn bench_fill_fine_patches(c: &mut Criterion) {
+    let (mut mf, domain) = fine_level();
+    verify_bitwise(&mf, &domain);
+    let nboxes = mf.nfabs() as u64;
+    let mut group = c.benchmark_group("fill_boundary_fine_patches");
+    group.throughput(Throughput::Elements(nboxes));
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            black_box(mf.fill_boundary(&domain));
+        });
+    });
+    let cache = PlanCache::new();
+    group.bench_function("cached_serial", |b| {
+        b.iter(|| {
+            black_box(mf.fill_boundary_cached(&domain, &cache, 1));
+        });
+    });
+    let threads = default_threads();
+    group.bench_function("cached_parallel", |b| {
+        b.iter(|| {
+            black_box(mf.fill_boundary_cached(&domain, &cache, threads));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_acquisition,
+    bench_fill_execution,
+    bench_fill_fine_patches
+);
+criterion_main!(benches);

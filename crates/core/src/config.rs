@@ -160,6 +160,12 @@ pub struct SolverConfig {
     pub nranks: usize,
     /// Host threads for patch loops.
     pub threads: usize,
+    /// Memoize communication plans in the hierarchy's [`PlanCache`]
+    /// (rebuilt only at regrid). Disable to rebuild plans every fill, as the
+    /// pre-optimization code did — kept as a knob for the ablation study.
+    ///
+    /// [`PlanCache`]: crocco_fab::plan_cache::PlanCache
+    pub plan_cache: bool,
 }
 
 impl SolverConfig {
@@ -208,6 +214,7 @@ impl Default for SolverConfigBuilder {
                 tag_threshold: f64::NAN, // resolved from the problem default
                 nranks: 1,
                 threads: 1,
+                plan_cache: true,
             },
         }
     }
@@ -313,6 +320,12 @@ impl SolverConfigBuilder {
     /// Sets the host thread count for patch loops.
     pub fn threads(mut self, n: usize) -> Self {
         self.cfg.threads = n;
+        self
+    }
+
+    /// Enables/disables communication-plan memoization.
+    pub fn plan_cache(mut self, on: bool) -> Self {
+        self.cfg.plan_cache = on;
         self
     }
 

@@ -21,7 +21,9 @@ use crate::metrics::{
 };
 use crate::reference::weno_flux_reference;
 use crate::state::NCONS;
-use crocco_amr::fillpatch::{fill_patch_single_level, fill_patch_two_levels, FillPatchReport};
+use crocco_amr::fillpatch::{
+    fill_patch_single_level_with, fill_patch_two_levels_with, FillOpts, FillPatchReport,
+};
 use crocco_amr::hierarchy::{AmrHierarchy, AmrParams};
 use crocco_amr::interp::Interpolator;
 use crocco_amr::BoundaryFiller;
@@ -30,7 +32,7 @@ use crocco_fab::plan::PlanStats;
 use crocco_fab::{FArrayBox, MultiFab};
 use crocco_geometry::{GridMapping, IndexBox, IntVect, ProblemDomain, RealVect};
 use crocco_perfmodel::Profiler;
-use crocco_runtime::parallel_for_each_mut;
+use crocco_runtime::{parallel_for_each_mut, parallel_zip_mut};
 use crocco_fab::DistributionStrategy;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -51,6 +53,28 @@ pub struct LevelData {
     pub coords: MultiFab,
     /// Grid metrics (27 components).
     pub metrics: MultiFab,
+    /// Per-patch RHS scratch `L(U)` for the RK stages: allocated once per
+    /// regrid and zeroed in place each stage, so the hot loop never touches
+    /// the allocator.
+    rhs: Vec<FArrayBox>,
+}
+
+impl LevelData {
+    /// Assembles one level's data, sizing the RHS scratch to the state's
+    /// valid boxes.
+    fn new(state: MultiFab, du: MultiFab, coords: MultiFab, metrics: MultiFab) -> Self {
+        let ba = state.boxarray();
+        let rhs = (0..ba.len())
+            .map(|i| FArrayBox::new(ba.get(i), NCONS))
+            .collect();
+        LevelData {
+            state,
+            du,
+            coords,
+            metrics,
+            rhs,
+        }
+    }
 }
 
 /// Aggregated communication accounting for one run — the inputs to the
@@ -355,12 +379,7 @@ impl Simulation {
             let mut state = MultiFab::new(lev.ba.clone(), lev.dm.clone(), NCONS, NGHOST);
             self.init_state_from_ic(&coords, &mut state);
             let du = MultiFab::new(lev.ba.clone(), lev.dm.clone(), NCONS, 0);
-            self.levels.push(LevelData {
-                state,
-                du,
-                coords,
-                metrics,
-            });
+            self.levels.push(LevelData::new(state, du, coords, metrics));
         }
     }
 
@@ -473,7 +492,7 @@ impl Simulation {
         let nlev = self.hierarchy.nlevels();
         let mut new_levels: Vec<LevelData> = Vec::with_capacity(nlev);
         // Level 0 grids never change.
-        let old0 = std::mem::replace(&mut self.levels, Vec::new());
+        let old0 = std::mem::take(&mut self.levels);
         let mut old_iter: Vec<Option<LevelData>> = old0.into_iter().map(Some).collect();
         new_levels.push(old_iter[0].take().unwrap());
         for l in 1..nlev {
@@ -503,12 +522,7 @@ impl Simulation {
                 self.comm.absorb_plan(&plan.stats(), PlanKind::ParallelCopy);
             }
             let du = MultiFab::new(lev.ba.clone(), lev.dm.clone(), NCONS, 0);
-            new_levels.push(LevelData {
-                state,
-                du,
-                coords,
-                metrics,
-            });
+            new_levels.push(LevelData::new(state, du, coords, metrics));
         }
         self.levels = new_levels;
     }
@@ -583,8 +597,16 @@ impl Simulation {
         let t0 = std::time::Instant::now();
         let domain = self.hierarchy.domain(l);
         let bc = PhysicalBc::new(self.cfg.problem, self.gas, self.level_extents(l));
+        let opts = FillOpts {
+            cache: if self.cfg.plan_cache {
+                Some(self.hierarchy.plan_cache().as_ref())
+            } else {
+                None
+            },
+            threads: self.cfg.threads,
+        };
         let report: FillPatchReport = if l == 0 {
-            fill_patch_single_level(&mut self.levels[0].state, &domain, &bc, self.time)
+            fill_patch_single_level_with(&mut self.levels[0].state, &domain, &bc, self.time, opts)
         } else {
             let coarse_domain = self.hierarchy.domain(l - 1);
             let coarse_bc =
@@ -592,7 +614,7 @@ impl Simulation {
             let (lo, hi) = self.levels.split_at_mut(l);
             let coarse = &lo[l - 1];
             let fine = &mut hi[0];
-            fill_patch_two_levels(
+            fill_patch_two_levels_with(
                 &mut fine.state,
                 &coarse.state,
                 &domain,
@@ -604,15 +626,16 @@ impl Simulation {
                 Some(&coarse.coords),
                 Some(&fine.coords),
                 self.time,
+                opts,
             )
         };
         self.comm
-            .absorb_plan(&report.fb_plan.stats(), PlanKind::FillBoundary);
+            .absorb_plan(&report.fb_plan.stats, PlanKind::FillBoundary);
         if let Some(p) = &report.pc_plan {
-            self.comm.absorb_plan(&p.stats(), PlanKind::ParallelCopy);
+            self.comm.absorb_plan(&p.stats, PlanKind::ParallelCopy);
         }
         if let Some(p) = &report.coord_pc_plan {
-            self.comm.absorb_plan(&p.stats(), PlanKind::CoordCopy);
+            self.comm.absorb_plan(&p.stats, PlanKind::CoordCopy);
         }
         self.comm.interpolated_cells += report.interpolated_cells;
         self.profiler
@@ -649,56 +672,77 @@ impl Simulation {
     /// update: `dU ← A·dU + dt·L(U)`, `U ← U + B·dU`.
     fn advance_level(&mut self, l: usize, stage: usize, dt: f64) {
         let t0 = std::time::Instant::now();
-        let lev = &mut self.levels[l];
         let gas = self.gas;
         let weno = self.cfg.weno;
         let recon = self.cfg.reconstruction;
         let les = self.cfg.les;
         let reference = self.cfg.version.reference_kernels();
-        let state = &lev.state;
-        let metrics = &lev.metrics;
+        let threads = self.cfg.threads;
+        let a = self.cfg.time_scheme.a(stage);
+        let b = self.cfg.time_scheme.b(stage);
+        let LevelData {
+            state,
+            du,
+            metrics,
+            rhs,
+            ..
+        } = &mut self.levels[l];
         let ba = state.boxarray().clone();
-        // RHS per patch, in parallel: each worker owns one rhs fab.
-        let mut rhs_fabs: Vec<FArrayBox> = (0..ba.len())
-            .map(|i| FArrayBox::new(ba.get(i), NCONS))
-            .collect();
-        parallel_for_each_mut(&mut rhs_fabs, self.cfg.threads, |i, rhs| {
-            let valid = ba.get(i);
-            let u = state.fab(i);
-            let met = metrics.fab(i);
-            for dir in 0..3 {
-                if reference {
-                    weno_flux_reference(u, met, rhs, valid, dir, &gas, weno);
-                } else {
-                    weno_flux_recon(u, met, rhs, valid, dir, &gas, weno, recon);
+        // RHS per patch, in parallel, into the level's persistent scratch:
+        // each worker owns one rhs fab (zeroed in place, never reallocated).
+        {
+            let state = &*state;
+            parallel_for_each_mut(rhs, threads, |i, rhs| {
+                rhs.fill(0.0);
+                let valid = ba.get(i);
+                let u = state.fab(i);
+                let met = metrics.fab(i);
+                for dir in 0..3 {
+                    if reference {
+                        weno_flux_reference(u, met, rhs, valid, dir, &gas, weno);
+                    } else {
+                        weno_flux_recon(u, met, rhs, valid, dir, &gas, weno, recon);
+                    }
                 }
-            }
-            viscous_flux_les(u, met, rhs, valid, &gas, les.as_ref());
-        });
-        // Low-storage update.
-        for i in 0..ba.len() {
-            let a = self.cfg.time_scheme.a(stage);
-            let b = self.cfg.time_scheme.b(stage);
-            lev.du.fab_mut(i).lincomb(a, dt, &rhs_fabs[i]);
-            let dufab = lev.du.fab(i).clone();
-            lev.state.fab_mut(i).lincomb(1.0, b, &dufab);
+                viscous_flux_les(u, met, rhs, valid, &gas, les.as_ref());
+            });
         }
+        // Low-storage update, walking dU and U in lockstep per patch.
+        let rhs = &*rhs;
+        parallel_zip_mut(du.fabs_mut(), state.fabs_mut(), threads, |i, dufab, stfab| {
+            dufab.lincomb(a, dt, &rhs[i]);
+            stfab.lincomb(1.0, b, dufab);
+        });
         self.profiler.add("Advance", t0.elapsed().as_secs_f64());
     }
 
     /// Total integral of conserved component `comp` over the physical domain
     /// at the coarsest level (∫ U dV = Σ U·J): the conservation monitor.
+    /// Accumulates flat rows per patch (not per-point `get`), patches in
+    /// parallel; the per-patch partials are reduced serially so the result
+    /// does not depend on thread count.
     pub fn conserved_integral(&self, comp: usize) -> f64 {
         let lev = &self.levels[0];
-        let mut total = 0.0;
-        for i in 0..lev.state.nfabs() {
+        let jac = crate::metrics::comp::JAC;
+        let mut partials = vec![0.0f64; lev.state.nfabs()];
+        parallel_for_each_mut(&mut partials, self.cfg.threads, |i, acc| {
             let valid = lev.state.valid_box(i);
-            for p in valid.cells() {
-                total += lev.state.fab(i).get(p, comp)
-                    * lev.metrics.fab(i).get(p, crate::metrics::comp::JAC);
+            let (lo, hi) = (valid.lo(), valid.hi());
+            let len = (hi[0] - lo[0] + 1) as usize;
+            let fab = lev.state.fab(i);
+            let met = lev.metrics.fab(i);
+            let mut sum = 0.0;
+            for k in lo[2]..=hi[2] {
+                for j in lo[1]..=hi[1] {
+                    let p0 = IntVect::new(lo[0], j, k);
+                    let u = fab.row(p0, comp, len);
+                    let w = met.row(p0, jac, len);
+                    sum += u.iter().zip(w).map(|(x, y)| x * y).sum::<f64>();
+                }
             }
-        }
-        total
+            *acc = sum;
+        });
+        partials.iter().sum()
     }
 
     /// `true` if any level contains NaN/∞ in its valid region.

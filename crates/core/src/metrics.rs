@@ -340,10 +340,10 @@ mod tests {
         let fab = metrics.fab(0);
         let p = IntVect::new(4, 16, 4);
         // Analytic: dy/dη at η=(16.5)/32 with y = sinh(βη)/sinh(β).
-        let eta = 16.5 / 32.0;
-        let dyd_eta = 2.0 * (2.0 * eta as f64).cosh() / 2.0f64.sinh();
+        let eta = 16.5f64 / 32.0;
+        let dyd_eta = 2.0 * (2.0 * eta).cosh() / 2.0f64.sinh();
         let per_index = dyd_eta / 32.0;
-        let got = fab.get(p, comp::FWD + 1 * 3 + 1);
+        let got = fab.get(p, comp::FWD + 4); // row 1, col 1 of the 3×3 forward metric
         assert!(
             (got - per_index).abs() / per_index < 1e-4,
             "{got} vs {per_index}"

@@ -3,6 +3,16 @@
 use crocco_geometry::{decompose::ChopParams, IndexBox, IntVect};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic source of BoxArray/DistributionMapping identity tokens. Zero is
+/// reserved for "unassigned" (freshly deserialized values).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Draws a fresh, process-unique identity token.
+pub(crate) fn next_identity() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The collection of patch boxes at one AMR level (AMReX `BoxArray`).
 ///
@@ -18,6 +28,12 @@ pub struct BoxArray {
     /// Bucket coordinate → indices of boxes that touch the bucket.
     #[serde(skip)]
     index: HashMap<IntVect, Vec<u32>>,
+    /// Process-unique identity token assigned at construction and shared by
+    /// clones. Two arrays with the same id hold the same boxes, so the id is
+    /// a cheap communication-plan cache key (AMReX caches FillBoundary
+    /// metadata the same way, keyed on `BoxArray` identity).
+    #[serde(skip)]
+    id: u64,
 }
 
 impl PartialEq for BoxArray {
@@ -45,6 +61,7 @@ impl BoxArray {
             boxes,
             bucket,
             index: HashMap::new(),
+            id: next_identity(),
         };
         ba.rebuild_index();
         // Disjointness check using the index.
@@ -79,11 +96,21 @@ impl BoxArray {
     }
 
     /// Rebuilds the spatial index (needed after deserialization, which skips
-    /// the index field).
+    /// the index field) and assigns a fresh identity token if none is set.
     pub fn ensure_index(&mut self) {
         if self.index.is_empty() && !self.boxes.is_empty() {
             self.rebuild_index();
         }
+        if self.id == 0 {
+            self.id = next_identity();
+        }
+    }
+
+    /// The identity token: process-unique, assigned at construction, shared
+    /// by clones. Used to key cached communication plans.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Candidate box ids whose bucket footprint intersects `probe`'s.
@@ -304,6 +331,19 @@ mod tests {
                 assert!(!a.intersects(c));
             }
         }
+    }
+
+    #[test]
+    fn identity_tokens_are_unique_and_shared_by_clones() {
+        let a = BoxArray::new(vec![b([0, 0, 0], [7, 7, 7])]);
+        let c = a.clone();
+        assert_ne!(a.id(), 0);
+        assert_eq!(a.id(), c.id(), "clones must share identity");
+        // An equal-by-value but independently constructed array gets its own
+        // identity: plans keyed on ids are never shared across regrids.
+        let d = BoxArray::new(vec![b([0, 0, 0], [7, 7, 7])]);
+        assert_eq!(a, d);
+        assert_ne!(a.id(), d.id());
     }
 
     #[test]

@@ -22,10 +22,20 @@ pub enum DistributionStrategy {
 /// The ownership map of one level: which rank owns each box (AMReX
 /// `DistributionMapping`). Load balancing is carried out per level,
 /// independently and in sequence, exactly as described in §III-B.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DistributionMapping {
     owners: Vec<usize>,
     nranks: usize,
+    /// Identity token (see [`BoxArray::id`]): shared by clones, fresh per
+    /// construction, part of the communication-plan cache key.
+    #[serde(skip)]
+    id: u64,
+}
+
+impl PartialEq for DistributionMapping {
+    fn eq(&self, other: &Self) -> bool {
+        self.owners == other.owners && self.nranks == other.nranks
+    }
 }
 
 impl DistributionMapping {
@@ -39,7 +49,11 @@ impl DistributionMapping {
             DistributionStrategy::MortonSfc => sfc_assign(ba, nranks),
             DistributionStrategy::Knapsack => knapsack_assign(ba, nranks),
         };
-        DistributionMapping { owners, nranks }
+        DistributionMapping {
+            owners,
+            nranks,
+            id: crate::boxarray::next_identity(),
+        }
     }
 
     /// Ownership map placing every box on rank 0 (serial runs and tests).
@@ -47,7 +61,14 @@ impl DistributionMapping {
         DistributionMapping {
             owners: vec![0; ba.len()],
             nranks: 1,
+            id: crate::boxarray::next_identity(),
         }
+    }
+
+    /// The identity token, keying cached communication plans.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Rank owning box `i`.

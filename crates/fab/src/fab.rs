@@ -101,6 +101,24 @@ impl FArrayBox {
         self.data[o] += v;
     }
 
+    /// Contiguous x-row of `len` values starting at `p` in component `comp`.
+    /// Rows are the unit of flat iteration: x varies fastest, so a row is one
+    /// `memcpy`/vectorizable span.
+    #[inline]
+    pub fn row(&self, p: IntVect, comp: usize, len: usize) -> &[f64] {
+        debug_assert!(p[0] + len as i64 - 1 <= self.bx.hi()[0], "row leaves box");
+        let o = self.offset(p, comp);
+        &self.data[o..o + len]
+    }
+
+    /// Mutable contiguous x-row (see [`FArrayBox::row`]).
+    #[inline]
+    pub fn row_mut(&mut self, p: IntVect, comp: usize, len: usize) -> &mut [f64] {
+        debug_assert!(p[0] + len as i64 - 1 <= self.bx.hi()[0], "row leaves box");
+        let o = self.offset(p, comp);
+        &mut self.data[o..o + len]
+    }
+
     /// Contiguous slice of one component.
     pub fn comp(&self, comp: usize) -> &[f64] {
         let n = self.bx.num_points() as usize;
@@ -155,10 +173,23 @@ impl FArrayBox {
         shift: IntVect,
         ncomp: usize,
     ) {
+        if region.is_empty() {
+            return;
+        }
+        debug_assert!(self.bx.contains_box(&region));
+        debug_assert!(src.bx.contains_box(&region.shift(-shift)));
+        // Row-wise: both layouts are x-fastest, so each (j, k) row is one
+        // contiguous span on both sides.
+        let nx = region.size()[0] as usize;
         for c in 0..ncomp {
-            for p in region.cells() {
-                let v = src.get(p - shift, c);
-                self.set(p, c, v);
+            for k in region.lo()[2]..=region.hi()[2] {
+                for j in region.lo()[1]..=region.hi()[1] {
+                    let dp = IntVect::new(region.lo()[0], j, k);
+                    let srow = src.offset(dp - shift, c);
+                    let drow = self.offset(dp, c);
+                    self.data[drow..drow + nx]
+                        .copy_from_slice(&src.data[srow..srow + nx]);
+                }
             }
         }
     }
@@ -174,10 +205,23 @@ impl FArrayBox {
             return;
         }
         let region = self.bx.intersection(&other.bx);
+        if region.is_empty() {
+            return;
+        }
+        let nx = region.size()[0] as usize;
         for c in 0..self.ncomp {
-            for p in region.cells() {
-                let v = a * self.get(p, c) + b * other.get(p, c);
-                self.set(p, c, v);
+            for k in region.lo()[2]..=region.hi()[2] {
+                for j in region.lo()[1]..=region.hi()[1] {
+                    let p = IntVect::new(region.lo()[0], j, k);
+                    let srow = other.offset(p, c);
+                    let drow = self.offset(p, c);
+                    for (x, y) in self.data[drow..drow + nx]
+                        .iter_mut()
+                        .zip(&other.data[srow..srow + nx])
+                    {
+                        *x = a * *x + b * *y;
+                    }
+                }
             }
         }
     }

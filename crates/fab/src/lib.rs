@@ -22,6 +22,7 @@ pub mod distribution;
 pub mod fab;
 pub mod multifab;
 pub mod plan;
+pub mod plan_cache;
 pub mod tiles;
 
 pub use boxarray::BoxArray;
@@ -29,4 +30,5 @@ pub use distribution::{DistributionMapping, DistributionStrategy};
 pub use fab::FArrayBox;
 pub use multifab::MultiFab;
 pub use plan::{CopyChunk, CopyPlan};
+pub use plan_cache::{CachedPlan, PlanCache, PlanKey, PlanOp};
 pub use tiles::{tile_boxes, tiled_work_list, TileItem, DEFAULT_TILE};

@@ -4,7 +4,9 @@ use crate::boxarray::BoxArray;
 use crate::distribution::DistributionMapping;
 use crate::fab::FArrayBox;
 use crate::plan::{fill_boundary_plan, parallel_copy_plan, CopyPlan};
-use crocco_geometry::{IndexBox, ProblemDomain};
+use crate::plan_cache::{CachedPlan, PlanCache};
+use crocco_geometry::{IndexBox, IntVect, ProblemDomain};
+use crocco_runtime::parallel_for;
 use std::sync::Arc;
 
 /// A multi-component field distributed over the patches of one AMR level
@@ -115,24 +117,28 @@ impl MultiFab {
     /// Fills ghost cells of every patch from same-level neighbors (and
     /// periodic images): the `FillBoundary` operation. Returns the executed
     /// [`CopyPlan`] so callers can price it on the network model.
+    ///
+    /// Builds a fresh plan every call; steady-state loops should use
+    /// [`MultiFab::fill_boundary_cached`] instead.
     pub fn fill_boundary(&mut self, domain: &ProblemDomain) -> CopyPlan {
         let plan = fill_boundary_plan(&self.ba, &self.dm, domain, self.nghost, self.ncomp);
-        self.execute_plan_within(&plan);
+        let groups = plan.dst_groups();
+        execute_grouped(&mut self.fabs, None, &plan, &groups, 1);
         plan
     }
 
-    /// Executes a plan whose source and destination are both this MultiFab.
-    fn execute_plan_within(&mut self, plan: &CopyPlan) {
-        for c in &plan.chunks {
-            if c.src_id == c.dst_id {
-                // Periodic self-copy: clone the source region values first.
-                let src = self.fabs[c.src_id].clone();
-                self.fabs[c.dst_id].copy_shifted_from(&src, c.region, c.shift, self.ncomp);
-            } else {
-                let (a, b) = split_two(&mut self.fabs, c.dst_id, c.src_id);
-                a.copy_shifted_from(b, c.region, c.shift, self.ncomp);
-            }
-        }
+    /// [`MultiFab::fill_boundary`] with a memoized plan and parallel
+    /// execution: the plan is looked up in (or built into) `cache`, then its
+    /// destination groups fan out over up to `threads` workers.
+    pub fn fill_boundary_cached(
+        &mut self,
+        domain: &ProblemDomain,
+        cache: &PlanCache,
+        threads: usize,
+    ) -> Arc<CachedPlan> {
+        let cp = cache.fill_boundary(&self.ba, &self.dm, domain, self.nghost, self.ncomp);
+        execute_grouped(&mut self.fabs, None, &cp.plan, &cp.groups, threads);
+        cp
     }
 
     /// Copies data from `src` (a MultiFab over a *different* BoxArray) into
@@ -149,10 +155,32 @@ impl MultiFab {
             self.nghost,
             self.ncomp,
         );
-        for c in &plan.chunks {
-            self.fabs[c.dst_id].copy_shifted_from(&src.fabs[c.src_id], c.region, c.shift, self.ncomp);
-        }
+        let groups = plan.dst_groups();
+        execute_grouped(&mut self.fabs, Some(&src.fabs), &plan, &groups, 1);
         plan
+    }
+
+    /// [`MultiFab::parallel_copy_from`] with a memoized plan and parallel
+    /// execution.
+    pub fn parallel_copy_from_cached(
+        &mut self,
+        src: &MultiFab,
+        domain: &ProblemDomain,
+        cache: &PlanCache,
+        threads: usize,
+    ) -> Arc<CachedPlan> {
+        assert_eq!(self.ncomp, src.ncomp, "ParallelCopy component mismatch");
+        let cp = cache.parallel_copy(
+            &src.ba,
+            &src.dm,
+            &self.ba,
+            &self.dm,
+            domain,
+            self.nghost,
+            self.ncomp,
+        );
+        execute_grouped(&mut self.fabs, Some(&src.fabs), &cp.plan, &cp.groups, threads);
+        cp
     }
 
     /// Global minimum of `comp` over valid regions.
@@ -207,15 +235,137 @@ impl MultiFab {
     }
 }
 
-/// Simultaneous `&mut`/`&` borrows of two distinct slice elements.
-fn split_two(fabs: &mut [FArrayBox], a: usize, b: usize) -> (&mut FArrayBox, &FArrayBox) {
-    debug_assert_ne!(a, b);
-    if a < b {
-        let (lo, hi) = fabs.split_at_mut(b);
-        (&mut lo[a], &hi[0])
-    } else {
-        let (lo, hi) = fabs.split_at_mut(a);
-        (&mut hi[0], &lo[b])
+/// Raw view of one fab: box geometry plus the data base pointer. Plan
+/// execution works through these instead of `&`/`&mut FArrayBox` so that a
+/// thread writing ghost cells of fab X never materializes a `&mut` that
+/// aliases another thread's `&` into X's valid cells.
+#[derive(Clone, Copy)]
+struct RawFab {
+    lo: IntVect,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    ptr: *mut f64,
+}
+
+impl RawFab {
+    fn capture(f: &mut FArrayBox) -> Self {
+        let bx = f.bx();
+        let s = bx.size();
+        RawFab {
+            lo: bx.lo(),
+            nx: s[0] as usize,
+            ny: s[1] as usize,
+            nz: s[2] as usize,
+            ptr: f.data_mut().as_mut_ptr(),
+        }
+    }
+
+    /// Read-only capture (the pointer is only ever read through).
+    fn capture_const(f: &FArrayBox) -> Self {
+        let bx = f.bx();
+        let s = bx.size();
+        RawFab {
+            lo: bx.lo(),
+            nx: s[0] as usize,
+            ny: s[1] as usize,
+            nz: s[2] as usize,
+            ptr: f.data().as_ptr() as *mut f64,
+        }
+    }
+
+    /// Flat offset of `(p, comp)` — mirrors [`FArrayBox::offset`].
+    #[inline]
+    fn offset(&self, p: IntVect, comp: usize) -> usize {
+        let i = (p[0] - self.lo[0]) as usize;
+        let j = (p[1] - self.lo[1]) as usize;
+        let k = (p[2] - self.lo[2]) as usize;
+        ((comp * self.nz + k) * self.ny + j) * self.nx + i
+    }
+}
+
+/// `&[RawFab]` wrapper asserting cross-thread shareability. Safe because the
+/// executor's access pattern is disjoint (see [`execute_grouped`]).
+struct RawFabs<'a>(&'a [RawFab]);
+unsafe impl Send for RawFabs<'_> {}
+unsafe impl Sync for RawFabs<'_> {}
+
+impl RawFabs<'_> {
+    // Accessor (rather than direct `.0[i]` indexing in the worker closure) so
+    // the closure captures the whole `Sync` wrapper, not the raw inner slice.
+    #[inline]
+    fn get(&self, i: usize) -> &RawFab {
+        &self.0[i]
+    }
+}
+
+/// Executes `plan` over `dst` (reading from `src`, or from `dst` itself when
+/// `None`), fanning the destination groups out over up to `threads` workers.
+///
+/// # Safety argument
+/// Writes go only to chunk regions of the group's own destination fab, and
+/// each destination appears in exactly one group ([`CopyPlan::dst_groups`]
+/// falls back to a single serial group otherwise), so no two threads write
+/// the same fab. Reads target source regions (`region - shift`):
+/// * `FillBoundary` plans read only *valid* cells and write only *ghost*
+///   cells, which are disjoint sets within every fab — a concurrent read of
+///   fab X's valid data and write of X's ghosts never touch the same `f64`.
+/// * `ParallelCopy` plans read a different MultiFab entirely.
+///
+/// All access is through raw pointers (never `&mut`), so the disjointness of
+/// the touched *cells* is the only requirement.
+fn execute_grouped(
+    dst: &mut [FArrayBox],
+    src: Option<&[FArrayBox]>,
+    plan: &CopyPlan,
+    groups: &[(usize, usize)],
+    threads: usize,
+) {
+    let ncomp = plan.ncomp;
+    let dst_raw: Vec<RawFab> = dst.iter_mut().map(RawFab::capture).collect();
+    let src_raw: Vec<RawFab> = match src {
+        Some(s) => s.iter().map(RawFab::capture_const).collect(),
+        None => dst_raw.clone(),
+    };
+    let d = RawFabs(&dst_raw);
+    let s = RawFabs(&src_raw);
+    parallel_for(groups.len(), threads, |g| {
+        let (start, end) = groups[g];
+        for c in &plan.chunks[start..end] {
+            unsafe { copy_chunk_raw(d.get(c.dst_id), s.get(c.src_id), c.region, c.shift, ncomp) };
+        }
+    });
+}
+
+/// Copies one chunk row-by-row through raw pointers: for every destination
+/// cell `p` in `region`, `dst[p] = src[p - shift]`.
+///
+/// # Safety
+/// `region` must lie in `dst`'s box and `region - shift` in `src`'s box, and
+/// no other thread may concurrently access the touched cells (guaranteed by
+/// [`execute_grouped`]'s grouping). Source and destination rows never
+/// overlap: either the fabs differ, or (periodic self-copy) the source rows
+/// lie in valid cells and the destination rows in ghost cells.
+unsafe fn copy_chunk_raw(
+    dst: &RawFab,
+    src: &RawFab,
+    region: IndexBox,
+    shift: IntVect,
+    ncomp: usize,
+) {
+    if region.is_empty() {
+        return;
+    }
+    let nx = region.size()[0] as usize;
+    for c in 0..ncomp {
+        for k in region.lo()[2]..=region.hi()[2] {
+            for j in region.lo()[1]..=region.hi()[1] {
+                let dp = IntVect::new(region.lo()[0], j, k);
+                let srow = src.ptr.add(src.offset(dp - shift, c));
+                let drow = dst.ptr.add(dst.offset(dp, c));
+                std::ptr::copy_nonoverlapping(srow, drow, nx);
+            }
+        }
     }
 }
 
@@ -341,18 +491,62 @@ mod tests {
     }
 
     #[test]
-    fn split_two_borrows_correct_elements() {
-        let bx = IndexBox::from_extents(2, 2, 2);
-        let mut fabs = vec![
-            FArrayBox::filled(bx, 1, 0.0),
-            FArrayBox::filled(bx, 1, 1.0),
-            FArrayBox::filled(bx, 1, 2.0),
-        ];
-        let (a, b) = split_two(&mut fabs, 2, 0);
-        assert_eq!(a.get(IntVect::ZERO, 0), 2.0);
-        assert_eq!(b.get(IntVect::ZERO, 0), 0.0);
-        let (a, b) = split_two(&mut fabs, 0, 1);
-        assert_eq!(a.get(IntVect::ZERO, 0), 0.0);
-        assert_eq!(b.get(IntVect::ZERO, 0), 1.0);
+    fn cached_fill_boundary_bitwise_matches_uncached() {
+        let (mut a, domain) = setup(2);
+        fill_linear(&mut a);
+        let mut b = a.clone();
+        let plan = a.fill_boundary(&domain);
+        let cache = crate::plan_cache::PlanCache::new();
+        let cp = b.fill_boundary_cached(&domain, &cache, 4);
+        assert_eq!(cp.plan.chunks, plan.chunks);
+        for i in 0..a.nfabs() {
+            assert_eq!(a.fab(i).data(), b.fab(i).data(), "patch {i} differs");
+        }
+        // Second call hits the cache and leaves the data fixed-point.
+        b.fill_boundary_cached(&domain, &cache, 4);
+        assert_eq!(cache.hits(), 1);
+        for i in 0..a.nfabs() {
+            assert_eq!(a.fab(i).data(), b.fab(i).data());
+        }
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_for_all_thread_counts() {
+        let (reference, domain) = {
+            let (mut mf, domain) = setup(3);
+            fill_linear(&mut mf);
+            mf.fill_boundary(&domain);
+            (mf, domain)
+        };
+        for threads in [1usize, 2, 3, 8, 32] {
+            let (mut mf, _) = setup(3);
+            fill_linear(&mut mf);
+            let cache = crate::plan_cache::PlanCache::new();
+            mf.fill_boundary_cached(&domain, &cache, threads);
+            for i in 0..mf.nfabs() {
+                assert_eq!(
+                    mf.fab(i).data(),
+                    reference.fab(i).data(),
+                    "threads={threads} patch {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_parallel_copy_matches_uncached() {
+        let (mut src, domain) = setup(0);
+        fill_linear(&mut src);
+        let dst_ba = Arc::new(BoxArray::new(vec![IndexBox::new(
+            IntVect::new(2, 2, 2),
+            IntVect::new(13, 13, 5),
+        )]));
+        let dst_dm = Arc::new(DistributionMapping::all_on_root(&dst_ba));
+        let mut d1 = MultiFab::new(dst_ba.clone(), dst_dm.clone(), 2, 1);
+        let mut d2 = d1.clone();
+        d1.parallel_copy_from(&src, &domain);
+        let cache = crate::plan_cache::PlanCache::new();
+        d2.parallel_copy_from_cached(&src, &domain, &cache, 4);
+        assert_eq!(d1.fab(0).data(), d2.fab(0).data());
     }
 }

@@ -74,6 +74,34 @@ pub struct PlanStats {
 }
 
 impl CopyPlan {
+    /// Chunk-index ranges grouped by destination box: each `(start, end)`
+    /// pair delimits a run of chunks sharing one `dst_id`. Distinct groups
+    /// write distinct destination fabs, so groups can execute concurrently.
+    ///
+    /// Both plan builders emit chunks ordered by destination, giving one run
+    /// per `dst_id`. If a hand-built plan interleaves destinations, the runs
+    /// are collapsed to a single serial group so parallel execution stays
+    /// race-free.
+    pub fn dst_groups(&self) -> Vec<(usize, usize)> {
+        let n = self.chunks.len();
+        let mut groups = Vec::new();
+        let mut start = 0;
+        for i in 1..=n {
+            if i == n || self.chunks[i].dst_id != self.chunks[start].dst_id {
+                groups.push((start, i));
+                start = i;
+            }
+        }
+        let mut seen = std::collections::HashSet::with_capacity(groups.len());
+        if groups
+            .iter()
+            .any(|&(s, _)| !seen.insert(self.chunks[s].dst_id))
+        {
+            return vec![(0, n)];
+        }
+        groups
+    }
+
     /// Computes per-rank aggregate statistics for cost modeling.
     pub fn stats(&self) -> PlanStats {
         let mut pairs: HashMap<(usize, usize), u64> = HashMap::new();

@@ -1,6 +1,7 @@
 //! Property-based tests of the container and communication-plan layer.
 
-use crocco_fab::plan::fill_boundary_plan;
+use crocco_fab::plan::{fill_boundary_plan, parallel_copy_plan};
+use crocco_fab::plan_cache::PlanCache;
 use crocco_fab::{BoxArray, DistributionMapping, DistributionStrategy, FArrayBox, MultiFab};
 use crocco_geometry::decompose::ChopParams;
 use crocco_geometry::{IndexBox, IntVect, ProblemDomain};
@@ -124,6 +125,119 @@ proptest! {
             for p in bx.cells() {
                 prop_assert_eq!(x.get(p, c), it.next().unwrap());
             }
+        }
+    }
+}
+
+/// Fill valid cells of every patch from a seeded pseudo-random field.
+fn fill_random(mf: &mut MultiFab, seed: u64) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let ncomp = mf.ncomp();
+    for i in 0..mf.nfabs() {
+        let valid = mf.valid_box(i);
+        for p in valid.cells() {
+            for c in 0..ncomp {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                mf.fab_mut(i).set(p, c, v);
+            }
+        }
+    }
+}
+
+/// Bitwise equality of every patch's full data (valid + ghosts).
+fn assert_bitwise_equal(a: &MultiFab, b: &MultiFab) {
+    assert_eq!(a.nfabs(), b.nfabs());
+    for i in 0..a.nfabs() {
+        assert_eq!(a.fab(i).data(), b.fab(i).data(), "patch {i} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A cached FillBoundary plan is the freshly built plan: identical chunk
+    /// list and identical PlanStats (so the simulated-network pricing cannot
+    /// drift), and the second lookup is a hit on the very same Arc.
+    #[test]
+    fn cached_fill_boundary_plan_equals_fresh(
+        domain in arb_domain(),
+        nranks in 1usize..9,
+        nghost in 1i64..3,
+        periodic_z in any::<bool>(),
+    ) {
+        let pd = ProblemDomain::new(domain, [false, false, periodic_z]);
+        let ba = BoxArray::decompose(domain, ChopParams::new(4, 8));
+        let dm = DistributionMapping::new(&ba, nranks, DistributionStrategy::MortonSfc);
+        let fresh = fill_boundary_plan(&ba, &dm, &pd, nghost, 5);
+        let cache = PlanCache::new();
+        let cached = cache.fill_boundary(&ba, &dm, &pd, nghost, 5);
+        prop_assert_eq!(&cached.plan.chunks, &fresh.chunks);
+        prop_assert_eq!(cached.stats, fresh.stats());
+        let again = cache.fill_boundary(&ba, &dm, &pd, nghost, 5);
+        prop_assert!(Arc::ptr_eq(&cached, &again));
+        prop_assert_eq!(cache.misses(), 1);
+        prop_assert_eq!(cache.hits(), 1);
+    }
+
+    /// Same contract for cross-BoxArray ParallelCopy plans (coarse → fine
+    /// decompositions of the same region).
+    #[test]
+    fn cached_parallel_copy_plan_equals_fresh(
+        domain in arb_domain(),
+        nranks in 1usize..9,
+        nghost in 0i64..3,
+        periodic_z in any::<bool>(),
+    ) {
+        let pd = ProblemDomain::new(domain, [false, false, periodic_z]);
+        let src_ba = BoxArray::decompose(domain, ChopParams::new(8, 16));
+        let src_dm = DistributionMapping::new(&src_ba, nranks, DistributionStrategy::MortonSfc);
+        let dst_ba = BoxArray::decompose(domain, ChopParams::new(4, 8));
+        let dst_dm = DistributionMapping::new(&dst_ba, nranks, DistributionStrategy::Knapsack);
+        let fresh = parallel_copy_plan(&src_ba, &src_dm, &dst_ba, &dst_dm, &pd, nghost, 5);
+        let cache = PlanCache::new();
+        let cached = cache.parallel_copy(&src_ba, &src_dm, &dst_ba, &dst_dm, &pd, nghost, 5);
+        prop_assert_eq!(&cached.plan.chunks, &fresh.chunks);
+        prop_assert_eq!(cached.stats, fresh.stats());
+        let again = cache.parallel_copy(&src_ba, &src_dm, &dst_ba, &dst_dm, &pd, nghost, 5);
+        prop_assert!(Arc::ptr_eq(&cached, &again));
+        prop_assert_eq!(cache.misses(), 1);
+        prop_assert_eq!(cache.hits(), 1);
+    }
+
+    /// The cached + parallel execution path produces bitwise-identical ghost
+    /// values to the uncached serial path, and keeps doing so across a
+    /// regrid-style invalidation followed by new grids: stale plans can never
+    /// leak through because fresh BoxArrays carry fresh identity tokens.
+    #[test]
+    fn cache_invalidation_on_regrid_keeps_ghosts_bitwise_correct(
+        domain in arb_domain(),
+        nranks in 1usize..5,
+        threads in prop::sample::select(vec![1usize, 4]),
+        seed in any::<u64>(),
+    ) {
+        let pd = ProblemDomain::new(domain, [false, true, false]);
+        let cache = PlanCache::new();
+        // Two "generations" of grids, as produced by an initial build and a
+        // regrid (different max box size → genuinely different plans).
+        for (generation, mg) in [(0u64, 8i64), (1, 16)] {
+            let ba = Arc::new(BoxArray::decompose(domain, ChopParams::new(4, mg)));
+            let dm = Arc::new(DistributionMapping::new(&ba, nranks, DistributionStrategy::MortonSfc));
+            let mut template = MultiFab::new(ba, dm, 2, 2);
+            fill_random(&mut template, seed ^ generation);
+            let mut baseline = template.clone();
+            baseline.fill_boundary(&pd);
+            // Fill twice through the cache: miss then hit, both must match.
+            let mut cached_mf = template.clone();
+            cached_mf.fill_boundary_cached(&pd, &cache, threads);
+            assert_bitwise_equal(&cached_mf, &baseline);
+            let mut repeat = template.clone();
+            repeat.fill_boundary_cached(&pd, &cache, threads);
+            assert_bitwise_equal(&repeat, &baseline);
+            prop_assert_eq!(cache.misses(), generation + 1);
+            // Regrid: the hierarchy drops every cached plan.
+            cache.invalidate();
+            prop_assert!(cache.is_empty());
         }
     }
 }

@@ -128,7 +128,7 @@ mod tests {
                 assert!(!a.intersects(b), "{a:?} overlaps {b:?}");
             }
         }
-        assert_eq!(boxes.len(), 4 * 2 * 1);
+        assert_eq!(boxes.len(), 8); // 4 × 2 × 1 chunks
     }
 
     #[test]

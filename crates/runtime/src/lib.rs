@@ -22,6 +22,6 @@ pub mod sim;
 pub mod topology;
 
 pub use cluster::{LocalCluster, Packet, RankEndpoint};
-pub use pool::{parallel_for, parallel_for_each_mut};
+pub use pool::{default_threads, parallel_for, parallel_for_each_mut, parallel_zip_mut};
 pub use sim::{CommOp, SimComm};
 pub use topology::Topology;

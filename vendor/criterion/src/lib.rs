@@ -1,0 +1,276 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Runs each benchmark with a short warm-up, auto-scales the iteration count
+//! to a target measuring window, and prints mean time per iteration (plus
+//! element throughput when declared). No statistics beyond mean/min, no
+//! HTML reports — enough to compare kernels and detect order-of-magnitude
+//! regressions in this container.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(400);
+
+/// Throughput declaration (mirror of `criterion::Throughput`).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark id (mirror of `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter` ids.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The per-benchmark timing harness (mirror of `criterion::Bencher`).
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`: warm-up, then auto-scaled measurement.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
+        let n = ((MEASURE.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 1_000_000_000);
+        let t0 = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.mean_ns = t0.elapsed().as_secs_f64() * 1e9 / n as f64;
+    }
+
+    /// `iter` variant taking a setup closure per batch (simplified: setup
+    /// runs inside the timed region only once per iteration).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        self.iter_custom_batched(&mut setup, &mut routine);
+    }
+
+    fn iter_custom_batched<I, O>(
+        &mut self,
+        setup: &mut dyn FnMut() -> I,
+        routine: &mut dyn FnMut(I) -> O,
+    ) {
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        let mut timed = Duration::ZERO;
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            timed += t.elapsed();
+            iters += 1;
+        }
+        let per_iter = (timed.as_secs_f64() / iters as f64).max(1e-9);
+        let n = ((MEASURE.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 1_000_000_000);
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / n as f64;
+    }
+}
+
+/// Batch sizing hint (mirror of `criterion::BatchSize`; ignored here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+fn print_result(id: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let time = if mean_ns >= 1e9 {
+        format!("{:.3} s", mean_ns / 1e9)
+    } else if mean_ns >= 1e6 {
+        format!("{:.3} ms", mean_ns / 1e6)
+    } else if mean_ns >= 1e3 {
+        format!("{:.3} µs", mean_ns / 1e3)
+    } else {
+        format!("{mean_ns:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (mean_ns / 1e9);
+            println!("{id:<50} {time:>12}  [{:.2} Melem/s]", rate / 1e6);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (mean_ns / 1e9);
+            println!("{id:<50} {time:>12}  [{:.2} MiB/s]", rate / (1024.0 * 1024.0));
+        }
+        None => println!("{id:<50} {time:>12}"),
+    }
+}
+
+/// A named group of benchmarks (mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the sample count (accepted, ignored: this harness auto-scales).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        print_result(&full, b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b, input);
+        print_result(&full, b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        print_result(&full, b.mean_ns, None);
+        self
+    }
+}
+
+/// Mirror of `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,129 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` (built on `std::thread::scope`, available since
+//! Rust 1.63) and `crossbeam::channel::{unbounded, Sender, Receiver}` (built
+//! on `std::sync::mpsc`). API shapes match crossbeam 0.8 closely enough for
+//! the call sites in `crocco-runtime`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Mirror of `crossbeam::thread::Scope`: spawn closures receive a scope
+    /// reference so they can spawn further threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Mirror of `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's argument is a scope
+        /// reference, as in crossbeam (all call sites here ignore it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Mirror of `crossbeam::thread::scope`. `std::thread::scope` already
+    /// joins all threads and propagates panics, so the `Err` arm is never
+    /// produced; callers' `.expect(..)` stays a no-op.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Mirror of `crossbeam::channel::Sender` (clonable).
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Mirror of `crossbeam::channel::Receiver`. crossbeam receivers are
+    /// clonable and shareable; std's are not, so wrap in a mutex (the
+    /// workspace uses one receiver per rank thread, so the lock is
+    /// uncontended).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error mirroring `crossbeam::channel::SendError`.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error mirroring `crossbeam::channel::RecvError`.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends a value (fails only when every receiver is gone).
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            self.inner.send(v).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value (fails when every sender is gone).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner
+                .lock()
+                .expect("receiver mutex poisoned")
+                .recv()
+                .map_err(|_| RecvError)
+        }
+    }
+
+    /// Mirror of `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container has no network access and no registry cache, so the real
+//! serde cannot be resolved. The workspace only uses serde as derive
+//! annotations (`#[derive(Serialize, Deserialize)]`, one `#[serde(skip)]`) —
+//! no code path actually serializes through the serde data model. The traits
+//! here are therefore markers with blanket impls, and the re-exported derives
+//! (from the sibling `serde_derive` stub) expand to nothing.
+//!
+//! If real serialization is ever needed, replace this vendored pair with the
+//! genuine crates (the `[patch.crates-io]` entries in the workspace manifest
+//! are the only wiring).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Marker trait mirroring `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace's `serde` is a marker-trait stub with blanket impls (see
+//! `vendor/serde`), so the derives have nothing to generate: they only need
+//! to exist so `#[derive(Serialize, Deserialize)]` and `#[serde(...)]`
+//! attributes parse.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,5 @@
+//! Offline placeholder for `serde_json`.
+//!
+//! The workspace declares serde_json but no code path uses it (reports are
+//! printed as ASCII tables; checkpoints use a hand-rolled binary format).
+//! This empty crate satisfies dependency resolution without network access.
