@@ -134,8 +134,8 @@ fn choose_split(pts: &[IntVect], bb: IndexBox, bf: i64) -> Option<(usize, i64)> 
     // tile [pos, pos+bf) contains an all-zero signature run boundary. We look
     // for zero entries and snap outward.
     let mut best_hole: Option<(usize, i64, i64)> = None; // (dir, pos, centrality)
-    for d in 0..3 {
-        for (i, &s) in sig[d].iter().enumerate() {
+    for (d, sig_d) in sig.iter().enumerate() {
+        for (i, &s) in sig_d.iter().enumerate() {
             if s != 0 {
                 continue;
             }
@@ -154,8 +154,7 @@ fn choose_split(pts: &[IntVect], bb: IndexBox, bf: i64) -> Option<(usize, i64)> 
 
     // 2. Inflection split: strongest sign change of the second difference.
     let mut best_inf: Option<(usize, i64, i64)> = None; // (dir, pos, strength)
-    for d in 0..3 {
-        let s = &sig[d];
+    for (d, s) in sig.iter().enumerate() {
         if s.len() < 4 {
             continue;
         }

@@ -114,6 +114,9 @@ pub fn fill_patch_single_level_with(
     parallel_for_each_mut(mf.fabs_mut(), opts.threads, |i, fab| {
         bc.fill(fab, ba.get(i), domain, time);
     });
+    // The BC fill above went through `fabs_mut` (which conservatively marks
+    // the data mutated); the whole ghost shell is now in its final state.
+    mf.mark_ghosts_filled();
     FillPatchReport {
         fb_plan,
         ..Default::default()
@@ -317,6 +320,8 @@ pub fn fill_patch_two_levels_with(
     parallel_for_each_mut(fine.fabs_mut(), opts.threads, |i, fab| {
         bc.fill(fab, ba.get(i), fine_domain, time);
     });
+    // Interpolation + fine-fine exchange + BCs complete: ghosts coherent.
+    fine.mark_ghosts_filled();
 
     FillPatchReport {
         fb_plan,
@@ -851,6 +856,56 @@ mod tests {
         // then reused by the remaining 3 cached runs.
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.hits(), 9);
+    }
+
+    /// The epoch model across a full FillPatch: fresh after the fill (even
+    /// though BC application mutates through `fabs_mut`), stale again as soon
+    /// as the state changes.
+    #[cfg(feature = "fabcheck")]
+    #[test]
+    fn fillpatch_leaves_ghosts_fresh_until_next_mutation() {
+        let domain_box = IndexBox::from_extents(16, 8, 8);
+        let domain = ProblemDomain::non_periodic(domain_box);
+        let mut mf = make_level(
+            vec![
+                IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(7, 7, 7)),
+                IndexBox::new(IntVect::new(8, 0, 0), IntVect::new(15, 7, 7)),
+            ],
+            1,
+            2,
+            0,
+        );
+        assert!(!mf.ghosts_fresh(), "nothing filled the ghosts yet");
+        fill_patch_single_level(&mut mf, &domain, &NoOpBoundary, 0.0);
+        assert!(mf.ghosts_fresh());
+        mf.assert_ghosts_fresh("kernel after fill"); // must not panic
+        let lo = mf.valid_box(0).lo();
+        mf.fab_mut(0).set(lo, 0, 9.0); // advance the state…
+        assert!(!mf.ghosts_fresh(), "…ghosts must be stale again");
+    }
+
+    /// Tentpole acceptance: a kernel running after the fill was *skipped*
+    /// (the classic AMR ordering bug) traps instead of consuming stale data.
+    #[cfg(feature = "fabcheck")]
+    #[test]
+    #[should_panic(expected = "stale ghost read")]
+    fn skipped_fillpatch_traps_the_consuming_kernel() {
+        let domain_box = IndexBox::from_extents(16, 8, 8);
+        let domain = ProblemDomain::non_periodic(domain_box);
+        let mut mf = make_level(
+            vec![
+                IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(7, 7, 7)),
+                IndexBox::new(IntVect::new(8, 0, 0), IntVect::new(15, 7, 7)),
+            ],
+            1,
+            2,
+            0,
+        );
+        fill_patch_single_level(&mut mf, &domain, &NoOpBoundary, 0.0);
+        let lo = mf.valid_box(0).lo();
+        mf.fab_mut(0).set(lo, 0, 9.0); // stage update
+        // ... fill_patch_single_level deliberately skipped ...
+        mf.assert_ghosts_fresh("stencil kernel"); // the trap
     }
 
     #[test]

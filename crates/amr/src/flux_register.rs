@@ -121,12 +121,8 @@ impl FluxRegister {
             for (i, vb) in coarse.iter_valid().collect::<Vec<_>>() {
                 if vb.contains(face.cell) {
                     let fab: &mut FArrayBox = coarse.fab_mut(i);
-                    for c in 0..self.ncomp {
-                        fab.add(
-                            face.cell,
-                            c,
-                            face.sign as f64 * acc[c] * inv_dx[face.dir],
-                        );
+                    for (c, &a) in acc.iter().enumerate().take(self.ncomp) {
+                        fab.add(face.cell, c, face.sign as f64 * a * inv_dx[face.dir]);
                     }
                 }
             }

@@ -23,6 +23,9 @@
 //!   and the active-point accounting behind the paper's 89–94 % grid
 //!   reduction claim.
 
+// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod average_down;
 pub mod cluster;
 pub mod fillpatch;

@@ -14,6 +14,9 @@
 //! * [`fig3`] — kernel-level CPU/GPU curves (Fig. 3),
 //! * [`report`] — small table-printing helpers shared by the binaries.
 
+// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod dmrscale;
 pub mod fig3;
 pub mod report;

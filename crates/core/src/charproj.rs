@@ -72,8 +72,8 @@ pub fn roe_average(ul: &Conserved, ur: &Conserved, gas: &PerfectGas) -> RoeState
     let sr = wr.rho.sqrt();
     let inv = 1.0 / (sl + sr);
     let mut vel = [0.0; 3];
-    for d in 0..3 {
-        vel[d] = (sl * wl.vel[d] + sr * wr.vel[d]) * inv;
+    for (v, (&l, &r)) in vel.iter_mut().zip(wl.vel.iter().zip(&wr.vel)) {
+        *v = (sl * l + sr * r) * inv;
     }
     let hl = (ul.0[cons::ENER] + wl.p) / wl.rho;
     let hr = (ur.0[cons::ENER] + wr.p) / wr.rho;

@@ -100,8 +100,12 @@ impl Mechanism {
                 }
             }
             let q = qf - qr;
-            for s in 0..ns {
-                wdot_molar[s] += (rx.nu_products[s] as f64 - rx.nu_reactants[s] as f64) * q;
+            for ((w, &np), &nr) in wdot_molar
+                .iter_mut()
+                .zip(&rx.nu_products)
+                .zip(&rx.nu_reactants)
+            {
+                *w += (np as f64 - nr as f64) * q;
             }
         }
         wdot_molar

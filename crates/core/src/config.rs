@@ -166,6 +166,17 @@ pub struct SolverConfig {
     ///
     /// [`PlanCache`]: crocco_fab::plan_cache::PlanCache
     pub plan_cache: bool,
+    /// Run the `fabcheck` dynamic sanitizer on the solver's MultiFabs:
+    /// plan-aliasing proofs before every ghost exchange and stale-ghost traps
+    /// in the RK loop. Defaults to on when the crate is built with the
+    /// `fabcheck` cargo feature (the knob is inert without it).
+    pub fabcheck: bool,
+    /// Poison freshly allocated state/scratch fabs with signaling NaNs and
+    /// sweep valid regions with `check_for_nan` after every RK stage (AMReX's
+    /// `fab.initval` + `check_for_nan` discipline). Requires the `fabcheck`
+    /// cargo feature to have any effect; off by default — poisoning changes
+    /// what a bug *does* (trap vs silent zero), never correct results.
+    pub nan_poison: bool,
 }
 
 impl SolverConfig {
@@ -215,6 +226,8 @@ impl Default for SolverConfigBuilder {
                 nranks: 1,
                 threads: 1,
                 plan_cache: true,
+                fabcheck: cfg!(feature = "fabcheck"),
+                nan_poison: false,
             },
         }
     }
@@ -326,6 +339,21 @@ impl SolverConfigBuilder {
     /// Enables/disables communication-plan memoization.
     pub fn plan_cache(mut self, on: bool) -> Self {
         self.cfg.plan_cache = on;
+        self
+    }
+
+    /// Enables/disables the `fabcheck` dynamic sanitizer (inert unless the
+    /// crate was built with the `fabcheck` cargo feature).
+    pub fn fabcheck(mut self, on: bool) -> Self {
+        self.cfg.fabcheck = on;
+        self
+    }
+
+    /// Enables/disables signaling-NaN poisoning of fresh allocations plus
+    /// per-stage `check_for_nan` sweeps (inert without the `fabcheck` cargo
+    /// feature).
+    pub fn nan_poison(mut self, on: bool) -> Self {
+        self.cfg.nan_poison = on;
         self
     }
 

@@ -29,7 +29,7 @@ use crocco_amr::interp::Interpolator;
 use crocco_amr::BoundaryFiller;
 use crocco_amr::tagging::TagSet;
 use crocco_fab::plan::PlanStats;
-use crocco_fab::{FArrayBox, MultiFab};
+use crocco_fab::{fabcheck, BoxArray, DistributionMapping, FArrayBox, MultiFab};
 use crocco_geometry::{GridMapping, IndexBox, IntVect, ProblemDomain, RealVect};
 use crocco_perfmodel::Profiler;
 use crocco_runtime::{parallel_for_each_mut, parallel_zip_mut};
@@ -291,6 +291,26 @@ impl Simulation {
         sim
     }
 
+    /// Allocates a solver `MultiFab` honouring the sanitizer knobs: signaling
+    /// NaNs in every cell when `nan_poison` is on (so an unwritten cell traps
+    /// in the next `check_for_nan` sweep instead of smuggling a zero), and the
+    /// per-fab `fabcheck` toggle mirroring the config.
+    fn alloc_mf(
+        &self,
+        ba: Arc<BoxArray>,
+        dm: Arc<DistributionMapping>,
+        ncomp: usize,
+        nghost: i64,
+    ) -> MultiFab {
+        let mut mf = if self.cfg.nan_poison {
+            MultiFab::new_poisoned(ba, dm, ncomp, nghost)
+        } else {
+            MultiFab::new(ba, dm, ncomp, nghost)
+        };
+        mf.set_fabcheck(self.cfg.fabcheck);
+        mf
+    }
+
     /// Level extents at level `l`.
     fn level_extents(&self, l: usize) -> IntVect {
         let s = self.hierarchy.domain(l).bx.size();
@@ -345,7 +365,7 @@ impl Simulation {
                 .expect("coordinate file read failed");
             }
         }
-        let mut metrics = MultiFab::new(lev.ba.clone(), lev.dm.clone(), NMETRICS, NGHOST);
+        let mut metrics = self.alloc_mf(lev.ba.clone(), lev.dm.clone(), NMETRICS, NGHOST);
         compute_metrics(&coords, &mut metrics);
         (coords, metrics)
     }
@@ -376,9 +396,10 @@ impl Simulation {
         for l in 0..self.hierarchy.nlevels() {
             let lev = self.hierarchy.level(l);
             let (coords, metrics) = self.make_level_grid(l);
-            let mut state = MultiFab::new(lev.ba.clone(), lev.dm.clone(), NCONS, NGHOST);
+            let mut state = self.alloc_mf(lev.ba.clone(), lev.dm.clone(), NCONS, NGHOST);
             self.init_state_from_ic(&coords, &mut state);
-            let du = MultiFab::new(lev.ba.clone(), lev.dm.clone(), NCONS, 0);
+            state.mark_ghosts_filled(); // the IC writes every cell, ghosts included
+            let du = self.alloc_mf(lev.ba.clone(), lev.dm.clone(), NCONS, 0);
             self.levels.push(LevelData::new(state, du, coords, metrics));
         }
     }
@@ -440,7 +461,7 @@ impl Simulation {
     pub fn step(&mut self) {
         if self.cfg.version.amr_enabled()
             && self.step > 0
-            && self.step % self.cfg.regrid_freq == 0
+            && self.step.is_multiple_of(self.cfg.regrid_freq)
         {
             let t0 = std::time::Instant::now();
             self.regrid();
@@ -498,7 +519,7 @@ impl Simulation {
         for l in 1..nlev {
             let lev = self.hierarchy.level(l);
             let (coords, metrics) = self.make_level_grid(l);
-            let mut state = MultiFab::new(lev.ba.clone(), lev.dm.clone(), NCONS, NGHOST);
+            let mut state = self.alloc_mf(lev.ba.clone(), lev.dm.clone(), NCONS, NGHOST);
             // Interpolate the whole valid region from the coarser new level.
             let coarse = &new_levels[l - 1];
             let coarse_domain = self.hierarchy.domain(l - 1);
@@ -521,7 +542,7 @@ impl Simulation {
                 let plan = state.parallel_copy_from(&old.state, &domain);
                 self.comm.absorb_plan(&plan.stats(), PlanKind::ParallelCopy);
             }
-            let du = MultiFab::new(lev.ba.clone(), lev.dm.clone(), NCONS, 0);
+            let du = self.alloc_mf(lev.ba.clone(), lev.dm.clone(), NCONS, 0);
             new_levels.push(LevelData::new(state, du, coords, metrics));
         }
         self.levels = new_levels;
@@ -665,6 +686,12 @@ impl Simulation {
                 self.profiler
                     .add("AverageDown", t0.elapsed().as_secs_f64());
             }
+            if self.cfg.nan_poison {
+                for (l, lev) in self.levels.iter().enumerate() {
+                    fabcheck::check_for_nan(&lev.state, &format!("RK stage {stage} state L{l}"));
+                    fabcheck::check_for_nan(&lev.du, &format!("RK stage {stage} dU L{l}"));
+                }
+            }
         }
     }
 
@@ -680,6 +707,7 @@ impl Simulation {
         let threads = self.cfg.threads;
         let a = self.cfg.time_scheme.a(stage);
         let b = self.cfg.time_scheme.b(stage);
+        let poison = self.cfg.nan_poison;
         let LevelData {
             state,
             du,
@@ -688,6 +716,7 @@ impl Simulation {
             ..
         } = &mut self.levels[l];
         let ba = state.boxarray().clone();
+        state.assert_ghosts_fresh("advance_level RK stage kernels");
         // RHS per patch, in parallel, into the level's persistent scratch:
         // each worker owns one rhs fab (zeroed in place, never reallocated).
         {
@@ -710,6 +739,11 @@ impl Simulation {
         // Low-storage update, walking dU and U in lockstep per patch.
         let rhs = &*rhs;
         parallel_zip_mut(du.fabs_mut(), state.fabs_mut(), threads, |i, dufab, stfab| {
+            if poison && a == 0.0 {
+                // 0·SNAN is still NaN: a poisoned dU must be dropped
+                // explicitly at the first stage, not multiplied away.
+                dufab.fill(0.0);
+            }
             dufab.lincomb(a, dt, &rhs[i]);
             stfab.lincomb(1.0, b, dufab);
         });

@@ -119,7 +119,7 @@ pub fn weno_flux_recon(
         }
         // Reconstruct each face lo-½ … hi+½ (n+1 faces): face f sits
         // between valid-offset cells f-1 and f, window = pencil f..f+5.
-        for f in 0..=n {
+        for (f, ff) in face_flux.iter_mut().enumerate() {
             let base = f; // window start in pencil indexing
             let mut lambda: f64 = 0.0;
             for k in 0..6 {
@@ -138,7 +138,7 @@ pub fn weno_flux_recon(
                                 0.5 * (fhat[base + 5 - k][c] - lambda * v[base + 5 - k][c]);
                             wm[k] = qm;
                         }
-                        face_flux[f][c] =
+                        ff[c] =
                             reconstruct_face(&wp, variant) + reconstruct_face(&wm, variant);
                     }
                 }
@@ -183,7 +183,7 @@ pub fn weno_flux_recon(
                         what[field] = reconstruct_face(&cp[field], variant)
                             + reconstruct_face(&cm[field], variant);
                     }
-                    face_flux[f] = es.to_conserved(&what);
+                    *ff = es.to_conserved(&what);
                 }
             }
         }
@@ -194,9 +194,8 @@ pub fn weno_flux_recon(
             p[d2] = plane[d2];
             p[dir] = valid.lo()[dir] + i as i64;
             let jac = met.get(p, mcomp::JAC);
-            for c in 0..NCONS {
-                let dflux = face_flux[i + 1][c] - face_flux[i][c];
-                rhs.add(p, c, -dflux / jac);
+            for (c, (&fp, &fm)) in face_flux[i + 1].iter().zip(&face_flux[i]).enumerate() {
+                rhs.add(p, c, -(fp - fm) / jac);
             }
         }
     }
@@ -258,10 +257,10 @@ pub fn viscous_flux_les(
         let jac = met.get(p, mcomp::JAC);
         // Computational gradients of u, v, w, T (4th-order central).
         let mut dcomp = [[0.0; 3]; 4]; // [field][xi-dir]
-        for xi in 0..3 {
-            let e = IntVect::unit(xi);
-            for fi in 0..4 {
-                dcomp[fi][xi] = (prims.get(p - e * 2, fi) - 8.0 * prims.get(p - e, fi)
+        for (fi, row) in dcomp.iter_mut().enumerate() {
+            for (xi, dc) in row.iter_mut().enumerate() {
+                let e = IntVect::unit(xi);
+                *dc = (prims.get(p - e * 2, fi) - 8.0 * prims.get(p - e, fi)
                     + 8.0 * prims.get(p + e, fi)
                     - prims.get(p + e * 2, fi))
                     / 12.0;
@@ -269,13 +268,13 @@ pub fn viscous_flux_les(
         }
         // Transform to physical space: ∂φ/∂x_j = Σ_d (m_dj/J) ∂φ/∂ξ_d.
         let mut dphys = [[0.0; 3]; 4];
-        for (fi, row) in dcomp.iter().enumerate() {
-            for j in 0..3 {
+        for (row, dp_row) in dcomp.iter().zip(dphys.iter_mut()) {
+            for (j, dp) in dp_row.iter_mut().enumerate() {
                 let mut s = 0.0;
-                for d in 0..3 {
-                    s += met.get(p, mcomp::M + d * 3 + j) / jac * row[d];
+                for (d, &r) in row.iter().enumerate() {
+                    s += met.get(p, mcomp::M + d * 3 + j) / jac * r;
                 }
-                dphys[fi][j] = s;
+                *dp = s;
             }
         }
         let w_vel = [prims.get(p, 0), prims.get(p, 1), prims.get(p, 2)];
@@ -315,8 +314,8 @@ pub fn viscous_flux_les(
                     w_vel[0] * tau[0][j] + w_vel[1] * tau[1][j] + w_vel[2] * tau[2][j];
                 fv[cons::ENER] += mvec[j] * (work_term + k * dphys[3][j]);
             }
-            for c in 0..NCONS {
-                scratch.set(p, d * NCONS + c, fv[c]);
+            for (c, &f) in fv.iter().enumerate() {
+                scratch.set(p, d * NCONS + c, f);
             }
         }
     }

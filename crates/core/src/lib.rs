@@ -20,6 +20,9 @@
 //! Williamson low-storage RK3 time marching under a CFL constraint, and
 //! stored curvilinear coordinates + 27-component grid metrics (§III-C).
 
+// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod bc;
 pub mod charproj;
 pub mod chemistry;

@@ -184,52 +184,58 @@ pub fn compute_metrics(coords: &MultiFab, metrics: &mut MultiFab) {
         for p in bx.cells() {
             // Forward Jacobian F[i][j] = ∂x_i/∂ξ_j.
             let mut f = [[0.0; 3]; 3];
-            for xi_dir in 0..3 {
-                for xc in 0..3 {
-                    f[xc][xi_dir] = d1(cfab, p, xi_dir, xc);
+            for (xc, frow) in f.iter_mut().enumerate() {
+                for (xi_dir, fv) in frow.iter_mut().enumerate() {
+                    *fv = d1(cfab, p, xi_dir, xc);
                 }
             }
             let jac = det3(&f);
             debug_assert!(jac > 0.0, "negative Jacobian {jac} at {p:?}");
             // Adjugate: M[d][j] = J ∂ξ_d/∂x_j = cofactor matrix transpose.
             let adj = adjugate(&f);
-            for d in 0..3 {
-                for j in 0..3 {
-                    mfab.set(p, comp::M + d * 3 + j, adj[d][j]);
+            for (d, arow) in adj.iter().enumerate() {
+                for (j, &a) in arow.iter().enumerate() {
+                    mfab.set(p, comp::M + d * 3 + j, a);
                 }
             }
             mfab.set(p, comp::JAC, jac);
-            for xc in 0..3 {
-                for xi_dir in 0..3 {
-                    mfab.set(p, comp::FWD + xc * 3 + xi_dir, f[xc][xi_dir]);
+            for (xc, frow) in f.iter().enumerate() {
+                for (xi_dir, &fv) in frow.iter().enumerate() {
+                    mfab.set(p, comp::FWD + xc * 3 + xi_dir, fv);
                 }
             }
             // Diagonal curvature and skewness.
             let mut offdiag = 0.0;
             let mut diag = 0.0;
-            for d in 0..3 {
+            for (d, frow) in f.iter().enumerate() {
                 mfab.set(p, comp::CURV + d, d2(cfab, p, d, d));
-                for j in 0..3 {
+                for (j, &fv) in frow.iter().enumerate() {
                     if j == d {
-                        diag += f[d][j].abs();
+                        diag += fv.abs();
                     } else {
-                        offdiag += f[d][j].abs();
+                        offdiag += fv.abs();
                     }
                 }
             }
             mfab.set(p, comp::SKEW, offdiag / diag.max(1e-300));
             // Minimum physical spacing: column norms of F.
             let mut minsp = f64::INFINITY;
-            for xi_dir in 0..3 {
-                let len = (f[0][xi_dir].powi(2) + f[1][xi_dir].powi(2) + f[2][xi_dir].powi(2))
-                    .sqrt();
+            for ((&fx, &fy), &fz) in f[0].iter().zip(&f[1]).zip(&f[2]) {
+                let len = (fx.powi(2) + fy.powi(2) + fz.powi(2)).sqrt();
                 minsp = minsp.min(len);
             }
             mfab.set(p, comp::MINSP, minsp);
         }
         // ∇²ξ_d needs second differences of M/J, i.e. a second pass over the
         // interior of the metric box (stencil radius 1 using already-written
-        // M and J; the outermost ring keeps zero).
+        // M and J). The outermost ring carries zero — written explicitly, so
+        // the result does not depend on how the allocation was initialised
+        // (it may be NaN-poisoned under the fabcheck feature).
+        for p in bx.cells() {
+            for d in 0..3 {
+                mfab.set(p, comp::LAPXI + d, 0.0);
+            }
+        }
         let inner = bx.grow(-1);
         let snapshot = mfab.clone();
         for p in inner.cells() {
@@ -300,14 +306,14 @@ mod tests {
         let dx = [0.25, 0.125, 0.0625];
         let jac = fab.get(p, comp::JAC);
         assert!((jac - dx[0] * dx[1] * dx[2]).abs() < 1e-12);
-        for d in 0..3 {
+        for (d, &dxd) in dx.iter().enumerate() {
             for j in 0..3 {
-                let expect = if d == j { jac / dx[d] } else { 0.0 };
+                let expect = if d == j { jac / dxd } else { 0.0 };
                 assert!(
                     (fab.get(p, comp::M + d * 3 + j) - expect).abs() < 1e-12,
                     "M[{d}][{j}]"
                 );
-                let fexp = if d == j { dx[d] } else { 0.0 };
+                let fexp = if d == j { dxd } else { 0.0 };
                 assert!((fab.get(p, comp::FWD + j * 3 + d) - fexp).abs() < 1e-12);
             }
         }
@@ -320,12 +326,9 @@ mod tests {
         let f = [[1.0, 0.2, 0.0], [-0.1, 0.8, 0.3], [0.05, 0.0, 1.2]];
         let adj = adjugate(&f);
         let det = det3(&f);
-        for i in 0..3 {
+        for (i, arow) in adj.iter().enumerate() {
             for j in 0..3 {
-                let mut s = 0.0;
-                for k in 0..3 {
-                    s += adj[i][k] * f[k][j];
-                }
+                let s: f64 = arow.iter().zip(&f).map(|(&a, frow)| a * frow[j]).sum();
                 let expect = if i == j { det } else { 0.0 };
                 assert!((s - expect).abs() < 1e-14, "({i},{j})");
             }

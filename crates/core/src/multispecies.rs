@@ -145,8 +145,8 @@ impl Species1d {
         let rho = self.mech.mixture.density(&w.rho_s);
         let u = w.vel[0];
         let mut f = Vec::with_capacity(ns + 2);
-        for s in 0..ns {
-            f.push(cell[s] * u);
+        for &rho_s in &cell[..ns] {
+            f.push(rho_s * u);
         }
         f.push(rho * u * u + w.p);
         f.push((cell[ns + 1] + w.p) * u);
@@ -163,14 +163,14 @@ impl Species1d {
 
         // Convective face fluxes (Rusanov).
         let mut face = vec![vec![0.0; ncomp]; self.nx + 1];
-        for f in 0..=self.nx {
+        for (f, face_f) in face.iter_mut().enumerate() {
             let l = self.ghost(f as isize - 1);
             let r = self.ghost(f as isize);
             let (fl, sl) = self.flux(&l);
             let (fr, sr) = self.flux(&r);
             let lam = sl.max(sr);
             for c in 0..ncomp {
-                face[f][c] = 0.5 * (fl[c] + fr[c]) - 0.5 * lam * (r[c] - l[c]);
+                face_f[c] = 0.5 * (fl[c] + fr[c]) - 0.5 * lam * (r[c] - l[c]);
             }
         }
         for i in 0..self.nx {
@@ -220,12 +220,12 @@ impl Species1d {
 
         // Chemistry source w_s (momentum and energy untouched: Eq. 2 absorbs
         // the heat release through the formation enthalpies).
-        for i in 0..self.nx {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let st = self.cell_state(i);
             let t = self.mech.mixture.temperature(&st);
             let w = self.mech.production_rates(&st.rho_s, t);
-            for s in 0..ns {
-                out[i][s] += w[s];
+            for (o, &ws) in out_i.iter_mut().zip(&w) {
+                *o += ws;
             }
         }
         out

@@ -66,8 +66,8 @@ pub fn weno_flux_reference(
             uc * cellu.0[cons::ENER] + uc * w.p,
         ];
         let mut v = [0.0; NCONS];
-        for c in 0..NCONS {
-            v[c] = cellu.0[c] * jac;
+        for (vc, &cu) in v.iter_mut().zip(&cellu.0) {
+            *vc = cu * jac;
         }
         (fhat, v, speed)
     };

@@ -56,31 +56,31 @@ impl Smagorinsky {
             ])
             .to_primitive(gas)
         };
-        let mut dcomp = [[0.0; 3]; 3]; // [vel comp][xi dir]
-        for xi in 0..3 {
+        let mut dcomp = [[0.0; 3]; 3]; // [xi dir][vel comp]
+        for (xi, row) in dcomp.iter_mut().enumerate() {
             let e = IntVect::unit(xi);
             let wp = prim(p + e);
             let wm = prim(p - e);
-            for v in 0..3 {
-                dcomp[v][xi] = 0.5 * (wp.vel[v] - wm.vel[v]);
+            for ((dc, &vp), &vm) in row.iter_mut().zip(&wp.vel).zip(&wm.vel) {
+                *dc = 0.5 * (vp - vm);
             }
         }
         // Transform: ∂u_i/∂x_j = Σ_d (m_dj / J) ∂u_i/∂ξ_d.
         let mut g = [[0.0; 3]; 3];
-        for i in 0..3 {
-            for j in 0..3 {
+        for (i, grow) in g.iter_mut().enumerate() {
+            for (j, gij) in grow.iter_mut().enumerate() {
                 let mut s = 0.0;
-                for d in 0..3 {
-                    s += met.get(p, mcomp::M + d * 3 + j) / jac * dcomp[i][d];
+                for (d, drow) in dcomp.iter().enumerate() {
+                    s += met.get(p, mcomp::M + d * 3 + j) / jac * drow[i];
                 }
-                g[i][j] = s;
+                *gij = s;
             }
         }
         // |S| = sqrt(2 S_ij S_ij), S_ij = (g_ij + g_ji)/2.
         let mut ss = 0.0;
-        for i in 0..3 {
-            for j in 0..3 {
-                let sij = 0.5 * (g[i][j] + g[j][i]);
+        for (i, grow) in g.iter().enumerate() {
+            for (j, &gij) in grow.iter().enumerate() {
+                let sij = 0.5 * (gij + g[j][i]);
                 ss += sij * sij;
             }
         }

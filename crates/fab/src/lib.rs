@@ -20,6 +20,7 @@
 pub mod boxarray;
 pub mod distribution;
 pub mod fab;
+pub mod fabcheck;
 pub mod multifab;
 pub mod plan;
 pub mod plan_cache;

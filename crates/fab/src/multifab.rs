@@ -1,8 +1,17 @@
 //! `MultiFab`: the distributed multi-patch field container.
+//!
+//! This is the workspace's only module allowed to contain `unsafe` code (the
+//! raw per-fab views behind parallel plan execution); the allowlist is
+//! enforced by `cargo xtask lint`, and the aliasing assumptions the unsafe
+//! blocks rely on are dynamically provable with the `fabcheck` feature
+//! ([`crate::fabcheck`]).
+#![allow(unsafe_code)]
 
 use crate::boxarray::BoxArray;
 use crate::distribution::DistributionMapping;
 use crate::fab::FArrayBox;
+#[cfg(feature = "fabcheck")]
+use crate::fabcheck;
 use crate::plan::{fill_boundary_plan, parallel_copy_plan, CopyPlan};
 use crate::plan_cache::{CachedPlan, PlanCache};
 use crocco_geometry::{IndexBox, IntVect, ProblemDomain};
@@ -26,6 +35,10 @@ pub struct MultiFab {
     ncomp: usize,
     nghost: i64,
     fabs: Vec<FArrayBox>,
+    /// Sanitizer bookkeeping (ghost-freshness epochs, master switch); see
+    /// [`crate::fabcheck::CheckState`] for the freshness model.
+    #[cfg(feature = "fabcheck")]
+    check: fabcheck::CheckState,
 }
 
 impl MultiFab {
@@ -44,7 +57,30 @@ impl MultiFab {
             ncomp,
             nghost,
             fabs,
+            #[cfg(feature = "fabcheck")]
+            check: fabcheck::CheckState::default(),
         }
+    }
+
+    /// Like [`MultiFab::new`], but with the `fabcheck` feature every cell is
+    /// poisoned with a signaling NaN ([`crate::fabcheck::SNAN`]) instead of
+    /// zero, so any kernel consuming a never-written value propagates NaN and
+    /// is caught by the next [`crate::fabcheck::check_for_nan`] sweep (the
+    /// AMReX `fab.initval` discipline). Without the feature this is exactly
+    /// `new` — callers may use it unconditionally.
+    pub fn new_poisoned(
+        ba: Arc<BoxArray>,
+        dm: Arc<DistributionMapping>,
+        ncomp: usize,
+        nghost: i64,
+    ) -> Self {
+        #[allow(unused_mut)]
+        let mut mf = Self::new(ba, dm, ncomp, nghost);
+        #[cfg(feature = "fabcheck")]
+        for f in &mut mf.fabs {
+            f.fill(fabcheck::SNAN);
+        }
+        mf
     }
 
     /// The box array.
@@ -92,6 +128,7 @@ impl MultiFab {
     /// Patch `i`'s fab, mutably.
     #[inline]
     pub fn fab_mut(&mut self, i: usize) -> &mut FArrayBox {
+        self.note_data_mutation();
         &mut self.fabs[i]
     }
 
@@ -99,7 +136,74 @@ impl MultiFab {
     /// for neighbor-reading updates. (Returns `(dst, all_others)` where
     /// `all_others[i]` must not be used.)
     pub fn fabs_mut(&mut self) -> &mut [FArrayBox] {
+        self.note_data_mutation();
         &mut self.fabs
+    }
+
+    /// Switches the `fabcheck` sanitizer on/off for this MultiFab (the config
+    /// knob). No-op without the `fabcheck` feature.
+    pub fn set_fabcheck(&mut self, _on: bool) {
+        #[cfg(feature = "fabcheck")]
+        {
+            self.check.enabled = _on;
+        }
+    }
+
+    /// Declares the ghost regions coherent with the current valid data.
+    /// `fill_boundary` calls this itself; fill-patch sequences that apply
+    /// physical BCs through `fabs_mut` afterwards must call it once the whole
+    /// ghost shell is in its final state. No-op without `fabcheck`.
+    pub fn mark_ghosts_filled(&mut self) {
+        #[cfg(feature = "fabcheck")]
+        {
+            self.check.ghost_epoch = Some(self.check.data_epoch);
+        }
+    }
+
+    /// Traps a stale-ghost read: panics (under the `fabcheck` feature, when
+    /// enabled) if valid data changed since the last ghost fill, or if ghosts
+    /// were never filled at all. Kernels that consume ghost cells call this
+    /// on entry; `_label` names the call site in the panic message.
+    pub fn assert_ghosts_fresh(&self, _label: &str) {
+        #[cfg(feature = "fabcheck")]
+        if self.check.enabled {
+            assert!(
+                self.check.ghosts_fresh(),
+                "fabcheck: stale ghost read in {_label}: data epoch {}, ghosts filled at {:?} \
+                 (None = never) — a fill_boundary/fill_patch is missing",
+                self.check.data_epoch,
+                self.check.ghost_epoch
+            );
+        }
+    }
+
+    /// `true` when ghosts are coherent with the valid data. Always `true`
+    /// without the `fabcheck` feature (no bookkeeping to consult).
+    pub fn ghosts_fresh(&self) -> bool {
+        #[cfg(feature = "fabcheck")]
+        {
+            self.check.ghosts_fresh()
+        }
+        #[cfg(not(feature = "fabcheck"))]
+        {
+            true
+        }
+    }
+
+    #[inline]
+    fn note_data_mutation(&mut self) {
+        #[cfg(feature = "fabcheck")]
+        {
+            self.check.data_epoch += 1;
+        }
+    }
+
+    #[inline]
+    fn check_plan_gated(&self, _plan: &CopyPlan, _in_place: bool) {
+        #[cfg(feature = "fabcheck")]
+        if self.check.enabled {
+            fabcheck::check_plan(_plan, _in_place);
+        }
     }
 
     /// Iterator over `(patch_id, valid_box)` pairs — the MFIter analog.
@@ -112,6 +216,9 @@ impl MultiFab {
         for f in &mut self.fabs {
             f.fill(v);
         }
+        // Ghosts were written too: the whole fab is coherent.
+        self.note_data_mutation();
+        self.mark_ghosts_filled();
     }
 
     /// Fills ghost cells of every patch from same-level neighbors (and
@@ -123,7 +230,9 @@ impl MultiFab {
     pub fn fill_boundary(&mut self, domain: &ProblemDomain) -> CopyPlan {
         let plan = fill_boundary_plan(&self.ba, &self.dm, domain, self.nghost, self.ncomp);
         let groups = plan.dst_groups();
+        self.check_plan_gated(&plan, true);
         execute_grouped(&mut self.fabs, None, &plan, &groups, 1);
+        self.mark_ghosts_filled();
         plan
     }
 
@@ -137,7 +246,9 @@ impl MultiFab {
         threads: usize,
     ) -> Arc<CachedPlan> {
         let cp = cache.fill_boundary(&self.ba, &self.dm, domain, self.nghost, self.ncomp);
+        self.check_plan_gated(&cp.plan, true);
         execute_grouped(&mut self.fabs, None, &cp.plan, &cp.groups, threads);
+        self.mark_ghosts_filled();
         cp
     }
 
@@ -156,8 +267,24 @@ impl MultiFab {
             self.ncomp,
         );
         let groups = plan.dst_groups();
+        self.check_plan_gated(&plan, false);
         execute_grouped(&mut self.fabs, Some(&src.fabs), &plan, &groups, 1);
+        self.note_data_mutation();
         plan
+    }
+
+    /// Executes a caller-supplied *in-place* plan over this MultiFab (each
+    /// chunk copies `region - shift` → `region` between this MultiFab's own
+    /// fabs). A testing/tooling hook: the cached execution paths build their
+    /// plans internally, but seeded-fault tests and future plan surgeries
+    /// need to run a hand-built plan through the same grouped executor —
+    /// under `fabcheck` the plan is proven alias-free first, so a seeded
+    /// aliasing bug panics here instead of corrupting data.
+    pub fn execute_plan(&mut self, plan: &CopyPlan, threads: usize) {
+        self.check_plan_gated(plan, true);
+        let groups = plan.dst_groups();
+        execute_grouped(&mut self.fabs, None, plan, &groups, threads);
+        self.note_data_mutation();
     }
 
     /// [`MultiFab::parallel_copy_from`] with a memoized plan and parallel
@@ -179,7 +306,9 @@ impl MultiFab {
             self.nghost,
             self.ncomp,
         );
+        self.check_plan_gated(&cp.plan, false);
         execute_grouped(&mut self.fabs, Some(&src.fabs), &cp.plan, &cp.groups, threads);
+        self.note_data_mutation();
         cp
     }
 
@@ -241,10 +370,16 @@ impl MultiFab {
 /// aliases another thread's `&` into X's valid cells.
 #[derive(Clone, Copy)]
 struct RawFab {
+    /// The fab's full (valid + ghost) box, kept for index-bounds
+    /// `debug_assert`s on every chunk — raw-view construction must not rely
+    /// on caller discipline alone even with `fabcheck` off.
+    bx: IndexBox,
     lo: IntVect,
     nx: usize,
     ny: usize,
     nz: usize,
+    /// Allocation length in `f64`s (`nx·ny·nz·ncomp`).
+    len: usize,
     ptr: *mut f64,
 }
 
@@ -252,11 +387,14 @@ impl RawFab {
     fn capture(f: &mut FArrayBox) -> Self {
         let bx = f.bx();
         let s = bx.size();
+        let len = f.data().len();
         RawFab {
+            bx,
             lo: bx.lo(),
             nx: s[0] as usize,
             ny: s[1] as usize,
             nz: s[2] as usize,
+            len,
             ptr: f.data_mut().as_mut_ptr(),
         }
     }
@@ -265,11 +403,14 @@ impl RawFab {
     fn capture_const(f: &FArrayBox) -> Self {
         let bx = f.bx();
         let s = bx.size();
+        let len = f.data().len();
         RawFab {
+            bx,
             lo: bx.lo(),
             nx: s[0] as usize,
             ny: s[1] as usize,
             nz: s[2] as usize,
+            len,
             ptr: f.data().as_ptr() as *mut f64,
         }
     }
@@ -277,6 +418,11 @@ impl RawFab {
     /// Flat offset of `(p, comp)` — mirrors [`FArrayBox::offset`].
     #[inline]
     fn offset(&self, p: IntVect, comp: usize) -> usize {
+        debug_assert!(
+            self.bx.contains(p),
+            "raw-view index {p:?} outside fab box {:?}",
+            self.bx
+        );
         let i = (p[0] - self.lo[0]) as usize;
         let j = (p[1] - self.lo[1]) as usize;
         let k = (p[2] - self.lo[2]) as usize;
@@ -287,7 +433,14 @@ impl RawFab {
 /// `&[RawFab]` wrapper asserting cross-thread shareability. Safe because the
 /// executor's access pattern is disjoint (see [`execute_grouped`]).
 struct RawFabs<'a>(&'a [RawFab]);
+// SAFETY: the raw pointers inside are only dereferenced by `copy_chunk_raw`
+// on chunk regions proven disjoint per destination group (see the safety
+// argument on `execute_grouped`), so handing the view to another thread
+// cannot create a data race.
 unsafe impl Send for RawFabs<'_> {}
+// SAFETY: shared references to `RawFabs` only expose `Copy` geometry data and
+// raw pointers; all mutation goes through `copy_chunk_raw` under the same
+// disjointness argument as `Send` above.
 unsafe impl Sync for RawFabs<'_> {}
 
 impl RawFabs<'_> {
@@ -332,6 +485,28 @@ fn execute_grouped(
     parallel_for(groups.len(), threads, |g| {
         let (start, end) = groups[g];
         for c in &plan.chunks[start..end] {
+            debug_assert!(
+                c.region.is_empty() || d.get(c.dst_id).bx.contains_box(&c.region),
+                "chunk writes {:?}, outside destination fab {} box {:?}",
+                c.region,
+                c.dst_id,
+                d.get(c.dst_id).bx
+            );
+            debug_assert!(
+                c.region.is_empty()
+                    || s.get(c.src_id).bx.contains_box(&c.region.shift(-c.shift)),
+                "chunk reads {:?}, outside source fab {} box {:?}",
+                c.region.shift(-c.shift),
+                c.src_id,
+                s.get(c.src_id).bx
+            );
+            // SAFETY: the region lies in the destination fab's box and the
+            // shifted region in the source fab's box (asserted above in debug
+            // builds, guaranteed by the plan builders), and no other thread
+            // touches these cells — each destination fab belongs to exactly
+            // one group, and in-place reads target valid cells while writes
+            // target ghost cells (see the function-level safety argument;
+            // dynamically proven per-execution under `fabcheck`).
             unsafe { copy_chunk_raw(d.get(c.dst_id), s.get(c.src_id), c.region, c.shift, ncomp) };
         }
     });
@@ -346,6 +521,9 @@ fn execute_grouped(
 /// [`execute_grouped`]'s grouping). Source and destination rows never
 /// overlap: either the fabs differ, or (periodic self-copy) the source rows
 /// lie in valid cells and the destination rows in ghost cells.
+// SAFETY: an unsafe fn — every dereference below is bounds-checked in debug
+// builds against the captured allocation length, and callers uphold the
+// contract documented above.
 unsafe fn copy_chunk_raw(
     dst: &RawFab,
     src: &RawFab,
@@ -361,8 +539,12 @@ unsafe fn copy_chunk_raw(
         for k in region.lo()[2]..=region.hi()[2] {
             for j in region.lo()[1]..=region.hi()[1] {
                 let dp = IntVect::new(region.lo()[0], j, k);
-                let srow = src.ptr.add(src.offset(dp - shift, c));
-                let drow = dst.ptr.add(dst.offset(dp, c));
+                let soff = src.offset(dp - shift, c);
+                let doff = dst.offset(dp, c);
+                debug_assert!(soff + nx <= src.len, "source row overruns allocation");
+                debug_assert!(doff + nx <= dst.len, "destination row overruns allocation");
+                let srow = src.ptr.add(soff);
+                let drow = dst.ptr.add(doff);
                 std::ptr::copy_nonoverlapping(srow, drow, nx);
             }
         }
@@ -530,6 +712,95 @@ mod tests {
                     "threads={threads} patch {i}"
                 );
             }
+        }
+    }
+
+    /// Tentpole acceptance: a deliberately-overlapping hand-built plan must
+    /// be rejected before the unsafe executor ever runs it.
+    #[cfg(feature = "fabcheck")]
+    #[test]
+    #[should_panic(expected = "plan aliasing")]
+    fn seeded_overlapping_plan_is_caught() {
+        use crate::plan::CopyChunk;
+        let (mut mf, _domain) = setup(2);
+        fill_linear(&mut mf);
+        let valid = mf.valid_box(0);
+        // Two chunks whose write regions overlap by one cell row.
+        let r1 = IndexBox::new(valid.lo(), valid.lo() + IntVect::new(2, 1, 0));
+        let r2 = r1.shift(IntVect::new(1, 0, 0));
+        let chunks = [r1, r2]
+            .into_iter()
+            .map(|region| CopyChunk {
+                src_id: 0,
+                dst_id: 0,
+                src_rank: 0,
+                dst_rank: 0,
+                region,
+                shift: IntVect::new(0, 0, 2),
+            })
+            .collect();
+        let plan = CopyPlan { chunks, ncomp: 2 };
+        mf.execute_plan(&plan, 1);
+    }
+
+    /// Tentpole acceptance: reading ghosts after the valid data changed
+    /// (i.e. a skipped `fill_boundary`) must trap.
+    #[cfg(feature = "fabcheck")]
+    #[test]
+    #[should_panic(expected = "stale ghost read")]
+    fn stale_ghosts_after_mutation_trap() {
+        let (mut mf, domain) = setup(2);
+        fill_linear(&mut mf);
+        mf.fill_boundary(&domain);
+        mf.assert_ghosts_fresh("first kernel"); // fresh: must not panic
+        let lo = mf.valid_box(0).lo();
+        mf.fab_mut(0).add(lo, 0, 1.0); // valid data changes…
+        mf.assert_ghosts_fresh("second kernel"); // …ghosts now stale: traps
+    }
+
+    #[cfg(feature = "fabcheck")]
+    #[test]
+    #[should_panic(expected = "never")]
+    fn never_filled_ghosts_trap() {
+        let (mf, _domain) = setup(2);
+        mf.assert_ghosts_fresh("kernel before any fill");
+    }
+
+    #[cfg(feature = "fabcheck")]
+    #[test]
+    fn poisoned_allocation_is_nan_until_written() {
+        let (mf, _domain) = setup(1);
+        let mut p = MultiFab::new_poisoned(
+            mf.boxarray().clone(),
+            mf.distribution().clone(),
+            2,
+            1,
+        );
+        let lo = p.valid_box(0).lo();
+        assert!(p.fab(0).get(lo, 0).is_nan());
+        p.set_val(0.0);
+        crate::fabcheck::check_for_nan(&p, "after set_val"); // clean now
+    }
+
+    #[cfg(feature = "fabcheck")]
+    #[test]
+    fn disabling_fabcheck_silences_the_traps() {
+        let (mut mf, _domain) = setup(2);
+        mf.set_fabcheck(false);
+        mf.assert_ghosts_fresh("unchecked kernel"); // would trap if enabled
+    }
+
+    #[test]
+    fn new_poisoned_without_feature_is_plain_new() {
+        // With `fabcheck` off this must be all zeros (bitwise-invisible);
+        // with it on, allocation-poisoning is the point.
+        let (mf, _domain) = setup(1);
+        let p = MultiFab::new_poisoned(mf.boxarray().clone(), mf.distribution().clone(), 2, 1);
+        let lo = p.valid_box(0).lo();
+        if cfg!(feature = "fabcheck") {
+            assert!(p.fab(0).get(lo, 0).is_nan());
+        } else {
+            assert_eq!(p.fab(0).get(lo, 0), 0.0);
         }
     }
 

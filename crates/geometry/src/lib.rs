@@ -19,6 +19,9 @@
 //!
 //! Everything here is pure index arithmetic: no field data, no parallelism.
 
+// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod decompose;
 pub mod domain;
 pub mod ibox;

@@ -24,6 +24,9 @@
 //! Every calibration constant lives in [`summit`] with a comment tying it to
 //! the paper number it reproduces.
 
+// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod cpu;
 pub mod gpu;
 pub mod kernelspec;

@@ -180,7 +180,7 @@ impl RankEndpoint {
         // Reduce to rank 0 over a binomial tree.
         let mut step = 1;
         while step < n {
-            if rank % (2 * step) == 0 {
+            if rank.is_multiple_of(2 * step) {
                 let partner = rank + step;
                 if partner < n {
                     // Children may race into the queue in any order; the
@@ -205,7 +205,7 @@ impl RankEndpoint {
             s *= 2;
         }
         for &s in steps.iter().rev() {
-            if rank % (2 * s) == 0 {
+            if rank.is_multiple_of(2 * s) {
                 let partner = rank + s;
                 if partner < n {
                     self.send(partner, u64::MAX - 1, Bytes::copy_from_slice(&acc.to_le_bytes()));

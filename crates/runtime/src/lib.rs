@@ -16,6 +16,9 @@
 //!   OpenMP/GPU-thread analog below MPI, §IV-B).
 //! * [`topology`] — rank ↔ node placement for Summit-like machines.
 
+// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod pool;
 pub mod sim;

@@ -131,9 +131,9 @@ impl SimComm {
             .filter(|(_, &t)| t)
             .map(|(c, _)| *c)
             .fold(0.0, f64::max);
-        for r in 0..n {
-            if touched[r] {
-                self.clock[r] = phase_end;
+        for (clock, &hit) in self.clock.iter_mut().zip(&touched) {
+            if hit {
+                *clock = phase_end;
             }
         }
         phase_end - start.min(phase_end)

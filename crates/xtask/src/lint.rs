@@ -1,0 +1,593 @@
+//! Source-level lint rules for the workspace (`cargo xtask lint`).
+//!
+//! The checks enforce the unsafe-code policy documented in DESIGN.md §4d:
+//!
+//! 1. the `unsafe` keyword appears only in allowlisted modules (the fab
+//!    plan-execution path) — elsewhere the token itself is an error, even in
+//!    positions the compiler would accept;
+//! 2. every line containing `unsafe` in an allowlisted module is directly
+//!    preceded by (or carries) a `SAFETY:` comment justifying it;
+//! 3. every workspace crate root outside the allowlist opens with
+//!    `#![forbid(unsafe_code)]`, so the policy survives refactors that move
+//!    code between crates;
+//! 4. `todo!`, `unimplemented!` and `dbg!` never reach the tree.
+//!
+//! The scanner is a small hand-rolled Rust lexer (line/nested-block comments,
+//! string/raw-string/char literals, char-vs-lifetime disambiguation):
+//! grep-level matching would false-positive on the word `unsafe` inside a
+//! string or a comment, and the offline container cannot pull a real parser.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Modules allowed to contain `unsafe` code, as workspace-relative paths.
+/// Growing this list is a reviewed decision — see DESIGN.md §4d.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/fab/src/multifab.rs"];
+
+/// Crate roots exempt from the `#![forbid(unsafe_code)]` requirement because
+/// they host an allowlisted module (the workspace-level `deny` still applies
+/// outside the module's own `allow`).
+const FORBID_EXEMPT_ROOTS: &[&str] = &["crates/fab/src/lib.rs"];
+
+/// Directory names never descended into. `vendor` holds stand-ins for
+/// third-party crates — not workspace code — and `target` is build output.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git"];
+
+/// Macros that must not reach the tree: stubs and debug leftovers.
+const BANNED_MACROS: &[&str] = &["todo", "unimplemented", "dbg"];
+
+/// One `file:line: message` finding.
+pub struct Diagnostic {
+    pub path: PathBuf,
+    pub line: usize,
+    pub message: String,
+}
+
+/// The outcome of a full workspace scan.
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+    pub unsafe_sites: usize,
+}
+
+/// Lints every `.rs` file under `root` (minus [`SKIP_DIRS`]) plus the
+/// crate-root attribute rule for each workspace crate found.
+pub fn lint_root(root: &Path) -> Report {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files);
+    files.sort();
+
+    let mut report = Report {
+        diagnostics: Vec::new(),
+        files_scanned: files.len(),
+        unsafe_sites: 0,
+    };
+    let roots = crate_roots(root);
+    for rel in &files {
+        let src = match fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                report.diagnostics.push(Diagnostic {
+                    path: rel.clone(),
+                    line: 0,
+                    message: format!("unreadable: {e}"),
+                });
+                continue;
+            }
+        };
+        let rel_str = rel_slashes(rel);
+        lint_file(rel, &rel_str, &src, roots.contains(rel), &mut report);
+    }
+    report
+}
+
+/// Applies all per-file rules to one source file.
+fn lint_file(rel: &Path, rel_str: &str, src: &str, is_crate_root: bool, report: &mut Report) {
+    let stripped = strip(src);
+    let allowlisted = UNSAFE_ALLOWLIST.contains(&rel_str);
+
+    for (idx, line) in stripped.code.iter().enumerate() {
+        let lineno = idx + 1;
+        if token_pos(line, "unsafe").is_some() {
+            report.unsafe_sites += 1;
+            if !allowlisted {
+                report.diagnostics.push(Diagnostic {
+                    path: rel.to_path_buf(),
+                    line: lineno,
+                    message: format!(
+                        "`unsafe` outside the allowlisted modules ({}); \
+                         move the code there or make it safe",
+                        UNSAFE_ALLOWLIST.join(", ")
+                    ),
+                });
+            } else if !has_safety_comment(&stripped, idx) {
+                report.diagnostics.push(Diagnostic {
+                    path: rel.to_path_buf(),
+                    line: lineno,
+                    message: "`unsafe` without a `// SAFETY:` comment directly above it"
+                        .to_string(),
+                });
+            }
+        }
+        for mac in BANNED_MACROS {
+            if macro_pos(line, mac).is_some() {
+                report.diagnostics.push(Diagnostic {
+                    path: rel.to_path_buf(),
+                    line: lineno,
+                    message: format!("`{mac}!` must not reach the tree"),
+                });
+            }
+        }
+    }
+
+    if is_crate_root && !FORBID_EXEMPT_ROOTS.contains(&rel_str) {
+        let has_forbid = stripped
+            .code
+            .iter()
+            .any(|l| l.split_whitespace().collect::<String>() == "#![forbid(unsafe_code)]");
+        if !has_forbid {
+            report.diagnostics.push(Diagnostic {
+                path: rel.to_path_buf(),
+                line: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+}
+
+/// True when the comment block directly above line `idx` (or the line's own
+/// trailing comment) contains `SAFETY:`.
+fn has_safety_comment(stripped: &Stripped, idx: usize) -> bool {
+    if stripped.comment[idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let code_blank = stripped.code[j].trim().is_empty();
+        let comment = stripped.comment[j].trim();
+        if code_blank && !comment.is_empty() {
+            if stripped.comment[j].contains("SAFETY:") {
+                return true;
+            }
+            // keep walking up through the comment block
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Position of `word` in `line` as a standalone token (identifier
+/// boundaries on both sides), or `None`.
+fn token_pos(line: &str, word: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(off) = line[start..].find(word) {
+        let at = start + off;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+/// Position of a `name!` macro invocation in `line`, or `None`.
+fn macro_pos(line: &str, name: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(at) = token_pos(&line[start..], name).map(|p| p + start) {
+        let rest = line[at + name.len()..].trim_start();
+        if rest.starts_with('!') {
+            return Some(at);
+        }
+        start = at + name.len();
+        if start >= line.len() {
+            break;
+        }
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Recursively collects workspace-relative `.rs` paths under `dir`.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// The crate-root source files of the workspace: `src/lib.rs` (or
+/// `src/main.rs`) of the root package and of every `crates/*` member that has
+/// a `Cargo.toml`.
+fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.to_path_buf()];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                dirs.push(entry.path());
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for d in dirs {
+        if !d.join("Cargo.toml").exists() {
+            continue;
+        }
+        for candidate in ["src/lib.rs", "src/main.rs"] {
+            let p = d.join(candidate);
+            if p.exists() {
+                if let Ok(rel) = p.strip_prefix(root) {
+                    out.push(rel.to_path_buf());
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Normalizes a relative path to forward slashes for allowlist comparison.
+fn rel_slashes(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// A source file split per line into code text (string/char literal contents
+/// blanked, comments removed) and comment text.
+struct Stripped {
+    code: Vec<String>,
+    comment: Vec<String>,
+}
+
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Number of `#` marks delimiting the raw string.
+    RawStr(u32),
+}
+
+/// The hand-rolled lexer: walks `src` once, routing each character to the
+/// code or comment channel of the current line.
+fn strip(src: &str) -> Stripped {
+    let chars: Vec<char> = src.chars().collect();
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw (byte) string openers: r"…", r#"…"#, br"…", … — only
+                // when the `r` starts a token (`for` ends in r but is code).
+                let prev_ident = code.chars().last().is_some_and(|p| is_ident_byte(p as u8));
+                if !prev_ident && (c == 'r' || (c == 'b' && next == Some('r'))) {
+                    let mut j = i + if c == 'b' { 2 } else { 1 };
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime/label: a literal is '\…' or a
+                    // single char followed by a closing quote.
+                    let is_char_lit = next == Some('\\')
+                        || (next.is_some() && chars.get(i + 2) == Some(&'\''));
+                    if is_char_lit {
+                        code.push_str("' '");
+                        i += 1; // consume opening quote
+                        if chars.get(i) == Some(&'\\') {
+                            i += 2; // escape introducer + escaped char
+                            // multi-char escapes (\x41, \u{…}) run to the quote
+                            while i < chars.len() && chars[i] != '\'' {
+                                i += 1;
+                            }
+                        } else {
+                            i += 1; // the single literal char
+                        }
+                        i += 1; // closing quote
+                        continue;
+                    }
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (covers \" and \\)
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closed = (1..=hashes as usize)
+                        .all(|k| chars.get(i + k) == Some(&'#'));
+                    if closed {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    code_lines.push(code);
+    comment_lines.push(comment);
+    Stripped {
+        code: code_lines,
+        comment: comment_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn code_of(src: &str) -> Vec<String> {
+        strip(src).code
+    }
+
+    #[test]
+    fn lexer_blanks_strings_and_drops_comments() {
+        let s = strip("let x = \"unsafe\"; // unsafe here\n");
+        assert!(token_pos(&s.code[0], "unsafe").is_none());
+        assert!(s.comment[0].contains("unsafe"));
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_and_nested_block_comments() {
+        let code = code_of("let r = r#\"unsafe \" quote\"#; /* a /* unsafe */ b */ let y = 1;\n");
+        assert!(token_pos(&code[0], "unsafe").is_none());
+        assert!(code[0].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn lexer_distinguishes_lifetimes_from_char_literals() {
+        // A lifetime must stay in the code channel; a char literal containing
+        // a quote must not desynchronize the string detector.
+        let code = code_of("fn f<'a>(x: &'a str) { let q = '\"'; let u = unsafe_name(); }\n");
+        assert!(code[0].contains("'a"));
+        assert!(token_pos(&code[0], "unsafe").is_none(), "unsafe_name is not the token");
+        let code = code_of("let c = '\\''; let d = unsafe_marker;\n");
+        assert!(token_pos(&code[0], "unsafe").is_none());
+        assert!(code[0].contains("unsafe_marker"));
+    }
+
+    #[test]
+    fn token_and_macro_matching_respect_boundaries() {
+        assert!(token_pos("unsafe {", "unsafe").is_some());
+        assert!(token_pos("make_unsafe()", "unsafe").is_none());
+        assert!(token_pos("unsafely()", "unsafe").is_none());
+        assert!(macro_pos("x(); t o d o", "dbg").is_none());
+        assert!(macro_pos("dbg ! (x)", "dbg").is_some());
+        assert!(macro_pos("let dbg = 1;", "dbg").is_none());
+    }
+
+    #[test]
+    fn safety_rule_accepts_block_directly_above() {
+        let s = strip("// SAFETY: regions proven disjoint\n// by check_plan.\nunsafe { x() }\n");
+        assert!(has_safety_comment(&s, 2));
+        let s = strip("let a = 1;\nunsafe { x() }\n");
+        assert!(!has_safety_comment(&s, 1));
+    }
+
+    // ---- fixture-tree integration tests ----------------------------------
+
+    static FIXTURE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    /// A throwaway directory tree; removed on drop.
+    struct Fixture {
+        root: PathBuf,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let root = std::env::temp_dir().join(format!(
+                "xtask_lint_fixture_{}_{}",
+                std::process::id(),
+                FIXTURE_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&root).unwrap();
+            Fixture { root }
+        }
+
+        fn write(&self, rel: &str, contents: &str) {
+            let p = self.root.join(rel);
+            fs::create_dir_all(p.parent().unwrap()).unwrap();
+            fs::write(p, contents).unwrap();
+        }
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    fn messages(report: &Report) -> Vec<String> {
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("{}:{}: {}", d.path.display(), d.line, d.message))
+            .collect()
+    }
+
+    #[test]
+    fn fixture_tree_trips_every_rule() {
+        let fx = Fixture::new();
+        fx.write("Cargo.toml", "[package]\nname = \"fx\"\n");
+        // Crate root without the forbid attribute, with banned macros.
+        fx.write(
+            "src/lib.rs",
+            "pub fn f() { dbg!(1); }\npub fn g() { todo!() }\n",
+        );
+        // Unsafe outside the allowlist.
+        fx.write(
+            "crates/evil/Cargo.toml",
+            "[package]\nname = \"evil\"\n",
+        );
+        fx.write(
+            "crates/evil/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        let report = lint_root(&fx.root);
+        let msgs = messages(&report);
+        let has = |frag: &str| msgs.iter().any(|m| m.contains(frag));
+        assert!(has("src/lib.rs:1: crate root is missing"), "{msgs:?}");
+        assert!(has("`dbg!` must not reach the tree"), "{msgs:?}");
+        assert!(has("`todo!` must not reach the tree"), "{msgs:?}");
+        assert!(has("`unsafe` outside the allowlisted modules"), "{msgs:?}");
+        assert_eq!(report.diagnostics.len(), 4, "{msgs:?}");
+    }
+
+    #[test]
+    fn fixture_allowlisted_unsafe_requires_safety_comment() {
+        let fx = Fixture::new();
+        fx.write("Cargo.toml", "[package]\nname = \"fx\"\n");
+        fx.write("src/lib.rs", "#![forbid(unsafe_code)]\n");
+        fx.write("crates/fab/Cargo.toml", "[package]\nname = \"fab\"\n");
+        fx.write("crates/fab/src/lib.rs", "pub mod multifab;\n");
+        fx.write(
+            "crates/fab/src/multifab.rs",
+            "pub fn ok(p: *const u8) -> u8 {\n    \
+             // SAFETY: caller guarantees p is valid.\n    \
+             unsafe { *p }\n}\n\
+             pub fn bad(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+        );
+        let report = lint_root(&fx.root);
+        let msgs = messages(&report);
+        assert_eq!(report.diagnostics.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("multifab.rs:6"), "{msgs:?}");
+        assert!(msgs[0].contains("without a `// SAFETY:`"), "{msgs:?}");
+        assert_eq!(report.unsafe_sites, 2);
+    }
+
+    #[test]
+    fn fixture_strings_and_comments_do_not_trip_rules() {
+        let fx = Fixture::new();
+        fx.write("Cargo.toml", "[package]\nname = \"fx\"\n");
+        fx.write(
+            "src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             // unsafe in a comment, and todo! too\n\
+             pub const DOC: &str = \"unsafe { dbg!(x) } todo!()\";\n",
+        );
+        let report = lint_root(&fx.root);
+        assert!(report.diagnostics.is_empty(), "{:?}", messages(&report));
+        assert_eq!(report.unsafe_sites, 0);
+    }
+
+    #[test]
+    fn the_real_workspace_passes() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .unwrap()
+            .to_path_buf();
+        let report = lint_root(&root);
+        assert!(
+            report.diagnostics.is_empty(),
+            "workspace must lint clean:\n{}",
+            messages(&report).join("\n")
+        );
+        assert!(report.files_scanned > 50, "walk found too few files");
+        assert!(report.unsafe_sites > 0, "fab::multifab unsafe sites expected");
+    }
+}

@@ -40,7 +40,7 @@ fn main() {
 
     for _ in 0..220 {
         sim.step();
-        if sim.step_count() % 40 == 0 {
+        if sim.step_count().is_multiple_of(40) {
             println!(
                 "step {:3}  t = {:.4}  dt = {:.2e}  levels = {}  mass = {:.6}",
                 sim.step_count(),

@@ -37,7 +37,7 @@ fn main() {
     let steps = 60;
     for _ in 0..steps {
         sim.step();
-        if sim.step_count() % 20 == 0 {
+        if sim.step_count().is_multiple_of(20) {
             println!(
                 "step {:3}  t = {:.5}  dt = {:.2e}  levels = {}  reduction = {:.1}%",
                 sim.step_count(),

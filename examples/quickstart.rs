@@ -28,7 +28,7 @@ fn main() {
     println!("step      time        dt   total mass");
     while sim.time() < 0.15 {
         sim.step();
-        if sim.step_count() % 20 == 0 {
+        if sim.step_count().is_multiple_of(20) {
             println!(
                 "{:4}  {:.5}  {:.2e}  {:.10}",
                 sim.step_count(),

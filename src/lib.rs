@@ -39,6 +39,9 @@
 //! assert!(report.steps == 5 && report.final_time > 0.0);
 //! ```
 
+// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+#![forbid(unsafe_code)]
+
 pub use crocco_amr as amr;
 pub use crocco_fab as fab;
 pub use crocco_geometry as geometry;

@@ -57,10 +57,10 @@ fn restart_preserves_amr_hierarchy() {
     let chk = read_checkpoint(&path).unwrap();
     let resumed = Simulation::from_checkpoint(c, &chk);
     assert_eq!(resumed.nlevels(), first.nlevels());
-    for l in 0..resumed.nlevels() {
+    for (l, boxes) in boxes_before.iter().enumerate() {
         assert_eq!(
             resumed.hierarchy().level(l).ba.boxes(),
-            &boxes_before[l][..],
+            &boxes[..],
             "level {l} grids changed across restart"
         );
     }
