@@ -11,7 +11,9 @@
 use crate::interp::Interpolator;
 use crocco_fab::plan::{CopyChunk, CopyPlan};
 use crocco_fab::plan_cache::{CachedPlan, PlanCache, PlanKey, PlanOp};
-use crocco_fab::{boxarray::subtract_box, BoxArray, DistributionMapping, FArrayBox, MultiFab};
+use crocco_fab::{
+    boxarray::subtract_box, BoxArray, DistributionMapping, FArrayBox, FabRw, MultiFab,
+};
 use crocco_geometry::{IndexBox, IntVect, ProblemDomain};
 use crocco_runtime::parallel_for_each_mut;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,8 +23,19 @@ use std::sync::Arc;
 /// `BC_Fill` kernel).
 pub trait BoundaryFiller: Send + Sync {
     /// Fills the ghost cells of `fab` that lie outside `domain` in
-    /// non-periodic directions. `valid` is the patch's valid box.
-    fn fill(&self, fab: &mut FArrayBox, valid: IndexBox, domain: &ProblemDomain, time: f64);
+    /// non-periodic directions, writing through a raw view — the form the
+    /// task-graph halo tasks call while other tasks concurrently read the
+    /// same fab's valid cells. `valid` is the patch's valid box. The
+    /// implementation must write only outside-domain ghost cells (it may
+    /// read any cell of `fab`).
+    fn fill_view(&self, fab: &mut FabRw<'_>, valid: IndexBox, domain: &ProblemDomain, time: f64);
+
+    /// [`fill_view`](Self::fill_view) over an exclusively borrowed fab — the
+    /// barrier path. Implementors only provide `fill_view`; call sites that
+    /// hold a `&mut FArrayBox` keep using this adapter.
+    fn fill(&self, fab: &mut FArrayBox, valid: IndexBox, domain: &ProblemDomain, time: f64) {
+        self.fill_view(&mut FabRw::from_mut(fab), valid, domain, time);
+    }
 }
 
 /// A boundary filler that does nothing (fully periodic problems and tests).
@@ -30,7 +43,14 @@ pub trait BoundaryFiller: Send + Sync {
 pub struct NoOpBoundary;
 
 impl BoundaryFiller for NoOpBoundary {
-    fn fill(&self, _fab: &mut FArrayBox, _valid: IndexBox, _domain: &ProblemDomain, _time: f64) {}
+    fn fill_view(
+        &self,
+        _fab: &mut FabRw<'_>,
+        _valid: IndexBox,
+        _domain: &ProblemDomain,
+        _time: f64,
+    ) {
+    }
 }
 
 /// What a FillPatch call did — the communication record priced by the
@@ -178,134 +198,37 @@ pub fn fill_patch_two_levels_with(
     time: f64,
     opts: FillOpts<'_>,
 ) -> FillPatchReport {
-    let ncomp = fine.ncomp();
-    let nghost = fine.nghost();
-    let coarse_ghost = interp.coarse_ghost();
-
-    // The cache key carries the fine domain (which fixes `defined` and the
-    // periodic images) and the ratio; the planner derives everything else
-    // from the grids, so a coarse domain inconsistent with `fine_domain /
-    // ratio` would alias — assert the standard AMR invariant instead.
-    debug_assert_eq!(
-        coarse_domain.bx,
-        fine_domain.bx.coarsen(ratio),
-        "coarse domain must be the fine domain coarsened by the ratio"
+    let plans = resolve_two_level_plans(
+        fine,
+        coarse,
+        fine_domain,
+        coarse_domain,
+        ratio,
+        interp,
+        coarse_coords,
+        fine_coords,
+        opts.cache,
     );
-
-    let tl: Arc<TwoLevelPlan> = {
-        let f: &MultiFab = fine;
-        match opts.cache {
-            Some(cache) => {
-                let key = PlanKey {
-                    op: PlanOp::Aux(AUX_TWO_LEVEL_STATE),
-                    aux: two_level_aux(coarse_ghost, ratio, 0),
-                    ..PlanKey::parallel_copy(
-                        coarse.boxarray(),
-                        coarse.distribution(),
-                        f.boxarray(),
-                        f.distribution(),
-                        fine_domain,
-                        nghost,
-                        ncomp,
-                    )
-                };
-                cache.get_or_build_aux(key, || {
-                    build_two_level_plan(f, coarse, fine_domain, coarse_domain, ratio, coarse_ghost)
-                })
-            }
-            None => Arc::new(build_two_level_plan(
-                f,
-                coarse,
-                fine_domain,
-                coarse_domain,
-                ratio,
-                coarse_ghost,
-            )),
-        }
-    };
-
-    let coord_plan: Option<Arc<CoordGatherPlan>> = if interp.needs_coords() {
-        let ccmf = coarse_coords.expect("curvilinear interp requires coarse coords");
-        let fcmf = fine_coords.expect("curvilinear interp requires fine coords");
-        assert!(
-            fcmf.nghost() >= nghost,
-            "fine coords need >= state ghost width"
-        );
-        let f: &MultiFab = fine;
-        Some(match opts.cache {
-            Some(cache) => {
-                let key = PlanKey {
-                    op: PlanOp::Aux(AUX_TWO_LEVEL_COORDS),
-                    aux: two_level_aux(coarse_ghost, ratio, ccmf.nghost()),
-                    ..PlanKey::parallel_copy(
-                        ccmf.boxarray(),
-                        ccmf.distribution(),
-                        f.boxarray(),
-                        f.distribution(),
-                        fine_domain,
-                        nghost,
-                        3,
-                    )
-                };
-                cache.get_or_build_aux(key, || {
-                    build_coord_gather(ccmf, &tl, f.distribution(), coarse_domain)
-                })
-            }
-            None => Arc::new(build_coord_gather(
-                ccmf,
-                &tl,
-                f.distribution(),
-                coarse_domain,
-            )),
-        })
-    } else {
-        None
-    };
 
     // Per-patch gather + interpolation. Patches are independent (each writes
     // only its own fab), so the loop fans out over the worker pool.
     let interpolated = AtomicU64::new(0);
     {
-        let tl = &tl;
-        let coord_plan = coord_plan.as_deref();
+        let plans = &plans;
         parallel_for_each_mut(fine.fabs_mut(), opts.threads, |i, fab| {
-            let needed = &tl.needed[i];
-            if needed.is_empty() {
-                return;
-            }
-            let cbox = tl.cbox[i];
-            let mut ctmp = FArrayBox::new(cbox, ncomp);
-            let (s, e) = tl.ranges[i];
-            execute_gather(coarse, &mut ctmp, &tl.state.plan.chunks[s..e], ncomp);
-            // Physical-exterior cells of the temporary were not gathered
-            // (they lie outside every coarse valid box); the coarse-level
-            // boundary conditions supply them so interpolation next to
-            // walls/inflows has sound source data.
-            coarse_bc.fill(
-                &mut ctmp,
-                cbox.intersection(&coarse_domain.bx),
+            let cells = fill_two_level_patch(
+                i,
+                &mut FabRw::from_mut(fab),
+                plans,
+                coarse,
+                coarse_coords,
+                fine_coords.map(|m| m.fab(i)),
                 coarse_domain,
+                ratio,
+                interp,
+                coarse_bc,
                 time,
             );
-
-            let cc_tmp = coord_plan.map(|cg| {
-                let ccmf = coarse_coords.expect("coord plan implies coarse coords");
-                let mut c = FArrayBox::new(cbox, 3);
-                let (cs, ce) = cg.ranges[i];
-                execute_gather(ccmf, &mut c, &cg.coords.plan.chunks[cs..ce], 3);
-                c
-            });
-            let fc = if coord_plan.is_some() {
-                fine_coords.map(|m| m.fab(i))
-            } else {
-                None
-            };
-
-            let mut cells = 0u64;
-            for region in needed {
-                cells += region.num_points();
-                interp.interp(&ctmp, fab, *region, ratio, cc_tmp.as_ref(), fc);
-            }
             interpolated.fetch_add(cells, Ordering::Relaxed);
         });
     }
@@ -325,10 +248,189 @@ pub fn fill_patch_two_levels_with(
 
     FillPatchReport {
         fb_plan,
-        pc_plan: Some(tl.state.clone()),
-        coord_pc_plan: coord_plan.map(|cg| cg.coords.clone()),
+        pc_plan: Some(plans.state.state_plan().clone()),
+        coord_pc_plan: plans.coords.as_ref().map(|cg| cg.coord_plan().clone()),
         interpolated_cells: interpolated.into_inner(),
     }
+}
+
+/// The resolved (possibly cache-shared) plans behind one two-level
+/// FillPatch: the uncovered-region geometry with its state-gather plan, and
+/// the coordinate-gather companion when the interpolator reads coordinates.
+/// Resolution is pure plan lookup/construction — no field data moves.
+pub struct TwoLevelPlans {
+    /// Gather geometry + coarse→fine state-gather plan.
+    pub state: Arc<TwoLevelPlan>,
+    /// Coordinate-gather companion (coordinate-reading interpolators only).
+    pub coords: Option<Arc<CoordGatherPlan>>,
+}
+
+/// Resolves the two-level plans for a `fine`/`coarse` level pair, through
+/// `cache` when supplied (the same keys [`fill_patch_two_levels_with`] uses,
+/// so barrier and task-graph paths share entries).
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_two_level_plans(
+    fine: &MultiFab,
+    coarse: &MultiFab,
+    fine_domain: &ProblemDomain,
+    coarse_domain: &ProblemDomain,
+    ratio: IntVect,
+    interp: &dyn Interpolator,
+    coarse_coords: Option<&MultiFab>,
+    fine_coords: Option<&MultiFab>,
+    cache: Option<&PlanCache>,
+) -> TwoLevelPlans {
+    let ncomp = fine.ncomp();
+    let nghost = fine.nghost();
+    let coarse_ghost = interp.coarse_ghost();
+
+    // The cache key carries the fine domain (which fixes `defined` and the
+    // periodic images) and the ratio; the planner derives everything else
+    // from the grids, so a coarse domain inconsistent with `fine_domain /
+    // ratio` would alias — assert the standard AMR invariant instead.
+    debug_assert_eq!(
+        coarse_domain.bx,
+        fine_domain.bx.coarsen(ratio),
+        "coarse domain must be the fine domain coarsened by the ratio"
+    );
+
+    let tl: Arc<TwoLevelPlan> = match cache {
+        Some(cache) => {
+            let key = PlanKey {
+                op: PlanOp::Aux(AUX_TWO_LEVEL_STATE),
+                aux: two_level_aux(coarse_ghost, ratio, 0),
+                ..PlanKey::parallel_copy(
+                    coarse.boxarray(),
+                    coarse.distribution(),
+                    fine.boxarray(),
+                    fine.distribution(),
+                    fine_domain,
+                    nghost,
+                    ncomp,
+                )
+            };
+            cache.get_or_build_aux(key, || {
+                build_two_level_plan(fine, coarse, fine_domain, coarse_domain, ratio, coarse_ghost)
+            })
+        }
+        None => Arc::new(build_two_level_plan(
+            fine,
+            coarse,
+            fine_domain,
+            coarse_domain,
+            ratio,
+            coarse_ghost,
+        )),
+    };
+
+    let coord_plan: Option<Arc<CoordGatherPlan>> = if interp.needs_coords() {
+        let ccmf = coarse_coords.expect("curvilinear interp requires coarse coords");
+        let fcmf = fine_coords.expect("curvilinear interp requires fine coords");
+        assert!(
+            fcmf.nghost() >= nghost,
+            "fine coords need >= state ghost width"
+        );
+        Some(match cache {
+            Some(cache) => {
+                let key = PlanKey {
+                    op: PlanOp::Aux(AUX_TWO_LEVEL_COORDS),
+                    aux: two_level_aux(coarse_ghost, ratio, ccmf.nghost()),
+                    ..PlanKey::parallel_copy(
+                        ccmf.boxarray(),
+                        ccmf.distribution(),
+                        fine.boxarray(),
+                        fine.distribution(),
+                        fine_domain,
+                        nghost,
+                        3,
+                    )
+                };
+                cache.get_or_build_aux(key, || {
+                    build_coord_gather(ccmf, &tl, fine.distribution(), coarse_domain)
+                })
+            }
+            None => Arc::new(build_coord_gather(
+                ccmf,
+                &tl,
+                fine.distribution(),
+                coarse_domain,
+            )),
+        })
+    } else {
+        None
+    };
+
+    TwoLevelPlans {
+        state: tl,
+        coords: coord_plan,
+    }
+}
+
+/// The coarse→fine part of one fine patch's ghost fill: gather the coarse
+/// temporary, apply coarse boundary conditions, interpolate every uncovered
+/// region. Returns the number of interpolated cells.
+///
+/// Writes through a [`FabRw`] view so the task-graph path can run it inside
+/// a halo task while other tasks read the same fab's valid cells; each
+/// region is interpolated into an owned scratch fab and copied in, which is
+/// bitwise-identical to interpolating in place (every interpolator writes
+/// exactly the requested region and never reads destination data).
+#[allow(clippy::too_many_arguments)]
+pub fn fill_two_level_patch(
+    i: usize,
+    dst: &mut FabRw<'_>,
+    plans: &TwoLevelPlans,
+    coarse: &MultiFab,
+    coarse_coords: Option<&MultiFab>,
+    fine_coords_fab: Option<&FArrayBox>,
+    coarse_domain: &ProblemDomain,
+    ratio: IntVect,
+    interp: &dyn Interpolator,
+    coarse_bc: &dyn BoundaryFiller,
+    time: f64,
+) -> u64 {
+    let tl = &*plans.state;
+    let needed = &tl.needed[i];
+    if needed.is_empty() {
+        return 0;
+    }
+    let ncomp = tl.state.plan.ncomp;
+    let cbox = tl.cbox[i];
+    let mut ctmp = FArrayBox::new(cbox, ncomp);
+    let (s, e) = tl.ranges[i];
+    execute_gather(coarse, &mut ctmp, &tl.state.plan.chunks[s..e], ncomp);
+    // Physical-exterior cells of the temporary were not gathered
+    // (they lie outside every coarse valid box); the coarse-level
+    // boundary conditions supply them so interpolation next to
+    // walls/inflows has sound source data.
+    coarse_bc.fill(
+        &mut ctmp,
+        cbox.intersection(&coarse_domain.bx),
+        coarse_domain,
+        time,
+    );
+
+    let cc_tmp = plans.coords.as_deref().map(|cg| {
+        let ccmf = coarse_coords.expect("coord plan implies coarse coords");
+        let mut c = FArrayBox::new(cbox, 3);
+        let (cs, ce) = cg.ranges[i];
+        execute_gather(ccmf, &mut c, &cg.coords.plan.chunks[cs..ce], 3);
+        c
+    });
+    let fc = if plans.coords.is_some() {
+        fine_coords_fab
+    } else {
+        None
+    };
+
+    let mut cells = 0u64;
+    for region in needed {
+        cells += region.num_points();
+        let mut scratch = FArrayBox::new(*region, ncomp);
+        interp.interp(&ctmp, &mut scratch, *region, ratio, cc_tmp.as_ref(), fc);
+        dst.copy_region_from(&scratch, *region);
+    }
+    cells
 }
 
 /// The memoized geometry of one two-level FillPatch: which ghost regions of
@@ -348,6 +450,13 @@ pub struct TwoLevelPlan {
     ranges: Vec<(usize, usize)>,
 }
 
+impl TwoLevelPlan {
+    /// The state-gather plan (for communication accounting).
+    pub fn state_plan(&self) -> &Arc<CachedPlan> {
+        &self.state
+    }
+}
+
 /// The memoized coordinate-gather companion of a [`TwoLevelPlan`] (only
 /// built for coordinate-reading interpolators).
 #[derive(Debug)]
@@ -356,6 +465,13 @@ pub struct CoordGatherPlan {
     coords: Arc<CachedPlan>,
     /// Per-patch `[start, end)` ranges into `coords.plan.chunks`.
     ranges: Vec<(usize, usize)>,
+}
+
+impl CoordGatherPlan {
+    /// The coordinate-gather plan (for communication accounting).
+    pub fn coord_plan(&self) -> &Arc<CachedPlan> {
+        &self.coords
+    }
 }
 
 /// Plans the coarse→fine gathers for every fine patch. Pure geometry — no

@@ -22,8 +22,20 @@
 //! * [`hierarchy`] — the level hierarchy, regridding with proper nesting,
 //!   and the active-point accounting behind the paper's 89–94 % grid
 //!   reduction claim.
+//!
+//! Where this crate sits in the paper-subsystem map (the S1–S5 table; the
+//! same table appears in the `runtime` and `fab` roots):
+//!
+//! | # | paper subsystem | crate counterpart |
+//! |---|---|---|
+//! | S1 | MPI job across Summit nodes (§IV-B) | `runtime::sim`, `runtime::cluster`, `runtime::topology` |
+//! | S2 | on-node OpenMP / GPU streams (§IV-B) | `runtime::pool`, `runtime::taskgraph` |
+//! | S3 | AMReX `FabArray` data + comm metadata (§III-A) | `fab` (`MultiFab`, plans, plan cache) |
+//! | S4 | AMR hierarchy, regrid, FillPatch (§III-B/C) | **`amr`** |
+//! | S5 | CRoCCo solver kernels + RK3 driver (§II, §III) | `core` (`crocco-solver`) |
 
-// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+// Enforced by `cargo xtask lint`: unsafe code is confined to the allowlisted
+// fab modules (multifab, view, overlap) — none of it lives here.
 #![forbid(unsafe_code)]
 
 pub mod average_down;
@@ -35,7 +47,10 @@ pub mod interp;
 pub mod tagging;
 
 pub use cluster::{cluster_tags, ClusterParams};
-pub use fillpatch::{BoundaryFiller, FillOpts, FillPatchReport, NoOpBoundary};
+pub use fillpatch::{
+    fill_two_level_patch, resolve_two_level_plans, BoundaryFiller, CoordGatherPlan, FillOpts,
+    FillPatchReport, NoOpBoundary, TwoLevelPlan, TwoLevelPlans,
+};
 pub use flux_register::{FluxRegister, InterfaceFace};
 pub use hierarchy::{AmrHierarchy, AmrParams, Level};
 pub use interp::{

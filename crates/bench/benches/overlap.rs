@@ -1,0 +1,91 @@
+//! Criterion benchmark for the task-graph RK-stage executor
+//! (`SolverConfig::overlap`, DESIGN.md §4e) against the barrier executor on
+//! the 512-patch level the plan-cache benchmarks established: a single-level
+//! [256, 128, 64] domain chopped into 16-cube patches — the solver's own
+//! state shape, big enough that per-stage barriers and halo latency are
+//! visible against the WENO kernel cost.
+//!
+//! Before anything is timed, both executors advance the same initial state
+//! and the results are compared bit for bit — the acceptance condition for
+//! swapping the execution path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crocco_runtime::default_threads;
+use crocco_solver::config::{CodeVersion, SolverConfig, SolverConfigBuilder};
+use crocco_solver::driver::Simulation;
+use crocco_solver::problems::ProblemKind;
+
+/// The 512-patch single-level configuration: [256, 128, 64] cells in
+/// 16-cube patches (`BoxArray::decompose` yields exactly 16^3 / patch), on
+/// the curvilinear ramp so the metrics are nontrivial.
+fn big_cfg() -> SolverConfigBuilder {
+    SolverConfig::builder()
+        .problem(ProblemKind::Ramp)
+        .extents(256, 128, 64)
+        .version(CodeVersion::V1_1)
+        .max_grid_size(16)
+}
+
+/// Flattens every level's valid state to bit patterns for exact comparison.
+fn state_bits(sim: &Simulation) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for l in 0..sim.nlevels() {
+        let state = &sim.level(l).state;
+        for i in 0..state.nfabs() {
+            for c in 0..state.ncomp() {
+                for p in state.valid_box(i).cells() {
+                    bits.push(state.fab(i).get(p, c).to_bits());
+                }
+            }
+        }
+    }
+    bits
+}
+
+/// Asserts the task-graph executor reproduces the barrier executor bit for
+/// bit on a smaller cut of the same configuration (full-size verification
+/// would double the bench's setup cost for no extra coverage).
+fn verify_bitwise(threads: usize) {
+    let small = || {
+        SolverConfig::builder()
+            .problem(ProblemKind::Ramp)
+            .extents(64, 32, 16)
+            .version(CodeVersion::V1_1)
+            .max_grid_size(16)
+            .threads(threads)
+    };
+    let mut barrier = Simulation::new(small().build());
+    let mut graph = Simulation::new(small().overlap(true).build());
+    barrier.advance_steps(2);
+    graph.advance_steps(2);
+    assert_eq!(
+        state_bits(&barrier),
+        state_bits(&graph),
+        "task-graph executor (threads={threads}) diverged from the barrier path"
+    );
+}
+
+fn bench_step(c: &mut Criterion) {
+    let nthreads = default_threads().max(2);
+    for t in [1, nthreads] {
+        verify_bitwise(t);
+    }
+
+    let mut group = c.benchmark_group("overlap_step");
+    group.sample_size(10);
+    for (label, overlap, threads) in [
+        ("barrier_serial", false, 1usize),
+        ("graph_serial", true, 1),
+        ("barrier_threaded", false, nthreads),
+        ("graph_threaded", true, nthreads),
+    ] {
+        let mut sim = Simulation::new(big_cfg().overlap(overlap).threads(threads).build());
+        // Warm the plan cache and let dt settle before sampling.
+        sim.advance_steps(1);
+        group.bench_function(label, |b| b.iter(|| sim.step()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

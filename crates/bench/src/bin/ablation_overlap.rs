@@ -1,0 +1,118 @@
+//! Ablation: task-graph overlap of halo exchange and interior kernels
+//! (DESIGN.md §4e). Runs the real DMR solver with the barrier executor and
+//! the dependency-graph executor, verifies the two produce bitwise-identical
+//! state, and reports wall time plus where each run spends it — the
+//! per-stage barrier cost and the serialized FillPatch share the task graph
+//! removes from the steady-state loop.
+
+use crocco_bench::report::print_table;
+use crocco_solver::config::{CodeVersion, SolverConfig, SolverConfigBuilder};
+use crocco_solver::driver::Simulation;
+use crocco_solver::problems::ProblemKind;
+use std::time::Instant;
+
+const STEPS: u32 = 20;
+
+fn dmr_builder() -> SolverConfigBuilder {
+    SolverConfig::builder()
+        .problem(ProblemKind::DoubleMach)
+        .extents(64, 16, 8)
+        .version(CodeVersion::V2_0) // curvilinear: exercises the coord gather
+        .max_levels(2)
+        .regrid_freq(5)
+}
+
+/// Flattens every level's valid state to bit patterns for exact comparison.
+fn state_bits(sim: &Simulation) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for l in 0..sim.nlevels() {
+        let state = &sim.level(l).state;
+        for i in 0..state.nfabs() {
+            for c in 0..state.ncomp() {
+                for p in state.valid_box(i).cells() {
+                    bits.push(state.fab(i).get(p, c).to_bits());
+                }
+            }
+        }
+    }
+    bits
+}
+
+struct Run {
+    label: String,
+    wall_s: f64,
+    fillpatch_s: f64,
+    advance_s: f64,
+    bits: Vec<u64>,
+}
+
+fn run(overlap: bool, threads: usize) -> Run {
+    let cfg = dmr_builder().overlap(overlap).threads(threads).build();
+    let mut sim = Simulation::new(cfg);
+    let t0 = Instant::now();
+    sim.advance_steps(STEPS);
+    let wall_s = t0.elapsed().as_secs_f64();
+    Run {
+        label: format!(
+            "{} ({} thread{})",
+            if overlap { "task graph" } else { "barrier" },
+            threads,
+            if threads == 1 { "" } else { "s" }
+        ),
+        wall_s,
+        fillpatch_s: sim.profiler.total("FillPatch"),
+        advance_s: sim.profiler.total("Advance"),
+        bits: state_bits(&sim),
+    }
+}
+
+fn main() {
+    let nthreads = crocco_runtime::default_threads().max(2);
+    let runs = [
+        run(false, 1),
+        run(true, 1),
+        run(false, nthreads),
+        run(true, nthreads),
+    ];
+    // The acceptance condition for swapping the executor: bit-for-bit
+    // identical state, regardless of thread count.
+    for r in &runs[1..] {
+        assert_eq!(
+            runs[0].bits, r.bits,
+            "{} diverged bitwise from the barrier baseline",
+            r.label
+        );
+    }
+    let base = runs[0].wall_s;
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.3} s", r.wall_s),
+                format!("{:.2}x", base / r.wall_s.max(1e-12)),
+                format!("{:.1}%", 100.0 * r.fillpatch_s / r.wall_s.max(1e-12)),
+                format!("{:.1}%", 100.0 * r.advance_s / r.wall_s.max(1e-12)),
+                "identical".to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Ablation: task-graph overlap on the DMR ({STEPS} steps, 2 levels)"),
+        &[
+            "configuration",
+            "wall",
+            "speedup",
+            "FillPatch share",
+            "Advance share",
+            "state vs barrier",
+        ],
+        &rows,
+    );
+    println!("\nThe task graph replaces the per-stage fill -> sweep -> update barriers");
+    println!("with per-patch dependencies: interior sweeps start immediately, halo");
+    println!("copies run alongside them, and only boundary-band sweeps fence on their");
+    println!("own patch's ghosts. The FillPatch region shrinks to plan resolution");
+    println!("(the halo data motion moves into Advance, hidden behind the interior");
+    println!("sweeps); results are bitwise-identical by construction (DESIGN.md §4e).");
+}

@@ -14,7 +14,8 @@
 //! * [`fig3`] — kernel-level CPU/GPU curves (Fig. 3),
 //! * [`report`] — small table-printing helpers shared by the binaries.
 
-// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+// Enforced by `cargo xtask lint`: unsafe code is confined to the allowlisted
+// fab modules (multifab, view, overlap) — none of it lives here.
 #![forbid(unsafe_code)]
 
 pub mod dmrscale;

@@ -5,7 +5,7 @@ use crate::eos::PerfectGas;
 use crate::problems::{dmr, dmr_post_shock, dmr_pre_shock, ramp_inflow, ProblemKind};
 use crate::state::{cons, Conserved, NCONS};
 use crocco_amr::BoundaryFiller;
-use crocco_fab::FArrayBox;
+use crocco_fab::FabRw;
 use crocco_geometry::{GridMapping, IndexBox, IntVect, ProblemDomain, RealVect};
 use std::sync::Arc;
 
@@ -44,14 +44,14 @@ impl PhysicalBc {
 }
 
 /// Copies the conserved state from `src` into `dst` at `p`.
-fn set_state(fab: &mut FArrayBox, p: IntVect, u: &Conserved) {
+fn set_state(fab: &mut FabRw<'_>, p: IntVect, u: &Conserved) {
     for c in 0..NCONS {
         fab.set(p, c, u.0[c]);
     }
 }
 
 /// Zeroth-order extrapolation: ghost takes the nearest interior cell's state.
-fn outflow(fab: &mut FArrayBox, p: IntVect, interior: IntVect) {
+fn outflow(fab: &mut FabRw<'_>, p: IntVect, interior: IntVect) {
     for c in 0..NCONS {
         let v = fab.get(interior, c);
         fab.set(p, c, v);
@@ -60,7 +60,7 @@ fn outflow(fab: &mut FArrayBox, p: IntVect, interior: IntVect) {
 
 /// Reflecting slip wall across direction `dir`: mirror the interior cell and
 /// negate the normal momentum.
-fn slip_wall(fab: &mut FArrayBox, p: IntVect, mirror: IntVect, dir: usize) {
+fn slip_wall(fab: &mut FabRw<'_>, p: IntVect, mirror: IntVect, dir: usize) {
     for c in 0..NCONS {
         let mut v = fab.get(mirror, c);
         if c == cons::MX + dir {
@@ -74,7 +74,7 @@ fn slip_wall(fab: &mut FArrayBox, p: IntVect, mirror: IntVect, dir: usize) {
 /// computational space (the grid is wall-fitted) and reflect the momentum
 /// vector about the physical wall plane with unit normal `n`:
 /// `m' = m − 2(m·n)n`. This is what makes a uniform stream feel the ramp.
-fn slip_wall_inclined(fab: &mut FArrayBox, p: IntVect, mirror: IntVect, n: [f64; 3]) {
+fn slip_wall_inclined(fab: &mut FabRw<'_>, p: IntVect, mirror: IntVect, n: [f64; 3]) {
     let m = [
         fab.get(mirror, cons::MX),
         fab.get(mirror, cons::MY),
@@ -111,7 +111,7 @@ fn mirror_across(p: IntVect, domain: IndexBox, dir: usize) -> IntVect {
 }
 
 impl BoundaryFiller for PhysicalBc {
-    fn fill(&self, fab: &mut FArrayBox, _valid: IndexBox, domain: &ProblemDomain, time: f64) {
+    fn fill_view(&self, fab: &mut FabRw<'_>, _valid: IndexBox, domain: &ProblemDomain, time: f64) {
         let gbox = fab.bx();
         let dbx = domain.bx;
         for p in gbox.cells() {
@@ -213,6 +213,7 @@ impl BoundaryFiller for PhysicalBc {
 mod tests {
     use super::*;
     use crate::state::Primitive;
+    use crocco_fab::FArrayBox;
 
     fn fill_interior(fab: &mut FArrayBox, valid: IndexBox, gas: &PerfectGas) {
         let w = Primitive {
@@ -222,8 +223,9 @@ mod tests {
             t: 0.0,
         };
         let u = Conserved::from_primitive(&w, gas);
+        let mut rw = FabRw::from_mut(fab);
         for p in valid.cells() {
-            set_state(fab, p, &u);
+            set_state(&mut rw, p, &u);
         }
     }
 

@@ -166,6 +166,14 @@ pub struct SolverConfig {
     ///
     /// [`PlanCache`]: crocco_fab::plan_cache::PlanCache
     pub plan_cache: bool,
+    /// Execute each RK stage as a dependency task graph that overlaps halo
+    /// exchange with interior kernel sweeps (DESIGN.md §4e) instead of the
+    /// fill → sweep → update barrier phases. Results are bitwise-identical;
+    /// only the inter-patch schedule changes. The task-graph path always
+    /// resolves its halo plans through the hierarchy's plan cache (the
+    /// dependency edges are derived from the cached chunk lists), regardless
+    /// of [`plan_cache`](Self::plan_cache). Off by default.
+    pub overlap: bool,
     /// Run the `fabcheck` dynamic sanitizer on the solver's MultiFabs:
     /// plan-aliasing proofs before every ghost exchange and stale-ghost traps
     /// in the RK loop. Defaults to on when the crate is built with the
@@ -226,6 +234,7 @@ impl Default for SolverConfigBuilder {
                 nranks: 1,
                 threads: 1,
                 plan_cache: true,
+                overlap: false,
                 fabcheck: cfg!(feature = "fabcheck"),
                 nan_poison: false,
             },
@@ -339,6 +348,12 @@ impl SolverConfigBuilder {
     /// Enables/disables communication-plan memoization.
     pub fn plan_cache(mut self, on: bool) -> Self {
         self.cfg.plan_cache = on;
+        self
+    }
+
+    /// Enables/disables task-graph RK stages (halo/interior overlap).
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.cfg.overlap = on;
         self
     }
 

@@ -16,7 +16,7 @@ use crate::eos::PerfectGas;
 use crate::metrics::comp as mcomp;
 use crate::state::{cons, Conserved, NCONS};
 use crate::weno::{reconstruct_face, Reconstruction, WenoVariant, STENCIL_RADIUS};
-use crocco_fab::FArrayBox;
+use crocco_fab::{FArrayBox, FabView};
 use crocco_geometry::{IndexBox, IntVect};
 
 /// Ghost cells the kernels require on the state MultiFab: WENO faces read 3
@@ -27,9 +27,10 @@ pub const NGHOST: i64 = 4;
 /// `−(1/J)·∂F̂_dir/∂ξ_dir` into `rhs` over `valid`.
 ///
 /// `u` needs [`NGHOST`] filled ghost cells; `met` needs metrics on
-/// `valid.grow(3)`.
+/// `valid.grow(3)`. `u` is any [`FabView`], so the task-graph path can pass
+/// a raw read view of a fab whose ghost shell another task owns.
 pub fn weno_flux(
-    u: &FArrayBox,
+    u: &impl FabView,
     met: &FArrayBox,
     rhs: &mut FArrayBox,
     valid: IndexBox,
@@ -44,7 +45,7 @@ pub fn weno_flux(
 /// Roe characteristic).
 #[allow(clippy::too_many_arguments)]
 pub fn weno_flux_recon(
-    u: &FArrayBox,
+    u: &impl FabView,
     met: &FArrayBox,
     rhs: &mut FArrayBox,
     valid: IndexBox,
@@ -208,7 +209,7 @@ pub fn weno_flux_recon(
 /// `sgs` set, the Smagorinsky eddy viscosity augments the molecular one —
 /// the filtered-equation LES mode of §II-A.
 pub fn viscous_flux(
-    u: &FArrayBox,
+    u: &impl FabView,
     met: &FArrayBox,
     rhs: &mut FArrayBox,
     valid: IndexBox,
@@ -219,7 +220,7 @@ pub fn viscous_flux(
 
 /// [`viscous_flux`] with an optional Smagorinsky SGS closure.
 pub fn viscous_flux_les(
-    u: &FArrayBox,
+    u: &impl FabView,
     met: &FArrayBox,
     rhs: &mut FArrayBox,
     valid: IndexBox,

@@ -20,7 +20,8 @@
 //! Williamson low-storage RK3 time marching under a CFL constraint, and
 //! stored curvilinear coordinates + 27-component grid metrics (§III-C).
 
-// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+// Enforced by `cargo xtask lint`: unsafe code is confined to the allowlisted
+// fab modules (multifab, view, overlap) — none of it lives here.
 #![forbid(unsafe_code)]
 
 pub mod bc;

@@ -11,7 +11,8 @@
 //!   equation.
 //!
 //! This module implements all three in a finite-volume x-pencil solver over
-//! the [`GasMixture`]/[`Mechanism`] thermodynamics, marching with the same
+//! the [`GasMixture`](crate::species::GasMixture)/[`Mechanism`]
+//! thermodynamics, marching with the same
 //! low-storage schemes as the main code. It is the reference implementation
 //! of the multi-species extension (the 3-D production driver stays
 //! single-species, like the paper's DMR evaluation).

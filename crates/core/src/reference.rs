@@ -16,14 +16,14 @@ use crate::eos::PerfectGas;
 use crate::metrics::comp as mcomp;
 use crate::state::{cons, Conserved, NCONS};
 use crate::weno::{reconstruct_face, WenoVariant};
-use crocco_fab::FArrayBox;
+use crocco_fab::{FArrayBox, FabView};
 use crocco_geometry::{IndexBox, IntVect};
 
 /// Reference one-direction WENO convective flux: algebraically the same
 /// scheme as [`crate::kernels::weno_flux`], written in the
 /// loop-over-faces-recompute-everything style of the original Fortran.
 pub fn weno_flux_reference(
-    u: &FArrayBox,
+    u: &impl FabView,
     met: &FArrayBox,
     rhs: &mut FArrayBox,
     valid: IndexBox,

@@ -15,7 +15,7 @@
 
 use crate::metrics::comp as mcomp;
 use crate::state::{cons, Conserved};
-use crocco_fab::FArrayBox;
+use crocco_fab::{FArrayBox, FabView};
 use crocco_geometry::{IndexBox, IntVect};
 use serde::{Deserialize, Serialize};
 
@@ -38,7 +38,7 @@ impl Smagorinsky {
     /// ghost cell on `u`.
     pub fn eddy_viscosity(
         &self,
-        u: &FArrayBox,
+        u: &impl FabView,
         met: &FArrayBox,
         p: IntVect,
         gas: &crate::eos::PerfectGas,
@@ -93,7 +93,7 @@ impl Smagorinsky {
     /// the LES viscous pass).
     pub fn eddy_viscosity_field(
         &self,
-        u: &FArrayBox,
+        u: &impl FabView,
         met: &FArrayBox,
         out: &mut FArrayBox,
         valid: IndexBox,

@@ -15,21 +15,41 @@
 //!   each in one of these,
 //! * [`plan`] — communication *plans*: the exact point-to-point message lists
 //!   behind `FillBoundary` and `ParallelCopy`, which both execute the data
-//!   motion locally and feed the simulated Summit network model.
+//!   motion locally and feed the simulated Summit network model,
+//! * [`plan_cache`] — memoized plans (the AMReX `FabArrayBase` cache analog,
+//!   DESIGN.md §4b-bis),
+//! * [`view`] + [`overlap`] — raw per-fab views and the task-graph RK-stage
+//!   executor that overlaps halo exchange with interior kernel sweeps
+//!   (DESIGN.md §4e).
+//!
+//! Where this crate sits in the paper-subsystem map (the S1–S5 table; the
+//! same table appears in the `runtime` and `amr` roots):
+//!
+//! | # | paper subsystem | crate counterpart |
+//! |---|---|---|
+//! | S1 | MPI job across Summit nodes (§IV-B) | `runtime::sim`, `runtime::cluster`, `runtime::topology` |
+//! | S2 | on-node OpenMP / GPU streams (§IV-B) | `runtime::pool`, `runtime::taskgraph` |
+//! | S3 | AMReX `FabArray` data + comm metadata (§III-A) | **`fab` (`MultiFab`, plans, plan cache, overlap)** |
+//! | S4 | AMR hierarchy, regrid, FillPatch (§III-B/C) | `amr` |
+//! | S5 | CRoCCo solver kernels + RK3 driver (§II, §III) | `core` (`crocco-solver`) |
 
 pub mod boxarray;
 pub mod distribution;
 pub mod fab;
 pub mod fabcheck;
 pub mod multifab;
+pub mod overlap;
 pub mod plan;
 pub mod plan_cache;
 pub mod tiles;
+pub mod view;
 
 pub use boxarray::BoxArray;
 pub use distribution::{DistributionMapping, DistributionStrategy};
 pub use fab::FArrayBox;
 pub use multifab::MultiFab;
+pub use overlap::{band_slabs, run_rk_stage, StageFabs, SweepPhase};
 pub use plan::{CopyChunk, CopyPlan};
 pub use plan_cache::{CachedPlan, PlanCache, PlanKey, PlanOp};
 pub use tiles::{tile_boxes, tiled_work_list, TileItem, DEFAULT_TILE};
+pub use view::{FabRd, FabRw, FabView};

@@ -199,7 +199,7 @@ impl MultiFab {
     }
 
     #[inline]
-    fn check_plan_gated(&self, _plan: &CopyPlan, _in_place: bool) {
+    pub(crate) fn check_plan_gated(&self, _plan: &CopyPlan, _in_place: bool) {
         #[cfg(feature = "fabcheck")]
         if self.check.enabled {
             fabcheck::check_plan(_plan, _in_place);
@@ -369,22 +369,22 @@ impl MultiFab {
 /// thread writing ghost cells of fab X never materializes a `&mut` that
 /// aliases another thread's `&` into X's valid cells.
 #[derive(Clone, Copy)]
-struct RawFab {
+pub(crate) struct RawFab {
     /// The fab's full (valid + ghost) box, kept for index-bounds
     /// `debug_assert`s on every chunk — raw-view construction must not rely
     /// on caller discipline alone even with `fabcheck` off.
-    bx: IndexBox,
+    pub(crate) bx: IndexBox,
     lo: IntVect,
     nx: usize,
     ny: usize,
     nz: usize,
     /// Allocation length in `f64`s (`nx·ny·nz·ncomp`).
-    len: usize,
-    ptr: *mut f64,
+    pub(crate) len: usize,
+    pub(crate) ptr: *mut f64,
 }
 
 impl RawFab {
-    fn capture(f: &mut FArrayBox) -> Self {
+    pub(crate) fn capture(f: &mut FArrayBox) -> Self {
         let bx = f.bx();
         let s = bx.size();
         let len = f.data().len();
@@ -400,7 +400,7 @@ impl RawFab {
     }
 
     /// Read-only capture (the pointer is only ever read through).
-    fn capture_const(f: &FArrayBox) -> Self {
+    pub(crate) fn capture_const(f: &FArrayBox) -> Self {
         let bx = f.bx();
         let s = bx.size();
         let len = f.data().len();
@@ -415,9 +415,15 @@ impl RawFab {
         }
     }
 
+    /// Number of components in the underlying allocation.
+    #[inline]
+    pub(crate) fn ncomp(&self) -> usize {
+        self.len / (self.nx * self.ny * self.nz)
+    }
+
     /// Flat offset of `(p, comp)` — mirrors [`FArrayBox::offset`].
     #[inline]
-    fn offset(&self, p: IntVect, comp: usize) -> usize {
+    pub(crate) fn offset(&self, p: IntVect, comp: usize) -> usize {
         debug_assert!(
             self.bx.contains(p),
             "raw-view index {p:?} outside fab box {:?}",
@@ -524,7 +530,7 @@ fn execute_grouped(
 // SAFETY: an unsafe fn — every dereference below is bounds-checked in debug
 // builds against the captured allocation length, and callers uphold the
 // contract documented above.
-unsafe fn copy_chunk_raw(
+pub(crate) unsafe fn copy_chunk_raw(
     dst: &RawFab,
     src: &RawFab,
     region: IndexBox,

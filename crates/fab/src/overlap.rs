@@ -1,0 +1,328 @@
+//! Barrier-free RK-stage execution: one dependency task graph per stage.
+//!
+//! The barrier path runs four phased loops per stage — halo-plan execution,
+//! boundary-condition fill, kernel sweep, low-storage update — each a hard
+//! fork-join over all patches. This module replaces them with a single
+//! [`TaskGraph`] built from the *cached* communication plan
+//! ([`CachedPlan`], DESIGN.md §4b-bis), so that per-patch halo work overlaps
+//! with interior kernel sweeps (DESIGN.md §4e):
+//!
+//! ```text
+//!   halo[i]     = pre_halo(i) → FillBoundary chunks into i → bc_fill(i)
+//!   interior[i] = sweep(i, Interior)                  (no dependencies)
+//!   boundary[i] = sweep(i, BoundaryBand)              after halo[i], interior[i]
+//!   update[i]   = update(i)    after boundary[i] and halo[j] for every j
+//!                              whose halo chunks *read* patch i
+//! ```
+//!
+//! Only patch-boundary tasks fence; the global per-stage barrier disappears.
+//! The final dependency set — `update[i]` waiting for every halo *reader* of
+//! patch `i` — is derived from the plan's chunk list (`src_id == i`), which
+//! is exactly the information the plan cache memoizes.
+//!
+//! # Safety argument
+//!
+//! All concurrent access goes through raw views ([`FabRd`]/[`FabRw`],
+//! `copy_chunk_raw`) so no `&`/`&mut FArrayBox` is materialized while
+//! another task touches the same fab. Disjointness of *unordered* tasks:
+//!
+//! * two halo tasks write different patches' ghost shells and read only
+//!   valid cells of source patches (a `FillBoundary` plan invariant, proven
+//!   per-execution under `fabcheck`); coarse-fine interpolation in
+//!   `pre_halo` writes only regions of patch `i` uncovered by fine data;
+//! * `interior[i]` reads only patch `i`'s valid cells (the sweep region is
+//!   shrunk by the ghost width so the widest stencil stays inside valid
+//!   data) and writes only `rhs[i]`, which no other task touches until
+//!   `boundary[i]`;
+//! * `update[i]` is, by its dependency set, the *last* task to touch patch
+//!   `i`'s state, `du` and `rhs` fabs, so it may safely materialize
+//!   `&mut FArrayBox` for the exact per-patch arithmetic of the barrier
+//!   path.
+//!
+//! Every dependency edge is a happens-before edge (the executor's ready
+//! queue hands tasks over under a mutex), so ordered accesses never race.
+
+// The raw-view modules are the allowlisted unsafe surface of the workspace
+// (`cargo xtask lint`, DESIGN.md §4d).
+#![allow(unsafe_code)]
+
+use crate::fab::FArrayBox;
+use crate::multifab::{copy_chunk_raw, MultiFab, RawFab};
+use crate::plan_cache::CachedPlan;
+use crate::view::{FabRd, FabRw};
+use crocco_geometry::IndexBox;
+use crocco_runtime::TaskGraph;
+
+/// Which part of a patch a kernel sweep covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepPhase {
+    /// The ghost-independent core: the valid box shrunk by the ghost width.
+    /// Runs with no dependencies. The sweep must also zero the patch's RHS
+    /// fab first — the phase always runs, even when the core is empty.
+    Interior,
+    /// The boundary band (valid minus interior), whose stencils reach into
+    /// ghost cells. Runs after the patch's halo task.
+    BoundaryBand,
+}
+
+/// The per-level fabs one RK stage reads and writes.
+pub struct StageFabs<'a> {
+    /// Conserved state: ghosts filled by halo tasks, valid cells updated
+    /// last.
+    pub state: &'a mut MultiFab,
+    /// Low-storage RK accumulator (no ghosts).
+    pub du: &'a mut MultiFab,
+    /// Per-patch RHS scratch, one fab per patch.
+    pub rhs: &'a mut [FArrayBox],
+}
+
+/// List of raw fab views shareable across worker threads.
+struct RawList<'a>(&'a [RawFab]);
+// SAFETY: the raw pointers inside are dereferenced only inside graph tasks
+// whose conflicting accesses are ordered by dependency edges (see the
+// module-level safety argument); sending the list to workers cannot itself
+// race.
+unsafe impl Send for RawList<'_> {}
+// SAFETY: shared references expose only `Copy` geometry and raw pointers;
+// all dereferences are governed by the task-graph ordering above.
+unsafe impl Sync for RawList<'_> {}
+
+impl RawList<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> &RawFab {
+        &self.0[i]
+    }
+}
+
+/// Base pointer of a fab slice, shareable across worker threads.
+#[derive(Clone, Copy)]
+struct BasePtr(*mut FArrayBox);
+// SAFETY: the pointer is dereferenced only by `update` tasks, each of which
+// is the unique last task touching its element (module-level argument).
+unsafe impl Send for BasePtr {}
+// SAFETY: as for `Send` — shared copies never race because each element is
+// touched by exactly one ordered task chain.
+unsafe impl Sync for BasePtr {}
+
+impl BasePtr {
+    // Accessor (rather than direct `.0` field access in the task closures):
+    // edition-2021 closures capture disjoint fields, and capturing the bare
+    // `*mut` would bypass the `Send`/`Sync` wrapper.
+    #[inline]
+    fn get(self) -> *mut FArrayBox {
+        self.0
+    }
+}
+
+/// Executes one RK stage over a level as a dependency task graph.
+///
+/// `fb` is the level's cached `FillBoundary` plan (resolved, not executed);
+/// its chunks become the halo-copy tasks and its `src_id`s the update
+/// fences. The caller supplies the physics through four closures, all
+/// indexed by patch:
+///
+/// * `pre_halo(i, rw)` — coarse-fine FillPatch work for patch `i` (gather +
+///   coarse BC + interpolation), writing only uncovered ghost regions of
+///   `i`; a no-op on the base level.
+/// * `bc_fill(i, rw)` — physical boundary conditions for patch `i`, writing
+///   only outside-domain ghost cells of `i`.
+/// * `sweep(i, u, phase, rhs)` — RHS accumulation over the phase's region
+///   of patch `i`, reading `u` (this patch only) and writing `rhs`.
+/// * `update(i, du, state, rhs)` — the per-patch low-storage update,
+///   writing only valid cells of `state`.
+///
+/// Results are bitwise-identical to running fill → sweep → update under
+/// barriers: every cell is written by the same operations in the same
+/// per-cell order, only the inter-patch schedule changes
+/// (`tests/overlap_invariance.rs` proves this end-to-end).
+pub fn run_rk_stage(
+    fabs: StageFabs<'_>,
+    fb: &CachedPlan,
+    threads: usize,
+    pre_halo: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
+    bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
+    sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
+    update: &(dyn Fn(usize, &mut FArrayBox, &mut FArrayBox, &FArrayBox) + Sync),
+) {
+    let n = fabs.state.nfabs();
+    assert_eq!(fabs.du.nfabs(), n, "state/du patch-count mismatch");
+    assert_eq!(fabs.rhs.len(), n, "state/rhs patch-count mismatch");
+    // Under `fabcheck`, prove the halo plan alias-free exactly as the
+    // barrier executor would before running it.
+    fabs.state.check_plan_gated(&fb.plan, true);
+
+    // Chunk ranges per destination patch (the cached groups are one
+    // contiguous run per dst), and the reader set per source patch.
+    let mut chunk_range = vec![(0usize, 0usize); n];
+    for &(s, e) in &fb.groups {
+        if s < e {
+            chunk_range[fb.plan.chunks[s].dst_id] = (s, e);
+        }
+    }
+    let mut readers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in &fb.plan.chunks {
+        readers[c.src_id].push(c.dst_id);
+    }
+    for r in &mut readers {
+        r.sort_unstable();
+        r.dedup();
+    }
+
+    // Raw captures. Going through the slice base pointer keeps every later
+    // `&mut FArrayBox` an independent derivation from the same provenance
+    // root, so expired per-capture borrows are never revived. `fabs_mut()`
+    // also bumps the fabcheck data epoch: after the stage the ghosts are
+    // (correctly) considered stale, exactly as on the barrier path.
+    let state_base = BasePtr(fabs.state.fabs_mut().as_mut_ptr());
+    let state_raw: Vec<RawFab> = (0..n)
+        // SAFETY: `i < n` indexes the live slice; the `&mut` is temporary
+        // and expires before any task runs.
+        .map(|i| unsafe { RawFab::capture(&mut *state_base.get().add(i)) })
+        .collect();
+    let state_list = &RawList(&state_raw);
+    let du_base = BasePtr(fabs.du.fabs_mut().as_mut_ptr());
+    let rhs_base = BasePtr(fabs.rhs.as_mut_ptr());
+
+    let ncomp = fb.plan.ncomp;
+    let chunks = &fb.plan.chunks;
+    let mut graph = TaskGraph::new();
+
+    // Halo tasks: ghost-shell production for each patch, in the same order
+    // as the barrier path (coarse-fine interpolation, then same-level
+    // chunks, then physical BCs — BC corner mirrors may read ghosts the
+    // chunks just wrote).
+    let mut halo = Vec::with_capacity(n);
+    for (i, &(s, e)) in chunk_range.iter().enumerate() {
+        halo.push(graph.add_task(&[], move || {
+            // SAFETY: this task writes only ghost cells of patch `i` (plan
+            // invariant + pre_halo/bc_fill contracts); unordered tasks read
+            // only valid cells, and all later access to these cells depends
+            // on this task.
+            let mut rw = unsafe { FabRw::from_raw(*state_list.get(i)) };
+            pre_halo(i, &mut rw);
+            for c in &chunks[s..e] {
+                // SAFETY: chunk regions lie in patch boxes (debug-asserted
+                // inside), reads target valid cells of the source patch,
+                // writes target ghost cells of patch `i` — disjoint from
+                // every unordered access (module-level argument).
+                unsafe {
+                    copy_chunk_raw(
+                        state_list.get(c.dst_id),
+                        state_list.get(c.src_id),
+                        c.region,
+                        c.shift,
+                        ncomp,
+                    )
+                };
+            }
+            bc_fill(i, &mut rw);
+        }));
+    }
+
+    for (i, &halo_i) in halo.iter().enumerate() {
+        let interior = graph.add_task(&[], move || {
+            // SAFETY: read-only view; unordered tasks write only ghost
+            // cells of `i` while the interior sweep reads only valid cells.
+            let u = unsafe { FabRd::from_raw(*state_list.get(i)) };
+            // SAFETY: `rhs[i]` is touched only by the chain
+            // interior → boundary → update, ordered by dependency edges.
+            let rhs_i = unsafe { &mut *rhs_base.get().add(i) };
+            sweep(i, u, SweepPhase::Interior, rhs_i);
+        });
+        let boundary = graph.add_task(&[halo_i, interior], move || {
+            // SAFETY: as for the interior task; ghost reads are ordered
+            // after `halo[i]` by the dependency edge.
+            let u = unsafe { FabRd::from_raw(*state_list.get(i)) };
+            // SAFETY: see the interior task.
+            let rhs_i = unsafe { &mut *rhs_base.get().add(i) };
+            sweep(i, u, SweepPhase::BoundaryBand, rhs_i);
+        });
+        let mut deps = vec![boundary];
+        deps.extend(readers[i].iter().map(|&d| halo[d]));
+        graph.add_task(&deps, move || {
+            // SAFETY: every reader of patch `i`'s state (its own sweeps via
+            // `boundary[i]`→`interior[i]`/`halo[i]`, and each halo task
+            // copying out of `i`) is a dependency of this task, so it is
+            // the unique last task touching these three fabs and may hold
+            // real references.
+            let st = unsafe { &mut *state_base.get().add(i) };
+            // SAFETY: `du[i]` is touched by this task alone.
+            let du = unsafe { &mut *du_base.get().add(i) };
+            // SAFETY: the writers of `rhs[i]` are dependencies (see above).
+            let rhs_i = unsafe { &*rhs_base.get().add(i) };
+            update(i, du, st, rhs_i);
+        });
+    }
+
+    graph.run(threads);
+}
+
+/// Decomposes `valid` minus `interior` into disjoint axis-aligned slabs
+/// (x-low/high full-face slabs, then y slabs restricted to the interior's x
+/// range, then z slabs restricted to the interior's x–y range). Returns
+/// `[valid]` when the interior is empty. Every band cell lands in exactly
+/// one slab, so sweeping the slabs accumulates each cell's RHS exactly once
+/// — in the same per-cell operation order as one sweep over `valid`.
+pub fn band_slabs(valid: IndexBox, interior: IndexBox) -> Vec<IndexBox> {
+    if interior.is_empty() {
+        return vec![valid];
+    }
+    debug_assert!(valid.contains_box(&interior));
+    let mut slabs = Vec::with_capacity(6);
+    let mut core = valid;
+    for dir in 0..3 {
+        let lo_gap = interior.lo()[dir] - core.lo()[dir];
+        if lo_gap > 0 {
+            slabs.push(core.grow_hi(dir, lo_gap - core.size()[dir]));
+        }
+        let hi_gap = core.hi()[dir] - interior.hi()[dir];
+        if hi_gap > 0 {
+            slabs.push(core.grow_lo(dir, hi_gap - core.size()[dir]));
+        }
+        core = core.grow_lo(dir, -lo_gap).grow_hi(dir, -hi_gap);
+    }
+    debug_assert_eq!(core, interior);
+    slabs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crocco_geometry::IntVect;
+
+    #[test]
+    fn band_slabs_partition_the_band() {
+        let valid = IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(15, 11, 9));
+        let interior = valid.grow(-4);
+        let slabs = band_slabs(valid, interior);
+        assert_eq!(slabs.len(), 6);
+        let total: u64 = slabs.iter().map(|s| s.num_points()).sum();
+        assert_eq!(total, valid.num_points() - interior.num_points());
+        // Disjointness: pairwise empty intersections, none meets interior.
+        for (a, s) in slabs.iter().enumerate() {
+            assert!(s.intersection(&interior).is_empty());
+            for t in &slabs[a + 1..] {
+                assert!(s.intersection(t).is_empty(), "{s:?} overlaps {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_slabs_empty_interior_returns_valid() {
+        let valid = IndexBox::from_extents(6, 6, 6);
+        assert_eq!(band_slabs(valid, valid.grow(-4)), vec![valid]);
+    }
+
+    #[test]
+    fn band_slabs_one_sided_interior() {
+        // Interior flush against the low faces: only high-side slabs.
+        let valid = IndexBox::from_extents(8, 8, 8);
+        let interior = IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(3, 3, 3));
+        let slabs = band_slabs(valid, interior);
+        let total: u64 = slabs.iter().map(|s| s.num_points()).sum();
+        assert_eq!(total, valid.num_points() - interior.num_points());
+        for s in &slabs {
+            assert!(s.intersection(&interior).is_empty());
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Logical tiling of patches (BoxLib/AMReX tiling, the paper's ref. [24]).
+//! Logical tiling of patches (BoxLib/AMReX tiling, the paper's ref. \[24\]).
 //!
 //! Large patches are traversed as a sequence of cache-sized *tiles*: the
 //! `MFIter`-with-tiling pattern that keeps stencil working sets resident in

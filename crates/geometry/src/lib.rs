@@ -19,7 +19,8 @@
 //!
 //! Everything here is pure index arithmetic: no field data, no parallelism.
 
-// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+// Enforced by `cargo xtask lint`: unsafe code is confined to the allowlisted
+// fab modules (multifab, view, overlap) — none of it lives here.
 #![forbid(unsafe_code)]
 
 pub mod decompose;

@@ -24,7 +24,8 @@
 //! Every calibration constant lives in [`summit`] with a comment tying it to
 //! the paper number it reproduces.
 
-// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+// Enforced by `cargo xtask lint`: unsafe code is confined to the allowlisted
+// fab modules (multifab, view, overlap) — none of it lives here.
 #![forbid(unsafe_code)]
 
 pub mod cpu;

@@ -14,17 +14,35 @@
 //!   (pack → send → receive → unpack) actually executes, at laptop scale.
 //! * [`pool`] — a scoped thread pool for on-node parallel patch loops (the
 //!   OpenMP/GPU-thread analog below MPI, §IV-B).
+//! * [`taskgraph`] — a dependency-tracking task executor built on the same
+//!   scoped threads; the fab layer uses it to overlap halo exchange with
+//!   interior kernel sweeps (DESIGN.md §4e).
 //! * [`topology`] — rank ↔ node placement for Summit-like machines.
+//!
+//! Where this crate sits in the paper-subsystem map (the S1–S5 table; the
+//! same table appears in the `fab` and `amr` roots):
+//!
+//! | # | paper subsystem | crate counterpart |
+//! |---|---|---|
+//! | S1 | MPI job across Summit nodes (§IV-B) | `runtime::sim`, `runtime::cluster`, `runtime::topology` |
+//! | S2 | on-node OpenMP / GPU streams (§IV-B) | **`runtime::pool`, `runtime::taskgraph`** |
+//! | S3 | AMReX `FabArray` data + comm metadata (§III-A) | `fab` (`MultiFab`, plans, plan cache) |
+//! | S4 | AMR hierarchy, regrid, FillPatch (§III-B/C) | `amr` |
+//! | S5 | CRoCCo solver kernels + RK3 driver (§II, §III) | `core` (`crocco-solver`) |
 
-// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+// Enforced by `cargo xtask lint`: unsafe code is confined to the allowlisted
+// fab modules (multifab, view, overlap) — none of it lives here.
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod cluster;
 pub mod pool;
 pub mod sim;
+pub mod taskgraph;
 pub mod topology;
 
 pub use cluster::{LocalCluster, Packet, RankEndpoint};
 pub use pool::{default_threads, parallel_for, parallel_for_each_mut, parallel_zip_mut};
 pub use sim::{CommOp, SimComm};
+pub use taskgraph::{TaskGraph, TaskHandle};
 pub use topology::Topology;

@@ -1,0 +1,375 @@
+//! A small dependency-tracking task executor.
+//!
+//! [`crate::pool`] provides flat fork-join patch loops — every phase of an RK
+//! stage (halo execution, boundary fill, kernel sweep, update) runs as its
+//! own loop with a hard barrier between phases. This module removes the
+//! barrier: work is submitted as *tasks* with explicit predecessor handles,
+//! and a pool of workers drains whatever is ready. The fab layer builds one
+//! graph per RK stage from its cached communication plans, so a patch's
+//! boundary-band sweep waits only for *its own* halo tasks while interior
+//! sweeps of every patch start immediately (the comm/compute overlap of
+//! task-based AMR runtimes, arXiv:2508.05020, and STREAmS-2,
+//! arXiv:2304.05494).
+//!
+//! Design points:
+//!
+//! * **Acyclic by construction.** A task's dependencies are handles returned
+//!   by earlier `add_task` calls, so a dependency's index is always smaller
+//!   than the dependent's — no cycle detection is needed at run time, and
+//!   insertion order is a valid topological order.
+//! * **Epoch-checked handles.** Every graph draws a process-unique id;
+//!   handles remember it and `add_task` panics on a handle minted by a
+//!   different graph (the `fabcheck`-style cheap assertion that catches
+//!   accidentally-reused handles across stages).
+//! * **Panic propagation.** A panicking task aborts the drain; the first
+//!   payload is re-thrown from [`TaskGraph::run`] on the caller's thread,
+//!   matching the fork-join loops' behaviour under `std::thread::scope`.
+//! * **Serial fallback.** With `threads <= 1` the graph runs inline in
+//!   insertion order — deterministic, allocation-light, and exactly what the
+//!   small test problems want.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Mints process-unique graph ids (the handle "epoch").
+static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An opaque reference to a task previously added to a [`TaskGraph`], used
+/// to declare dependencies of later tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskHandle {
+    graph: u64,
+    idx: usize,
+}
+
+/// A submitted task's boxed closure.
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// One submitted task: its closure and deduplicated predecessor indices.
+struct Task<'env> {
+    run: Job<'env>,
+    deps: Vec<usize>,
+}
+
+/// A dependency graph of `FnOnce` tasks, executed by [`TaskGraph::run`].
+///
+/// The `'env` lifetime lets tasks borrow from the caller's stack, as with
+/// scoped threads: the graph cannot outlive the data its tasks capture.
+pub struct TaskGraph<'env> {
+    id: u64,
+    tasks: Vec<Task<'env>>,
+}
+
+impl<'env> TaskGraph<'env> {
+    /// Creates an empty graph with a fresh id.
+    pub fn new() -> Self {
+        TaskGraph {
+            id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when no task has been added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Adds a task that may start only after every task in `deps` has
+    /// finished, and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any handle in `deps` was created by a different graph.
+    pub fn add_task<F>(&mut self, deps: &[TaskHandle], f: F) -> TaskHandle
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let mut dep_idx = Vec::with_capacity(deps.len());
+        for d in deps {
+            assert_eq!(
+                d.graph, self.id,
+                "TaskHandle belongs to a different TaskGraph (stale handle?)"
+            );
+            dep_idx.push(d.idx);
+        }
+        dep_idx.sort_unstable();
+        dep_idx.dedup();
+        let idx = self.tasks.len();
+        self.tasks.push(Task {
+            run: Box::new(f),
+            deps: dep_idx,
+        });
+        TaskHandle {
+            graph: self.id,
+            idx,
+        }
+    }
+
+    /// Executes every task, honouring dependencies, on up to `threads`
+    /// workers. Returns when all tasks have finished; re-throws the first
+    /// task panic after the workers have stopped.
+    pub fn run(self, threads: usize) {
+        let n = self.tasks.len();
+        if n == 0 {
+            return;
+        }
+        if threads <= 1 || n == 1 {
+            // Insertion order is a topological order (deps point backwards),
+            // and an unwinding closure propagates naturally.
+            for t in self.tasks {
+                (t.run)();
+            }
+            return;
+        }
+
+        // Successor lists and atomic in-degrees drive readiness; a mutexed
+        // deque + condvar is the ready queue (the vendored crossbeam stub has
+        // no lock-free deque, and patch-sized tasks amortize the lock).
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = Vec::with_capacity(n);
+        for (i, t) in self.tasks.iter().enumerate() {
+            indeg.push(AtomicUsize::new(t.deps.len()));
+            for &d in &t.deps {
+                succs[d].push(i);
+            }
+        }
+        let jobs: Vec<Mutex<Option<Job<'env>>>> = self
+            .tasks
+            .into_iter()
+            .map(|t| Mutex::new(Some(t.run)))
+            .collect();
+        let ready: Mutex<VecDeque<usize>> = Mutex::new(
+            (0..n)
+                .filter(|&i| indeg[i].load(Ordering::Relaxed) == 0)
+                .collect(),
+        );
+        let cv = Condvar::new();
+        let finished = AtomicUsize::new(0);
+        let aborted = AtomicBool::new(false);
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        let nworkers = threads.min(n);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..nworkers {
+                s.spawn(|_| loop {
+                    let i = {
+                        let mut q = ready.lock().expect("task queue poisoned");
+                        loop {
+                            if aborted.load(Ordering::Acquire)
+                                || finished.load(Ordering::Acquire) == n
+                            {
+                                return;
+                            }
+                            if let Some(i) = q.pop_front() {
+                                break i;
+                            }
+                            q = cv.wait(q).expect("task queue poisoned");
+                        }
+                    };
+                    let job = jobs[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("task scheduled twice");
+                    match catch_unwind(AssertUnwindSafe(job)) {
+                        Ok(()) => {
+                            for &sx in &succs[i] {
+                                if indeg[sx].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    ready.lock().expect("task queue poisoned").push_back(sx);
+                                    cv.notify_one();
+                                }
+                            }
+                            if finished.fetch_add(1, Ordering::AcqRel) + 1 == n {
+                                // Wake idle workers so they observe completion.
+                                let _q = ready.lock().expect("task queue poisoned");
+                                cv.notify_all();
+                            }
+                        }
+                        Err(payload) => {
+                            let mut slot = panic_slot.lock().expect("panic slot poisoned");
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            drop(slot);
+                            aborted.store(true, Ordering::Release);
+                            let _q = ready.lock().expect("task queue poisoned");
+                            cv.notify_all();
+                            return;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("task graph scope failed");
+
+        if let Some(p) = panic_slot.into_inner().expect("panic slot poisoned") {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Default for TaskGraph<'_> {
+    fn default() -> Self {
+        TaskGraph::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicU64 as TestAtomicU64;
+
+    /// Runs `deps[i] -> i` graphs and records the order tasks executed in.
+    fn record_order(deps: &[Vec<usize>], threads: usize) -> Vec<usize> {
+        let order = Mutex::new(Vec::new());
+        let mut g = TaskGraph::new();
+        let mut handles: Vec<TaskHandle> = Vec::new();
+        for (i, d) in deps.iter().enumerate() {
+            let hd: Vec<TaskHandle> = d.iter().map(|&j| handles[j]).collect();
+            let order = &order;
+            handles.push(g.add_task(&hd, move || {
+                order.lock().unwrap().push(i);
+            }));
+        }
+        g.run(threads);
+        order.into_inner().unwrap()
+    }
+
+    /// Asserts `order` is a permutation of `0..deps.len()` that respects
+    /// every dependency.
+    fn assert_topological(deps: &[Vec<usize>], order: &[usize]) {
+        assert_eq!(order.len(), deps.len(), "not every task ran");
+        let mut pos = vec![usize::MAX; deps.len()];
+        for (p, &t) in order.iter().enumerate() {
+            assert_eq!(pos[t], usize::MAX, "task {t} ran twice");
+            pos[t] = p;
+        }
+        for (i, d) in deps.iter().enumerate() {
+            for &j in d {
+                assert!(
+                    pos[j] < pos[i],
+                    "task {i} ran before its dependency {j}: {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_executes_in_dependency_order() {
+        let deps: Vec<Vec<usize>> = (0..64).map(|i| if i == 0 { vec![] } else { vec![i - 1] }).collect();
+        for threads in [1, 4] {
+            let order = record_order(&deps, threads);
+            assert_eq!(order, (0..64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn diamond_dependencies_fence_the_join() {
+        // 0 -> {1, 2} -> 3
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        for threads in [1, 2, 4] {
+            let order = record_order(&deps, threads);
+            assert_topological(&deps, &order);
+            assert_eq!(order[0], 0);
+            assert_eq!(order[3], 3);
+        }
+    }
+
+    #[test]
+    fn independent_tasks_all_run() {
+        let count = TestAtomicU64::new(0);
+        let mut g = TaskGraph::new();
+        for _ in 0..100 {
+            let count = &count;
+            g.add_task(&[], move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        g.run(8);
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn duplicate_deps_are_deduplicated() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], || {});
+        let h = g.add_task(&[a, a, a], || {});
+        assert_eq!(h, h);
+        assert_eq!(g.len(), 2);
+        g.run(2);
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let g = TaskGraph::new();
+        assert!(g.is_empty());
+        g.run(4);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_caller() {
+        for threads in [1, 4] {
+            let ran_dependent = TestAtomicU64::new(0);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut g = TaskGraph::new();
+                let bad = g.add_task(&[], || panic!("task exploded"));
+                let ran = &ran_dependent;
+                g.add_task(&[bad], move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+                g.run(threads);
+            }));
+            let payload = result.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "task exploded");
+            assert_eq!(
+                ran_dependent.load(Ordering::Relaxed),
+                0,
+                "dependents of a panicked task must not run"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different TaskGraph")]
+    fn cross_graph_handle_is_rejected() {
+        let mut a = TaskGraph::new();
+        let ha = a.add_task(&[], || {});
+        let mut b = TaskGraph::new();
+        b.add_task(&[ha], || {});
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random DAGs (deps always point to earlier tasks) execute in
+        /// topological order on both the serial and the threaded path.
+        #[test]
+        fn random_dags_execute_topologically(
+            raw in prop::collection::vec(prop::collection::vec(any::<usize>(), 0..4), 1..40),
+            threads in prop::sample::select(vec![1usize, 2, 4, 8]),
+        ) {
+            let deps: Vec<Vec<usize>> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    if i == 0 {
+                        Vec::new()
+                    } else {
+                        d.iter().map(|&r| r % i).collect()
+                    }
+                })
+                .collect();
+            let order = record_order(&deps, threads);
+            assert_topological(&deps, &order);
+        }
+    }
+}

@@ -22,7 +22,11 @@ use std::path::{Path, PathBuf};
 
 /// Modules allowed to contain `unsafe` code, as workspace-relative paths.
 /// Growing this list is a reviewed decision — see DESIGN.md §4d.
-const UNSAFE_ALLOWLIST: &[&str] = &["crates/fab/src/multifab.rs"];
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/fab/src/multifab.rs",
+    "crates/fab/src/view.rs",
+    "crates/fab/src/overlap.rs",
+];
 
 /// Crate roots exempt from the `#![forbid(unsafe_code)]` requirement because
 /// they host an allowlisted module (the workspace-level `deny` still applies

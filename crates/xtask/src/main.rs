@@ -1,7 +1,8 @@
 //! Workspace dev tasks, invoked as `cargo xtask <task>` (see
 //! `.cargo/config.toml` for the alias). Offline and dependency-free.
 
-// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+// Enforced by `cargo xtask lint`: unsafe code is confined to the allowlisted
+// fab modules (multifab, view, overlap) — none of it lives here.
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;

@@ -4,7 +4,9 @@
 //!
 //! Demonstrates: stored coordinates + 27-component metrics on a non-Cartesian
 //! mapping, the curvilinear interpolator with its coordinate ParallelCopy,
-//! and shock-based refinement following the ramp shock.
+//! shock-based refinement following the ramp shock, and the task-graph RK
+//! executor (`OVERLAP=0 cargo run ...` falls back to the barrier executor;
+//! both produce bitwise-identical solutions, see DESIGN.md §4e).
 //!
 //! ```sh
 //! cargo run --release --example compression_ramp
@@ -18,6 +20,8 @@ use crocco::solver::state::cons;
 use std::io::Write;
 
 fn main() {
+    // Task-graph halo/kernel overlap is on unless OVERLAP=0 is set.
+    let overlap = std::env::var("OVERLAP").map_or(true, |v| v != "0");
     let cfg = SolverConfig::builder()
         .problem(ProblemKind::Ramp)
         .extents(64, 32, 8)
@@ -28,8 +32,13 @@ fn main() {
         .regrid_freq(5)
         .cfl(0.5)
         .threads(4)
+        .overlap(overlap)
         .build();
     let mut sim = Simulation::new(cfg);
+    println!(
+        "RK stage executor: {}",
+        if overlap { "task graph (overlapped)" } else { "barrier" }
+    );
 
     let ramp = RampMapping::paper_dmr();
     println!(

@@ -39,7 +39,8 @@
 //! assert!(report.steps == 5 && report.final_time > 0.0);
 //! ```
 
-// Enforced by `cargo xtask lint`: only fab::multifab may contain unsafe code.
+// Enforced by `cargo xtask lint`: unsafe code is confined to the allowlisted
+// fab modules (multifab, view, overlap) — none of it lives here.
 #![forbid(unsafe_code)]
 
 pub use crocco_amr as amr;
