@@ -1,0 +1,92 @@
+//! Criterion benchmark for the distributed stage executors
+//! (`SolverConfig::dist_overlap`, DESIGN.md §4f): fenced vs rank-crossing
+//! task graph on a 2-rank `LocalCluster` running the curvilinear ramp. Each
+//! sample advances a fixed number of steps inside a fresh cluster (thread
+//! ranks cannot persist across `iter` calls), so the measurement includes
+//! the skeleton-cache warm-up exactly once per sample — the steady-state
+//! stages after it re-bind only RK coefficients.
+//!
+//! Before anything is timed, the fenced and overlapped runs are compared bit
+//! for bit against the single-rank driver — the acceptance condition for the
+//! distributed data path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crocco_runtime::LocalCluster;
+use crocco_solver::config::{CodeVersion, SolverConfig, SolverConfigBuilder};
+use crocco_solver::driver::Simulation;
+use crocco_solver::problems::ProblemKind;
+
+const NRANKS: usize = 2;
+const STEPS: u32 = 4;
+
+fn ramp_builder() -> SolverConfigBuilder {
+    SolverConfig::builder()
+        .problem(ProblemKind::Ramp)
+        .extents(48, 24, 8)
+        .version(CodeVersion::V2_0)
+        .max_levels(2)
+        .blocking_factor(4)
+        .max_grid_size(16)
+        .regrid_freq(3)
+        .cfl(0.5)
+}
+
+/// Flattens every level's valid state to bit patterns for exact comparison.
+fn state_bits(sim: &Simulation) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for l in 0..sim.nlevels() {
+        let state = &sim.level(l).state;
+        for i in 0..state.nfabs() {
+            for c in 0..state.ncomp() {
+                for p in state.valid_box(i).cells() {
+                    bits.push(state.fab(i).get(p, c).to_bits());
+                }
+            }
+        }
+    }
+    bits
+}
+
+fn cluster_run(overlap: bool, threads: usize) -> Vec<Vec<u64>> {
+    let cfg = ramp_builder()
+        .nranks(NRANKS)
+        .threads(threads)
+        .dist_overlap(overlap)
+        .build();
+    LocalCluster::run(NRANKS, move |ep| {
+        let mut sim = Simulation::new(cfg.clone());
+        sim.advance_steps_cluster(STEPS, &ep);
+        state_bits(&sim)
+    })
+}
+
+fn bench_dist_step(c: &mut Criterion) {
+    let mut reference = Simulation::new(ramp_builder().build());
+    reference.advance_steps(STEPS);
+    let ref_bits = state_bits(&reference);
+    for overlap in [false, true] {
+        for bits in cluster_run(overlap, 2) {
+            assert_eq!(
+                ref_bits, bits,
+                "distributed run (overlap={overlap}) diverged from the single-rank driver"
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("dist_overlap_advance");
+    group.sample_size(10);
+    for (label, overlap, threads) in [
+        ("fenced_serial", false, 1usize),
+        ("graph_serial", true, 1),
+        ("fenced_threaded", false, 2),
+        ("graph_threaded", true, 2),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| cluster_run(overlap, threads));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dist_step);
+criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Fig. 7: decomposition of FillPatch runtime (v2.1) into the asynchronous
 //! (`_nowait`) and synchronous (`_finish`) halves of `ParallelCopy` and
-//! `FillBoundary` across the weak-scaling cases.
+//! `FillBoundary` across the weak-scaling cases, plus the *exposed*
+//! FillBoundary time once the distributed stage graphs overlap the exchange
+//! with the interior sweeps.
 
 use crocco_bench::dmrscale::amr_case;
 use crocco_bench::report::print_table;
-use crocco_bench::simbench::{ranks_for, simulate_iteration};
+use crocco_bench::simbench::{ranks_for, simulate_iteration_with, CommPricing};
 use crocco_bench::table1::weak_configs;
 use crocco_perfmodel::SummitPlatform;
 use crocco_solver::CodeVersion;
@@ -20,15 +22,23 @@ fn main() {
     ];
     let mut rows = Vec::new();
     let mut pc_finish = Vec::new();
+    let mut exposed_share = Vec::new();
     for cfg in weak_configs() {
         let ranks = ranks_for(version, cfg.nodes, &platform);
         let case = amr_case(cfg.extents, ranks);
-        let b = simulate_iteration(version, &case, &platform);
+        let b = simulate_iteration_with(version, &case, &platform, CommPricing::Additive);
+        let o = simulate_iteration_with(version, &case, &platform, CommPricing::Overlapped);
         pc_finish.push((cfg.nodes, b.get(parts[0])));
+        exposed_share.push((
+            cfg.nodes,
+            b.get("FillPatch/FillBoundary_finish"),
+            o.get("FillPatch/FillBoundary_finish"),
+        ));
         let mut row = vec![cfg.nodes.to_string()];
         for p in parts {
             row.push(format!("{:.2}", b.get(p) * 1e3));
         }
+        row.push(format!("{:.2}", o.get("FillPatch/FillBoundary_finish") * 1e3));
         row.push(format!("{:.2}", b.get("FillPatch") * 1e3));
         rows.push(row);
     }
@@ -40,9 +50,19 @@ fn main() {
             "ParallelCopy_nowait",
             "FillBoundary_finish",
             "FillBoundary_nowait",
+            "FB_finish exposed",
             "FillPatch total",
         ],
         &rows,
+    );
+    let (fenced, exposed): (f64, f64) = exposed_share
+        .iter()
+        .fold((0.0, 0.0), |(f, e), &(_, bf, of)| (f + bf, e + of));
+    println!(
+        "\nstage overlap: FillBoundary_finish {:.2} ms fenced -> {:.2} ms exposed across the sweep ({:.0}% hidden)",
+        fenced * 1e3,
+        exposed * 1e3,
+        100.0 * (1.0 - exposed / fenced.max(f64::MIN_POSITIVE))
     );
     let first = pc_finish.first().unwrap().1;
     let last = pc_finish.last().unwrap().1;

@@ -77,6 +77,25 @@ pub fn ranks_for(version: CodeVersion, nodes: u32, platform: &SummitPlatform) ->
     }
 }
 
+/// How communication phases are charged against the per-iteration walltime.
+///
+/// `Additive` is the fenced data path: every `FillBoundary` fence serializes
+/// behind the stage's kernels, so comm and compute add. `Overlapped` prices
+/// the distributed stage graphs of `crocco_fab::dist_overlap`: halo traffic
+/// is driven concurrently with the *interior* sweeps of the owned patches,
+/// so only the exposed remainder — `max(0, comm − interior compute)` — lands
+/// on the critical path ([`NetworkModel::exposed_time`]).
+///
+/// [`NetworkModel::exposed_time`]: crocco_perfmodel::NetworkModel::exposed_time
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommPricing {
+    /// Fenced: communication serializes after compute (the paper's measured
+    /// AMReX `_finish` semantics).
+    Additive,
+    /// Task-graph overlap: only exposed communication is charged.
+    Overlapped,
+}
+
 /// Critical-rank load metrics of one level.
 struct LevelLoad {
     /// Valid cells on the most loaded rank (reductions, AverageDown).
@@ -86,11 +105,16 @@ struct LevelLoad {
     /// ghost points needed to provide a complex stencil for each interior
     /// cell", so small AMR patches pay a large ghost surcharge.
     crit_patches: Vec<u64>,
+    /// Interior cells (more than `NGHOST` from every patch face) on the
+    /// critical rank: the sweep work that needs no halo data and can overlap
+    /// the FillBoundary exchange under [`CommPricing::Overlapped`].
+    crit_interior_cells: u64,
 }
 
 fn level_load(level: &crate::dmrscale::LevelMeta, nranks: usize) -> LevelLoad {
     let mut cells = vec![0u64; nranks];
     let mut work = vec![0u64; nranks];
+    let mut interior = vec![0u64; nranks];
     let mut patches: Vec<Vec<u64>> = vec![Vec::new(); nranks];
     for (i, &owner) in level.dm.owners().iter().enumerate() {
         let bx = level.ba.get(i);
@@ -98,12 +122,14 @@ fn level_load(level: &crate::dmrscale::LevelMeta, nranks: usize) -> LevelLoad {
         let grown = bx.grow(NGHOST).num_points();
         cells[owner] += n;
         work[owner] += grown;
+        interior[owner] += bx.grow(-NGHOST).num_points();
         patches[owner].push(grown);
     }
     let crit = (0..nranks).max_by_key(|&r| work[r]).unwrap_or(0);
     LevelLoad {
         crit_cells: cells[crit],
         crit_patches: std::mem::take(&mut patches[crit]),
+        crit_interior_cells: interior[crit],
     }
 }
 
@@ -136,11 +162,23 @@ fn stage_kernel_time(
     }
 }
 
-/// Simulates one iteration of `version` on `case` over `nodes` nodes.
+/// Simulates one iteration of `version` on `case` over `nodes` nodes under
+/// the fenced ([`CommPricing::Additive`]) data path.
 pub fn simulate_iteration(
     version: CodeVersion,
     case: &ScaledCase,
     platform: &SummitPlatform,
+) -> IterationBreakdown {
+    simulate_iteration_with(version, case, platform, CommPricing::Additive)
+}
+
+/// Simulates one iteration of `version` on `case` under an explicit
+/// communication-pricing model.
+pub fn simulate_iteration_with(
+    version: CodeVersion,
+    case: &ScaledCase,
+    platform: &SummitPlatform,
+    pricing: CommPricing,
 ) -> IterationBreakdown {
     let net = &platform.network;
     let nranks = case.nranks;
@@ -196,12 +234,29 @@ pub fn simulate_iteration(
 
     for (l, lc) in lcs.iter().enumerate() {
         // --- Advance: kernels, 3 stages.
-        let t_adv = STAGES * stage_kernel_time(&lc.load, version, platform);
+        let t_stage = stage_kernel_time(&lc.load, version, platform);
+        let t_adv = STAGES * t_stage;
         out.add("Advance", t_adv);
 
-        // --- FillPatch: FillBoundary every stage.
+        // --- FillPatch: FillBoundary every stage. The posting half
+        // (`_nowait`) is always on the critical path; under overlapped
+        // pricing the payload half (`_finish`) hides behind the interior
+        // sweeps — the fraction of stage kernel work on cells that need no
+        // halo data.
         let fb_nowait = STAGES * net.alpha * lc.fb.max_rank_msgs as f64;
-        let fb_finish = STAGES * lc.fb.max_rank_recv_bytes as f64 / net.bandwidth;
+        let fb_stage = lc.fb.max_rank_recv_bytes as f64 / net.bandwidth;
+        let fb_finish = match pricing {
+            CommPricing::Additive => STAGES * fb_stage,
+            CommPricing::Overlapped => {
+                let work: u64 = lc.load.crit_patches.iter().sum();
+                let frac = if work > 0 {
+                    lc.load.crit_interior_cells as f64 / work as f64
+                } else {
+                    0.0
+                };
+                STAGES * net.exposed_time(fb_stage, t_stage * frac)
+            }
+        };
         out.add("FillPatch/FillBoundary_nowait", fb_nowait);
         out.add("FillPatch/FillBoundary_finish", fb_finish);
         out.add("FillPatch", fb_nowait + fb_finish);
@@ -362,6 +417,33 @@ mod tests {
             s_large > s_small,
             "2.1's advantage must grow with scale: {s_small:.3} -> {s_large:.3}"
         );
+    }
+
+    #[test]
+    fn overlapped_pricing_only_shrinks_exposed_fill_boundary() {
+        let p = platform();
+        let nodes = 64;
+        let ranks = ranks_for(CodeVersion::V2_0, nodes, &p);
+        let case = amr_case(IntVect::new(640 * nodes as i64, 320, 320), ranks);
+        let add = simulate_iteration_with(CodeVersion::V2_0, &case, &p, CommPricing::Additive);
+        let ovl = simulate_iteration_with(CodeVersion::V2_0, &case, &p, CommPricing::Overlapped);
+        // Only FillBoundary_finish may change, and only downward.
+        assert!(ovl.get("FillPatch/FillBoundary_finish") < add.get("FillPatch/FillBoundary_finish"));
+        assert!(ovl.get("FillPatch/FillBoundary_finish") >= 0.0);
+        for region in ["Advance", "ComputeDt", "AverageDown", "Regrid",
+            "FillPatch/FillBoundary_nowait", "FillPatch/ParallelCopy_finish"] {
+            assert_eq!(add.get(region), ovl.get(region), "{region} must be unchanged");
+        }
+        assert!(ovl.total() < add.total());
+    }
+
+    #[test]
+    fn additive_pricing_matches_legacy_entry_point() {
+        let p = platform();
+        let case = amr_case(IntVect::new(640, 160, 320), 24);
+        let a = simulate_iteration(CodeVersion::V2_1, &case, &p);
+        let b = simulate_iteration_with(CodeVersion::V2_1, &case, &p, CommPricing::Additive);
+        assert_eq!(a.regions, b.regions);
     }
 
     #[test]

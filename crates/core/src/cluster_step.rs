@@ -1,0 +1,337 @@
+//! Distributed time stepping over a [`LocalCluster`] endpoint: the driver
+//! loop of `driver.rs`, re-partitioned so each rank advances only the
+//! patches its `DistributionMapping` owns and halo data crosses ranks as
+//! real tag-matched messages (DESIGN.md §4f).
+//!
+//! The execution model is *replicated metadata, replicated data*: every rank
+//! constructs an identical [`Simulation`] and keeps all `MultiFab`s
+//! bitwise-identical at step boundaries. Within an RK stage, each rank
+//! computes only its owned patches ([`run_dist_rk_stage`], fenced or
+//! overlapped per [`SolverConfig::dist_overlap`]); afterwards
+//! [`allgather_fabs`] restores full replication of the level's state. Grid
+//! control — regrid, remap, `AverageDown` — then runs rank-locally on the
+//! replicated data and stays deterministic, so every rank derives the same
+//! new hierarchy without any metadata exchange (the paper's "replicated
+//! metadata" AMReX regime, §III-B).
+//!
+//! `ComputeDt` is the one true collective: each rank reduces its owned
+//! patches, then [`RankEndpoint::allreduce_f64`] combines the exact `min`
+//! (order-free, so bitwise-reproducible at any rank count).
+//!
+//! `tests/dist_overlap_invariance.rs` drives this module at 1/2/4 ranks
+//! across a regrid and asserts bitwise equality against single-rank
+//! stepping.
+//!
+//! [`LocalCluster`]: crocco_runtime::LocalCluster
+//! [`SolverConfig::dist_overlap`]: crate::config::SolverConfig::dist_overlap
+
+use crate::bc::PhysicalBc;
+use crate::driver::{
+    accumulate_rhs, LevelData, PlanKind, RunReport, Simulation, AUX_DIST_SKELETON,
+};
+use crate::kernels::{compute_dt_patch, NGHOST};
+use crocco_amr::fillpatch::{fill_two_level_patch, resolve_two_level_plans, TwoLevelPlans};
+use crocco_amr::BoundaryFiller;
+use crocco_fab::plan_cache::{PlanKey, PlanOp};
+use crocco_fab::{
+    allgather_fabs, band_slabs, fabcheck, run_dist_rk_stage, DistSkeleton, DistStage, FArrayBox,
+    FabRd, FabRw, StageFabs, SweepPhase,
+};
+use crocco_geometry::{IntVect, ProblemDomain};
+use crocco_runtime::RankEndpoint;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+impl Simulation {
+    /// One full time step on a cluster rank (Algorithm 1 loop body,
+    /// distributed). Every rank of the cluster must call this in lockstep
+    /// with an identically configured, identically advanced `Simulation`.
+    pub fn step_cluster(&mut self, ep: &RankEndpoint) {
+        assert_eq!(
+            ep.nranks(),
+            self.cfg.nranks,
+            "cluster size must match cfg.nranks (the DistributionMapping rank count)"
+        );
+        if self.cfg.version.amr_enabled()
+            && self.step > 0
+            && self.step.is_multiple_of(self.cfg.regrid_freq)
+        {
+            // Replicated data makes regrid + remap rank-local: every rank
+            // tags, grids, and remaps identically (deterministic kernels,
+            // no RNG), so the hierarchies stay in lockstep without a
+            // metadata exchange.
+            let t0 = std::time::Instant::now();
+            self.regrid();
+            self.profiler.add("Regrid", t0.elapsed().as_secs_f64());
+        }
+        let t0 = std::time::Instant::now();
+        self.compute_dt_cluster(ep);
+        self.profiler.add("ComputeDt", t0.elapsed().as_secs_f64());
+        self.rk3_cluster(ep);
+        self.step += 1;
+        self.time += self.dt;
+    }
+
+    /// Advances `n` steps on a cluster rank and reports (the distributed
+    /// [`Simulation::advance_steps`]).
+    pub fn advance_steps_cluster(&mut self, n: u32, ep: &RankEndpoint) -> RunReport {
+        for _ in 0..n {
+            self.step_cluster(ep);
+        }
+        self.report()
+    }
+
+    /// `ComputeDt`, distributed: the CFL minimum over *owned* patches,
+    /// combined across ranks with an exact `min` reduction. Bitwise equal
+    /// to the serial global minimum at any rank count.
+    fn compute_dt_cluster(&mut self, ep: &RankEndpoint) {
+        let rank = ep.rank();
+        let mut dt = f64::INFINITY;
+        for lev in &self.levels {
+            let owners = lev.state.distribution().clone();
+            for i in 0..lev.state.nfabs() {
+                if owners.owner(i) != rank {
+                    continue;
+                }
+                let d = compute_dt_patch(
+                    lev.state.fab(i),
+                    lev.metrics.fab(i),
+                    lev.state.valid_box(i),
+                    &self.gas,
+                    self.cfg.cfl,
+                );
+                dt = dt.min(d);
+            }
+        }
+        let dt = ep.allreduce_f64(dt, f64::min);
+        self.comm.reductions += 1;
+        assert!(dt.is_finite() && dt > 0.0, "ComputeDt produced dt={dt}");
+        self.dt = dt;
+    }
+
+    /// Algorithm 2, distributed: per stage, per level, one rank-crossing RK
+    /// stage followed by a state allgather; `AverageDown` (rank-local on the
+    /// re-replicated data) at the end of the final stage.
+    fn rk3_cluster(&mut self, ep: &RankEndpoint) {
+        let dt = self.dt;
+        let nstages = self.cfg.time_scheme.stages();
+        let rank = ep.rank();
+        for stage in 0..nstages {
+            // The per-stage tag epoch every rank derives identically; halo
+            // and gather tags of different stages can never cross-match.
+            let epoch = u64::from(self.step) * nstages as u64 + stage as u64;
+            for l in 0..self.hierarchy.nlevels() {
+                self.fill_and_advance_cluster(l, stage, dt, ep, epoch);
+                // Restore replication of this level before anything reads
+                // non-owned patches (the finer level's coarse gather, the
+                // next stage's halo sources, AverageDown, regrid).
+                let t0 = std::time::Instant::now();
+                allgather_fabs(&mut self.levels[l].state, ep, l, epoch);
+                self.profiler.add("Allgather", t0.elapsed().as_secs_f64());
+            }
+            if stage == nstages - 1 {
+                let t0 = std::time::Instant::now();
+                for l in (1..self.hierarchy.nlevels()).rev() {
+                    let (lo, hi) = self.levels.split_at_mut(l);
+                    crocco_amr::average_down::average_down(
+                        &hi[0].state,
+                        &mut lo[l - 1].state,
+                        IntVect::splat(2),
+                    );
+                }
+                self.profiler
+                    .add("AverageDown", t0.elapsed().as_secs_f64());
+            }
+            if self.cfg.nan_poison {
+                for (l, lev) in self.levels.iter().enumerate() {
+                    // State is replicated (post-allgather): check all
+                    // patches. dU is owner-local: a non-owned dU fab is
+                    // legitimately still poisoned, so check owned only.
+                    fabcheck::check_for_nan(&lev.state, &format!("RK stage {stage} state L{l}"));
+                    for i in 0..lev.du.nfabs() {
+                        if lev.du.distribution().owner(i) == rank {
+                            assert!(
+                                !lev.du.fab(i).has_nonfinite(lev.du.valid_box(i)),
+                                "fabcheck: non-finite in RK stage {stage} dU L{l} patch {i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One level's distributed RK stage: the rank-crossing counterpart of
+    /// the on-node `fill_and_advance_overlap`, sharing its plan resolution,
+    /// physics closures, and communication accounting. The rank's
+    /// [`DistSkeleton`] is memoized in the plan cache (`Aux` namespace,
+    /// rank in the key's `aux` bits) and survives until regrid invalidates
+    /// it, so steady-state stages skip the topology derivation entirely.
+    fn fill_and_advance_cluster(
+        &mut self,
+        l: usize,
+        stage: usize,
+        dt: f64,
+        ep: &RankEndpoint,
+        epoch: u64,
+    ) {
+        let t0 = std::time::Instant::now();
+        let gas = self.gas;
+        let weno = self.cfg.weno;
+        let recon = self.cfg.reconstruction;
+        let les = self.cfg.les;
+        let reference = self.cfg.version.reference_kernels();
+        let threads = self.cfg.threads;
+        let a = self.cfg.time_scheme.a(stage);
+        let b = self.cfg.time_scheme.b(stage);
+        let poison = self.cfg.nan_poison;
+        let time = self.time;
+        let ratio = IntVect::splat(2);
+        let domain = self.hierarchy.domain(l);
+        let bc = PhysicalBc::new(self.cfg.problem, self.gas, self.level_extents(l));
+        let coarse_ctx = (l > 0).then(|| {
+            (
+                self.hierarchy.domain(l - 1),
+                PhysicalBc::new(self.cfg.problem, self.gas, self.level_extents(l - 1)),
+            )
+        });
+        let cache = self.hierarchy.plan_cache().clone();
+        let interp = &*self.interp;
+
+        let (lo_levels, hi_levels) = self.levels.split_at_mut(l);
+        let fine = &mut hi_levels[0];
+        let fb = cache.fill_boundary(
+            fine.state.boxarray(),
+            fine.state.distribution(),
+            &domain,
+            fine.state.nghost(),
+            fine.state.ncomp(),
+        );
+        let two: Option<(TwoLevelPlans, &LevelData, ProblemDomain, PhysicalBc)> =
+            coarse_ctx.map(|(coarse_domain, coarse_bc)| {
+                let coarse = &lo_levels[l - 1];
+                let plans = resolve_two_level_plans(
+                    &fine.state,
+                    &coarse.state,
+                    &domain,
+                    &coarse_domain,
+                    ratio,
+                    interp,
+                    Some(&coarse.coords),
+                    Some(&fine.coords),
+                    Some(cache.as_ref()),
+                );
+                (plans, coarse, coarse_domain, coarse_bc)
+            });
+        self.comm.absorb_plan(&fb.stats, PlanKind::FillBoundary);
+        if let Some((plans, ..)) = &two {
+            self.comm
+                .absorb_plan(&plans.state.state_plan().stats, PlanKind::ParallelCopy);
+            if let Some(cg) = &plans.coords {
+                self.comm
+                    .absorb_plan(&cg.coord_plan().stats, PlanKind::CoordCopy);
+            }
+        }
+        // The rank-crossing graph skeleton, memoized beside the plan it was
+        // derived from; regrid invalidates both together.
+        let skel = cache.get_or_build_aux(
+            PlanKey {
+                op: PlanOp::Aux(AUX_DIST_SKELETON),
+                aux: ep.rank() as u64,
+                ..PlanKey::fill_boundary(
+                    fine.state.boxarray(),
+                    fine.state.distribution(),
+                    &domain,
+                    fine.state.nghost(),
+                    fine.state.ncomp(),
+                )
+            },
+            || DistSkeleton::build(&fb, fine.state.distribution().owners(), ep.rank()),
+        );
+        self.profiler.add("FillPatch", t0.elapsed().as_secs_f64());
+
+        let t1 = std::time::Instant::now();
+        let LevelData {
+            state,
+            du,
+            coords,
+            metrics,
+            rhs,
+        } = fine;
+        let ba = state.boxarray().clone();
+        let coords = &*coords;
+        let metrics = &*metrics;
+        let interpolated = AtomicU64::new(0);
+
+        let pre_halo = |i: usize, rw: &mut FabRw<'_>| {
+            if let Some((plans, coarse, coarse_domain, coarse_bc)) = &two {
+                let cells = fill_two_level_patch(
+                    i,
+                    rw,
+                    plans,
+                    &coarse.state,
+                    Some(&coarse.coords),
+                    Some(coords.fab(i)),
+                    coarse_domain,
+                    ratio,
+                    interp,
+                    coarse_bc,
+                    time,
+                );
+                interpolated.fetch_add(cells, Ordering::Relaxed);
+            }
+        };
+        let bc_fill = |i: usize, rw: &mut FabRw<'_>| {
+            bc.fill_view(rw, ba.get(i), &domain, time);
+        };
+        let sweep = |i: usize, u: FabRd<'_>, phase: SweepPhase, rhs: &mut FArrayBox| {
+            let valid = ba.get(i);
+            let met = metrics.fab(i);
+            let interior = valid.grow(-NGHOST);
+            match phase {
+                SweepPhase::Interior => {
+                    rhs.fill(0.0);
+                    if !interior.is_empty() {
+                        accumulate_rhs(
+                            &u, met, rhs, interior, &gas, weno, recon, les.as_ref(), reference,
+                        );
+                    }
+                }
+                SweepPhase::BoundaryBand => {
+                    for slab in band_slabs(valid, interior) {
+                        accumulate_rhs(
+                            &u, met, rhs, slab, &gas, weno, recon, les.as_ref(), reference,
+                        );
+                    }
+                }
+            }
+        };
+        let update = |_i: usize, dufab: &mut FArrayBox, stfab: &mut FArrayBox, rhs: &FArrayBox| {
+            if poison && a == 0.0 {
+                // 0·SNAN is still NaN: a poisoned dU must be dropped
+                // explicitly at the first stage, not multiplied away.
+                dufab.fill(0.0);
+            }
+            dufab.lincomb(a, dt, rhs);
+            stfab.lincomb(1.0, b, dufab);
+        };
+        let st = DistStage {
+            ep,
+            level: l,
+            epoch,
+            overlap: self.cfg.dist_overlap,
+            threads,
+        };
+        run_dist_rk_stage(
+            StageFabs { state, du, rhs },
+            &fb,
+            &skel,
+            &st,
+            &pre_halo,
+            &bc_fill,
+            &sweep,
+            &update,
+        );
+        self.comm.interpolated_cells += interpolated.load(Ordering::Relaxed);
+        self.profiler.add("Advance", t1.elapsed().as_secs_f64());
+    }
+}

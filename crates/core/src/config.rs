@@ -174,6 +174,15 @@ pub struct SolverConfig {
     /// dependency edges are derived from the cached chunk lists), regardless
     /// of [`plan_cache`](Self::plan_cache). Off by default.
     pub overlap: bool,
+    /// In cluster stepping ([`Simulation::step_cluster`]), execute each
+    /// distributed RK stage as a rank-crossing task graph — tag-matched
+    /// nonblocking receives gate boundary sweeps while interior sweeps and
+    /// sends run immediately (DESIGN.md §4f) — instead of the fenced
+    /// post/send/wait phases. Results are bitwise-identical; only the
+    /// schedule changes. Ignored outside cluster stepping. Off by default.
+    ///
+    /// [`Simulation::step_cluster`]: crate::driver::Simulation::step_cluster
+    pub dist_overlap: bool,
     /// Run the `fabcheck` dynamic sanitizer on the solver's MultiFabs:
     /// plan-aliasing proofs before every ghost exchange and stale-ghost traps
     /// in the RK loop. Defaults to on when the crate is built with the
@@ -235,6 +244,7 @@ impl Default for SolverConfigBuilder {
                 threads: 1,
                 plan_cache: true,
                 overlap: false,
+                dist_overlap: false,
                 fabcheck: cfg!(feature = "fabcheck"),
                 nan_poison: false,
             },
@@ -354,6 +364,13 @@ impl SolverConfigBuilder {
     /// Enables/disables task-graph RK stages (halo/interior overlap).
     pub fn overlap(mut self, on: bool) -> Self {
         self.cfg.overlap = on;
+        self
+    }
+
+    /// Enables/disables rank-crossing task-graph RK stages in cluster
+    /// stepping (distributed halo/interior overlap).
+    pub fn dist_overlap(mut self, on: bool) -> Self {
+        self.cfg.dist_overlap = on;
         self
     }
 

@@ -30,9 +30,10 @@ use crocco_amr::interp::Interpolator;
 use crocco_amr::BoundaryFiller;
 use crocco_amr::tagging::TagSet;
 use crocco_fab::plan::PlanStats;
+use crocco_fab::plan_cache::{PlanKey, PlanOp};
 use crocco_fab::{
-    band_slabs, fabcheck, run_rk_stage, BoxArray, DistributionMapping, FArrayBox, FabRd, FabRw,
-    FabView, MultiFab, StageFabs, SweepPhase,
+    band_slabs, fabcheck, run_rk_stage_with_skeleton, BoxArray, DistributionMapping, FArrayBox,
+    FabRd, FabRw, FabView, MultiFab, StageFabs, StageSkeleton, SweepPhase,
 };
 use crocco_geometry::{GridMapping, IndexBox, IntVect, ProblemDomain, RealVect};
 use crocco_perfmodel::Profiler;
@@ -41,6 +42,13 @@ use crocco_fab::DistributionStrategy;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// `PlanOp::Aux` namespace tag for memoized on-node stage skeletons
+/// ([`StageSkeleton`]); the AMR two-level plans use tags 1–2.
+pub(crate) const AUX_STAGE_SKELETON: u32 = 3;
+/// `PlanOp::Aux` namespace tag for memoized distributed stage skeletons
+/// (`DistSkeleton`, keyed per rank through the key's `aux` bits).
+pub(crate) const AUX_DIST_SKELETON: u32 = 4;
 
 /// Williamson low-storage RK3 coefficients.
 pub const RK3_A: [f64; 3] = [0.0, -5.0 / 9.0, -153.0 / 128.0];
@@ -61,7 +69,7 @@ pub struct LevelData {
     /// Per-patch RHS scratch `L(U)` for the RK stages: allocated once per
     /// regrid and zeroed in place each stage, so the hot loop never touches
     /// the allocator.
-    rhs: Vec<FArrayBox>,
+    pub(crate) rhs: Vec<FArrayBox>,
 }
 
 impl LevelData {
@@ -105,7 +113,7 @@ pub struct CommTotals {
 }
 
 impl CommTotals {
-    fn absorb_plan(&mut self, stats: &PlanStats, kind: PlanKind) {
+    pub(crate) fn absorb_plan(&mut self, stats: &PlanStats, kind: PlanKind) {
         match kind {
             PlanKind::FillBoundary => {
                 self.fb_messages += stats.num_messages;
@@ -123,7 +131,7 @@ impl CommTotals {
     }
 }
 
-enum PlanKind {
+pub(crate) enum PlanKind {
     FillBoundary,
     ParallelCopy,
     CoordCopy,
@@ -152,20 +160,20 @@ pub struct RunReport {
 pub struct Simulation {
     /// The configuration this run was built from.
     pub cfg: SolverConfig,
-    gas: crate::eos::PerfectGas,
-    mapping: Arc<dyn GridMapping>,
-    hierarchy: AmrHierarchy,
-    levels: Vec<LevelData>,
-    interp: Box<dyn Interpolator>,
+    pub(crate) gas: crate::eos::PerfectGas,
+    pub(crate) mapping: Arc<dyn GridMapping>,
+    pub(crate) hierarchy: AmrHierarchy,
+    pub(crate) levels: Vec<LevelData>,
+    pub(crate) interp: Box<dyn Interpolator>,
     /// Region profiler (TinyProfiler analog); real wall-clock seconds.
     pub profiler: Profiler,
     /// Communication accounting.
     pub comm: CommTotals,
     /// Per-level coordinate files (populated for `CoordSource::BinaryFile`).
     coord_files: Vec<std::path::PathBuf>,
-    time: f64,
-    dt: f64,
-    step: u32,
+    pub(crate) time: f64,
+    pub(crate) dt: f64,
+    pub(crate) step: u32,
 }
 
 impl Simulation {
@@ -317,7 +325,7 @@ impl Simulation {
     }
 
     /// Level extents at level `l`.
-    fn level_extents(&self, l: usize) -> IntVect {
+    pub(crate) fn level_extents(&self, l: usize) -> IntVect {
         let s = self.hierarchy.domain(l).bx.size();
         IntVect::new(s[0], s[1], s[2])
     }
@@ -502,7 +510,7 @@ impl Simulation {
     }
 
     /// Regrids and remaps field data onto the new grids (Algorithm 1 line 7).
-    fn regrid(&mut self) {
+    pub(crate) fn regrid(&mut self) {
         let tags = self.compute_tags();
         // Refresh coarse ghosts so remap interpolation has sound sources.
         for l in 0..self.hierarchy.nlevels() {
@@ -599,7 +607,7 @@ impl Simulation {
 
     /// `ComputeDt`: the CFL-constrained global minimum time step across all
     /// levels and patches, with the `ReduceRealMin` collective recorded.
-    fn compute_dt(&mut self) {
+    pub(crate) fn compute_dt(&mut self) {
         let mut dt = f64::INFINITY;
         for lev in &self.levels {
             for i in 0..lev.state.nfabs() {
@@ -619,7 +627,7 @@ impl Simulation {
     }
 
     /// FillPatch for one level (single-level at 0, two-level above).
-    fn fill_level(&mut self, l: usize) {
+    pub(crate) fn fill_level(&mut self, l: usize) {
         let t0 = std::time::Instant::now();
         let domain = self.hierarchy.domain(l);
         let bc = PhysicalBc::new(self.cfg.problem, self.gas, self.level_extents(l));
@@ -904,9 +912,28 @@ impl Simulation {
             dufab.lincomb(a, dt, rhs);
             stfab.lincomb(1.0, b, dufab);
         };
-        run_rk_stage(
+        // The stage graph's *skeleton* (chunk ranges + reader edges) is a
+        // pure function of the cached plan, so memoize it next to the plan
+        // (same identity-token key, `Aux` namespace) and re-bind only the RK
+        // coefficients per stage. Invalidated with the rest of the cache at
+        // regrid (DESIGN.md §4f).
+        let skel = cache.get_or_build_aux(
+            PlanKey {
+                op: PlanOp::Aux(AUX_STAGE_SKELETON),
+                ..PlanKey::fill_boundary(
+                    state.boxarray(),
+                    state.distribution(),
+                    &domain,
+                    state.nghost(),
+                    state.ncomp(),
+                )
+            },
+            || StageSkeleton::build(&fb, state.nfabs()),
+        );
+        run_rk_stage_with_skeleton(
             StageFabs { state, du, rhs },
             &fb,
+            &skel,
             threads,
             &pre_halo,
             &bc_fill,
@@ -960,7 +987,7 @@ impl Simulation {
 /// because every valid cell lies in exactly one such region the partition is
 /// bitwise-irrelevant.
 #[allow(clippy::too_many_arguments)]
-fn accumulate_rhs(
+pub(crate) fn accumulate_rhs(
     u: &impl FabView,
     met: &FArrayBox,
     rhs: &mut FArrayBox,

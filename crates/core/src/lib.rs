@@ -27,6 +27,7 @@
 pub mod bc;
 pub mod charproj;
 pub mod chemistry;
+pub mod cluster_step;
 pub mod config;
 pub mod driver;
 pub mod eos;

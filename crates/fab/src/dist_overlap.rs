@@ -1,0 +1,812 @@
+//! Rank-crossing RK-stage execution over a [`crocco_runtime::LocalCluster`]
+//! endpoint:
+//! pack/send/receive/unpack halo traffic woven into the per-stage task graph.
+//!
+//! The on-node overlap module ([`crate::overlap`]) removes the per-stage
+//! barrier between patches of one address space. This module removes the
+//! *level fence* between ranks: each rank executes only the patches its
+//! [`DistributionMapping`](crate::distribution::DistributionMapping)
+//! assigns to it, halo chunks whose source and
+//! destination live on different ranks travel as tag-matched messages
+//! ([`crocco_runtime::tags::halo`]), and — in overlapped mode — each
+//! boundary sweep becomes ready as soon as *its* remote ghost payloads land,
+//! while interior sweeps of every owned patch run immediately
+//! (DESIGN.md §4f; the paper's §IV-B GPU-aware-MPI overlap at rank scope).
+//!
+//! Two executors share one [`DistSkeleton`]:
+//!
+//! * **fenced** — post every receive, pack and send every outgoing chunk,
+//!   then run fill → sweep → update as sequential phases, blocking on each
+//!   remote payload in plan order. The distributed analog of the barrier
+//!   path, and the baseline of `ablation_distoverlap`.
+//! * **overlapped** — one [`TaskGraph`] per stage: send tasks and interior
+//!   sweeps start immediately; each receive is an *event* task gated on its
+//!   [`RecvHandle`], pumped by [`RankEndpoint::progress`]; `halo[i]` depends
+//!   only on patch `i`'s receive events.
+//!
+//! Both produce bitwise-identical state to the single-rank executors: every
+//! cell is written by the same arithmetic in the same per-cell order, and
+//! `f64 → le-bytes → f64` round-trips exactly
+//! (`tests/dist_overlap_invariance.rs` proves this end-to-end, across a
+//! regrid, at 1/2/4 ranks).
+//!
+//! # Replication contract
+//!
+//! Callers keep *metadata and data replicated*: every rank holds identical
+//! `MultiFab`s at stage entry, but only the owner's valid cells are
+//! trustworthy afterwards. [`allgather_fabs`] restores full replication
+//! (owner broadcasts each fab's valid+ghost box) so the next stage — and
+//! rank-local regrid/average-down — see identical bytes everywhere.
+//!
+//! # Safety argument
+//!
+//! The overlapped graph extends the [`crate::overlap`] argument with three
+//! new access kinds, all ordered by dependency edges:
+//!
+//! * `send[k]` *reads* valid cells of its source patch; `update[i]`
+//!   (the only writer of valid cells of `i`) depends on every send reading
+//!   `i` (`send_readers`), so the read completes first;
+//! * receive events touch no fab at all — the payload parks in the
+//!   [`RecvHandle`] until `halo[i]` (their dependent) unpacks it into ghost
+//!   cells of `i`;
+//! * non-owned patches are read-only for the whole stage (halo copies and
+//!   packs read their valid cells; nothing writes them until the
+//!   post-stage [`allgather_fabs`], which runs after the graph joins).
+
+// Allowlisted unsafe surface of the workspace (`cargo xtask lint`): raw
+// views let graph tasks touch disjoint fab regions concurrently.
+#![allow(unsafe_code)]
+
+use crate::fab::FArrayBox;
+use crate::multifab::{copy_chunk_raw, MultiFab, RawFab};
+use crate::overlap::{StageFabs, SweepPhase};
+use crate::plan::{CopyChunk, CopyPlan};
+use crate::plan_cache::CachedPlan;
+use crate::view::{FabRd, FabRw};
+use bytes::Bytes;
+use crocco_runtime::{tags, RankEndpoint, RecvHandle, TaskGraph};
+
+/// The rank-local, stage-invariant structure of a level's distributed RK
+/// stage: which patches this rank owns, which plan chunks it copies locally,
+/// receives, or sends, and the dependency edges among them. Derived once per
+/// (plan, rank) and memoized in the plan cache (`PlanOp::Aux`), so per-stage
+/// construction re-binds only RK coefficients and message tags.
+#[derive(Clone, Debug, Default)]
+pub struct DistSkeleton {
+    /// The rank this skeleton was built for.
+    pub rank: usize,
+    /// Patch indices owned by `rank`, ascending.
+    pub owned: Vec<usize>,
+    /// Owner rank of every patch (copy of the distribution's owner map).
+    pub owner: Vec<usize>,
+    /// Per destination patch: the contiguous `[s, e)` chunk range of the
+    /// plan that writes its ghost shell (`(0, 0)` when none).
+    pub chunk_range: Vec<(usize, usize)>,
+    /// Plan chunk indices this rank must pack and send (`src_rank == rank`,
+    /// `dst_rank != rank`), in plan order.
+    pub sends: Vec<usize>,
+    /// Per owned destination patch: plan chunk indices arriving from remote
+    /// ranks (`dst_id == patch`, `src_rank != rank`). Empty for non-owned
+    /// patches.
+    pub recvs: Vec<Vec<usize>>,
+    /// Per source patch `i`: owned destination patches whose halo task
+    /// copies out of `i` locally — update fences, as in
+    /// [`crate::overlap::StageSkeleton`].
+    pub readers: Vec<Vec<usize>>,
+    /// Per source patch `i`: positions in [`Self::sends`] that pack out of
+    /// `i` — the rank-crossing update fences.
+    pub send_readers: Vec<Vec<usize>>,
+}
+
+impl DistSkeleton {
+    /// Derives the rank-`rank` skeleton of `fb` for a level whose patches
+    /// are assigned by `owner` (one rank per patch).
+    pub fn build(fb: &CachedPlan, owner: &[usize], rank: usize) -> Self {
+        let npatches = owner.len();
+        let owned: Vec<usize> = (0..npatches).filter(|&i| owner[i] == rank).collect();
+        let mut chunk_range = vec![(0usize, 0usize); npatches];
+        for &(s, e) in &fb.groups {
+            if s < e {
+                chunk_range[fb.plan.chunks[s].dst_id] = (s, e);
+            }
+        }
+        let mut sends = Vec::new();
+        let mut recvs: Vec<Vec<usize>> = vec![Vec::new(); npatches];
+        let mut readers: Vec<Vec<usize>> = vec![Vec::new(); npatches];
+        let mut send_readers: Vec<Vec<usize>> = vec![Vec::new(); npatches];
+        for (c, chunk) in fb.plan.chunks.iter().enumerate() {
+            if chunk.dst_rank == rank && chunk.src_rank != rank {
+                recvs[chunk.dst_id].push(c);
+            }
+            if chunk.src_rank == rank {
+                if chunk.dst_rank != rank {
+                    send_readers[chunk.src_id].push(sends.len());
+                    sends.push(c);
+                } else {
+                    readers[chunk.src_id].push(chunk.dst_id);
+                }
+            }
+        }
+        for r in &mut readers {
+            r.sort_unstable();
+            r.dedup();
+        }
+        DistSkeleton {
+            rank,
+            owned,
+            owner: owner.to_vec(),
+            chunk_range,
+            sends,
+            recvs,
+            readers,
+            send_readers,
+        }
+    }
+
+    /// Number of remote chunks this rank receives per stage.
+    pub fn nrecv_chunks(&self) -> usize {
+        self.recvs.iter().map(Vec::len).sum()
+    }
+}
+
+/// Per-stage identity of one distributed execution: the endpoint to move
+/// bytes through, the tag coordinates every rank derives identically, and
+/// the schedule flavor.
+pub struct DistStage<'a> {
+    /// This rank's cluster endpoint.
+    pub ep: &'a RankEndpoint,
+    /// AMR level (a tag coordinate).
+    pub level: usize,
+    /// Monotone per-stage counter agreed across ranks (e.g.
+    /// `step * nstages + stage`); a tag coordinate separating stages.
+    pub epoch: u64,
+    /// `true` → task-graph overlap; `false` → sequential fenced phases.
+    pub overlap: bool,
+    /// Worker threads for the overlapped graph (the fenced path is serial).
+    pub threads: usize,
+}
+
+/// Packs one plan chunk through a raw view: component-major, then
+/// `region.cells()` order, each source cell `p - shift` as little-endian
+/// `f64` bytes. The inverse of [`unpack_chunk_raw`]; both round-trip
+/// bitwise.
+///
+/// # Safety
+/// `chunk.region - chunk.shift` must lie in `src`'s box, and no concurrent
+/// task may *write* the read cells (valid cells of the source patch, whose
+/// only writer — `update` — is fenced behind this read).
+// SAFETY: an unsafe fn — every dereference below is bounds-checked in debug
+// builds; callers uphold the aliasing contract documented above.
+unsafe fn pack_chunk_raw(src: &RawFab, chunk: &CopyChunk, ncomp: usize) -> Bytes {
+    let mut out = Vec::with_capacity((chunk.region.num_points() as usize) * ncomp * 8);
+    for c in 0..ncomp {
+        for p in chunk.region.cells() {
+            let off = src.offset(p - chunk.shift, c);
+            debug_assert!(off < src.len, "pack read overruns allocation");
+            out.extend_from_slice(&(*src.ptr.add(off)).to_le_bytes());
+        }
+    }
+    Bytes::from(out)
+}
+
+/// Unpacks a [`pack_chunk`] payload into the destination ghost region,
+/// through a raw view.
+///
+/// # Safety
+/// `chunk.region` must lie in `dst`'s box, the payload must carry exactly
+/// `region.num_points() * ncomp` doubles, and no concurrent task may touch
+/// the written cells (ghost cells of the destination patch, written only by
+/// its own halo task).
+// SAFETY: an unsafe fn — every dereference below is bounds-checked in debug
+// builds; callers uphold the aliasing contract documented above.
+unsafe fn unpack_chunk_raw(dst: &RawFab, chunk: &CopyChunk, ncomp: usize, payload: &[u8]) {
+    debug_assert_eq!(
+        payload.len() as u64,
+        chunk.bytes(ncomp),
+        "halo payload size mismatch for chunk into patch {}",
+        chunk.dst_id
+    );
+    let mut words = payload.chunks_exact(8);
+    for c in 0..ncomp {
+        for p in chunk.region.cells() {
+            let w = words.next().expect("payload shorter than chunk");
+            let off = dst.offset(p, c);
+            debug_assert!(off < dst.len, "unpack write overruns allocation");
+            *dst.ptr.add(off) = f64::from_le_bytes(w.try_into().unwrap());
+        }
+    }
+}
+
+/// Serializes a fab's full (valid + ghost) box: the raw `f64` slice as
+/// little-endian bytes. Inverse of [`unpack_fab`].
+fn pack_fab(fab: &FArrayBox) -> Bytes {
+    let data = fab.data();
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Overwrites a fab's full box from a [`pack_fab`] payload.
+fn unpack_fab(fab: &mut FArrayBox, payload: &[u8]) {
+    let data = fab.data_mut();
+    assert_eq!(
+        payload.len(),
+        data.len() * 8,
+        "gathered fab payload size mismatch"
+    );
+    for (v, w) in data.iter_mut().zip(payload.chunks_exact(8)) {
+        *v = f64::from_le_bytes(w.try_into().unwrap());
+    }
+}
+
+/// Restores full replication of `mf` after a stage: each fab's owner sends
+/// its complete (valid + ghost) box to every other rank; non-owners
+/// overwrite their stale copy. Bitwise-exact (`f64` ↔ le-bytes), so after
+/// this call all ranks hold identical `MultiFab`s again. A no-op on a
+/// single-rank cluster.
+pub fn allgather_fabs(mf: &mut MultiFab, ep: &RankEndpoint, level: usize, epoch: u64) {
+    let nranks = ep.nranks();
+    if nranks == 1 {
+        return;
+    }
+    let rank = ep.rank();
+    let owners: Vec<usize> = mf.distribution().owners().to_vec();
+    // All sends first: with every rank following the same discipline, the
+    // blocking receive loop below always has matching traffic in flight.
+    for (i, &owner) in owners.iter().enumerate() {
+        if owner == rank {
+            let payload = pack_fab(mf.fab(i));
+            for dst in (0..nranks).filter(|&d| d != rank) {
+                ep.send(dst, tags::gather(epoch, level, i), payload.clone());
+            }
+        }
+    }
+    for (i, &owner) in owners.iter().enumerate() {
+        if owner != rank {
+            let payload = ep.recv_matched(owner, tags::gather(epoch, level, i));
+            unpack_fab(mf.fab_mut(i), &payload);
+        }
+    }
+}
+
+/// Executes one distributed RK stage for this rank: the rank-crossing
+/// counterpart of [`crate::overlap::run_rk_stage_with_skeleton`], fenced or
+/// overlapped per `st.overlap`.
+///
+/// The four physics closures have the same contracts as on the on-node
+/// path, and are invoked only for patches `skel` assigns to this rank.
+/// `fabs` must be fully replicated on entry (see the module docs); on exit
+/// only owned patches' valid cells and `du` are current — run
+/// [`allgather_fabs`] before the next stage.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dist_rk_stage(
+    fabs: StageFabs<'_>,
+    fb: &CachedPlan,
+    skel: &DistSkeleton,
+    st: &DistStage<'_>,
+    pre_halo: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
+    bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
+    sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
+    update: &(dyn Fn(usize, &mut FArrayBox, &mut FArrayBox, &FArrayBox) + Sync),
+) {
+    let n = fabs.state.nfabs();
+    assert_eq!(fabs.du.nfabs(), n, "state/du patch-count mismatch");
+    assert_eq!(fabs.rhs.len(), n, "state/rhs patch-count mismatch");
+    assert_eq!(skel.chunk_range.len(), n, "skeleton/patch-count mismatch");
+    assert_eq!(skel.rank, st.ep.rank(), "skeleton built for another rank");
+    fabs.state.check_plan_gated(&fb.plan, true);
+    if st.overlap {
+        run_overlapped(fabs, &fb.plan, skel, st, pre_halo, bc_fill, sweep, update);
+    } else {
+        run_fenced(fabs, &fb.plan, skel, st, pre_halo, bc_fill, sweep, update);
+    }
+}
+
+/// The fenced executor: post receives, send everything, then run the four
+/// phases as strict sequential loops over owned patches, blocking on each
+/// remote payload as the fill loop reaches its chunk.
+#[allow(clippy::too_many_arguments)]
+fn run_fenced(
+    fabs: StageFabs<'_>,
+    plan: &CopyPlan,
+    skel: &DistSkeleton,
+    st: &DistStage<'_>,
+    pre_halo: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
+    bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
+    sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
+    update: &(dyn Fn(usize, &mut FArrayBox, &mut FArrayBox, &FArrayBox) + Sync),
+) {
+    let ncomp = plan.ncomp;
+    let rank = skel.rank;
+    let n = fabs.state.nfabs();
+
+    // One raw view per patch, every later access derived from the slice
+    // base pointer (same provenance discipline as the overlapped executor).
+    // The whole function is sequential, so the views never race; they exist
+    // so local chunk copies may read one patch while writing another.
+    let state_base = fabs.state.fabs_mut().as_mut_ptr();
+    let state_raw: Vec<RawFab> = (0..n)
+        // SAFETY: `i < n` indexes the live slice; the `&mut` is temporary.
+        .map(|i| unsafe { RawFab::capture(&mut *state_base.add(i)) })
+        .collect();
+
+    // Post every receive up front, then pack and send every outgoing chunk
+    // — the mirror discipline of the remote ranks, so the blocking waits in
+    // the fill loop always have matching traffic in flight.
+    let mut handles: Vec<Option<RecvHandle>> = vec![None; plan.chunks.len()];
+    for &i in &skel.owned {
+        for &c in &skel.recvs[i] {
+            let chunk = &plan.chunks[c];
+            handles[c] = Some(st.ep.irecv(chunk.src_rank, tags::halo(st.epoch, st.level, c)));
+        }
+    }
+    for &c in &skel.sends {
+        let chunk = &plan.chunks[c];
+        // SAFETY: sequential read of the source patch's valid cells.
+        let payload = unsafe { pack_chunk_raw(&state_raw[chunk.src_id], chunk, ncomp) };
+        st.ep
+            .send(chunk.dst_rank, tags::halo(st.epoch, st.level, c), payload);
+    }
+
+    // Fill phase, in plan order within each owned patch's chunk range:
+    // local chunks copy directly, remote chunks block on their handle.
+    for &i in &skel.owned {
+        // SAFETY: sequential phase — the view is the only live access path.
+        let mut rw = unsafe { FabRw::from_raw(state_raw[i]) };
+        pre_halo(i, &mut rw);
+        let (s, e) = skel.chunk_range[i];
+        for (c, chunk) in plan.chunks.iter().enumerate().take(e).skip(s) {
+            if chunk.src_rank == rank {
+                // SAFETY: reads valid cells of the source patch, writes
+                // ghost cells of patch `i`; no concurrency in this phase.
+                unsafe {
+                    copy_chunk_raw(
+                        &state_raw[chunk.dst_id],
+                        &state_raw[chunk.src_id],
+                        chunk.region,
+                        chunk.shift,
+                        ncomp,
+                    )
+                };
+            } else {
+                let payload = st.ep.wait(handles[c].as_ref().expect("receive was posted"));
+                // SAFETY: writes ghost cells of patch `i` only; sequential.
+                unsafe { unpack_chunk_raw(&state_raw[i], chunk, ncomp, &payload) };
+            }
+        }
+        bc_fill(i, &mut rw);
+    }
+
+    // Sweep and update phases — plain sequential loops over owned patches.
+    for &i in &skel.owned {
+        // SAFETY: read-only view; nothing mutates the patch in this phase.
+        let u = unsafe { FabRd::from_raw(state_raw[i]) };
+        let rhs_i = &mut fabs.rhs[i];
+        sweep(i, u, SweepPhase::Interior, rhs_i);
+        // SAFETY: as above.
+        let u = unsafe { FabRd::from_raw(state_raw[i]) };
+        sweep(i, u, SweepPhase::BoundaryBand, rhs_i);
+    }
+    let du_base = fabs.du.fabs_mut().as_mut_ptr();
+    for &i in &skel.owned {
+        // SAFETY: sequential; these are the only live references, each
+        // derived fresh from its slice base pointer.
+        let st_fab = unsafe { &mut *state_base.add(i) };
+        // SAFETY: as above.
+        let du = unsafe { &mut *du_base.add(i) };
+        update(i, du, st_fab, &fabs.rhs[i]);
+    }
+}
+
+/// List of raw fab views shareable across worker threads.
+struct RawList<'a>(&'a [RawFab]);
+// SAFETY: the raw pointers inside are dereferenced only inside graph tasks
+// whose conflicting accesses are ordered by dependency edges (module-level
+// safety argument); sending the list to workers cannot itself race.
+unsafe impl Send for RawList<'_> {}
+// SAFETY: shared references expose only `Copy` geometry and raw pointers;
+// all dereferences are governed by the task-graph ordering above.
+unsafe impl Sync for RawList<'_> {}
+
+impl RawList<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> &RawFab {
+        &self.0[i]
+    }
+}
+
+/// Base pointer of a fab slice, shareable across worker threads.
+#[derive(Clone, Copy)]
+struct BasePtr(*mut FArrayBox);
+// SAFETY: dereferenced only by `update` tasks, each the unique last task
+// touching its element (module-level argument).
+unsafe impl Send for BasePtr {}
+// SAFETY: as for `Send` — each element is touched by exactly one ordered
+// task chain.
+unsafe impl Sync for BasePtr {}
+
+impl BasePtr {
+    #[inline]
+    fn get(self) -> *mut FArrayBox {
+        self.0
+    }
+}
+
+/// The overlapped executor: one task graph per stage, receives as event
+/// tasks pumped by [`RankEndpoint::progress`].
+#[allow(clippy::too_many_arguments)]
+fn run_overlapped(
+    fabs: StageFabs<'_>,
+    plan: &CopyPlan,
+    skel: &DistSkeleton,
+    st: &DistStage<'_>,
+    pre_halo: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
+    bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
+    sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
+    update: &(dyn Fn(usize, &mut FArrayBox, &mut FArrayBox, &FArrayBox) + Sync),
+) {
+    let n = fabs.state.nfabs();
+    let ncomp = plan.ncomp;
+    let rank = skel.rank;
+
+    // Raw captures, as in `run_rk_stage_with_skeleton`: derive every later
+    // reference from the slice base pointers so no per-capture borrow is
+    // revived. `fabs_mut()` bumps the fabcheck data epoch exactly as the
+    // fenced path does.
+    let state_base = BasePtr(fabs.state.fabs_mut().as_mut_ptr());
+    let state_raw: Vec<RawFab> = (0..n)
+        // SAFETY: `i < n` indexes the live slice; the `&mut` is temporary
+        // and expires before any task runs.
+        .map(|i| unsafe { RawFab::capture(&mut *state_base.get().add(i)) })
+        .collect();
+    let state_list = &RawList(&state_raw);
+    let du_base = BasePtr(fabs.du.fabs_mut().as_mut_ptr());
+    let rhs_base = BasePtr(fabs.rhs.as_mut_ptr());
+
+    let chunks = &plan.chunks;
+    let mut graph = TaskGraph::new();
+
+    // Post all receives before building the graph: a handle per remote
+    // chunk, polled by its event task and drained by its halo task.
+    let mut handles: Vec<Option<RecvHandle>> = vec![None; chunks.len()];
+    for &i in &skel.owned {
+        for &c in &skel.recvs[i] {
+            handles[c] = Some(
+                st.ep
+                    .irecv(chunks[c].src_rank, tags::halo(st.epoch, st.level, c)),
+            );
+        }
+    }
+
+    // Send tasks first — the serial (threads ≤ 1) schedule runs tasks in
+    // insertion order, so every rank's outgoing traffic is on the wire
+    // before any rank spins on a receive event. Remote reads of this rank's
+    // patches happen here, so sends are also update fences (`send_readers`).
+    let mut send_tasks = Vec::with_capacity(skel.sends.len());
+    for &c in &skel.sends {
+        let ep = st.ep;
+        send_tasks.push(graph.add_task(&[], move || {
+            let chunk = &chunks[c];
+            // SAFETY: reads valid cells of the (owned) source patch; its
+            // only writer, `update[src_id]`, depends on this task.
+            let payload = unsafe { pack_chunk_raw(state_list.get(chunk.src_id), chunk, ncomp) };
+            ep.send(chunk.dst_rank, tags::halo(st.epoch, st.level, c), payload);
+        }));
+    }
+
+    // Receive events: ready when the payload has landed (the coordinator
+    // pumps `ep.progress()` between polls). They touch no fab.
+    let mut recv_events: Vec<Vec<crocco_runtime::TaskHandle>> = vec![Vec::new(); n];
+    for &i in &skel.owned {
+        for &c in &skel.recvs[i] {
+            let h = handles[c].clone().expect("receive was posted");
+            recv_events[i].push(graph.add_event(move || h.is_ready()));
+        }
+    }
+
+    // Per owned patch: halo (gated on its receive events), interior,
+    // boundary, update — the same shape as the on-node graph.
+    let mut halo = vec![None; n];
+    for &i in &skel.owned {
+        let (s, e) = skel.chunk_range[i];
+        // Handles are `Arc`-backed: each patch's halo task gets its own
+        // clones of the handles for its chunk range, all observing the
+        // same completion slot.
+        let patch_handles: Vec<Option<RecvHandle>> = handles[s..e].to_vec();
+        let h_i = graph.add_task(&recv_events[i], move || {
+            // SAFETY: writes only ghost cells of patch `i` (plan invariant
+            // + pre_halo/bc_fill contracts); unordered tasks read only
+            // valid cells, and all later access depends on this task.
+            let mut rw = unsafe { FabRw::from_raw(*state_list.get(i)) };
+            pre_halo(i, &mut rw);
+            for (c, chunk) in chunks.iter().enumerate().take(e).skip(s) {
+                if chunk.src_rank == rank {
+                    // SAFETY: reads valid cells of the source patch, writes
+                    // ghost cells of patch `i` — disjoint from every
+                    // unordered access (module-level argument).
+                    unsafe {
+                        copy_chunk_raw(
+                            state_list.get(chunk.dst_id),
+                            state_list.get(chunk.src_id),
+                            chunk.region,
+                            chunk.shift,
+                            ncomp,
+                        )
+                    };
+                } else if chunk.dst_rank == rank {
+                    let payload = patch_handles[c - s]
+                        .as_ref()
+                        .and_then(|h| h.payload())
+                        .expect("receive event fired before its halo task");
+                    // SAFETY: writes ghost cells of patch `i` only, ordered
+                    // after the event and before all readers.
+                    unsafe { unpack_chunk_raw(state_list.get(i), chunk, ncomp, &payload) };
+                }
+                // Chunks into `i` from other ranks to other ranks cannot
+                // exist (dst_id == i ⇒ dst_rank == owner(i) == rank).
+            }
+            bc_fill(i, &mut rw);
+        });
+        halo[i] = Some(h_i);
+    }
+
+    for &i in &skel.owned {
+        let halo_i = halo[i].expect("owned patch has a halo task");
+        let interior = graph.add_task(&[], move || {
+            // SAFETY: read-only view; unordered tasks write only ghost
+            // cells of `i` while the interior sweep reads only valid cells.
+            let u = unsafe { FabRd::from_raw(*state_list.get(i)) };
+            // SAFETY: `rhs[i]` is touched only by the chain
+            // interior → boundary → update, ordered by dependency edges.
+            let rhs_i = unsafe { &mut *rhs_base.get().add(i) };
+            sweep(i, u, SweepPhase::Interior, rhs_i);
+        });
+        let boundary = graph.add_task(&[halo_i, interior], move || {
+            // SAFETY: as for the interior task; ghost reads are ordered
+            // after `halo[i]` by the dependency edge.
+            let u = unsafe { FabRd::from_raw(*state_list.get(i)) };
+            // SAFETY: see the interior task.
+            let rhs_i = unsafe { &mut *rhs_base.get().add(i) };
+            sweep(i, u, SweepPhase::BoundaryBand, rhs_i);
+        });
+        let mut deps = vec![boundary];
+        deps.extend(
+            skel.readers[i]
+                .iter()
+                .map(|&d| halo[d].expect("local reader is owned")),
+        );
+        deps.extend(skel.send_readers[i].iter().map(|&k| send_tasks[k]));
+        graph.add_task(&deps, move || {
+            // SAFETY: every reader of patch `i`'s state — its own sweeps,
+            // each local halo copy out of `i`, and each send packing out of
+            // `i` — is a dependency, so this is the unique last task
+            // touching these three fabs and may hold real references.
+            let st_fab = unsafe { &mut *state_base.get().add(i) };
+            // SAFETY: `du[i]` is touched by this task alone.
+            let du = unsafe { &mut *du_base.get().add(i) };
+            // SAFETY: the writers of `rhs[i]` are dependencies (see above).
+            let rhs_i = unsafe { &*rhs_base.get().add(i) };
+            update(i, du, st_fab, rhs_i);
+        });
+    }
+
+    let ep = st.ep;
+    graph.run_with_progress(st.threads, &mut || {
+        ep.progress();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxarray::BoxArray;
+    use crate::distribution::{DistributionMapping, DistributionStrategy};
+    use crate::overlap::band_slabs;
+    use crate::plan_cache::PlanCache;
+    use crate::view::FabView;
+    use crocco_geometry::decompose::ChopParams;
+    use crocco_geometry::{IndexBox, IntVect, ProblemDomain};
+    use crocco_runtime::LocalCluster;
+    use std::sync::Arc;
+
+    /// A 16×8×8 domain chopped into 8³ patches, distributed round-robin.
+    fn setup(nranks: usize) -> (Arc<BoxArray>, Arc<DistributionMapping>, ProblemDomain) {
+        let domain = ProblemDomain::non_periodic(IndexBox::from_extents(16, 8, 8));
+        let ba = Arc::new(BoxArray::decompose(domain.bx, ChopParams::new(4, 8)));
+        let dm = Arc::new(DistributionMapping::new(
+            &ba,
+            nranks,
+            DistributionStrategy::RoundRobin,
+        ));
+        (ba, dm, domain)
+    }
+
+    fn fill_linear(mf: &mut MultiFab) {
+        let ncomp = mf.ncomp();
+        for i in 0..mf.nfabs() {
+            let vb = mf.valid_box(i);
+            let fab = mf.fab_mut(i);
+            for c in 0..ncomp {
+                for p in vb.cells() {
+                    fab.set(
+                        p,
+                        c,
+                        (c as f64) * 1e6 + (p[0] * 10_000 + p[1] * 100 + p[2]) as f64,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_pack_roundtrips_bitwise() {
+        let (ba, dm, domain) = setup(1);
+        let mut mf = MultiFab::new(ba, dm, 2, 2);
+        fill_linear(&mut mf);
+        let plan = mf.fill_boundary(&domain);
+        let chunk = plan.chunks.iter().find(|c| !c.region.is_empty()).unwrap();
+        let src_raw = RawFab::capture_const(mf.fab(chunk.src_id));
+        // SAFETY: exclusive access in a single-threaded test; the region
+        // lies in the fab boxes by plan construction.
+        let payload = unsafe { pack_chunk_raw(&src_raw, chunk, 2) };
+        assert_eq!(payload.len() as u64, chunk.bytes(2));
+        // Unpacking into a scratch destination must match a direct copy.
+        let mut direct = mf.fab(chunk.dst_id).clone();
+        for c in 0..2 {
+            for p in chunk.region.cells() {
+                direct.set(p, c, mf.fab(chunk.src_id).get(p - chunk.shift, c));
+            }
+        }
+        let mut via_bytes = mf.fab(chunk.dst_id).clone();
+        let raw = RawFab::capture(&mut via_bytes);
+        // SAFETY: as above.
+        unsafe { unpack_chunk_raw(&raw, chunk, 2, &payload) };
+        assert_eq!(via_bytes.data(), direct.data());
+    }
+
+    #[test]
+    fn skeleton_partitions_every_remote_chunk_exactly_once() {
+        let (ba, dm, domain) = setup(3);
+        let cache = PlanCache::new();
+        let fb = cache.fill_boundary(&ba, &dm, &domain, 2, 1);
+        let mut recv_total = 0;
+        let mut send_total = 0;
+        for rank in 0..3 {
+            let skel = DistSkeleton::build(&fb, dm.owners(), rank);
+            assert_eq!(skel.rank, rank);
+            recv_total += skel.nrecv_chunks();
+            send_total += skel.sends.len();
+            for &i in &skel.owned {
+                assert_eq!(dm.owner(i), rank);
+            }
+            for (i, rs) in skel.recvs.iter().enumerate() {
+                if !rs.is_empty() {
+                    assert_eq!(dm.owner(i), rank, "receive targets a non-owned patch");
+                }
+            }
+            // Send fences point back at their source patches.
+            for (i, srs) in skel.send_readers.iter().enumerate() {
+                for &k in srs {
+                    assert_eq!(fb.plan.chunks[skel.sends[k]].src_id, i);
+                }
+            }
+        }
+        let remote = fb.plan.chunks.iter().filter(|c| !c.is_local()).count();
+        assert!(remote > 0, "setup must produce rank-crossing chunks");
+        assert_eq!(recv_total, remote, "each remote chunk received once");
+        assert_eq!(send_total, remote, "each remote chunk sent once");
+    }
+
+    /// Fenced and overlapped distributed stages both reproduce a
+    /// single-address-space reference stage bitwise on a real 2-rank
+    /// cluster. The sweep is a cross-patch stencil, so wrong or missing
+    /// halo traffic corrupts the comparison.
+    #[test]
+    fn distributed_stage_matches_local_execution_bitwise() {
+        let ncomp = 2usize;
+        let nghost = 2i64;
+        let (ba, dm, domain) = setup(2);
+
+        // Reference: fill ghosts, then state += stencil(state) over valid.
+        let mut reference = MultiFab::new(ba.clone(), dm.clone(), ncomp, nghost);
+        fill_linear(&mut reference);
+        let plan = reference.fill_boundary(&domain);
+        reference.execute_plan(&plan, 1);
+        let snapshot: Vec<FArrayBox> = (0..reference.nfabs())
+            .map(|i| reference.fab(i).clone())
+            .collect();
+        for (i, u) in snapshot.iter().enumerate() {
+            let vb = reference.valid_box(i);
+            let fab = reference.fab_mut(i);
+            for c in 0..ncomp {
+                for p in vb.cells() {
+                    let lap = u.get(p + IntVect::new(1, 0, 0), c)
+                        + u.get(p - IntVect::new(1, 0, 0), c)
+                        - 2.0 * u.get(p, c);
+                    fab.set(p, c, u.get(p, c) + 0.125 * lap);
+                }
+            }
+        }
+
+        for overlap in [false, true] {
+            let ba = ba.clone();
+            let dm = dm.clone();
+            let results = LocalCluster::run(2, |ep| {
+                let cache = PlanCache::new();
+                let fb = cache.fill_boundary(&ba, &dm, &domain, nghost, ncomp);
+                let skel = DistSkeleton::build(&fb, dm.owners(), ep.rank());
+                let mut state = MultiFab::new(ba.clone(), dm.clone(), ncomp, nghost);
+                fill_linear(&mut state);
+                let mut du = MultiFab::new(ba.clone(), dm.clone(), ncomp, 0);
+                let mut rhs: Vec<FArrayBox> = (0..ba.len())
+                    .map(|i| FArrayBox::new(ba.get(i), ncomp))
+                    .collect();
+                let st = DistStage {
+                    ep: &ep,
+                    level: 0,
+                    epoch: 7,
+                    overlap,
+                    threads: 2,
+                };
+                let sweep = |_i: usize, u: FabRd<'_>, phase: SweepPhase, rhs: &mut FArrayBox| {
+                    let valid = u.bx().grow(-nghost);
+                    let interior = valid.grow(-nghost);
+                    let regions = match phase {
+                        SweepPhase::Interior => {
+                            rhs.fill(0.0);
+                            vec![interior]
+                        }
+                        SweepPhase::BoundaryBand => band_slabs(valid, interior),
+                    };
+                    for region in regions {
+                        for c in 0..ncomp {
+                            for p in region.cells() {
+                                let lap = u.get(p + IntVect::new(1, 0, 0), c)
+                                    + u.get(p - IntVect::new(1, 0, 0), c)
+                                    - 2.0 * u.get(p, c);
+                                rhs.set(p, c, 0.125 * lap);
+                            }
+                        }
+                    }
+                };
+                let update =
+                    |_i: usize, _du: &mut FArrayBox, state: &mut FArrayBox, rhs: &FArrayBox| {
+                        let vb = state.bx().grow(-nghost);
+                        for c in 0..ncomp {
+                            for p in vb.cells() {
+                                let v = state.get(p, c) + rhs.get(p, c);
+                                state.set(p, c, v);
+                            }
+                        }
+                    };
+                run_dist_rk_stage(
+                    StageFabs {
+                        state: &mut state,
+                        du: &mut du,
+                        rhs: &mut rhs,
+                    },
+                    &fb,
+                    &skel,
+                    &st,
+                    &|_i, _rw| {},
+                    &|_i, _rw| {},
+                    &sweep,
+                    &update,
+                );
+                allgather_fabs(&mut state, &ep, 0, 7);
+                state
+            });
+            for (rank, state) in results.iter().enumerate() {
+                for i in 0..state.nfabs() {
+                    assert_eq!(
+                        state.fab(i).data(),
+                        reference.fab(i).data(),
+                        "overlap={overlap} rank={rank} patch={i} diverged"
+                    );
+                }
+            }
+        }
+    }
+}

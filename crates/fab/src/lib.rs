@@ -34,6 +34,7 @@
 //! | S5 | CRoCCo solver kernels + RK3 driver (§II, §III) | `core` (`crocco-solver`) |
 
 pub mod boxarray;
+pub mod dist_overlap;
 pub mod distribution;
 pub mod fab;
 pub mod fabcheck;
@@ -45,10 +46,13 @@ pub mod tiles;
 pub mod view;
 
 pub use boxarray::BoxArray;
+pub use dist_overlap::{allgather_fabs, run_dist_rk_stage, DistSkeleton, DistStage};
 pub use distribution::{DistributionMapping, DistributionStrategy};
 pub use fab::FArrayBox;
 pub use multifab::MultiFab;
-pub use overlap::{band_slabs, run_rk_stage, StageFabs, SweepPhase};
+pub use overlap::{
+    band_slabs, run_rk_stage, run_rk_stage_with_skeleton, StageFabs, StageSkeleton, SweepPhase,
+};
 pub use plan::{CopyChunk, CopyPlan};
 pub use plan_cache::{CachedPlan, PlanCache, PlanKey, PlanOp};
 pub use tiles::{tile_boxes, tiled_work_list, TileItem, DEFAULT_TILE};

@@ -114,6 +114,46 @@ impl BasePtr {
     }
 }
 
+/// The stage-invariant structure of a level's RK-stage graph: which chunk
+/// range fills each patch's ghosts and which patches read each patch — the
+/// dependency edges. Derived from a [`CachedPlan`] once per (grids, plan)
+/// and memoized in the plan cache (`PlanOp::Aux`), so per-stage graph
+/// construction re-binds only the RK coefficients instead of re-deriving
+/// the topology (ROADMAP "skeleton cache" item, DESIGN.md §4f).
+#[derive(Clone, Debug, Default)]
+pub struct StageSkeleton {
+    /// Per destination patch: the contiguous `[s, e)` chunk range of the
+    /// plan that writes its ghost shell (`(0, 0)` when none).
+    pub chunk_range: Vec<(usize, usize)>,
+    /// Per source patch: deduplicated destination patches whose halo chunks
+    /// read it (the update fences).
+    pub readers: Vec<Vec<usize>>,
+}
+
+impl StageSkeleton {
+    /// Derives the skeleton of `fb` for a level of `npatches` patches.
+    pub fn build(fb: &CachedPlan, npatches: usize) -> Self {
+        let mut chunk_range = vec![(0usize, 0usize); npatches];
+        for &(s, e) in &fb.groups {
+            if s < e {
+                chunk_range[fb.plan.chunks[s].dst_id] = (s, e);
+            }
+        }
+        let mut readers: Vec<Vec<usize>> = vec![Vec::new(); npatches];
+        for c in &fb.plan.chunks {
+            readers[c.src_id].push(c.dst_id);
+        }
+        for r in &mut readers {
+            r.sort_unstable();
+            r.dedup();
+        }
+        StageSkeleton {
+            chunk_range,
+            readers,
+        }
+    }
+}
+
 /// Executes one RK stage over a level as a dependency task graph.
 ///
 /// `fb` is the level's cached `FillBoundary` plan (resolved, not executed);
@@ -144,29 +184,33 @@ pub fn run_rk_stage(
     sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
     update: &(dyn Fn(usize, &mut FArrayBox, &mut FArrayBox, &FArrayBox) + Sync),
 ) {
+    let skel = StageSkeleton::build(fb, fabs.state.nfabs());
+    run_rk_stage_with_skeleton(fabs, fb, &skel, threads, pre_halo, bc_fill, sweep, update)
+}
+
+/// [`run_rk_stage`] with a pre-built (typically plan-cache-memoized)
+/// [`StageSkeleton`], skipping the per-stage topology derivation.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rk_stage_with_skeleton(
+    fabs: StageFabs<'_>,
+    fb: &CachedPlan,
+    skel: &StageSkeleton,
+    threads: usize,
+    pre_halo: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
+    bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
+    sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
+    update: &(dyn Fn(usize, &mut FArrayBox, &mut FArrayBox, &FArrayBox) + Sync),
+) {
     let n = fabs.state.nfabs();
     assert_eq!(fabs.du.nfabs(), n, "state/du patch-count mismatch");
     assert_eq!(fabs.rhs.len(), n, "state/rhs patch-count mismatch");
+    assert_eq!(skel.chunk_range.len(), n, "skeleton/patch-count mismatch");
     // Under `fabcheck`, prove the halo plan alias-free exactly as the
     // barrier executor would before running it.
     fabs.state.check_plan_gated(&fb.plan, true);
 
-    // Chunk ranges per destination patch (the cached groups are one
-    // contiguous run per dst), and the reader set per source patch.
-    let mut chunk_range = vec![(0usize, 0usize); n];
-    for &(s, e) in &fb.groups {
-        if s < e {
-            chunk_range[fb.plan.chunks[s].dst_id] = (s, e);
-        }
-    }
-    let mut readers: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for c in &fb.plan.chunks {
-        readers[c.src_id].push(c.dst_id);
-    }
-    for r in &mut readers {
-        r.sort_unstable();
-        r.dedup();
-    }
+    let chunk_range = &skel.chunk_range;
+    let readers = &skel.readers;
 
     // Raw captures. Going through the slice base pointer keeps every later
     // `&mut FArrayBox` an independent derivation from the same provenance

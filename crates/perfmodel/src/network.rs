@@ -102,6 +102,14 @@ impl NetworkModel {
         self.ptp_time(max_msgs, max_bytes)
     }
 
+    /// Exposed communication time once `hide` seconds of independent interior
+    /// compute overlap the transfer (§VI-C overlap analysis): the network is
+    /// driven concurrently with the interior sweeps, so only the portion of
+    /// `comm` exceeding the overlappable compute lands on the critical path.
+    pub fn exposed_time(&self, comm: f64, hide: f64) -> f64 {
+        (comm - hide).max(0.0)
+    }
+
     /// Schedule-construction cost of a *point-to-point* ParallelCopy (the
     /// AMReX `FillPatchTwoLevels` state gather): every rank still builds the
     /// send/receive schedule against the remote BoxArray metadata even though

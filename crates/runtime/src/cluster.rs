@@ -8,6 +8,9 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A tagged message between ranks.
 #[derive(Clone, Debug)]
@@ -20,12 +23,96 @@ pub struct Packet {
     pub payload: Bytes,
 }
 
+/// The tag namespace the distributed solver uses over [`RankEndpoint`]s.
+///
+/// A `u64` tag packs `kind | epoch | level | index`, so concurrent traffic
+/// classes (halo chunks, full-fab gathers, collective phases) can never
+/// match each other, and the per-stage epoch disambiguates packets of
+/// successive RK stages even when a fast rank runs one stage ahead
+/// (per-sender channel FIFO already makes earliest-arrival matching correct;
+/// the epoch is cheap insurance and a debugging aid).
+pub mod tags {
+    /// Traffic-class discriminant: a same-level halo chunk.
+    pub const KIND_HALO: u64 = 1;
+    /// Traffic-class discriminant: a full-fab replication gather.
+    pub const KIND_GATHER: u64 = 2;
+    /// Traffic-class discriminant: a collective phase message.
+    pub const KIND_COLL: u64 = 3;
+
+    fn compose(kind: u64, epoch: u64, level: usize, index: usize) -> u64 {
+        debug_assert!(index < (1 << 32), "tag index overflows 32 bits");
+        (kind << 62) | ((epoch & 0xFFFF) << 40) | (((level as u64) & 0xFF) << 32) | index as u64
+    }
+
+    /// Tag for halo chunk `chunk` of `level` during stage-epoch `epoch`.
+    pub fn halo(epoch: u64, level: usize, chunk: usize) -> u64 {
+        compose(KIND_HALO, epoch, level, chunk)
+    }
+
+    /// Tag for the replication gather of patch `patch` of `level` during
+    /// stage-epoch `epoch`.
+    pub fn gather(epoch: u64, level: usize, patch: usize) -> u64 {
+        compose(KIND_GATHER, epoch, level, patch)
+    }
+
+    /// Tag for phase `phase` (0 = reduce, 1 = broadcast) of the `seq`-th
+    /// collective on an endpoint.
+    pub fn collective(seq: u64, phase: u64) -> u64 {
+        (KIND_COLL << 62) | ((seq & 0x1FFF_FFFF_FFFF_FFFF) << 1) | (phase & 1)
+    }
+}
+
+/// Completion handle of a nonblocking receive posted with
+/// [`RankEndpoint::irecv`] — the `MPI_Request` analog. Cheap to clone; all
+/// clones observe the same completion.
+#[derive(Clone)]
+pub struct RecvHandle {
+    slot: Arc<OnceLock<Bytes>>,
+}
+
+impl RecvHandle {
+    /// `true` once the matching packet has been delivered.
+    pub fn is_ready(&self) -> bool {
+        self.slot.get().is_some()
+    }
+
+    /// The delivered payload, if the receive has completed ([`Bytes`] clones
+    /// are reference-counted slices, not copies).
+    pub fn payload(&self) -> Option<Bytes> {
+        self.slot.get().cloned()
+    }
+}
+
+/// A receive posted before its packet arrived: `(src, tag)` to match, and
+/// the slot to complete.
+struct PostedRecv {
+    src: usize,
+    tag: u64,
+    slot: Arc<OnceLock<Bytes>>,
+}
+
+/// MPI-style matching state: receives posted before arrival, and packets
+/// that arrived before any matching receive was posted (the *unexpected
+/// message queue*). Both are searched in order, so matching is
+/// earliest-posted against earliest-arrived — deterministic under the
+/// per-sender FIFO the channels guarantee.
+#[derive(Default)]
+struct MatchState {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<Packet>,
+}
+
 /// One rank's communication endpoint.
 pub struct RankEndpoint {
     rank: usize,
     nranks: usize,
     senders: Vec<Sender<Packet>>,
     receiver: Receiver<Packet>,
+    matcher: Mutex<MatchState>,
+    /// Collective sequence counter: all ranks call collectives in the same
+    /// order (they are collective), so counters advance in lockstep and the
+    /// derived tags agree across ranks.
+    coll_seq: AtomicU64,
 }
 
 impl RankEndpoint {
@@ -51,14 +138,98 @@ impl RankEndpoint {
             .expect("cluster channel closed");
     }
 
-    /// Blocks until the next packet arrives.
+    /// Blocks until the next packet arrives, in raw arrival order.
+    ///
+    /// This bypasses tag matching entirely: a packet consumed here is never
+    /// seen by [`RankEndpoint::irecv`]/[`RankEndpoint::recv_matched`]. Do not
+    /// mix raw and matched receives on one endpoint.
     pub fn recv(&self) -> Packet {
         self.receiver.recv().expect("cluster channel closed")
     }
 
-    /// Receives exactly `n` packets.
+    /// Receives exactly `n` packets (raw arrival order; see [`Self::recv`]).
     pub fn recv_n(&self, n: usize) -> Vec<Packet> {
         (0..n).map(|_| self.recv()).collect()
+    }
+
+    /// Posts a nonblocking, tag-matched receive for the next packet from
+    /// `src` carrying `tag`, returning its completion handle (the
+    /// `MPI_Irecv` analog). If a matching packet already sits in the
+    /// unexpected-message queue the handle completes immediately.
+    pub fn irecv(&self, src: usize, tag: u64) -> RecvHandle {
+        let slot = Arc::new(OnceLock::new());
+        let mut m = self.matcher.lock().expect("matcher poisoned");
+        if let Some(pos) = m
+            .unexpected
+            .iter()
+            .position(|p| p.src == src && p.tag == tag)
+        {
+            let pkt = m.unexpected.remove(pos).unwrap();
+            slot.set(pkt.payload).ok();
+        } else {
+            m.posted.push_back(PostedRecv {
+                src,
+                tag,
+                slot: slot.clone(),
+            });
+        }
+        RecvHandle { slot }
+    }
+
+    /// Delivers `pkt` to the earliest matching posted receive, or queues it
+    /// as unexpected. Returns `true` when a posted receive completed.
+    fn deliver(m: &mut MatchState, pkt: Packet) -> bool {
+        if let Some(pos) = m
+            .posted
+            .iter()
+            .position(|r| r.src == pkt.src && r.tag == pkt.tag)
+        {
+            let r = m.posted.remove(pos).unwrap();
+            r.slot.set(pkt.payload).ok();
+            true
+        } else {
+            m.unexpected.push_back(pkt);
+            false
+        }
+    }
+
+    /// Drains every packet currently buffered in the channel, matching each
+    /// against the posted receives (the `MPI_Test`-loop analog the task
+    /// graph's progress pump calls). Returns `true` when at least one packet
+    /// was drained — completing a posted receive or landing in the
+    /// unexpected-message queue.
+    pub fn progress(&self) -> bool {
+        let mut drained = false;
+        let mut m = self.matcher.lock().expect("matcher poisoned");
+        while let Ok(pkt) = self.receiver.try_recv() {
+            Self::deliver(&mut m, pkt);
+            drained = true;
+        }
+        drained
+    }
+
+    /// Blocks until `h` completes and returns its payload.
+    ///
+    /// Packets for *other* posted receives arriving meanwhile are delivered
+    /// or queued as unexpected, never dropped. Only one thread of a rank may
+    /// block here at a time (the solver's fenced path and collectives are
+    /// single-threaded per rank; the overlapped path never blocks — it polls
+    /// through [`Self::progress`]).
+    pub fn wait(&self, h: &RecvHandle) -> Bytes {
+        loop {
+            if let Some(b) = h.payload() {
+                return b;
+            }
+            let pkt = self.receiver.recv().expect("cluster channel closed");
+            let mut m = self.matcher.lock().expect("matcher poisoned");
+            Self::deliver(&mut m, pkt);
+        }
+    }
+
+    /// Blocking tag-matched receive: [`Self::irecv`] + [`Self::wait`].
+    pub fn recv_matched(&self, src: usize, tag: u64) -> Bytes {
+        let h = self.irecv(src, tag);
+        self.wait(&h)
     }
 }
 
@@ -95,6 +266,8 @@ impl LocalCluster {
                             nranks,
                             senders,
                             receiver,
+                            matcher: Mutex::new(MatchState::default()),
+                            coll_seq: AtomicU64::new(0),
                         })
                     })
                 })
@@ -173,26 +346,37 @@ impl RankEndpoint {
     /// Binomial-tree all-reduce of one `f64` with a commutative combiner:
     /// every rank returns the combined value. The collective the solver's
     /// `ComputeDt` needs (`ReduceRealMin`), executed over real channels.
+    ///
+    /// Every receive is tag-matched against the endpoint's collective
+    /// sequence counter, so point-to-point traffic interleaved with the
+    /// collective (e.g. halo packets from a rank already running ahead) is
+    /// parked in the unexpected queue instead of being mis-consumed — the
+    /// untagged `recv()` this used to call would have combined a ghost
+    /// payload into `dt` (`collective_tests::allreduce_ignores_interleaved_
+    /// point_to_point_traffic` regresses this).
     pub fn allreduce_f64(&self, value: f64, combine: impl Fn(f64, f64) -> f64) -> f64 {
         let n = self.nranks();
         let rank = self.rank();
+        let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
+        let reduce_tag = tags::collective(seq, 0);
+        let bcast_tag = tags::collective(seq, 1);
         let mut acc = value;
-        // Reduce to rank 0 over a binomial tree.
+        // Reduce to rank 0 over a binomial tree; each step has a specific
+        // partner, so matching on (partner, tag) makes the combine order
+        // deterministic.
         let mut step = 1;
         while step < n {
             if rank.is_multiple_of(2 * step) {
                 let partner = rank + step;
                 if partner < n {
-                    // Children may race into the queue in any order; the
-                    // combiner is commutative, so arrival order is free.
-                    let p = self.recv();
+                    let payload = self.recv_matched(partner, reduce_tag);
                     acc = combine(
                         acc,
-                        f64::from_le_bytes(p.payload.as_ref().try_into().unwrap()),
+                        f64::from_le_bytes(payload.as_ref().try_into().unwrap()),
                     );
                 }
             } else if rank % (2 * step) == step {
-                self.send(rank - step, u64::MAX, Bytes::copy_from_slice(&acc.to_le_bytes()));
+                self.send(rank - step, reduce_tag, Bytes::copy_from_slice(&acc.to_le_bytes()));
                 break;
             }
             step *= 2;
@@ -208,11 +392,11 @@ impl RankEndpoint {
             if rank.is_multiple_of(2 * s) {
                 let partner = rank + s;
                 if partner < n {
-                    self.send(partner, u64::MAX - 1, Bytes::copy_from_slice(&acc.to_le_bytes()));
+                    self.send(partner, bcast_tag, Bytes::copy_from_slice(&acc.to_le_bytes()));
                 }
             } else if rank % (2 * s) == s {
-                let p = self.recv();
-                acc = f64::from_le_bytes(p.payload.as_ref().try_into().unwrap());
+                let payload = self.recv_matched(rank - s, bcast_tag);
+                acc = f64::from_le_bytes(payload.as_ref().try_into().unwrap());
             }
         }
         acc
@@ -246,5 +430,119 @@ mod collective_tests {
             ep.allreduce_f64(ep.rank() as f64 + 1.0, |a, b| a + b)
         });
         assert!(out.iter().all(|&v| (v - 21.0).abs() < 1e-12), "{out:?}");
+    }
+
+    /// Regression for the untagged-`recv()` bug: a halo packet already
+    /// sitting in the root's channel when the collective starts must land in
+    /// the unexpected queue, not be combined into the reduction.
+    #[test]
+    fn allreduce_ignores_interleaved_point_to_point_traffic() {
+        for n in [2usize, 4] {
+            let halo_tag = tags::halo(3, 1, 7);
+            let out = LocalCluster::run(n, move |ep| {
+                if ep.rank() == 1 {
+                    // Poison value: if mis-consumed by min(), dt collapses.
+                    ep.send(0, halo_tag, Bytes::copy_from_slice(&(-1e30f64).to_le_bytes()));
+                    // Give the packet time to arrive before the collective.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                let dt = ep.allreduce_f64(1.0 + ep.rank() as f64, f64::min);
+                let halo = (ep.rank() == 0)
+                    .then(|| f64::from_le_bytes(ep.recv_matched(1, halo_tag).as_ref().try_into().unwrap()));
+                (dt, halo)
+            });
+            for (r, &(dt, halo)) in out.iter().enumerate() {
+                assert_eq!(dt, 1.0, "rank {r} of {n}: halo payload leaked into allreduce");
+                if r == 0 {
+                    assert_eq!(halo, Some(-1e30));
+                }
+            }
+        }
+    }
+
+    /// Back-to-back collectives stay matched via the sequence counter even
+    /// when a fast subtree races ahead to the next collective.
+    #[test]
+    fn consecutive_allreduces_do_not_cross_match() {
+        let n = 5;
+        let out = LocalCluster::run(n, move |ep| {
+            let a = ep.allreduce_f64(ep.rank() as f64, f64::max);
+            let b = ep.allreduce_f64(-(ep.rank() as f64), f64::min);
+            (a, b)
+        });
+        assert!(out.iter().all(|&(a, b)| a == 4.0 && b == -4.0), "{out:?}");
+    }
+}
+
+#[cfg(test)]
+mod matched_tests {
+    use super::*;
+
+    #[test]
+    fn irecv_matches_out_of_order_arrivals() {
+        let out = LocalCluster::run(2, |ep| {
+            if ep.rank() == 0 {
+                // Send in the opposite order of the receiver's posts.
+                ep.send(1, 20, Bytes::from_static(b"second"));
+                ep.send(1, 10, Bytes::from_static(b"first"));
+                Vec::new()
+            } else {
+                let h10 = ep.irecv(0, 10);
+                let h20 = ep.irecv(0, 20);
+                vec![ep.wait(&h10), ep.wait(&h20)]
+            }
+        });
+        assert_eq!(out[1][0].as_ref(), b"first");
+        assert_eq!(out[1][1].as_ref(), b"second");
+    }
+
+    #[test]
+    fn unexpected_packets_complete_later_posts_immediately() {
+        let out = LocalCluster::run(2, |ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 99, Bytes::from_static(b"early"));
+                true
+            } else {
+                // Drain the channel into the unexpected queue first.
+                while !ep.progress() {
+                    std::thread::yield_now();
+                }
+                let h = ep.irecv(0, 99);
+                assert!(h.is_ready(), "unexpected-queue match must be immediate");
+                h.payload().unwrap().as_ref() == b"early"
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn duplicate_tags_match_in_arrival_order() {
+        let out = LocalCluster::run(2, |ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 5, Bytes::from_static(b"a"));
+                ep.send(1, 5, Bytes::from_static(b"b"));
+                Vec::new()
+            } else {
+                let h1 = ep.irecv(0, 5);
+                let h2 = ep.irecv(0, 5);
+                vec![ep.wait(&h1), ep.wait(&h2)]
+            }
+        });
+        // Posted order matches arrival order (per-sender FIFO).
+        assert_eq!(out[1][0].as_ref(), b"a");
+        assert_eq!(out[1][1].as_ref(), b"b");
+    }
+
+    #[test]
+    fn tag_namespace_kinds_never_collide() {
+        let h = tags::halo(1, 2, 3);
+        let g = tags::gather(1, 2, 3);
+        let c = tags::collective(1, 0);
+        assert_ne!(h, g);
+        assert_ne!(h, c);
+        assert_ne!(g, c);
+        assert_ne!(tags::halo(1, 2, 3), tags::halo(2, 2, 3));
+        assert_ne!(tags::collective(1, 0), tags::collective(1, 1));
+        assert_ne!(tags::collective(1, 0), tags::collective(2, 0));
     }
 }

@@ -41,7 +41,7 @@ pub mod sim;
 pub mod taskgraph;
 pub mod topology;
 
-pub use cluster::{LocalCluster, Packet, RankEndpoint};
+pub use cluster::{tags, LocalCluster, Packet, RankEndpoint, RecvHandle};
 pub use pool::{default_threads, parallel_for, parallel_for_each_mut, parallel_zip_mut};
 pub use sim::{CommOp, SimComm};
 pub use taskgraph::{TaskGraph, TaskHandle};

@@ -89,6 +89,22 @@ impl SimComm {
     /// synchronizing participants to the phase maximum, matching the
     /// `_finish` semantics of the AMReX calls in Fig. 7.
     pub fn exchange(&mut self, ops: &[CommOp]) -> f64 {
+        self.exchange_overlapped(ops, 0.0)
+    }
+
+    /// Executes a point-to-point exchange phase with `hide` seconds of
+    /// overlappable interior compute per rank and returns the phase's
+    /// critical-path duration.
+    ///
+    /// This prices the distributed stage graphs of `fab::dist_overlap`: each
+    /// rank drives its halo sends/receives concurrently with the interior
+    /// sweeps of the patches it owns, so only the *exposed* portion of the
+    /// exchange — `max(0, comm − hide)` per rank — lands on the critical
+    /// path. The `hide` seconds themselves must still be charged by the
+    /// caller as compute (they are real work, just no longer serialized
+    /// behind the fence). With `hide == 0` this degenerates to the fenced
+    /// [`exchange`](Self::exchange) semantics.
+    pub fn exchange_overlapped(&mut self, ops: &[CommOp], hide: f64) -> f64 {
         if ops.is_empty() {
             return 0.0;
         }
@@ -122,7 +138,8 @@ impl SimComm {
             let t_net = self.net.alpha * send_msgs[r] as f64
                 + net_in[r].max(net_out[r]) as f64 / self.net.bandwidth;
             let t_local = local_in[r].max(local_out[r]) as f64 / self.intranode_bw;
-            phase_end = phase_end.max(self.clock[r] + t_net + t_local);
+            let exposed = self.net.exposed_time(t_net + t_local, hide);
+            phase_end = phase_end.max(self.clock[r] + exposed);
         }
         let start: f64 = self
             .clock
@@ -233,6 +250,66 @@ mod tests {
         assert_eq!(c.time_of(2), 0.0);
         assert_eq!(c.time_of(3), 0.0);
         assert!(c.time_of(0) > 0.0);
+    }
+
+    #[test]
+    fn fully_hidden_exchange_is_free() {
+        let mut fenced = comm(2, 1);
+        let mut overlapped = comm(2, 1);
+        let ops = [CommOp {
+            src: 0,
+            dst: 1,
+            bytes: 125_000_000, // 0.01 s at 12.5 GB/s
+        }];
+        let tf = fenced.exchange(&ops);
+        // A full second of interior compute swallows a 10 ms transfer.
+        let to = overlapped.exchange_overlapped(&ops, 1.0);
+        assert!(tf > 0.009);
+        assert_eq!(to, 0.0);
+        assert_eq!(overlapped.elapsed(), 0.0);
+        // Accounting still sees the traffic even when it is hidden.
+        assert_eq!(overlapped.total_messages, 1);
+        assert_eq!(overlapped.total_bytes, 125_000_000);
+    }
+
+    #[test]
+    fn partially_hidden_exchange_exposes_remainder() {
+        let mut fenced = comm(2, 1);
+        let mut overlapped = comm(2, 1);
+        let ops = [CommOp {
+            src: 0,
+            dst: 1,
+            bytes: 250_000_000, // 0.02 s at 12.5 GB/s
+        }];
+        let tf = fenced.exchange(&ops);
+        let to = overlapped.exchange_overlapped(&ops, 0.005);
+        assert!((tf - to - 0.005).abs() < 1e-9, "fenced {tf} overlapped {to}");
+    }
+
+    #[test]
+    fn zero_hide_matches_fenced_exchange() {
+        let mut a = comm(2, 2);
+        let mut b = comm(2, 2);
+        a.compute(1, 0.3);
+        b.compute(1, 0.3);
+        let ops = [
+            CommOp {
+                src: 0,
+                dst: 2,
+                bytes: 5_000_000,
+            },
+            CommOp {
+                src: 1,
+                dst: 3,
+                bytes: 9_000_000,
+            },
+        ];
+        let ta = a.exchange(&ops);
+        let tb = b.exchange_overlapped(&ops, 0.0);
+        assert_eq!(ta, tb);
+        for r in 0..a.nranks() {
+            assert_eq!(a.time_of(r), b.time_of(r));
+        }
     }
 
     #[test]

@@ -47,9 +47,22 @@ pub struct TaskHandle {
 /// A submitted task's boxed closure.
 type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
 
-/// One submitted task: its closure and deduplicated predecessor indices.
+/// An event task's readiness predicate (e.g. "has this posted receive
+/// completed?"). Polled by the runner, never by workers.
+type EventPred<'env> = Box<dyn FnMut() -> bool + Send + 'env>;
+
+/// What a task does when it becomes ready.
+enum Work<'env> {
+    /// An ordinary closure, executed once by a worker.
+    Job(Job<'env>),
+    /// An external event: *finished* (releasing its dependents) when the
+    /// predicate first returns true. Costs no worker time.
+    Event(EventPred<'env>),
+}
+
+/// One submitted task: its work and deduplicated predecessor indices.
 struct Task<'env> {
-    run: Job<'env>,
+    work: Work<'env>,
     deps: Vec<usize>,
 }
 
@@ -60,6 +73,8 @@ struct Task<'env> {
 pub struct TaskGraph<'env> {
     id: u64,
     tasks: Vec<Task<'env>>,
+    /// Indices of event tasks (subset of `tasks`).
+    events: Vec<usize>,
 }
 
 impl<'env> TaskGraph<'env> {
@@ -68,6 +83,7 @@ impl<'env> TaskGraph<'env> {
         TaskGraph {
             id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
             tasks: Vec::new(),
+            events: Vec::new(),
         }
     }
 
@@ -103,8 +119,34 @@ impl<'env> TaskGraph<'env> {
         dep_idx.dedup();
         let idx = self.tasks.len();
         self.tasks.push(Task {
-            run: Box::new(f),
+            work: Work::Job(Box::new(f)),
             deps: dep_idx,
+        });
+        TaskHandle {
+            graph: self.id,
+            idx,
+        }
+    }
+
+    /// Adds an *event* task — a dependency stand-in for an external
+    /// completion (a posted nonblocking receive, an accelerator fence) —
+    /// and returns its handle for use as a predecessor of later tasks.
+    ///
+    /// The event finishes when `ready` first returns true; the runner polls
+    /// it between invocations of the progress pump passed to
+    /// [`TaskGraph::run_with_progress`] (which is what makes the condition
+    /// advance — e.g. `RankEndpoint::progress` matching arrived packets).
+    /// Events consume no worker: workers keep draining compute tasks while
+    /// the runner waits for the condition.
+    pub fn add_event<F>(&mut self, ready: F) -> TaskHandle
+    where
+        F: FnMut() -> bool + Send + 'env,
+    {
+        let idx = self.tasks.len();
+        self.events.push(idx);
+        self.tasks.push(Task {
+            work: Work::Event(Box::new(ready)),
+            deps: Vec::new(),
         });
         TaskHandle {
             graph: self.id,
@@ -115,7 +157,33 @@ impl<'env> TaskGraph<'env> {
     /// Executes every task, honouring dependencies, on up to `threads`
     /// workers. Returns when all tasks have finished; re-throws the first
     /// task panic after the workers have stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains event tasks — those only make sense
+    /// with a progress pump, so use [`TaskGraph::run_with_progress`].
     pub fn run(self, threads: usize) {
+        assert!(
+            self.events.is_empty(),
+            "graphs with event tasks need run_with_progress (a progress pump)"
+        );
+        self.run_with_progress(threads, &mut || {});
+    }
+
+    /// Executes every task, honouring dependencies, on up to `threads`
+    /// workers, with `progress` pumped between event polls — the runner for
+    /// graphs whose [`TaskGraph::add_event`] gates depend on external state
+    /// (e.g. `RankEndpoint::progress` matching arrived halo packets).
+    ///
+    /// With `threads <= 1` tasks run inline in insertion order, spinning
+    /// `progress` before a blocked event; the caller must therefore insert
+    /// every task an event's completion transitively requires on *this* rank
+    /// (its own pack/send jobs) before the event. On the threaded path the
+    /// calling thread becomes the coordinator: it pumps `progress`, polls
+    /// event predicates, and releases dependents the moment an event fires,
+    /// while workers keep draining ready compute tasks — no worker ever
+    /// blocks on communication.
+    pub fn run_with_progress(self, threads: usize, progress: &mut (dyn FnMut() + '_)) {
         let n = self.tasks.len();
         if n == 0 {
             return;
@@ -124,7 +192,15 @@ impl<'env> TaskGraph<'env> {
             // Insertion order is a topological order (deps point backwards),
             // and an unwinding closure propagates naturally.
             for t in self.tasks {
-                (t.run)();
+                match t.work {
+                    Work::Job(run) => run(),
+                    Work::Event(mut ready) => {
+                        while !ready() {
+                            progress();
+                            std::thread::yield_now();
+                        }
+                    }
+                }
             }
             return;
         }
@@ -140,20 +216,51 @@ impl<'env> TaskGraph<'env> {
                 succs[d].push(i);
             }
         }
-        let jobs: Vec<Mutex<Option<Job<'env>>>> = self
-            .tasks
-            .into_iter()
-            .map(|t| Mutex::new(Some(t.run)))
-            .collect();
+        // Split the tasks: compute jobs go to the worker pool, event
+        // predicates stay with the coordinator (this thread).
+        let mut jobs: Vec<Mutex<Option<Job<'env>>>> = Vec::with_capacity(n);
+        let mut pending_events: Vec<(usize, EventPred<'env>)> = Vec::new();
+        for (i, t) in self.tasks.into_iter().enumerate() {
+            match t.work {
+                Work::Job(run) => jobs.push(Mutex::new(Some(run))),
+                Work::Event(ready) => {
+                    jobs.push(Mutex::new(None));
+                    pending_events.push((i, ready));
+                }
+            }
+        }
+        let is_event: Vec<bool> = {
+            let mut v = vec![false; n];
+            for &(i, _) in &pending_events {
+                v[i] = true;
+            }
+            v
+        };
         let ready: Mutex<VecDeque<usize>> = Mutex::new(
             (0..n)
-                .filter(|&i| indeg[i].load(Ordering::Relaxed) == 0)
+                .filter(|&i| !is_event[i] && indeg[i].load(Ordering::Relaxed) == 0)
                 .collect(),
         );
         let cv = Condvar::new();
         let finished = AtomicUsize::new(0);
         let aborted = AtomicBool::new(false);
         let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        // Releases task `i`'s dependents and counts it finished (shared by
+        // worker job completion and coordinator event completion).
+        let finish = |i: usize| {
+            for &sx in &succs[i] {
+                if indeg[sx].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    ready.lock().expect("task queue poisoned").push_back(sx);
+                    cv.notify_one();
+                }
+            }
+            if finished.fetch_add(1, Ordering::AcqRel) + 1 == n {
+                // Wake idle workers so they observe completion.
+                let _q = ready.lock().expect("task queue poisoned");
+                cv.notify_all();
+            }
+        };
 
         let nworkers = threads.min(n);
         crossbeam::thread::scope(|s| {
@@ -179,19 +286,7 @@ impl<'env> TaskGraph<'env> {
                         .take()
                         .expect("task scheduled twice");
                     match catch_unwind(AssertUnwindSafe(job)) {
-                        Ok(()) => {
-                            for &sx in &succs[i] {
-                                if indeg[sx].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    ready.lock().expect("task queue poisoned").push_back(sx);
-                                    cv.notify_one();
-                                }
-                            }
-                            if finished.fetch_add(1, Ordering::AcqRel) + 1 == n {
-                                // Wake idle workers so they observe completion.
-                                let _q = ready.lock().expect("task queue poisoned");
-                                cv.notify_all();
-                            }
-                        }
+                        Ok(()) => finish(i),
                         Err(payload) => {
                             let mut slot = panic_slot.lock().expect("panic slot poisoned");
                             if slot.is_none() {
@@ -205,6 +300,36 @@ impl<'env> TaskGraph<'env> {
                         }
                     }
                 });
+            }
+
+            // Coordinator loop: pump progress, fire completed events, nap
+            // briefly when nothing moved (events wake only through the pump,
+            // so a condvar wait would deadlock against external arrivals).
+            while !aborted.load(Ordering::Acquire) && finished.load(Ordering::Acquire) < n {
+                if pending_events.is_empty() {
+                    // Nothing left to poll; park until the workers finish.
+                    let q = ready.lock().expect("task queue poisoned");
+                    if finished.load(Ordering::Acquire) < n && !aborted.load(Ordering::Acquire) {
+                        let _ = cv
+                            .wait_timeout(q, std::time::Duration::from_millis(1))
+                            .expect("task queue poisoned");
+                    }
+                    continue;
+                }
+                progress();
+                let mut fired = false;
+                pending_events.retain_mut(|(i, ready_pred)| {
+                    if ready_pred() {
+                        finish(*i);
+                        fired = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if !fired {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
             }
         })
         .expect("task graph scope failed");
@@ -345,6 +470,76 @@ mod tests {
         let ha = a.add_task(&[], || {});
         let mut b = TaskGraph::new();
         b.add_task(&[ha], || {});
+    }
+
+    #[test]
+    fn event_gates_release_dependents_when_the_pump_fires() {
+        for threads in [1usize, 4] {
+            // The "packet" arrives on the third progress pump.
+            let pumps = TestAtomicU64::new(0);
+            let arrived = AtomicBool::new(false);
+            let order = Mutex::new(Vec::new());
+            let mut g = TaskGraph::new();
+            let ev = g.add_event(|| arrived.load(Ordering::Acquire));
+            let order_ref = &order;
+            g.add_task(&[ev], move || order_ref.lock().unwrap().push("boundary"));
+            g.add_task(&[], move || order_ref.lock().unwrap().push("interior"));
+            g.run_with_progress(threads, &mut || {
+                if pumps.fetch_add(1, Ordering::Relaxed) + 1 >= 3 {
+                    arrived.store(true, Ordering::Release);
+                }
+            });
+            let order = order.into_inner().unwrap();
+            assert_eq!(order.len(), 2, "threads={threads}: {order:?}");
+            assert!(pumps.load(Ordering::Relaxed) >= 3);
+            assert!(order.contains(&"boundary") && order.contains(&"interior"));
+        }
+    }
+
+    #[test]
+    fn immediately_ready_events_cost_nothing() {
+        for threads in [1usize, 2] {
+            let ran = TestAtomicU64::new(0);
+            let mut g = TaskGraph::new();
+            let ev = g.add_event(|| true);
+            let ran_ref = &ran;
+            g.add_task(&[ev], move || {
+                ran_ref.fetch_add(1, Ordering::Relaxed);
+            });
+            g.run_with_progress(threads, &mut || {});
+            assert_eq!(ran.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn compute_tasks_drain_while_an_event_is_pending() {
+        // 32 independent compute tasks plus one event that only fires after
+        // every compute task ran: if workers blocked on the event, this
+        // would deadlock.
+        let done = TestAtomicU64::new(0);
+        let mut g = TaskGraph::new();
+        for _ in 0..32 {
+            let done = &done;
+            g.add_task(&[], move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let done_ref = &done;
+        let ev = g.add_event(move || done_ref.load(Ordering::Relaxed) == 32);
+        let done_ref = &done;
+        g.add_task(&[ev], move || {
+            done_ref.fetch_add(100, Ordering::Relaxed);
+        });
+        g.run_with_progress(4, &mut || {});
+        assert_eq!(done.load(Ordering::Relaxed), 132);
+    }
+
+    #[test]
+    #[should_panic(expected = "run_with_progress")]
+    fn plain_run_rejects_event_graphs() {
+        let mut g = TaskGraph::new();
+        g.add_event(|| true);
+        g.run(2);
     }
 
     proptest! {

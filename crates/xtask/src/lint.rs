@@ -26,6 +26,7 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/fab/src/multifab.rs",
     "crates/fab/src/view.rs",
     "crates/fab/src/overlap.rs",
+    "crates/fab/src/dist_overlap.rs",
 ];
 
 /// Crate roots exempt from the `#![forbid(unsafe_code)]` requirement because

@@ -1,0 +1,163 @@
+//! The distributed stage-overlap data path (`SolverConfig::dist_overlap` on
+//! a `LocalCluster`) must be *observationally invisible*: partitioning the
+//! RK stages across ranks, shipping halos as tag-matched messages, and
+//! overlapping them with interior sweeps may only change the schedule, never
+//! a single bit of the solution. These tests run the compression-ramp
+//! configuration (sheared curvilinear grid, two AMR levels, regridding
+//! mid-run) single-rank, fenced-distributed, and overlapped-distributed at
+//! 1/2/4 ranks and demand bitwise-identical state on every rank. DESIGN.md
+//! §4f spells out why this holds; this test is the end-to-end proof.
+//!
+//! `CROCCO_DIST_RANKS` (comma-separated, e.g. `CROCCO_DIST_RANKS=2`)
+//! restricts the rank counts under test — the CI matrix uses it to split the
+//! 2-rank and 4-rank legs into separate jobs.
+
+use crocco::runtime::LocalCluster;
+use crocco::solver::config::{CodeVersion, SolverConfig, SolverConfigBuilder};
+use crocco::solver::driver::Simulation;
+use crocco::solver::problems::ProblemKind;
+
+/// The shrunk compression-ramp configuration from `tests/overlap_invariance.rs`:
+/// 4 steps with `regrid_freq(3)` crosses a regrid, so the skeleton caches are
+/// invalidated and rebuilt mid-run.
+fn ramp_builder() -> SolverConfigBuilder {
+    SolverConfig::builder()
+        .problem(ProblemKind::Ramp)
+        .extents(48, 24, 8)
+        .version(CodeVersion::V2_0)
+        .max_levels(2)
+        .blocking_factor(4)
+        .max_grid_size(16)
+        .regrid_freq(3)
+        .cfl(0.5)
+}
+
+/// Rank counts under test (overridable via `CROCCO_DIST_RANKS`).
+fn ranks_under_test() -> Vec<usize> {
+    std::env::var("CROCCO_DIST_RANKS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse::<usize>().ok())
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4])
+}
+
+/// Flattens every level's valid state to bit patterns, so the comparison is
+/// exact (NaN-safe, -0.0-safe).
+fn state_bits(sim: &Simulation) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for l in 0..sim.nlevels() {
+        let state = &sim.level(l).state;
+        for i in 0..state.nfabs() {
+            let fab = state.fab(i);
+            for c in 0..state.ncomp() {
+                for p in state.valid_box(i).cells() {
+                    bits.push(fab.get(p, c).to_bits());
+                }
+            }
+        }
+    }
+    bits
+}
+
+/// Single-process reference via the ordinary `advance_steps` driver.
+fn run_single(steps: u32) -> Vec<u64> {
+    let mut sim = Simulation::new(ramp_builder().build());
+    sim.advance_steps(steps);
+    state_bits(&sim)
+}
+
+/// Runs `steps` on a `LocalCluster` of `nranks` and returns every rank's
+/// flattened state bits.
+fn run_cluster(cfg: SolverConfig, steps: u32) -> Vec<Vec<u64>> {
+    let nranks = cfg.nranks;
+    LocalCluster::run(nranks, move |ep| {
+        let mut sim = Simulation::new(cfg.clone());
+        sim.advance_steps_cluster(steps, &ep);
+        state_bits(&sim)
+    })
+}
+
+#[test]
+fn fenced_cluster_matches_single_rank_bitwise() {
+    let reference = run_single(4);
+    for nranks in ranks_under_test() {
+        let cfg = ramp_builder().nranks(nranks).threads(1).build();
+        for (rank, bits) in run_cluster(cfg, 4).into_iter().enumerate() {
+            assert_eq!(reference.len(), bits.len());
+            assert!(
+                reference == bits,
+                "fenced cluster run diverged bitwise at nranks={nranks}, rank {rank}"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapped_cluster_matches_single_rank_bitwise() {
+    // 2 worker threads per rank: the rank-crossing task graph actually runs
+    // concurrently, so a missing recv-event or send-fence edge has a real
+    // chance to corrupt a ghost read.
+    let reference = run_single(4);
+    for nranks in ranks_under_test() {
+        let cfg = ramp_builder()
+            .nranks(nranks)
+            .threads(2)
+            .dist_overlap(true)
+            .build();
+        for (rank, bits) in run_cluster(cfg, 4).into_iter().enumerate() {
+            assert_eq!(reference.len(), bits.len());
+            assert!(
+                reference == bits,
+                "overlapped cluster run diverged bitwise at nranks={nranks}, rank {rank}"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapped_cluster_matches_fenced_serial() {
+    // threads == 1 exercises the graph executor's deterministic serial path,
+    // where sends must have been inserted before the recv events they feed.
+    for nranks in ranks_under_test() {
+        let fenced = run_cluster(ramp_builder().nranks(nranks).threads(1).build(), 4);
+        let graph = run_cluster(
+            ramp_builder()
+                .nranks(nranks)
+                .threads(1)
+                .dist_overlap(true)
+                .build(),
+            4,
+        );
+        assert!(
+            fenced == graph,
+            "serial overlapped run diverged from fenced at nranks={nranks}"
+        );
+    }
+}
+
+#[test]
+fn dist_overlap_composes_with_the_sanitizer() {
+    // dist_overlap + fabcheck + nan_poison together: the distributed graph
+    // path must satisfy the sanitizer's aliasing proofs and the du poisoning
+    // discipline (du is owner-only under the cluster driver).
+    let reference = run_single(4);
+    for nranks in ranks_under_test() {
+        let cfg = ramp_builder()
+            .nranks(nranks)
+            .threads(2)
+            .dist_overlap(true)
+            .fabcheck(true)
+            .nan_poison(true)
+            .build();
+        for (rank, bits) in run_cluster(cfg, 4).into_iter().enumerate() {
+            assert!(
+                reference == bits,
+                "sanitized overlapped run diverged bitwise at nranks={nranks}, rank {rank}"
+            );
+        }
+    }
+}

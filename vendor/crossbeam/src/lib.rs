@@ -98,6 +98,15 @@ pub mod channel {
     #[derive(Debug)]
     pub struct RecvError;
 
+    /// Error mirroring `crossbeam::channel::TryRecvError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders may still exist).
+        Empty,
+        /// Every sender has disconnected and the buffer is drained.
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
         /// Sends a value (fails only when every receiver is gone).
         pub fn send(&self, v: T) -> Result<(), SendError<T>> {
@@ -113,6 +122,19 @@ pub mod channel {
                 .expect("receiver mutex poisoned")
                 .recv()
                 .map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive: returns immediately with the next value or
+        /// an [`TryRecvError`] describing why none is available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner
+                .lock()
+                .expect("receiver mutex poisoned")
+                .try_recv()
+                .map_err(|e| match e {
+                    mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                    mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+                })
         }
     }
 
