@@ -38,19 +38,53 @@ use crocco_fab::{
     FabRd, FabRw, StageFabs, SweepPhase,
 };
 use crocco_geometry::{IntVect, ProblemDomain};
-use crocco_runtime::RankEndpoint;
+use crocco_runtime::chaos::CrashPhase;
+use crocco_runtime::{tags, CommGroup, GroupEndpoint, RankEndpoint, StageError};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What [`Simulation::advance_steps_chaos`] did to survive the run: how
+/// often it checkpointed, whether this rank was the one that crashed, and
+/// every rollback it executed (DESIGN.md §4g).
+#[derive(Clone, Debug, Default)]
+pub struct ChaosRunReport {
+    /// `true` if *this* rank fail-stopped (scheduled crash or local kernel
+    /// panic) — its `Simulation` is abandoned mid-step and must not be read.
+    pub crashed: bool,
+    /// Number of fault-triggered rollback + group-shrink recoveries.
+    pub recoveries: u32,
+    /// Number of in-memory checkpoints taken.
+    pub checkpoints: u32,
+    /// The step counter each recovery rolled back to (one entry per
+    /// recovery; two faults inside one checkpoint interval produce two
+    /// identical entries).
+    pub rollback_steps: Vec<u32>,
+    /// Largest serialized checkpoint, in bytes (the per-rank snapshot cost
+    /// `perfmodel::resilience` prices).
+    pub checkpoint_bytes: usize,
+}
 
 impl Simulation {
     /// One full time step on a cluster rank (Algorithm 1 loop body,
     /// distributed). Every rank of the cluster must call this in lockstep
     /// with an identically configured, identically advanced `Simulation`.
+    /// Faults are unrecoverable here (the endpoint's full-group view);
+    /// chaos runs go through [`Simulation::advance_steps_chaos`].
     pub fn step_cluster(&mut self, ep: &RankEndpoint) {
+        let gep = GroupEndpoint::full(ep);
+        self.try_step_cluster(&gep)
+            .expect("communication fault outside the chaos recovery loop");
+    }
+
+    /// One full time step over `gep`'s communicator group, surfacing
+    /// injected crashes and detected communication faults as typed errors
+    /// the chaos recovery loop can act on.
+    pub fn try_step_cluster(&mut self, gep: &GroupEndpoint<'_>) -> Result<(), StageError> {
         assert_eq!(
-            ep.nranks(),
+            gep.nranks(),
             self.cfg.nranks,
-            "cluster size must match cfg.nranks (the DistributionMapping rank count)"
+            "group size must match cfg.nranks (the DistributionMapping rank count)"
         );
+        self.crash_check(gep, CrashPhase::StepStart)?;
         if self.cfg.version.amr_enabled()
             && self.step > 0
             && self.step.is_multiple_of(self.cfg.regrid_freq)
@@ -63,12 +97,46 @@ impl Simulation {
             self.regrid();
             self.profiler.add("Regrid", t0.elapsed().as_secs_f64());
         }
+        self.crash_check(gep, CrashPhase::AfterRegrid)?;
         let t0 = std::time::Instant::now();
-        self.compute_dt_cluster(ep);
+        self.compute_dt_cluster(gep)?;
         self.profiler.add("ComputeDt", t0.elapsed().as_secs_f64());
-        self.rk3_cluster(ep);
+        self.crash_check(gep, CrashPhase::AfterDt)?;
+        self.rk3_cluster(gep)?;
         self.step += 1;
         self.time += self.dt;
+        Ok(())
+    }
+
+    /// Test hook for the fabcheck chaos scenario: silently corrupts the
+    /// metrics of the first level-0 patch owned by `rank` (the NaN a
+    /// flipped bit in device memory would plant). The next RK stage folds
+    /// it into the right-hand side, and the `nan_poison` post-stage sweep
+    /// traps — exercising the panic-to-fail-stop conversion in
+    /// [`Simulation::advance_steps_chaos`].
+    #[cfg(feature = "fabcheck")]
+    pub fn poison_metrics_for_test(&mut self, rank: usize) {
+        let lev = &mut self.levels[0];
+        let owners = lev.metrics.distribution().clone();
+        for i in 0..lev.metrics.nfabs() {
+            if owners.owner(i) == rank {
+                let p = lev.metrics.valid_box(i).lo();
+                lev.metrics.fab_mut(i).set(p, 0, f64::NAN);
+                return;
+            }
+        }
+        panic!("rank {rank} owns no level-0 patch to poison");
+    }
+
+    /// Fails this rank with [`StageError::CrashInjected`] if the chaos
+    /// config schedules a crash for `(physical rank, step, phase)`.
+    fn crash_check(&self, gep: &GroupEndpoint<'_>, phase: CrashPhase) -> Result<(), StageError> {
+        if let Some(chaos) = &self.cfg.chaos {
+            if chaos.crash_at(gep.physical_rank(), self.step, phase).is_some() {
+                return Err(StageError::CrashInjected);
+            }
+        }
+        Ok(())
     }
 
     /// Advances `n` steps on a cluster rank and reports (the distributed
@@ -80,10 +148,114 @@ impl Simulation {
         self.report()
     }
 
+    /// Advances to `self.step + n` under the chaos runtime: periodic
+    /// in-memory checkpoints, fail-stop on scheduled crashes (and on local
+    /// kernel panics, e.g. a `fabcheck` NaN trap), and checkpoint-rollback
+    /// recovery on detected peer faults (DESIGN.md §4g).
+    ///
+    /// Recovery protocol, executed independently but identically by every
+    /// survivor (all agreement is derived from shared deterministic state,
+    /// never negotiated):
+    ///
+    /// 1. bump the communicator generation (stamped into halo/gather tag
+    ///    epochs, so replayed pre-fault traffic can never match post-fault
+    ///    receives),
+    /// 2. shrink the group by the chaos runtime's dead ranks and run a
+    ///    barrier allreduce over the survivors; if the barrier itself faults
+    ///    or another member died meanwhile, re-scan and retry — every
+    ///    survivor retries the same number of times, keeping the collective
+    ///    sequence counter (which never rolls back) aligned,
+    /// 3. purge stale unexpected packets from older generations,
+    /// 4. restore the last in-memory checkpoint into a fresh `Simulation`
+    ///    whose `nranks` is the shrunken group size (the load balancer
+    ///    re-partitions over the survivors), and resume stepping.
+    ///
+    /// Checkpoints are taken only at step boundaries, where replication
+    /// makes every rank's serialized state identical — so survivors restore
+    /// bitwise-identical states without exchanging a byte.
+    pub fn advance_steps_chaos(&mut self, n: u32, ep: &RankEndpoint) -> ChaosRunReport {
+        let target = self.step + n;
+        let interval = self
+            .cfg
+            .chaos
+            .as_ref()
+            .map_or(u32::MAX, |c| c.checkpoint_interval.max(1));
+        let mut report = ChaosRunReport::default();
+        let mut group = CommGroup::full(self.cfg.nranks);
+        let mut generation: u64 = 0;
+        let mut snapshot: Vec<u8> = Vec::new();
+        let mut snapshot_step: Option<u32> = None;
+        while self.step < target {
+            if snapshot_step != Some(self.step)
+                && (snapshot_step.is_none() || self.step.is_multiple_of(interval))
+            {
+                snapshot = crate::io::write_checkpoint_bytes(self);
+                snapshot_step = Some(self.step);
+                report.checkpoints += 1;
+                report.checkpoint_bytes = report.checkpoint_bytes.max(snapshot.len());
+            }
+            let gep = GroupEndpoint::new(ep, group.clone(), generation);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.try_step_cluster(&gep)
+            }));
+            drop(gep);
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(StageError::CrashInjected)) | Err(_) => {
+                    // This rank fail-stops: scheduled crash, or a local
+                    // kernel panic (poisoned NaN under fabcheck) treated as
+                    // one. Mark it dead so blocked peers' waits fault.
+                    if let Some(ch) = ep.chaos() {
+                        ch.mark_dead(ep.rank());
+                    }
+                    report.crashed = true;
+                    return report;
+                }
+                Ok(Err(_fault)) => {
+                    // A peer died (RankDead, or a timeout caused by its
+                    // silence). Re-form the group and roll back.
+                    report.recoveries += 1;
+                    generation += 1;
+                    loop {
+                        let chaos = ep.chaos().expect("faults require the chaos runtime");
+                        let survivors = group.without(
+                            &group
+                                .members()
+                                .iter()
+                                .copied()
+                                .filter(|&r| !chaos.is_alive(r))
+                                .collect::<Vec<_>>(),
+                        );
+                        ep.cancel_posted();
+                        let barrier = GroupEndpoint::new(ep, survivors.clone(), generation);
+                        let ok = barrier.allreduce_f64(1.0, f64::min).is_ok();
+                        // A death *during* the barrier can leave some
+                        // survivors completed and others faulted; both
+                        // re-scan and retry so everyone consumes the same
+                        // collective sequence numbers.
+                        if ok && chaos.first_dead_in(survivors.members()).is_none() {
+                            group = survivors;
+                            break;
+                        }
+                    }
+                    ep.purge_stale_unexpected(generation);
+                    let chk = crate::io::parse_checkpoint(&snapshot)
+                        .expect("in-memory checkpoint cannot be corrupt");
+                    let mut cfg = self.cfg.clone();
+                    cfg.nranks = group.len();
+                    *self = Simulation::from_checkpoint(cfg, &chk);
+                    report.rollback_steps.push(self.step);
+                    snapshot_step = Some(self.step);
+                }
+            }
+        }
+        report
+    }
+
     /// `ComputeDt`, distributed: the CFL minimum over *owned* patches,
     /// combined across ranks with an exact `min` reduction. Bitwise equal
     /// to the serial global minimum at any rank count.
-    fn compute_dt_cluster(&mut self, ep: &RankEndpoint) {
+    fn compute_dt_cluster(&mut self, ep: &GroupEndpoint<'_>) -> Result<(), StageError> {
         let rank = ep.rank();
         let mut dt = f64::INFINITY;
         for lev in &self.levels {
@@ -102,30 +274,35 @@ impl Simulation {
                 dt = dt.min(d);
             }
         }
-        let dt = ep.allreduce_f64(dt, f64::min);
+        let dt = ep.allreduce_f64(dt, f64::min)?;
         self.comm.reductions += 1;
         assert!(dt.is_finite() && dt > 0.0, "ComputeDt produced dt={dt}");
         self.dt = dt;
+        Ok(())
     }
 
     /// Algorithm 2, distributed: per stage, per level, one rank-crossing RK
     /// stage followed by a state allgather; `AverageDown` (rank-local on the
     /// re-replicated data) at the end of the final stage.
-    fn rk3_cluster(&mut self, ep: &RankEndpoint) {
+    fn rk3_cluster(&mut self, ep: &GroupEndpoint<'_>) -> Result<(), StageError> {
         let dt = self.dt;
         let nstages = self.cfg.time_scheme.stages();
         let rank = ep.rank();
         for stage in 0..nstages {
             // The per-stage tag epoch every rank derives identically; halo
-            // and gather tags of different stages can never cross-match.
-            let epoch = u64::from(self.step) * nstages as u64 + stage as u64;
+            // and gather tags of different stages can never cross-match,
+            // and the communicator generation in the top bits keeps
+            // replayed pre-recovery traffic from matching post-rollback
+            // re-executions of the same step.
+            let base = u64::from(self.step) * nstages as u64 + stage as u64;
+            let epoch = tags::epoch_with_generation(ep.generation(), base);
             for l in 0..self.hierarchy.nlevels() {
-                self.fill_and_advance_cluster(l, stage, dt, ep, epoch);
+                self.fill_and_advance_cluster(l, stage, dt, ep, epoch)?;
                 // Restore replication of this level before anything reads
                 // non-owned patches (the finer level's coarse gather, the
                 // next stage's halo sources, AverageDown, regrid).
                 let t0 = std::time::Instant::now();
-                allgather_fabs(&mut self.levels[l].state, ep, l, epoch);
+                allgather_fabs(&mut self.levels[l].state, ep, l, epoch)?;
                 self.profiler.add("Allgather", t0.elapsed().as_secs_f64());
             }
             if stage == nstages - 1 {
@@ -158,6 +335,7 @@ impl Simulation {
                 }
             }
         }
+        Ok(())
     }
 
     /// One level's distributed RK stage: the rank-crossing counterpart of
@@ -171,9 +349,9 @@ impl Simulation {
         l: usize,
         stage: usize,
         dt: f64,
-        ep: &RankEndpoint,
+        ep: &GroupEndpoint<'_>,
         epoch: u64,
-    ) {
+    ) -> Result<(), StageError> {
         let t0 = std::time::Instant::now();
         let gas = self.gas;
         let weno = self.cfg.weno;
@@ -330,8 +508,9 @@ impl Simulation {
             &bc_fill,
             &sweep,
             &update,
-        );
+        )?;
         self.comm.interpolated_cells += interpolated.load(Ordering::Relaxed);
         self.profiler.add("Advance", t1.elapsed().as_secs_f64());
+        Ok(())
     }
 }

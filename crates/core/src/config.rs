@@ -194,6 +194,17 @@ pub struct SolverConfig {
     /// cargo feature to have any effect; off by default — poisoning changes
     /// what a bug *does* (trap vs silent zero), never correct results.
     pub nan_poison: bool,
+    /// Chaos-runtime configuration for cluster stepping (DESIGN.md §4g):
+    /// seeded fault injection on the transport plus scheduled rank crashes,
+    /// and the checkpoint interval the recovery loop
+    /// ([`Simulation::advance_steps_chaos`]) uses. `None` (the default)
+    /// disables injection entirely; detection framing is governed by the
+    /// cluster the endpoints came from, so a fault-free [`ChaosConfig`]
+    /// here must be — and is, by test — bitwise-invisible.
+    ///
+    /// [`Simulation::advance_steps_chaos`]: crate::driver::Simulation::advance_steps_chaos
+    /// [`ChaosConfig`]: crocco_runtime::chaos::ChaosConfig
+    pub chaos: Option<crocco_runtime::chaos::ChaosConfig>,
 }
 
 impl SolverConfig {
@@ -247,6 +258,7 @@ impl Default for SolverConfigBuilder {
                 dist_overlap: false,
                 fabcheck: cfg!(feature = "fabcheck"),
                 nan_poison: false,
+                chaos: None,
             },
         }
     }
@@ -386,6 +398,17 @@ impl SolverConfigBuilder {
     /// feature).
     pub fn nan_poison(mut self, on: bool) -> Self {
         self.cfg.nan_poison = on;
+        self
+    }
+
+    /// Sets the chaos-runtime configuration (fault injection, crash
+    /// schedule, checkpoint interval) used by cluster stepping. Pass the
+    /// same config to [`LocalCluster::run_with_chaos`] so transport and
+    /// solver agree on the fault plan.
+    ///
+    /// [`LocalCluster::run_with_chaos`]: crocco_runtime::LocalCluster::run_with_chaos
+    pub fn chaos(mut self, cfg: crocco_runtime::chaos::ChaosConfig) -> Self {
+        self.cfg.chaos = Some(cfg);
         self
     }
 

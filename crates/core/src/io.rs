@@ -10,15 +10,29 @@
 //!   (step, time, per-level grids + valid data) sufficient to restart a run
 //!   bit-for-bit (verified by an integration test).
 //!
-//! Formats are deliberately simple and dependency-free: a `CROCCO-CHK 1`
-//! text header terminated by a blank line, then raw f64 data in box order.
+//! Formats are deliberately simple and dependency-free: a `CROCCO-CHK 2`
+//! text header terminated by a blank line, then raw f64 data in box order,
+//! sealed by a whole-file CRC-32 trailer (`\ncrc xxxxxxxx\n`) so truncated
+//! or bit-flipped checkpoints are rejected with a descriptive error instead
+//! of restoring garbage (the chaos runtime's recovery path rolls back to
+//! these snapshots, so their integrity is part of the failure model —
+//! DESIGN.md §4g). Legacy `CROCCO-CHK 1` files (no trailer) still parse.
+//!
+//! The serialization also has a byte-level entry point
+//! ([`write_checkpoint_bytes`] / [`parse_checkpoint`]): the chaos stepping
+//! loop keeps its periodic recovery checkpoints in memory, rank-local,
+//! without touching the filesystem.
 
 use crate::driver::Simulation;
 use crate::state::NCONS;
 use crocco_geometry::{IndexBox, IntVect};
+use crocco_runtime::chaos::crc32;
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufRead, BufWriter, Cursor, Read, Write};
 use std::path::Path;
+
+/// Byte length of the v2 CRC trailer: `"\ncrc "` + 8 hex digits + `"\n"`.
+const CRC_TRAILER_LEN: usize = 14;
 
 /// A parsed checkpoint, ready to be restored into a `Simulation` (see
 /// [`Simulation::from_checkpoint`]).
@@ -89,55 +103,104 @@ pub fn write_plotfile(sim: &Simulation, path: impl AsRef<Path>) -> io::Result<()
     w.flush()
 }
 
-/// Writes a restartable checkpoint.
-pub fn write_checkpoint(sim: &Simulation, path: impl AsRef<Path>) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    writeln!(w, "CROCCO-CHK 1")?;
-    writeln!(w, "step {}", sim.step_count())?;
-    writeln!(w, "time {}", sim.time())?;
-    writeln!(w, "nlevels {}", sim.nlevels())?;
+/// Serializes a restartable checkpoint to bytes: `CROCCO-CHK 2` header,
+/// little-endian f64 body, and a whole-file CRC-32 trailer.
+///
+/// The chaos recovery loop calls this directly to keep its periodic
+/// snapshots in memory; [`write_checkpoint`] is the file-backed wrapper.
+pub fn write_checkpoint_bytes(sim: &Simulation) -> Vec<u8> {
+    let mut w: Vec<u8> = Vec::new();
+    // Writing to a Vec cannot fail.
+    writeln!(w, "CROCCO-CHK 2").unwrap();
+    writeln!(w, "step {}", sim.step_count()).unwrap();
+    writeln!(w, "time {}", sim.time()).unwrap();
+    writeln!(w, "nlevels {}", sim.nlevels()).unwrap();
     for l in 0..sim.nlevels() {
         let state = &sim.level(l).state;
-        writeln!(w, "level {l} nboxes {}", state.nfabs())?;
+        writeln!(w, "level {l} nboxes {}", state.nfabs()).unwrap();
         for i in 0..state.nfabs() {
-            write_box(&mut w, state.valid_box(i))?;
+            write_box(&mut w, state.valid_box(i)).unwrap();
         }
     }
-    writeln!(w)?;
+    writeln!(w).unwrap();
     for l in 0..sim.nlevels() {
         let state = &sim.level(l).state;
         for i in 0..state.nfabs() {
             let valid = state.valid_box(i);
             for c in 0..NCONS {
                 for p in valid.cells() {
-                    w.write_all(&state.fab(i).get(p, c).to_le_bytes())?;
+                    w.extend_from_slice(&state.fab(i).get(p, c).to_le_bytes());
                 }
             }
         }
     }
+    let crc = crc32(&w);
+    write!(w, "\ncrc {crc:08x}\n").unwrap();
+    debug_assert!(w.ends_with(b"\n") && w.len() > CRC_TRAILER_LEN);
+    w
+}
+
+/// Writes a restartable checkpoint.
+pub fn write_checkpoint(sim: &Simulation, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&write_checkpoint_bytes(sim))?;
     w.flush()
 }
 
-/// Reads a checkpoint written by [`write_checkpoint`].
-pub fn read_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
-    let mut r = BufReader::new(File::open(path)?);
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Parses checkpoint bytes produced by [`write_checkpoint_bytes`].
+///
+/// Version 2 files are verified against their CRC-32 trailer first, so any
+/// truncation or bit flip anywhere in the file is rejected with a
+/// descriptive [`io::ErrorKind::InvalidData`] error. Legacy `CROCCO-CHK 1`
+/// files (no trailer) are still accepted; unknown versions are rejected.
+pub fn parse_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
+    const MAGIC_V1: &[u8] = b"CROCCO-CHK 1\n";
+    const MAGIC_V2: &[u8] = b"CROCCO-CHK 2\n";
+    let payload = if bytes.starts_with(MAGIC_V2) {
+        if bytes.len() < MAGIC_V2.len() + CRC_TRAILER_LEN {
+            return Err(bad_data("checkpoint truncated: missing CRC trailer"));
+        }
+        let (prefix, trailer) = bytes.split_at(bytes.len() - CRC_TRAILER_LEN);
+        let stored = trailer
+            .strip_prefix(b"\ncrc ")
+            .and_then(|t| t.strip_suffix(b"\n"))
+            .and_then(|hex| std::str::from_utf8(hex).ok())
+            .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| bad_data("checkpoint truncated or malformed: bad CRC trailer"))?;
+        let actual = crc32(prefix);
+        if actual != stored {
+            return Err(bad_data(format!(
+                "checkpoint corrupt: CRC mismatch (stored {stored:08x}, computed {actual:08x})"
+            )));
+        }
+        prefix
+    } else if bytes.starts_with(MAGIC_V1) {
+        // Legacy format: no integrity trailer, parse as-is.
+        bytes
+    } else {
+        let first = bytes.split(|&b| b == b'\n').next().unwrap_or(&[]);
+        return Err(bad_data(format!(
+            "bad checkpoint magic {:?} (expected CROCCO-CHK 1 or 2)",
+            String::from_utf8_lossy(first)
+        )));
+    };
+
+    let mut r = Cursor::new(payload);
     let mut line = String::new();
-    let mut read_line = |r: &mut BufReader<File>| -> io::Result<String> {
+    let mut read_line = |r: &mut Cursor<&[u8]>| -> io::Result<String> {
         line.clear();
         r.read_line(&mut line)?;
         Ok(line.trim_end().to_string())
     };
-    let magic = read_line(&mut r)?;
-    if magic != "CROCCO-CHK 1" {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad checkpoint magic {magic:?}"),
-        ));
-    }
+    let _magic = read_line(&mut r)?;
     let field = |s: &str, key: &str| -> io::Result<String> {
         s.strip_prefix(key)
             .map(|v| v.trim().to_string())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("expected {key}")))
+            .ok_or_else(|| bad_data(format!("expected {key}")))
     };
     let step: u32 = field(&read_line(&mut r)?, "step")?
         .parse()
@@ -155,7 +218,7 @@ pub fn read_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
             .split_whitespace()
             .last()
             .and_then(|t| t.parse().ok())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad level header"))?;
+            .ok_or_else(|| bad_data("bad level header"))?;
         let mut boxes = Vec::with_capacity(nboxes);
         for _ in 0..nboxes {
             boxes.push(parse_box(&read_line(&mut r)?)?);
@@ -171,7 +234,8 @@ pub fn read_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
         for b in boxes {
             let n = b.num_points() as usize * NCONS;
             let mut buf = vec![0u8; n * 8];
-            r.read_exact(&mut buf)?;
+            r.read_exact(&mut buf)
+                .map_err(|_| bad_data("checkpoint truncated: body shorter than grid metadata"))?;
             let vals: Vec<f64> = buf
                 .chunks_exact(8)
                 .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
@@ -186,6 +250,11 @@ pub fn read_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
         levels,
         data,
     })
+}
+
+/// Reads a checkpoint written by [`write_checkpoint`].
+pub fn read_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+    parse_checkpoint(&std::fs::read(path)?)
 }
 
 #[cfg(test)]
@@ -245,7 +314,91 @@ mod tests {
     fn corrupt_magic_is_rejected() {
         let path = std::env::temp_dir().join("crocco_chk_bad.chk");
         std::fs::write(&path, b"NOT-A-CHECKPOINT\n").unwrap();
-        assert!(read_checkpoint(&path).is_err());
+        let err = read_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
         std::fs::remove_file(path).ok();
+    }
+
+    /// The corruption matrix the chaos issue asks for: every class of damage
+    /// (truncation anywhere, single bit flips in header / body / trailer,
+    /// unknown version) must be rejected with a descriptive error, never
+    /// parsed into garbage state.
+    #[test]
+    fn corruption_matrix_is_rejected_with_descriptive_errors() {
+        let bytes = write_checkpoint_bytes(&sim());
+        assert!(parse_checkpoint(&bytes).is_ok(), "pristine bytes must parse");
+
+        let header_end = bytes
+            .windows(2)
+            .position(|w| w == b"\n\n")
+            .expect("header/body separator")
+            + 2;
+        let body_len = bytes.len() - header_end - CRC_TRAILER_LEN;
+        assert!(body_len > 0);
+
+        // Truncations: mid-header, mid-body, partial trailer, empty file.
+        for cut in [
+            5,
+            header_end - 1,
+            header_end + body_len / 2,
+            bytes.len() - 3,
+            0,
+        ] {
+            assert!(
+                parse_checkpoint(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+
+        // Single bit flips: header text, first/middle/last body byte, CRC
+        // trailer digits. Every one changes the whole-file CRC.
+        for pos in [
+            2,                            // magic line
+            header_end / 2,               // grid metadata
+            header_end,                   // first body byte
+            header_end + body_len / 2,    // mid body
+            header_end + body_len - 1,    // last body byte
+            bytes.len() - 4,              // crc hex digit
+        ] {
+            for bit in [0, 3, 7] {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1 << bit;
+                let err = parse_checkpoint(&bad).expect_err("bit flip must be rejected");
+                assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            }
+        }
+
+        // Unknown future version.
+        let mut v9 = bytes.clone();
+        v9[11] = b'9'; // "CROCCO-CHK 2" -> "CROCCO-CHK 9"
+        let err = parse_checkpoint(&v9).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_checkpoints_without_trailer_still_parse() {
+        let s = sim();
+        let v2 = write_checkpoint_bytes(&s);
+        // A v1 file is the same layout minus the CRC trailer, with the old
+        // version number in the magic line.
+        let mut v1 = v2[..v2.len() - CRC_TRAILER_LEN].to_vec();
+        v1[11] = b'1';
+        let chk = parse_checkpoint(&v1).expect("legacy format must parse");
+        assert_eq!(chk.step, 2);
+        assert_eq!(chk.time, s.time());
+    }
+
+    #[test]
+    fn byte_and_file_roundtrips_agree() {
+        let s = sim();
+        let from_bytes = parse_checkpoint(&write_checkpoint_bytes(&s)).unwrap();
+        let path = std::env::temp_dir().join("crocco_chk_agree.chk");
+        write_checkpoint(&s, &path).unwrap();
+        let from_file = read_checkpoint(&path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert_eq!(from_bytes.step, from_file.step);
+        assert_eq!(from_bytes.time, from_file.time);
+        assert_eq!(from_bytes.levels.len(), from_file.levels.len());
+        assert_eq!(from_bytes.data, from_file.data);
     }
 }

@@ -45,6 +45,7 @@ pub mod state;
 pub mod validation;
 pub mod weno;
 
+pub use cluster_step::ChaosRunReport;
 pub use config::{CodeVersion, SolverConfig};
 pub use driver::Simulation;
 pub use eos::PerfectGas;

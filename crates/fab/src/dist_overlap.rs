@@ -21,7 +21,7 @@
 //!   path, and the baseline of `ablation_distoverlap`.
 //! * **overlapped** — one [`TaskGraph`] per stage: send tasks and interior
 //!   sweeps start immediately; each receive is an *event* task gated on its
-//!   [`RecvHandle`], pumped by [`RankEndpoint::progress`]; `halo[i]` depends
+//!   [`RecvHandle`], pumped by [`GroupEndpoint::pump`]; `halo[i]` depends
 //!   only on patch `i`'s receive events.
 //!
 //! Both produce bitwise-identical state to the single-rank executors: every
@@ -64,7 +64,8 @@ use crate::plan::{CopyChunk, CopyPlan};
 use crate::plan_cache::CachedPlan;
 use crate::view::{FabRd, FabRw};
 use bytes::Bytes;
-use crocco_runtime::{tags, RankEndpoint, RecvHandle, TaskGraph};
+use crocco_runtime::cluster::CommError;
+use crocco_runtime::{tags, GroupEndpoint, RecvHandle, StageError, TaskGraph};
 
 /// The rank-local, stage-invariant structure of a level's distributed RK
 /// stage: which patches this rank owns, which plan chunks it copies locally,
@@ -152,9 +153,13 @@ impl DistSkeleton {
 /// Per-stage identity of one distributed execution: the endpoint to move
 /// bytes through, the tag coordinates every rank derives identically, and
 /// the schedule flavor.
+///
+/// The endpoint is a [`GroupEndpoint`]: all ranks here are *logical* ranks
+/// within the current communicator group, so after a chaos recovery shrinks
+/// the group the same stepping code runs unchanged over the survivors.
 pub struct DistStage<'a> {
-    /// This rank's cluster endpoint.
-    pub ep: &'a RankEndpoint,
+    /// This rank's group-scoped cluster endpoint.
+    pub ep: &'a GroupEndpoint<'a>,
     /// AMR level (a tag coordinate).
     pub level: usize,
     /// Monotone per-stage counter agreed across ranks (e.g.
@@ -242,14 +247,20 @@ fn unpack_fab(fab: &mut FArrayBox, payload: &[u8]) {
 }
 
 /// Restores full replication of `mf` after a stage: each fab's owner sends
-/// its complete (valid + ghost) box to every other rank; non-owners
-/// overwrite their stale copy. Bitwise-exact (`f64` ↔ le-bytes), so after
-/// this call all ranks hold identical `MultiFab`s again. A no-op on a
-/// single-rank cluster.
-pub fn allgather_fabs(mf: &mut MultiFab, ep: &RankEndpoint, level: usize, epoch: u64) {
+/// its complete (valid + ghost) box to every other rank of the group;
+/// non-owners overwrite their stale copy. Bitwise-exact (`f64` ↔ le-bytes),
+/// so after this call all group members hold identical `MultiFab`s again. A
+/// no-op on a single-rank group. Ranks are *logical* group ranks; a
+/// detected fault (dead member, starved receive) aborts the gather.
+pub fn allgather_fabs(
+    mf: &mut MultiFab,
+    ep: &GroupEndpoint<'_>,
+    level: usize,
+    epoch: u64,
+) -> Result<(), CommError> {
     let nranks = ep.nranks();
     if nranks == 1 {
-        return;
+        return Ok(());
     }
     let rank = ep.rank();
     let owners: Vec<usize> = mf.distribution().owners().to_vec();
@@ -265,10 +276,11 @@ pub fn allgather_fabs(mf: &mut MultiFab, ep: &RankEndpoint, level: usize, epoch:
     }
     for (i, &owner) in owners.iter().enumerate() {
         if owner != rank {
-            let payload = ep.recv_matched(owner, tags::gather(epoch, level, i));
+            let payload = ep.recv_matched(owner, tags::gather(epoch, level, i))?;
             unpack_fab(mf.fab_mut(i), &payload);
         }
     }
+    Ok(())
 }
 
 /// Executes one distributed RK stage for this rank: the rank-crossing
@@ -280,6 +292,11 @@ pub fn allgather_fabs(mf: &mut MultiFab, ep: &RankEndpoint, level: usize, epoch:
 /// `fabs` must be fully replicated on entry (see the module docs); on exit
 /// only owned patches' valid cells and `du` are current — run
 /// [`allgather_fabs`] before the next stage.
+///
+/// A detected fault — dead group member, starved receive, or a panicking
+/// kernel task — returns a typed [`StageError`] instead of hanging peers;
+/// partially-written fabs are then meaningless and the caller must roll
+/// back to a checkpoint (DESIGN.md §4g).
 #[allow(clippy::too_many_arguments)]
 pub fn run_dist_rk_stage(
     fabs: StageFabs<'_>,
@@ -290,7 +307,7 @@ pub fn run_dist_rk_stage(
     bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
     update: &(dyn Fn(usize, &mut FArrayBox, &mut FArrayBox, &FArrayBox) + Sync),
-) {
+) -> Result<(), StageError> {
     let n = fabs.state.nfabs();
     assert_eq!(fabs.du.nfabs(), n, "state/du patch-count mismatch");
     assert_eq!(fabs.rhs.len(), n, "state/rhs patch-count mismatch");
@@ -298,9 +315,9 @@ pub fn run_dist_rk_stage(
     assert_eq!(skel.rank, st.ep.rank(), "skeleton built for another rank");
     fabs.state.check_plan_gated(&fb.plan, true);
     if st.overlap {
-        run_overlapped(fabs, &fb.plan, skel, st, pre_halo, bc_fill, sweep, update);
+        run_overlapped(fabs, &fb.plan, skel, st, pre_halo, bc_fill, sweep, update)
     } else {
-        run_fenced(fabs, &fb.plan, skel, st, pre_halo, bc_fill, sweep, update);
+        run_fenced(fabs, &fb.plan, skel, st, pre_halo, bc_fill, sweep, update)
     }
 }
 
@@ -317,7 +334,7 @@ fn run_fenced(
     bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
     update: &(dyn Fn(usize, &mut FArrayBox, &mut FArrayBox, &FArrayBox) + Sync),
-) {
+) -> Result<(), StageError> {
     let ncomp = plan.ncomp;
     let rank = skel.rank;
     let n = fabs.state.nfabs();
@@ -371,7 +388,7 @@ fn run_fenced(
                     )
                 };
             } else {
-                let payload = st.ep.wait(handles[c].as_ref().expect("receive was posted"));
+                let payload = st.ep.wait(handles[c].as_ref().expect("receive was posted"))?;
                 // SAFETY: writes ghost cells of patch `i` only; sequential.
                 unsafe { unpack_chunk_raw(&state_raw[i], chunk, ncomp, &payload) };
             }
@@ -398,6 +415,7 @@ fn run_fenced(
         let du = unsafe { &mut *du_base.add(i) };
         update(i, du, st_fab, &fabs.rhs[i]);
     }
+    Ok(())
 }
 
 /// List of raw fab views shareable across worker threads.
@@ -435,7 +453,7 @@ impl BasePtr {
 }
 
 /// The overlapped executor: one task graph per stage, receives as event
-/// tasks pumped by [`RankEndpoint::progress`].
+/// tasks pumped by [`GroupEndpoint::pump`].
 #[allow(clippy::too_many_arguments)]
 fn run_overlapped(
     fabs: StageFabs<'_>,
@@ -446,7 +464,7 @@ fn run_overlapped(
     bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
     update: &(dyn Fn(usize, &mut FArrayBox, &mut FArrayBox, &FArrayBox) + Sync),
-) {
+) -> Result<(), StageError> {
     let n = fabs.state.nfabs();
     let ncomp = plan.ncomp;
     let rank = skel.rank;
@@ -593,9 +611,9 @@ fn run_overlapped(
     }
 
     let ep = st.ep;
-    graph.run_with_progress(st.threads, &mut || {
-        ep.progress();
-    });
+    graph.try_run_with_progress(st.threads, &mut || {
+        ep.pump().map(|_| ()).map_err(StageError::Comm)
+    })
 }
 
 #[cfg(test)]
@@ -743,8 +761,9 @@ mod tests {
                 let mut rhs: Vec<FArrayBox> = (0..ba.len())
                     .map(|i| FArrayBox::new(ba.get(i), ncomp))
                     .collect();
+                let gep = GroupEndpoint::full(&ep);
                 let st = DistStage {
-                    ep: &ep,
+                    ep: &gep,
                     level: 0,
                     epoch: 7,
                     overlap,
@@ -794,8 +813,9 @@ mod tests {
                     &|_i, _rw| {},
                     &sweep,
                     &update,
-                );
-                allgather_fabs(&mut state, &ep, 0, 7);
+                )
+                .expect("fault-free stage");
+                allgather_fabs(&mut state, &gep, 0, 7).expect("fault-free gather");
                 state
             });
             for (rank, state) in results.iter().enumerate() {

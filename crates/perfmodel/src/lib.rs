@@ -33,6 +33,7 @@ pub mod gpu;
 pub mod kernelspec;
 pub mod network;
 pub mod profiler;
+pub mod resilience;
 pub mod roofline;
 pub mod summit;
 
@@ -41,5 +42,6 @@ pub use gpu::GpuModel;
 pub use kernelspec::KernelSpec;
 pub use network::NetworkModel;
 pub use profiler::Profiler;
+pub use resilience::ResilienceModel;
 pub use roofline::{RooflineLevel, RooflinePoint};
 pub use summit::SummitPlatform;

@@ -1,0 +1,147 @@
+//! Checkpoint/restart overhead model for the chaos runtime (DESIGN.md §4g).
+//!
+//! The recovery loop in `Simulation::advance_steps_chaos` takes periodic
+//! in-memory checkpoints and rolls survivors back to the last one when a
+//! rank dies. At test scale those costs are microseconds; this module prices
+//! them at Summit scale — burst-buffer checkpoint bandwidth, rollback and
+//! re-partitioning latency, and a node MTBF — so the fig5-style sweeps can
+//! report the resilience overhead the paper's platform would actually pay.
+//!
+//! The interval optimisation is Young's/Daly's first-order result: with
+//! checkpoint cost `C` and system MTBF `M`, the optimal interval is
+//! `sqrt(2·C·M)` and the expected wall-clock inflation of a run of useful
+//! work `T_w` is `T_w · (1 + C/I) / (1 − (R + I/2)/M)` — checkpointing tax
+//! plus expected rework after each failure.
+
+/// Calibrated resilience cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceModel {
+    /// Per-rank checkpoint drain bandwidth, bytes/s (burst buffer).
+    pub checkpoint_bw: f64,
+    /// Fixed per-checkpoint latency, seconds (serialization + quiesce
+    /// barrier).
+    pub checkpoint_alpha: f64,
+    /// Fixed rollback latency, seconds (group re-formation barrier, stale
+    /// traffic purge, state restore).
+    pub rollback_alpha: f64,
+    /// Re-partitioning cost per box when the load balancer re-maps the
+    /// hierarchy over the survivors, seconds.
+    pub rebalance_per_box: f64,
+    /// Mean time between failures of one node, hours.
+    pub node_mtbf_hours: f64,
+}
+
+impl ResilienceModel {
+    /// Summit-like calibration: ~2 GB/s per-rank burst-buffer drain, ~1 ms
+    /// quiesce, ~10 ms rollback, ~2 µs per re-mapped box, and the commonly
+    /// cited ~25-year per-node MTBF for large Power9/V100 systems.
+    pub fn summit() -> Self {
+        ResilienceModel {
+            checkpoint_bw: 2.0e9,
+            checkpoint_alpha: 1.0e-3,
+            rollback_alpha: 10.0e-3,
+            rebalance_per_box: 2.0e-6,
+            node_mtbf_hours: 25.0 * 365.0 * 24.0,
+        }
+    }
+
+    /// Time to take one checkpoint of `bytes_per_rank` bytes (ranks drain
+    /// concurrently, so the per-rank cost is the wall cost).
+    pub fn checkpoint_time(&self, bytes_per_rank: usize) -> f64 {
+        self.checkpoint_alpha + bytes_per_rank as f64 / self.checkpoint_bw
+    }
+
+    /// Time for one rollback: restore `bytes_per_rank` from the in-memory
+    /// snapshot and re-partition `nboxes` over the survivors.
+    pub fn rollback_time(&self, bytes_per_rank: usize, nboxes: u64) -> f64 {
+        self.rollback_alpha
+            + bytes_per_rank as f64 / self.checkpoint_bw
+            + nboxes as f64 * self.rebalance_per_box
+    }
+
+    /// System MTBF in seconds for `nnodes` nodes (exponential failures
+    /// compose harmonically: `M_sys = M_node / n`).
+    pub fn system_mtbf(&self, nnodes: usize) -> f64 {
+        assert!(nnodes >= 1);
+        self.node_mtbf_hours * 3600.0 / nnodes as f64
+    }
+
+    /// Young's optimal checkpoint interval `sqrt(2·C·M)` in seconds, for
+    /// checkpoints of `bytes_per_rank` on `nnodes` nodes.
+    pub fn optimal_interval(&self, bytes_per_rank: usize, nnodes: usize) -> f64 {
+        (2.0 * self.checkpoint_time(bytes_per_rank) * self.system_mtbf(nnodes)).sqrt()
+    }
+
+    /// Daly's first-order expected wall-clock for `work` seconds of useful
+    /// computation, checkpointing every `interval` seconds on `nnodes`
+    /// nodes: checkpoint tax `1 + C/I`, divided by the availability factor
+    /// `1 − (R + I/2)/M` (each failure costs one rollback plus half an
+    /// interval of rework on average).
+    pub fn expected_runtime(
+        &self,
+        work: f64,
+        interval: f64,
+        bytes_per_rank: usize,
+        nboxes: u64,
+        nnodes: usize,
+    ) -> f64 {
+        assert!(interval > 0.0 && work >= 0.0);
+        let c = self.checkpoint_time(bytes_per_rank);
+        let r = self.rollback_time(bytes_per_rank, nboxes);
+        let m = self.system_mtbf(nnodes);
+        let loss = (r + interval / 2.0) / m;
+        assert!(
+            loss < 1.0,
+            "failure rate exceeds forward progress (interval {interval}s, MTBF {m}s)"
+        );
+        work * (1.0 + c / interval) / (1.0 - loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_and_rollback_scale_with_bytes() {
+        let m = ResilienceModel::summit();
+        let small = m.checkpoint_time(1 << 20);
+        let large = m.checkpoint_time(1 << 30);
+        assert!(large > small);
+        assert!((large - small - (f64::from((1 << 30) - (1 << 20))) / m.checkpoint_bw).abs() < 1e-12);
+        assert!(m.rollback_time(1 << 20, 1000) > m.checkpoint_time(1 << 20));
+    }
+
+    #[test]
+    fn system_mtbf_shrinks_harmonically() {
+        let m = ResilienceModel::summit();
+        let one = m.system_mtbf(1);
+        assert!((m.system_mtbf(100) - one / 100.0).abs() < 1e-9);
+        assert!((m.system_mtbf(4600) - one / 4600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_interval_matches_young_formula_and_beats_neighbors() {
+        let m = ResilienceModel::summit();
+        let bytes = 256 << 20;
+        let nodes = 400;
+        let i_opt = m.optimal_interval(bytes, nodes);
+        let c = m.checkpoint_time(bytes);
+        assert!((i_opt - (2.0 * c * m.system_mtbf(nodes)).sqrt()).abs() < 1e-9);
+        // The Daly expected runtime is (locally) minimal at the Young point.
+        let work = 24.0 * 3600.0;
+        let at = |i: f64| m.expected_runtime(work, i, bytes, 10_000, nodes);
+        assert!(at(i_opt) <= at(i_opt * 0.5));
+        assert!(at(i_opt) <= at(i_opt * 2.0));
+        // And the overhead is a tax: always ≥ the raw work.
+        assert!(at(i_opt) > work);
+    }
+
+    #[test]
+    #[should_panic]
+    fn saturated_failure_rate_is_rejected() {
+        let mut m = ResilienceModel::summit();
+        m.node_mtbf_hours = 1e-6;
+        m.expected_runtime(3600.0, 60.0, 1 << 20, 100, 4600);
+    }
+}

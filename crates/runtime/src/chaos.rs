@@ -1,0 +1,697 @@
+//! Deterministic fault injection, payload framing, and the shared chaos
+//! runtime behind the resilient cluster transport (DESIGN.md §4g).
+//!
+//! Production AMR codes at Summit scale treat message corruption, stragglers,
+//! and node failures as operational facts; this module gives the simulated
+//! runtime the same adversary. Three pieces:
+//!
+//! * [`ChaosConfig`] / [`FaultPlan`] — a *seeded, timing-independent* fault
+//!   schedule: every transmission's fate (deliver / drop / duplicate /
+//!   bit-flip / bounded delay) is a pure hash of
+//!   `(seed, src, dst, tag, seq)`, so a chaos run is exactly reproducible
+//!   regardless of thread interleaving, and whole-rank crashes fire at a
+//!   chosen `(rank, step, phase)` in the stepping loop.
+//! * [`encode_frame`] / [`decode_frame`] — the detection layer's wire
+//!   format: a `magic | length | sequence | CRC32` header in front of every
+//!   payload, so truncation, bit flips, and replays are *detected* at the
+//!   receiver instead of silently corrupting ghost cells.
+//! * [`ChaosRuntime`] — the cluster-wide shared state: per-rank alive flags
+//!   (fail-stop crash detection), the pristine-frame retransmit store that
+//!   receiver-driven retries pull from, the delayed-frame queue, and fault
+//!   counters for the ablation study.
+//!
+//! The injection/repair contract: drop, duplication, corruption, and delay
+//! are repaired entirely inside the transport (retransmit + CRC +
+//! per-(src,dst) sequence numbers), so solver results are bitwise-identical
+//! to a fault-free run. Only a rank crash escapes the transport, surfacing
+//! as a typed [`CommError`](crate::cluster::CommError) that the stepping
+//! loop answers with checkpoint rollback.
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cluster::Packet;
+
+/// Where in a time step an injected whole-rank crash fires (the recovery
+/// edge cases each need a distinct phase: before any collective, after the
+/// rank-local regrid, and mid-RK after the dt collective).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashPhase {
+    /// At step entry, before regrid and before the dt collective.
+    StepStart,
+    /// After the rank-local regrid (peers block in the dt allreduce).
+    AfterRegrid,
+    /// After the dt allreduce (peers block in stage halo/gather traffic).
+    AfterDt,
+}
+
+/// One scheduled whole-rank crash: `rank` fail-stops when its stepping loop
+/// reaches `step` at `phase`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// The physical (endpoint) rank that dies.
+    pub rank: usize,
+    /// The step counter value at which it dies.
+    pub step: u32,
+    /// Where inside that step it dies.
+    pub phase: CrashPhase,
+}
+
+/// Chaos-layer configuration, carried by `SolverConfig::chaos` and by
+/// [`LocalCluster::run_with_chaos`](crate::cluster::LocalCluster::run_with_chaos).
+/// When present, every cluster payload is framed (length + CRC32 + sequence
+/// number) and receives grow deadlines with retransmit + exponential
+/// backoff; the probabilities select which transmissions the fault plan
+/// sabotages.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic fault plan.
+    pub seed: u64,
+    /// Probability a transmission is dropped (repaired by retransmit).
+    pub drop_p: f64,
+    /// Probability a transmission is duplicated (repaired by sequence
+    /// numbers).
+    pub duplicate_p: f64,
+    /// Probability a transmission has one bit flipped (repaired by CRC +
+    /// retransmit).
+    pub corrupt_p: f64,
+    /// Probability a transmission is held back for [`Self::delay_ms`].
+    pub delay_p: f64,
+    /// Bounded delay applied to delayed transmissions, in milliseconds.
+    pub delay_ms: u64,
+    /// Scheduled whole-rank crashes (recovered by checkpoint rollback).
+    pub crashes: Vec<CrashSpec>,
+    /// Steps between in-memory recovery checkpoints in the chaos stepping
+    /// loop (`advance_steps_chaos`).
+    pub checkpoint_interval: u32,
+    /// Deadline for one matched receive before it fails with
+    /// `CommError::Timeout`.
+    pub wait_timeout_ms: u64,
+    /// Initial receiver-driven retransmit backoff; doubles per retry.
+    pub retry_backoff_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0x5EED_CAFE,
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            corrupt_p: 0.0,
+            delay_p: 0.0,
+            delay_ms: 2,
+            crashes: Vec::new(),
+            checkpoint_interval: 4,
+            wait_timeout_ms: 10_000,
+            retry_backoff_ms: 1,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The crash scheduled for `(rank, step, phase)`, if any.
+    pub fn crash_at(&self, rank: usize, step: u32, phase: CrashPhase) -> Option<&CrashSpec> {
+        self.crashes
+            .iter()
+            .find(|c| c.rank == rank && c.step == step && c.phase == phase)
+    }
+}
+
+/// The fate the fault plan assigns one transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Delivered untouched.
+    Deliver,
+    /// Silently discarded (receiver retransmit repairs it).
+    Drop,
+    /// Delivered twice (sequence numbers suppress the replay).
+    Duplicate,
+    /// Delivered with one bit flipped (CRC rejects it; retransmit repairs).
+    Corrupt,
+    /// Held back for the configured bounded delay, then delivered.
+    Delay,
+}
+
+/// `splitmix64` — the standard 64-bit finalizer/mixer; a pure function, so
+/// fault decisions depend only on the transmission's identity, never on
+/// timing.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Seeded, deterministic per-transmission fault decisions. Every decision is
+/// a hash of `(seed, src, dst, tag, seq)`: two runs with the same seed and
+/// the same traffic make identical decisions in any thread interleaving.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_p: f64,
+    duplicate_p: f64,
+    corrupt_p: f64,
+    delay_p: f64,
+}
+
+impl FaultPlan {
+    /// Builds the plan from a chaos configuration.
+    pub fn new(cfg: &ChaosConfig) -> Self {
+        let total = cfg.drop_p + cfg.duplicate_p + cfg.corrupt_p + cfg.delay_p;
+        assert!(
+            (0.0..=1.0).contains(&total),
+            "fault probabilities must sum into [0, 1], got {total}"
+        );
+        FaultPlan {
+            seed: cfg.seed,
+            drop_p: cfg.drop_p,
+            duplicate_p: cfg.duplicate_p,
+            corrupt_p: cfg.corrupt_p,
+            delay_p: cfg.delay_p,
+        }
+    }
+
+    /// Hashes one transmission's identity into a uniform `[0, 1)` draw.
+    fn draw(&self, src: usize, dst: usize, tag: u64, seq: u64) -> (f64, u64) {
+        let mut h = splitmix64(self.seed ^ (src as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        h = splitmix64(h ^ (dst as u64));
+        h = splitmix64(h ^ tag);
+        h = splitmix64(h ^ seq);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        (u, splitmix64(h))
+    }
+
+    /// Decides the fate of one transmission. The second return value is an
+    /// auxiliary hash (e.g. the bit position a corruption flips).
+    pub fn decide(&self, src: usize, dst: usize, tag: u64, seq: u64) -> (FaultAction, u64) {
+        let (u, aux) = self.draw(src, dst, tag, seq);
+        let mut edge = self.drop_p;
+        if u < edge {
+            return (FaultAction::Drop, aux);
+        }
+        edge += self.duplicate_p;
+        if u < edge {
+            return (FaultAction::Duplicate, aux);
+        }
+        edge += self.corrupt_p;
+        if u < edge {
+            return (FaultAction::Corrupt, aux);
+        }
+        edge += self.delay_p;
+        if u < edge {
+            return (FaultAction::Delay, aux);
+        }
+        (FaultAction::Deliver, aux)
+    }
+}
+
+// --- CRC32 (IEEE 802.3, polynomial 0xEDB88320) ------------------------------
+
+/// The reflected-polynomial lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Raw (pre-inversion) CRC-32 state update, for checksumming
+/// non-contiguous regions without concatenating them.
+fn crc32_update(mut c: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// CRC-32 (IEEE) of `data` — the checksum framing every chaos-mode cluster
+/// payload and sealing checkpoint files (`core::io`).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// The frame checksum: CRC-32 over the sequence number then the payload.
+/// Covering `seq` matters — a bit flip there would otherwise decode
+/// cleanly, ack the wrong pristine frame, and let the retransmit of the
+/// real one slip past duplicate suppression as a double delivery. (Magic
+/// and length flips are caught structurally by the decode checks.)
+fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
+    crc32_update(crc32_update(0xFFFF_FFFF, &seq.to_le_bytes()), payload) ^ 0xFFFF_FFFF
+}
+
+// --- Payload framing --------------------------------------------------------
+
+/// Frame magic: the first four bytes of every framed payload.
+pub const FRAME_MAGIC: u32 = 0xC50C_C0DE;
+/// Framed-payload header length: magic + length + sequence + CRC32.
+pub const FRAME_HEADER: usize = 4 + 4 + 8 + 4;
+
+/// Why a received frame was rejected (all repairable by retransmit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the fixed header.
+    Truncated,
+    /// Magic bytes damaged.
+    BadMagic,
+    /// Header length disagrees with the byte count on the wire.
+    LengthMismatch,
+    /// Payload checksum mismatch (bit flip in flight).
+    CrcMismatch,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame shorter than its header"),
+            FrameError::BadMagic => write!(f, "frame magic damaged"),
+            FrameError::LengthMismatch => write!(f, "frame length mismatch"),
+            FrameError::CrcMismatch => write!(f, "frame CRC32 mismatch"),
+        }
+    }
+}
+
+/// Wraps `payload` in the detection header: `magic | len | seq | crc32`.
+/// Inverse of [`decode_frame`].
+pub fn encode_frame(seq: u64, payload: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&frame_crc(seq, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Bytes::from(out)
+}
+
+/// Validates and strips a frame header, returning `(seq, payload)`. Any
+/// damage — truncation, magic/length corruption, payload bit flips — is
+/// reported as a typed [`FrameError`] for the retransmit path.
+pub fn decode_frame(frame: &[u8]) -> Result<(u64, Bytes), FrameError> {
+    if frame.len() < FRAME_HEADER {
+        return Err(FrameError::Truncated);
+    }
+    let magic = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let len = u32::from_le_bytes(frame[4..8].try_into().unwrap()) as usize;
+    if frame.len() - FRAME_HEADER != len {
+        return Err(FrameError::LengthMismatch);
+    }
+    let seq = u64::from_le_bytes(frame[8..16].try_into().unwrap());
+    let crc = u32::from_le_bytes(frame[16..20].try_into().unwrap());
+    let payload = &frame[FRAME_HEADER..];
+    if frame_crc(seq, payload) != crc {
+        return Err(FrameError::CrcMismatch);
+    }
+    Ok((seq, Bytes::copy_from_slice(payload)))
+}
+
+// --- Shared runtime ---------------------------------------------------------
+
+/// Fault and repair counters, exposed for the ablation study and asserted on
+/// by the chaos tests (e.g. "the plan injected at least one drop and the
+/// transport repaired it").
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Transmissions dropped by the plan.
+    pub drops: AtomicU64,
+    /// Transmissions duplicated by the plan.
+    pub duplicates: AtomicU64,
+    /// Transmissions bit-flipped by the plan.
+    pub corruptions: AtomicU64,
+    /// Transmissions delayed by the plan.
+    pub delays: AtomicU64,
+    /// Frames re-sent from the pristine store by receiver-driven retries.
+    pub retransmits: AtomicU64,
+    /// Received frames rejected by header/CRC validation.
+    pub frame_rejects: AtomicU64,
+    /// Received frames suppressed as duplicates by sequence tracking.
+    pub dup_suppressed: AtomicU64,
+    /// Stale-generation packets discarded after a rollback.
+    pub stale_discards: AtomicU64,
+}
+
+impl ChaosStats {
+    /// Plain-number snapshot `(drops, duplicates, corruptions, delays,
+    /// retransmits, frame_rejects, dup_suppressed, stale_discards)`.
+    pub fn snapshot(&self) -> [u64; 8] {
+        [
+            self.drops.load(Ordering::Relaxed),
+            self.duplicates.load(Ordering::Relaxed),
+            self.corruptions.load(Ordering::Relaxed),
+            self.delays.load(Ordering::Relaxed),
+            self.retransmits.load(Ordering::Relaxed),
+            self.frame_rejects.load(Ordering::Relaxed),
+            self.dup_suppressed.load(Ordering::Relaxed),
+            self.stale_discards.load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Total faults the plan injected.
+    pub fn injected(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+            + self.duplicates.load(Ordering::Relaxed)
+            + self.corruptions.load(Ordering::Relaxed)
+            + self.delays.load(Ordering::Relaxed)
+    }
+}
+
+/// A frame held back by a `Delay` fault, with its release deadline.
+struct DelayedFrame {
+    due: Instant,
+    dst: usize,
+    pkt: Packet,
+}
+
+/// One retained pristine frame: `(seq, tag, framed payload)`.
+type InflightFrame = (u64, u64, Bytes);
+
+/// Pristine in-flight frames per `(src, dst)` link — the sender-side
+/// retransmit buffer. Entries are removed when the receiver acknowledges
+/// transport delivery of their sequence number.
+#[derive(Default)]
+struct ChaosState {
+    inflight: HashMap<(usize, usize), VecDeque<InflightFrame>>,
+    delayed: Vec<DelayedFrame>,
+}
+
+/// Per-link cap on retained pristine frames: a runaway sender cannot grow
+/// the store without bound (oldest frames are evicted; an evicted frame that
+/// is later needed surfaces as a receive timeout, i.e. an unrecoverable
+/// transport fault — the same contract as a real NIC's retransmit window).
+const INFLIGHT_CAP: usize = 4096;
+
+/// The cluster-wide chaos runtime: one instance shared by every rank thread
+/// of a [`LocalCluster`](crate::cluster::LocalCluster) run in chaos mode.
+/// Holds the fault plan, fail-stop alive flags, the retransmit store, the
+/// delayed-frame queue, and the fault counters.
+pub struct ChaosRuntime {
+    cfg: ChaosConfig,
+    plan: FaultPlan,
+    alive: Vec<AtomicBool>,
+    senders: Vec<Sender<Packet>>,
+    state: Mutex<ChaosState>,
+    /// Fault/repair counters (see [`ChaosStats`]).
+    pub stats: ChaosStats,
+}
+
+impl ChaosRuntime {
+    /// Builds the runtime for an `nranks` cluster whose per-rank channel
+    /// senders are `senders` (clones of the cluster's transmit endpoints, so
+    /// retransmits and delayed releases can inject packets directly).
+    pub fn new(nranks: usize, cfg: ChaosConfig, senders: Vec<Sender<Packet>>) -> Self {
+        assert_eq!(senders.len(), nranks);
+        let plan = FaultPlan::new(&cfg);
+        ChaosRuntime {
+            cfg,
+            plan,
+            alive: (0..nranks).map(|_| AtomicBool::new(true)).collect(),
+            senders,
+            state: Mutex::new(ChaosState::default()),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// `true` while `rank` has not fail-stopped.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.alive[rank].load(Ordering::Acquire)
+    }
+
+    /// The first dead rank among `members`, if any (the fail-stop detector
+    /// every chaos-mode wait loop polls).
+    pub fn first_dead_in(&self, members: &[usize]) -> Option<usize> {
+        members.iter().copied().find(|&r| !self.is_alive(r))
+    }
+
+    /// Fail-stops `rank`: flips its alive flag (perfect failure detection —
+    /// every survivor's next wait-loop poll observes it) and clears the
+    /// retransmit store of links touching it.
+    pub fn mark_dead(&self, rank: usize) {
+        self.alive[rank].store(false, Ordering::Release);
+        let mut st = self.state.lock().expect("chaos state poisoned");
+        st.inflight.retain(|&(s, d), _| s != rank && d != rank);
+        st.delayed.retain(|f| f.dst != rank && f.pkt.src != rank);
+    }
+
+    /// Best-effort channel injection (a dead rank's closed channel is not an
+    /// error — fail-stop sends simply vanish, as on a real fabric).
+    fn inject(&self, dst: usize, pkt: Packet) {
+        let _ = self.senders[dst].send(pkt);
+    }
+
+    /// Registers one framed transmission in the pristine store and routes it
+    /// per the fault plan: the single entry point for every chaos-mode send.
+    pub fn route(&self, src: usize, dst: usize, tag: u64, seq: u64, frame: Bytes) {
+        {
+            let mut st = self.state.lock().expect("chaos state poisoned");
+            let link = st.inflight.entry((src, dst)).or_default();
+            if link.len() >= INFLIGHT_CAP {
+                link.pop_front();
+            }
+            link.push_back((seq, tag, frame.clone()));
+        }
+        let pkt = Packet {
+            src,
+            tag,
+            payload: frame,
+        };
+        let (action, aux) = self.plan.decide(src, dst, tag, seq);
+        match action {
+            FaultAction::Deliver => self.inject(dst, pkt),
+            FaultAction::Drop => {
+                self.stats.drops.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Duplicate => {
+                self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                self.inject(dst, pkt.clone());
+                self.inject(dst, pkt);
+            }
+            FaultAction::Corrupt => {
+                self.stats.corruptions.fetch_add(1, Ordering::Relaxed);
+                let mut bytes = pkt.payload.as_ref().to_vec();
+                let bit = (aux as usize) % (bytes.len() * 8);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+                self.inject(
+                    dst,
+                    Packet {
+                        payload: Bytes::from(bytes),
+                        ..pkt
+                    },
+                );
+            }
+            FaultAction::Delay => {
+                self.stats.delays.fetch_add(1, Ordering::Relaxed);
+                let due = Instant::now() + Duration::from_millis(self.cfg.delay_ms);
+                self.state
+                    .lock()
+                    .expect("chaos state poisoned")
+                    .delayed
+                    .push(DelayedFrame { due, dst, pkt });
+            }
+        }
+    }
+
+    /// Acknowledges transport delivery of `(src → dst, seq)`: the pristine
+    /// copy is dropped from the retransmit store.
+    pub fn ack(&self, src: usize, dst: usize, seq: u64) {
+        let mut st = self.state.lock().expect("chaos state poisoned");
+        if let Some(link) = st.inflight.get_mut(&(src, dst)) {
+            if let Some(pos) = link.iter().position(|&(s, _, _)| s == seq) {
+                link.remove(pos);
+            }
+        }
+    }
+
+    /// Receiver-driven retry: re-sends every pristine frame still unacked on
+    /// the `src → dst` link. Retransmissions bypass fault injection (the
+    /// plan draws once per original transmission), so retries always make
+    /// progress and chaos runs terminate.
+    pub fn retransmit_link(&self, src: usize, dst: usize) {
+        let frames: Vec<(u64, Bytes)> = {
+            let st = self.state.lock().expect("chaos state poisoned");
+            st.inflight
+                .get(&(src, dst))
+                .map(|link| link.iter().map(|(_, t, f)| (*t, f.clone())).collect())
+                .unwrap_or_default()
+        };
+        for (tag, frame) in frames {
+            self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+            self.inject(
+                dst,
+                Packet {
+                    src,
+                    tag,
+                    payload: frame,
+                },
+            );
+        }
+    }
+
+    /// Re-sends every unacked frame destined to `dst` from any source — the
+    /// broad retry a stalled progress pump uses when it cannot attribute the
+    /// stall to one link.
+    pub fn retransmit_into(&self, dst: usize) {
+        let frames: Vec<(usize, u64, Bytes)> = {
+            let st = self.state.lock().expect("chaos state poisoned");
+            st.inflight
+                .iter()
+                .filter(|(&(_, d), _)| d == dst)
+                .flat_map(|(&(s, _), link)| {
+                    link.iter().map(move |(_, t, f)| (s, *t, f.clone()))
+                })
+                .collect()
+        };
+        for (src, tag, frame) in frames {
+            self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+            self.inject(
+                dst,
+                Packet {
+                    src,
+                    tag,
+                    payload: frame,
+                },
+            );
+        }
+    }
+
+    /// Releases every delayed frame whose deadline has passed. Called from
+    /// the receive drains, so delays resolve without a dedicated timer
+    /// thread.
+    pub fn pump_delayed(&self) {
+        let now = Instant::now();
+        let due: Vec<(usize, Packet)> = {
+            let mut st = self.state.lock().expect("chaos state poisoned");
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < st.delayed.len() {
+                if st.delayed[i].due <= now {
+                    let f = st.delayed.swap_remove(i);
+                    out.push((f.dst, f.pkt));
+                } else {
+                    i += 1;
+                }
+            }
+            out
+        };
+        for (dst, pkt) in due {
+            self.inject(dst, pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_rejection_matrix() {
+        let payload = b"ghost cells".as_slice();
+        let frame = encode_frame(42, payload);
+        let (seq, body) = decode_frame(&frame).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(body.as_ref(), payload);
+
+        // Truncated below the header.
+        assert_eq!(decode_frame(&frame[..10]), Err(FrameError::Truncated));
+        // Truncated payload.
+        assert_eq!(
+            decode_frame(&frame[..frame.len() - 1]),
+            Err(FrameError::LengthMismatch)
+        );
+        // Magic damage.
+        let mut bad = frame.as_ref().to_vec();
+        bad[0] ^= 0xFF;
+        assert_eq!(decode_frame(&bad), Err(FrameError::BadMagic));
+        // Payload bit flip.
+        let mut bad = frame.as_ref().to_vec();
+        *bad.last_mut().unwrap() ^= 0x01;
+        assert_eq!(decode_frame(&bad), Err(FrameError::CrcMismatch));
+        // Sequence-field bit flip: covered by the frame CRC.
+        let mut bad = frame.as_ref().to_vec();
+        bad[9] ^= 0x01;
+        assert_eq!(decode_frame(&bad), Err(FrameError::CrcMismatch));
+        // Length-field bit flip: caught structurally.
+        let mut bad = frame.as_ref().to_vec();
+        bad[4] ^= 0x01;
+        assert_eq!(decode_frame(&bad), Err(FrameError::LengthMismatch));
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_respects_rates() {
+        let cfg = ChaosConfig {
+            drop_p: 0.1,
+            duplicate_p: 0.1,
+            corrupt_p: 0.1,
+            delay_p: 0.1,
+            ..ChaosConfig::default()
+        };
+        let plan = FaultPlan::new(&cfg);
+        let plan2 = FaultPlan::new(&cfg);
+        let mut counts = [0usize; 5];
+        let n = 20_000u64;
+        for seq in 0..n {
+            let (a, _) = plan.decide(0, 1, 7, seq);
+            assert_eq!(a, plan2.decide(0, 1, 7, seq).0, "plan must be a pure function");
+            counts[match a {
+                FaultAction::Deliver => 0,
+                FaultAction::Drop => 1,
+                FaultAction::Duplicate => 2,
+                FaultAction::Corrupt => 3,
+                FaultAction::Delay => 4,
+            }] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            let rate = c as f64 / n as f64;
+            assert!(
+                (rate - 0.1).abs() < 0.02,
+                "fault class {i} rate {rate} far from configured 0.1"
+            );
+        }
+        // Different seeds decide differently somewhere.
+        let other = FaultPlan::new(&ChaosConfig {
+            seed: 999,
+            ..cfg.clone()
+        });
+        assert!(
+            (0..1000).any(|s| plan.decide(0, 1, 7, s).0 != other.decide(0, 1, 7, s).0),
+            "seed must matter"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum into")]
+    fn overfull_probabilities_are_rejected() {
+        FaultPlan::new(&ChaosConfig {
+            drop_p: 0.9,
+            corrupt_p: 0.5,
+            ..ChaosConfig::default()
+        });
+    }
+}

@@ -35,14 +35,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod pool;
 pub mod sim;
 pub mod taskgraph;
 pub mod topology;
 
-pub use cluster::{tags, LocalCluster, Packet, RankEndpoint, RecvHandle};
+pub use chaos::{ChaosConfig, ChaosRuntime, CrashPhase, CrashSpec, FaultPlan};
+pub use cluster::{
+    tags, CommError, CommGroup, GroupEndpoint, LocalCluster, Packet, RankEndpoint, RecvHandle,
+};
 pub use pool::{default_threads, parallel_for, parallel_for_each_mut, parallel_zip_mut};
 pub use sim::{CommOp, SimComm};
-pub use taskgraph::{TaskGraph, TaskHandle};
+pub use taskgraph::{StageError, TaskGraph, TaskHandle};
 pub use topology::Topology;

@@ -181,6 +181,16 @@ impl SimComm {
     pub fn overhead_all(&mut self, seconds: f64) {
         self.compute_all(seconds);
     }
+
+    /// A coordinated checkpoint costing `seconds` per rank: every rank
+    /// quiesces (checkpoints are only consistent at replicated step
+    /// boundaries, so a barrier precedes the drain) and then pays the
+    /// drain cost. Price `seconds` with
+    /// `crocco_perfmodel::resilience::ResilienceModel::checkpoint_time`.
+    pub fn checkpoint(&mut self, seconds: f64) {
+        self.barrier();
+        self.compute_all(seconds);
+    }
 }
 
 #[cfg(test)]

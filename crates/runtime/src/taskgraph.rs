@@ -28,10 +28,74 @@
 //!   insertion order — deterministic, allocation-light, and exactly what the
 //!   small test problems want.
 
+use crate::cluster::CommError;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+
+/// A recoverable failure of one distributed RK-stage execution — what
+/// [`TaskGraph::try_run_with_progress`] returns instead of hanging peers or
+/// unwinding through the stepping loop. The chaos stepping loop answers any
+/// of these with checkpoint rollback (DESIGN.md §4g).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StageError {
+    /// The progress pump detected a communication fault (dead rank,
+    /// starved receive, queue overflow).
+    Comm(CommError),
+    /// A kernel task panicked (e.g. a `fabcheck` NaN trap); the panic was
+    /// contained and converted instead of unwinding past blocked peers.
+    TaskPanic {
+        /// The panic payload, rendered to a string.
+        message: String,
+    },
+    /// The chaos plan scheduled this rank to crash here (fail-stop).
+    CrashInjected,
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::Comm(e) => write!(f, "communication fault: {e}"),
+            StageError::TaskPanic { message } => write!(f, "kernel task panicked: {message}"),
+            StageError::CrashInjected => write!(f, "injected rank crash"),
+        }
+    }
+}
+
+impl std::error::Error for StageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StageError::Comm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CommError> for StageError {
+    fn from(e: CommError) -> Self {
+        StageError::Comm(e)
+    }
+}
+
+/// How one graph execution failed, internally: a task panic keeps its
+/// original payload (so the infallible runner can rethrow it unchanged),
+/// while a pump failure carries the typed stage error.
+enum Failure {
+    Panic(Box<dyn std::any::Any + Send>),
+    Pump(StageError),
+}
+
+/// Renders a panic payload the way `std::thread` would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Mints process-unique graph ids (the handle "epoch").
 static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
@@ -184,25 +248,66 @@ impl<'env> TaskGraph<'env> {
     /// while workers keep draining ready compute tasks — no worker ever
     /// blocks on communication.
     pub fn run_with_progress(self, threads: usize, progress: &mut (dyn FnMut() + '_)) {
+        match self.run_inner(threads, &mut || {
+            progress();
+            Ok(())
+        }) {
+            Ok(()) => {}
+            Err(Failure::Panic(p)) => resume_unwind(p),
+            Err(Failure::Pump(_)) => unreachable!("infallible pump cannot fail"),
+        }
+    }
+
+    /// Fault-tolerant runner: like [`TaskGraph::run_with_progress`], but the
+    /// pump may fail (a detected communication fault) and task panics are
+    /// contained — both are returned as a typed [`StageError`] instead of
+    /// hanging peer ranks or unwinding through the stepping loop. On error,
+    /// workers stop after their current task and unstarted tasks are
+    /// dropped.
+    pub fn try_run_with_progress(
+        self,
+        threads: usize,
+        progress: &mut (dyn FnMut() -> Result<(), StageError> + '_),
+    ) -> Result<(), StageError> {
+        match self.run_inner(threads, progress) {
+            Ok(()) => Ok(()),
+            Err(Failure::Panic(p)) => Err(StageError::TaskPanic {
+                message: panic_message(p.as_ref()),
+            }),
+            Err(Failure::Pump(e)) => Err(e),
+        }
+    }
+
+    /// Shared executor behind both runners. Panics are always caught and
+    /// returned with their original payload, so the infallible wrapper can
+    /// rethrow them unchanged.
+    fn run_inner(
+        self,
+        threads: usize,
+        progress: &mut (dyn FnMut() -> Result<(), StageError> + '_),
+    ) -> Result<(), Failure> {
         let n = self.tasks.len();
         if n == 0 {
-            return;
+            return Ok(());
         }
         if threads <= 1 || n == 1 {
-            // Insertion order is a topological order (deps point backwards),
-            // and an unwinding closure propagates naturally.
+            // Insertion order is a topological order (deps point backwards).
+            // A failure drops the remaining tasks — the fault-tolerant
+            // caller rolls the whole stage back anyway.
             for t in self.tasks {
                 match t.work {
-                    Work::Job(run) => run(),
+                    Work::Job(run) => {
+                        catch_unwind(AssertUnwindSafe(run)).map_err(Failure::Panic)?;
+                    }
                     Work::Event(mut ready) => {
                         while !ready() {
-                            progress();
+                            progress().map_err(Failure::Pump)?;
                             std::thread::yield_now();
                         }
                     }
                 }
             }
-            return;
+            return Ok(());
         }
 
         // Successor lists and atomic in-degrees drive readiness; a mutexed
@@ -245,6 +350,7 @@ impl<'env> TaskGraph<'env> {
         let finished = AtomicUsize::new(0);
         let aborted = AtomicBool::new(false);
         let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let mut pump_err: Option<StageError> = None;
 
         // Releases task `i`'s dependents and counts it finished (shared by
         // worker job completion and coordinator event completion).
@@ -316,7 +422,15 @@ impl<'env> TaskGraph<'env> {
                     }
                     continue;
                 }
-                progress();
+                if let Err(e) = progress() {
+                    // A detected comm fault: abort the drain and release the
+                    // workers (they finish their current task and stop).
+                    pump_err = Some(e);
+                    aborted.store(true, Ordering::Release);
+                    let _q = ready.lock().expect("task queue poisoned");
+                    cv.notify_all();
+                    break;
+                }
                 let mut fired = false;
                 pending_events.retain_mut(|(i, ready_pred)| {
                     if ready_pred() {
@@ -335,8 +449,12 @@ impl<'env> TaskGraph<'env> {
         .expect("task graph scope failed");
 
         if let Some(p) = panic_slot.into_inner().expect("panic slot poisoned") {
-            resume_unwind(p);
+            return Err(Failure::Panic(p));
         }
+        if let Some(e) = pump_err {
+            return Err(Failure::Pump(e));
+        }
+        Ok(())
     }
 }
 
@@ -540,6 +658,69 @@ mod tests {
         let mut g = TaskGraph::new();
         g.add_event(|| true);
         g.run(2);
+    }
+
+    #[test]
+    fn try_run_converts_task_panics_to_stage_errors() {
+        for threads in [1usize, 4] {
+            let ran_dependent = TestAtomicU64::new(0);
+            let mut g = TaskGraph::new();
+            let bad = g.add_task(&[], || panic!("NaN detected in stage kernel"));
+            let ran = &ran_dependent;
+            g.add_task(&[bad], move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            let err = g
+                .try_run_with_progress(threads, &mut || Ok(()))
+                .expect_err("panic must become a stage error");
+            assert_eq!(
+                err,
+                StageError::TaskPanic {
+                    message: "NaN detected in stage kernel".into()
+                },
+                "threads={threads}"
+            );
+            assert_eq!(ran_dependent.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn try_run_surfaces_pump_faults_and_aborts() {
+        for threads in [1usize, 4] {
+            let fault = StageError::Comm(CommError::RankDead { rank: 2 });
+            let released = TestAtomicU64::new(0);
+            let mut g = TaskGraph::new();
+            // An event that never fires: only the pump fault can end the run.
+            let ev = g.add_event(|| false);
+            let released_ref = &released;
+            g.add_task(&[ev], move || {
+                released_ref.fetch_add(1, Ordering::Relaxed);
+            });
+            let fault_clone = fault.clone();
+            let err = g
+                .try_run_with_progress(threads, &mut || Err(fault_clone.clone()))
+                .expect_err("pump fault must end the run");
+            assert_eq!(err, fault, "threads={threads}");
+            assert_eq!(
+                released.load(Ordering::Relaxed),
+                0,
+                "tasks gated on the dead event must not run"
+            );
+        }
+    }
+
+    #[test]
+    fn try_run_completes_clean_graphs() {
+        let done = TestAtomicU64::new(0);
+        let mut g = TaskGraph::new();
+        for _ in 0..16 {
+            let done = &done;
+            g.add_task(&[], move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        g.try_run_with_progress(4, &mut || Ok(())).unwrap();
+        assert_eq!(done.load(Ordering::Relaxed), 16);
     }
 
     proptest! {
