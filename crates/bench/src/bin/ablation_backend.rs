@@ -1,0 +1,348 @@
+//! Ablation: kernel backends (Scalar / Lanes / Fused, DESIGN.md §4h) on the
+//! 512-patch level, scored against the roofline model.
+//!
+//! For every backend this measures each stage kernel's single-thread
+//! throughput in cells/s and grades it with
+//! [`crocco_perfmodel::score_measured`] against nominal host ceilings — the
+//! falsifiable half of the perf model: the analytic `KernelSpec` counts
+//! predict a ceiling, the backends either approach it or don't. The fused
+//! backend's kernels are timed *inside* its per-tile programs (a one-op
+//! program per kernel, the full fused group for the stage row), so the
+//! reduced-DRAM specs from [`fused::fused_specs`] price what actually runs.
+//!
+//! Emits the machine-readable `BENCH_backend.json` (cells/s, achieved
+//! flop/s, and fraction-of-roofline per kernel per backend) alongside the
+//! human table; `docs/results/backend.md` records a reference run.
+
+use crocco_bench::report::print_table;
+use crocco_fab::{tiled_work_list, BoxArray, DistributionMapping, FArrayBox, MultiFab, DEFAULT_TILE};
+use crocco_geometry::decompose::ChopParams;
+use crocco_geometry::{IndexBox, IntVect, RealVect, StretchedMapping};
+use crocco_perfmodel::kernelspec::{compute_dt_spec, stage_kernels, update_spec, weno_spec};
+use crocco_perfmodel::{score_measured, KernelSpec, MeasuredPoint};
+use crocco_solver::backend::fused::{self, FusedProgram, KernelIr, TileOp};
+use crocco_solver::backend::BackendKind;
+use crocco_solver::kernels::NGHOST;
+use crocco_solver::metrics::{compute_metrics, generate_coords, NCOORDS, NMETRICS};
+use crocco_solver::state::{Conserved, Primitive, NCONS};
+use crocco_solver::weno::Reconstruction;
+use crocco_solver::{PerfectGas, WenoVariant};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Nominal single-core host ceilings for the roofline grading: ~3 GHz × 16
+/// DP flops/cycle (AVX-512 FMA) and the single-thread DRAM stream rate.
+/// They set the *scale* of the fractions, not the backend ranking.
+const HOST_PEAK_FLOPS: f64 = 50e9;
+const HOST_DRAM_BW: f64 = 25e9;
+
+/// Timing repetitions; the minimum is reported.
+const REPS: usize = 5;
+
+struct Level {
+    state: MultiFab,
+    metrics: MultiFab,
+    gas: PerfectGas,
+    cells: u64,
+}
+
+/// The 512-patch level: 64³ cells chopped into 8³ patches — the
+/// AMR-realistic shape where per-patch and per-tile overheads show — on a
+/// stretched grid, carrying a sheared supersonic-ish air state so the
+/// viscous kernel has real work.
+fn make_level() -> Level {
+    let gas = PerfectGas::air();
+    let edge = 64i64;
+    let extents = IntVect::new(edge, edge, edge);
+    let ba = Arc::new(BoxArray::decompose(
+        IndexBox::from_extents(edge, edge, edge),
+        ChopParams::new(8, 8),
+    ));
+    assert_eq!(ba.len(), 512);
+    let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+    let map = StretchedMapping::new(RealVect::ZERO, RealVect::splat(1.0), 1.2, 1);
+    let mut coords = MultiFab::new(ba.clone(), dm.clone(), NCOORDS, NGHOST + 2);
+    generate_coords(&map, extents, &mut coords);
+    let mut metrics = MultiFab::new(ba.clone(), dm.clone(), NMETRICS, NGHOST);
+    compute_metrics(&coords, &mut metrics);
+    let mut state = MultiFab::new(ba.clone(), dm, NCONS, NGHOST);
+    for i in 0..state.nfabs() {
+        let all = state.fab(i).bx();
+        for p in all.cells() {
+            let x = p[0] as f64 / edge as f64;
+            let y = p[1] as f64 / edge as f64;
+            let w = Primitive {
+                rho: 1.2 + 0.2 * (5.0 * x).sin() * (3.0 * y).cos(),
+                vel: [80.0 - 40.0 * y, 15.0 * (4.0 * x).cos(), 5.0],
+                p: 1.0e5 * (1.0 + 0.1 * (3.0 * x + 2.0 * y).sin()),
+                t: 0.0,
+            };
+            let u = Conserved::from_primitive(&w, &gas);
+            for c in 0..NCONS {
+                state.fab_mut(i).set(p, c, u.0[c]);
+            }
+        }
+    }
+    let cells = ba.num_points();
+    Level {
+        state,
+        metrics,
+        gas,
+        cells,
+    }
+}
+
+fn rhs_fabs(lvl: &Level) -> Vec<FArrayBox> {
+    (0..lvl.state.nfabs())
+        .map(|i| FArrayBox::new(lvl.state.valid_box(i), NCONS))
+        .collect()
+}
+
+/// Best-of-`REPS` wall time of `f` (one untimed warmup).
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Sums the per-cell work of `specs` into one aggregate kernel.
+fn sum_spec(name: &'static str, specs: &[KernelSpec]) -> KernelSpec {
+    let mut out = KernelSpec {
+        name,
+        flops_per_cell: 0.0,
+        dram_bytes_per_cell: 0.0,
+        l2_bytes_per_cell: 0.0,
+        l1_bytes_per_cell: 0.0,
+        registers_per_thread: 255,
+        sub_launches: 0,
+    };
+    for s in specs {
+        out.flops_per_cell += s.flops_per_cell;
+        out.dram_bytes_per_cell += s.dram_bytes_per_cell;
+        out.l2_bytes_per_cell += s.l2_bytes_per_cell;
+        out.l1_bytes_per_cell += s.l1_bytes_per_cell;
+        out.sub_launches += s.sub_launches;
+    }
+    out
+}
+
+/// Runs a one-op (or full-stage) fused tile program over every patch.
+fn run_fused(lvl: &Level, prog: &FusedProgram, rhs: &mut [FArrayBox], du: &mut [FArrayBox]) {
+    for i in 0..lvl.state.nfabs() {
+        fused::run_stage_patch(
+            prog,
+            lvl.state.fab(i),
+            lvl.metrics.fab(i),
+            &mut rhs[i],
+            &mut du[i],
+            lvl.state.valid_box(i),
+            DEFAULT_TILE,
+            &lvl.gas,
+            WenoVariant::Symbo,
+            Reconstruction::ComponentWise,
+            None,
+            0.9,
+            1e-3,
+        );
+    }
+}
+
+/// Measures every kernel of `backend` and returns `(kernel spec, seconds)`.
+fn measure_backend(lvl: &Level, backend: BackendKind) -> Vec<(KernelSpec, f64)> {
+    let mut rhs = rhs_fabs(lvl);
+    let mut du = rhs_fabs(lvl);
+    let mut out = Vec::new();
+    let one_op = |op: TileOp| FusedProgram {
+        tile_ops: vec![op],
+        epilogue: vec![],
+    };
+
+    if backend == BackendKind::Fused {
+        // Kernels timed as fused one-op tile programs; specs carry the
+        // fusion accounting (RHS round-trip stays tile-resident).
+        let specs = fused::fused_specs(true);
+        for (dir, spec) in specs.iter().enumerate().take(3) {
+            let t = time_best(|| run_fused(lvl, &one_op(TileOp::WenoFlux { dir }), &mut rhs, &mut du));
+            out.push((*spec, t));
+        }
+        let t = time_best(|| run_fused(lvl, &one_op(TileOp::ViscousFlux), &mut rhs, &mut du));
+        out.push((specs[3], t));
+        let t = time_best(|| run_fused(lvl, &one_op(TileOp::DuAxpy), &mut rhs, &mut du));
+        out.push((specs[4], t));
+    } else {
+        for dir in 0..3 {
+            let t = time_best(|| {
+                for (i, r) in rhs.iter_mut().enumerate() {
+                    backend.weno_flux_recon(
+                        lvl.state.fab(i),
+                        lvl.metrics.fab(i),
+                        r,
+                        lvl.state.valid_box(i),
+                        dir,
+                        &lvl.gas,
+                        WenoVariant::Symbo,
+                        Reconstruction::ComponentWise,
+                    );
+                }
+            });
+            out.push((weno_spec(dir), t));
+        }
+        let t = time_best(|| {
+            for (i, r) in rhs.iter_mut().enumerate() {
+                backend.viscous_flux_les(
+                    lvl.state.fab(i),
+                    lvl.metrics.fab(i),
+                    r,
+                    lvl.state.valid_box(i),
+                    &lvl.gas,
+                    None,
+                );
+            }
+        });
+        out.push((crocco_perfmodel::kernelspec::viscous_spec(), t));
+        let t = time_best(|| {
+            for (d, r) in du.iter_mut().zip(&rhs) {
+                d.lincomb(0.9, 1e-3, r);
+            }
+        });
+        out.push((update_spec(), t));
+    }
+
+    // ComputeDt dispatches identically everywhere (a pure reduction — no
+    // fusion opportunity), so every backend row prices the same spec.
+    let t = time_best(|| {
+        let mut dt = f64::INFINITY;
+        for i in 0..lvl.state.nfabs() {
+            dt = dt.min(backend.compute_dt_patch(
+                lvl.state.fab(i),
+                lvl.metrics.fab(i),
+                lvl.state.valid_box(i),
+                &lvl.gas,
+                0.6,
+            ));
+        }
+        assert!(dt.is_finite());
+    });
+    out.push((compute_dt_spec(), t));
+
+    // The full RK-stage pipeline: RHS accumulation plus the dU axpy. The
+    // fused backend runs its fused tile group; the others sweep tiles into
+    // the materialized RHS fab then stream the axpy.
+    if backend == BackendKind::Fused {
+        let prog = KernelIr::rk_stage(true).fuse();
+        let stage = FusedProgram {
+            tile_ops: prog.tile_ops,
+            epilogue: vec![], // state axpy excluded so iterations are identical
+        };
+        let t = time_best(|| run_fused(lvl, &stage, &mut rhs, &mut du));
+        out.push((sum_spec("Stage(fused)", &fused::fused_specs(true)), t));
+    } else {
+        let work = tiled_work_list(&lvl.state, DEFAULT_TILE);
+        let t = time_best(|| {
+            for r in rhs.iter_mut() {
+                r.fill(0.0);
+            }
+            for &(i, tile) in &work {
+                backend.accumulate_rhs(
+                    lvl.state.fab(i),
+                    lvl.metrics.fab(i),
+                    &mut rhs[i],
+                    tile,
+                    &lvl.gas,
+                    WenoVariant::Symbo,
+                    Reconstruction::ComponentWise,
+                    None,
+                );
+            }
+            for (d, r) in du.iter_mut().zip(&rhs) {
+                d.lincomb(0.9, 1e-3, r);
+            }
+        });
+        out.push((sum_spec("Stage", &stage_kernels()), t));
+    }
+    out
+}
+
+fn main() {
+    let lvl = make_level();
+    println!(
+        "kernel backends on the 512-patch level ({} cells), single thread",
+        lvl.cells
+    );
+    println!("roofline ceilings: peak {:.0} Gflop/s, DRAM {:.0} GB/s\n", HOST_PEAK_FLOPS / 1e9, HOST_DRAM_BW / 1e9);
+
+    let mut rows = Vec::new();
+    let mut measured: Vec<(&'static str, Vec<MeasuredPoint>)> = Vec::new();
+    let mut weno_x = [0.0f64; 3]; // scalar, lanes, fused cells/s on WENOx
+    for (bi, backend) in BackendKind::ALL.into_iter().enumerate() {
+        let mut points = Vec::new();
+        for (spec, secs) in measure_backend(&lvl, backend) {
+            let cells_per_s = lvl.cells as f64 / secs;
+            let p: MeasuredPoint = score_measured(&spec, cells_per_s, HOST_PEAK_FLOPS, HOST_DRAM_BW);
+            if spec.name.starts_with("WENOx") {
+                weno_x[bi] = cells_per_s;
+            }
+            rows.push(vec![
+                backend.label().to_string(),
+                spec.name.to_string(),
+                format!("{:.2e}", p.cells_per_s),
+                format!("{:.2}", p.achieved_flops / 1e9),
+                format!("{:.2}", p.ai_dram),
+                format!("{:.2}", p.ceiling / 1e9),
+                format!("{:.1}%", p.fraction * 100.0),
+            ]);
+            points.push(p);
+        }
+        measured.push((backend.label(), points));
+    }
+    print_table(
+        "Ablation: kernel backend × kernel, roofline-scored",
+        &["backend", "kernel", "cells/s", "Gflop/s", "AI", "ceiling", "of roof"],
+        &rows,
+    );
+
+    let speedup = weno_x[1] / weno_x[0];
+    println!("\nWENOx lanes/scalar speedup: {speedup:.2}x (acceptance bar: >= 1.5x)");
+    println!("WENOx fused/scalar speedup: {:.2}x", weno_x[2] / weno_x[0]);
+
+    // The vendored serde_json is an offline placeholder (empty crate), so
+    // the machine-readable record is emitted by hand: plain nested objects,
+    // ASCII keys, `{:e}` floats — trivially parseable.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"backend\",\n");
+    json.push_str(&format!("  \"cells\": {},\n", lvl.cells));
+    json.push_str("  \"threads\": 1,\n");
+    json.push_str(&format!("  \"host_peak_flops\": {HOST_PEAK_FLOPS:e},\n"));
+    json.push_str(&format!("  \"host_dram_bw\": {HOST_DRAM_BW:e},\n"));
+    json.push_str(&format!(
+        "  \"weno_x_lanes_over_scalar\": {speedup:.4},\n"
+    ));
+    json.push_str("  \"backends\": {\n");
+    for (bi, (label, points)) in measured.iter().enumerate() {
+        json.push_str(&format!("    \"{label}\": {{\n"));
+        for (ki, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "      \"{}\": {{ \"cells_per_s\": {:e}, \"achieved_flops\": {:e}, \"ai_dram\": {:.4}, \"ceiling_flops\": {:e}, \"fraction_of_roofline\": {:.4} }}{}\n",
+                p.kernel,
+                p.cells_per_s,
+                p.achieved_flops,
+                p.ai_dram,
+                p.ceiling,
+                p.fraction,
+                if ki + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    }}{}\n",
+            if bi + 1 < measured.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_backend.json", json).expect("write BENCH_backend.json");
+    println!("\nwrote BENCH_backend.json");
+}

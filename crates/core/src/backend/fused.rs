@@ -1,0 +1,551 @@
+//! The fused kernel-IR backend: a GPU-shaped per-tile op DAG with
+//! flux-difference + RK-axpy fusion, executed by an interpreter.
+//!
+//! The paper's port pays a heavy DRAM tax for kernel modularity: §IV-B moves
+//! every stencil loop into a dedicated `ParallelFor` kernel communicating
+//! through *global-memory scratch arrays*, so the stage RHS round-trips HBM
+//! between the flux kernels and the RK update. Codegen-style CFD frameworks
+//! (the FluidLoom vein) recover that traffic by *fusing* the chain: one
+//! launched kernel per tile keeps the RHS tile in registers/cache from first
+//! flux to final axpy. This module reproduces that transformation as data:
+//!
+//! * [`TileOp`] — the op vocabulary (zero / stencil flux / axpy), each
+//!   reading and writing named buffers ([`BufRef`]).
+//! * [`KernelIr::rk_stage`] — the *unfused* stage program, one op per
+//!   launched kernel, exactly the sequence the scalar driver runs.
+//! * [`KernelIr::fuse`] — the fusion pass. Ops whose writes stay
+//!   tile-private (the RHS scratch tile, the `dU` tile) fuse into one
+//!   per-tile group; [`TileOp::StateAxpy`] is a *fusion barrier* — the state
+//!   it writes is stencil-read by neighbouring tiles' flux windows, so it is
+//!   split into a second streaming phase ([`FusedProgram::epilogue`]).
+//! * [`execute_tile`] / [`run_epilogue_patch`] — the interpreter. Stencil
+//!   ops run the [`LanesBackend`] lane kernels over the tile; the fused
+//!   `dU ← a·dU + dt·rhs` consumes the scratch tile while it is still
+//!   cache-hot.
+//!
+//! # Bitwise identity with Scalar
+//!
+//! Fusion changes *when* and *where* values are computed, never the
+//! arithmetic: every valid cell lies in exactly one tile, flux ops per tile
+//! are the lane kernels (bitwise-equal to scalar by `backend::lanes`'s
+//! argument), and the fused axpy applies the identical per-element
+//! `x = a·x + dt·y` that [`FArrayBox::lincomb`] applies — element order
+//! within a row is preserved and f64 arithmetic is element-local, so the
+//! partition is bitwise-irrelevant. The two-phase split preserves the
+//! driver's read/write schedule (all flux reads of `U` complete before any
+//! write of `U`).
+//!
+//! # Kernel specs
+//!
+//! [`fused_specs`] emits per-kernel [`KernelSpec`] entries for the fused
+//! program so `perfmodel::roofline` can score the backend's measured
+//! throughput against its own (smaller-traffic) ceiling rather than the
+//! unfused one.
+
+use super::lanes::{rows, LanesBackend};
+use super::KernelBackend;
+use crate::eos::PerfectGas;
+use crate::sgs::Smagorinsky;
+use crate::state::NCONS;
+use crate::weno::{Reconstruction, WenoVariant};
+use crocco_fab::{tile_boxes, FArrayBox, FabView};
+use crocco_geometry::{IndexBox, IntVect};
+use crocco_perfmodel::kernelspec::{update_spec, viscous_spec, weno_spec};
+use crocco_perfmodel::KernelSpec;
+
+/// A buffer named by a tile op. The fusion pass classifies ops by whether
+/// their writes stay private to the executing tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufRef {
+    /// The conserved state `U` (stencil-read by *other* tiles' ghost
+    /// windows — writes to it cannot fuse into the tile group).
+    State,
+    /// The grid-metric fab (read-only).
+    Metrics,
+    /// The stage-RHS scratch tile (tile-private).
+    RhsScratch,
+    /// The low-storage RK increment `dU` (tile-private: read and written
+    /// only at the owning cell).
+    Du,
+}
+
+/// One op of the per-tile kernel IR. In the unfused program each op models
+/// one device-kernel launch; after [`KernelIr::fuse`] the tile-private ops
+/// execute back-to-back on one tile while its scratch is cache-resident.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileOp {
+    /// `rhs[tile] ← 0` (all [`NCONS`] components).
+    Zero,
+    /// Directional WENO convective flux difference accumulated into the
+    /// scratch tile: reads [`BufRef::State`] + [`BufRef::Metrics`], writes
+    /// [`BufRef::RhsScratch`].
+    WenoFlux {
+        /// Sweep direction (0 = x, 1 = y, 2 = z).
+        dir: usize,
+    },
+    /// 4th-order viscous/LES flux divergence accumulated into the scratch
+    /// tile (no-op for inviscid gas without an SGS model).
+    ViscousFlux,
+    /// Low-storage RK increment: `dU[tile] ← a·dU[tile] + dt·rhs[tile]`.
+    /// Reads and writes only tile-private buffers — fusable.
+    DuAxpy,
+    /// `U ← U + b·dU`. Writes [`BufRef::State`], which neighbouring tiles
+    /// stencil-read — the fusion barrier.
+    StateAxpy,
+}
+
+impl TileOp {
+    /// The buffer this op writes.
+    pub fn writes(&self) -> BufRef {
+        match self {
+            TileOp::Zero | TileOp::WenoFlux { .. } | TileOp::ViscousFlux => BufRef::RhsScratch,
+            TileOp::DuAxpy => BufRef::Du,
+            TileOp::StateAxpy => BufRef::State,
+        }
+    }
+
+    /// Whether the written buffer is private to the executing tile, i.e.
+    /// whether the op may join a fused per-tile group.
+    pub fn fusable(&self) -> bool {
+        self.writes() != BufRef::State
+    }
+
+    /// Whether this is a flux-accumulation op (the subset that runs in
+    /// RHS-materializing mode under the task-graph paths).
+    pub fn is_flux(&self) -> bool {
+        matches!(self, TileOp::WenoFlux { .. } | TileOp::ViscousFlux)
+    }
+}
+
+/// The unfused per-stage op list — the IR the fusion pass consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelIr {
+    /// Ops in launch order.
+    pub ops: Vec<TileOp>,
+}
+
+impl KernelIr {
+    /// The op sequence of one Williamson RK3 stage, exactly as the scalar
+    /// driver launches it: zero the RHS, three WENO sweeps, the viscous
+    /// flux (when `viscous`), the `dU` axpy, the state axpy.
+    pub fn rk_stage(viscous: bool) -> KernelIr {
+        let mut ops = vec![
+            TileOp::Zero,
+            TileOp::WenoFlux { dir: 0 },
+            TileOp::WenoFlux { dir: 1 },
+            TileOp::WenoFlux { dir: 2 },
+        ];
+        if viscous {
+            ops.push(TileOp::ViscousFlux);
+        }
+        ops.push(TileOp::DuAxpy);
+        ops.push(TileOp::StateAxpy);
+        KernelIr { ops }
+    }
+
+    /// The fusion pass: greedily groups consecutive [`fusable`] ops into the
+    /// per-tile program and splits everything from the first non-fusable op
+    /// (in practice [`TileOp::StateAxpy`]) into the streaming epilogue that
+    /// runs after *all* tiles of *all* patches finished phase one.
+    ///
+    /// [`fusable`]: TileOp::fusable
+    pub fn fuse(&self) -> FusedProgram {
+        let split = self
+            .ops
+            .iter()
+            .position(|op| !op.fusable())
+            .unwrap_or(self.ops.len());
+        FusedProgram {
+            tile_ops: self.ops[..split].to_vec(),
+            epilogue: self.ops[split..].to_vec(),
+        }
+    }
+}
+
+/// Output of [`KernelIr::fuse`]: the per-tile fused group plus the
+/// whole-patch epilogue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusedProgram {
+    /// Ops executed back-to-back per tile (phase one; tile-private writes).
+    pub tile_ops: Vec<TileOp>,
+    /// Ops executed per patch after every tile completed (phase two).
+    pub epilogue: Vec<TileOp>,
+}
+
+/// Interprets the fused per-tile group on one tile. `scratch` is the
+/// persistent stage-RHS fab (valid-box sized; only the `tile` region is
+/// touched), `du` the RK increment fab.
+///
+/// # Panics
+///
+/// If `ops` contains [`TileOp::StateAxpy`] — a correctly fused program
+/// carries it in the epilogue only.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_tile(
+    ops: &[TileOp],
+    u: &impl FabView,
+    met: &FArrayBox,
+    scratch: &mut FArrayBox,
+    du: &mut FArrayBox,
+    tile: IndexBox,
+    gas: &PerfectGas,
+    variant: WenoVariant,
+    recon: Reconstruction,
+    sgs: Option<&Smagorinsky>,
+    a: f64,
+    dt: f64,
+) {
+    for op in ops {
+        match op {
+            TileOp::Zero => {
+                for c in 0..NCONS {
+                    scratch.fill_region(tile, c, 0.0);
+                }
+            }
+            TileOp::WenoFlux { dir } => {
+                LanesBackend::weno_flux_recon(u, met, scratch, tile, *dir, gas, variant, recon);
+            }
+            TileOp::ViscousFlux => {
+                LanesBackend::viscous_flux_les(u, met, scratch, tile, gas, sgs);
+            }
+            TileOp::DuAxpy => du_axpy_tile(du, scratch, tile, a, dt),
+            TileOp::StateAxpy => {
+                panic!("StateAxpy is a fusion barrier: it belongs to the epilogue")
+            }
+        }
+    }
+}
+
+/// The fused `dU[tile] ← a·dU[tile] + dt·rhs[tile]`: row-wise application
+/// of the identical per-element op [`FArrayBox::lincomb`] performs, so the
+/// tiled result is bitwise-equal to the whole-fab axpy.
+fn du_axpy_tile(du: &mut FArrayBox, scratch: &FArrayBox, tile: IndexBox, a: f64, dt: f64) {
+    for c in 0..NCONS {
+        for (row0, len) in rows(tile) {
+            let src = scratch.row(row0, c, len);
+            let dst = du.row_mut(row0, c, len);
+            for (x, &y) in dst.iter_mut().zip(src) {
+                *x = a * *x + dt * y;
+            }
+        }
+    }
+}
+
+/// Runs the fused per-tile group over every tile of `valid` (phase one for
+/// one patch).
+#[allow(clippy::too_many_arguments)]
+pub fn run_stage_patch(
+    prog: &FusedProgram,
+    u: &impl FabView,
+    met: &FArrayBox,
+    scratch: &mut FArrayBox,
+    du: &mut FArrayBox,
+    valid: IndexBox,
+    tile: IntVect,
+    gas: &PerfectGas,
+    variant: WenoVariant,
+    recon: Reconstruction,
+    sgs: Option<&Smagorinsky>,
+    a: f64,
+    dt: f64,
+) {
+    for t in tile_boxes(valid, tile) {
+        execute_tile(
+            &prog.tile_ops, u, met, scratch, du, t, gas, variant, recon, sgs, a, dt,
+        );
+    }
+}
+
+/// Interprets the epilogue on one patch: the streaming `U ← U + b·dU`.
+pub fn run_epilogue_patch(ops: &[TileOp], state: &mut FArrayBox, du: &FArrayBox, b: f64) {
+    for op in ops {
+        match op {
+            TileOp::StateAxpy => state.lincomb(1.0, b, du),
+            other => panic!("epilogue carries only StateAxpy, found {other:?}"),
+        }
+    }
+}
+
+/// RHS-materializing mode for the task-graph execution paths (`overlap`,
+/// `dist_overlap`): those paths own zeroing, sweep scheduling, and the RK
+/// update, so only the flux subset of the fused program runs, accumulating
+/// into the caller's `rhs` over `region`. Bitwise-equal to the scalar
+/// `accumulate_rhs` by the lane kernels' identity.
+#[allow(clippy::too_many_arguments)]
+pub fn accumulate_rhs_ir(
+    u: &impl FabView,
+    met: &FArrayBox,
+    rhs: &mut FArrayBox,
+    region: IndexBox,
+    gas: &PerfectGas,
+    variant: WenoVariant,
+    recon: Reconstruction,
+    sgs: Option<&Smagorinsky>,
+) {
+    let viscous = !(gas.mu_ref == 0.0 && sgs.is_none());
+    let prog = KernelIr::rk_stage(viscous).fuse();
+    for op in prog.tile_ops.iter().filter(|op| op.is_flux()) {
+        match op {
+            TileOp::WenoFlux { dir } => {
+                LanesBackend::weno_flux_recon(u, met, rhs, region, *dir, gas, variant, recon);
+            }
+            TileOp::ViscousFlux => {
+                LanesBackend::viscous_flux_les(u, met, rhs, region, gas, sgs);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Bytes per cell of one full read+write round-trip of the stage RHS
+/// through DRAM — the traffic fusion keeps tile-resident.
+const RHS_ROUNDTRIP_BYTES: f64 = 2.0 * NCONS as f64 * 8.0;
+
+/// Per-kernel specs of the fused program, for roofline scoring.
+///
+/// Arithmetic is unchanged by fusion; what changes is DRAM traffic. In the
+/// unfused accounting each flux kernel accumulates into the global RHS fab
+/// (read + write = `RHS_ROUNDTRIP_BYTES`) and the update kernel reads the
+/// RHS back from DRAM. Fused, the scratch tile stays cache-resident across
+/// the group, so each flux kernel and the axpy drop that round-trip (the
+/// saved traffic reappears as L2 traffic, so L2/L1 bytes are unchanged).
+pub fn fused_specs(viscous: bool) -> Vec<KernelSpec> {
+    let fuse_name = |dir: usize| -> &'static str {
+        match dir {
+            0 => "WENOx(fused)",
+            1 => "WENOy(fused)",
+            _ => "WENOz(fused)",
+        }
+    };
+    let mut specs = Vec::new();
+    for dir in 0..3 {
+        let mut s = weno_spec(dir);
+        s.name = fuse_name(dir);
+        s.dram_bytes_per_cell -= RHS_ROUNDTRIP_BYTES;
+        s.sub_launches = 1;
+        specs.push(s);
+    }
+    if viscous {
+        let mut s = viscous_spec();
+        s.name = "Viscous(fused)";
+        s.dram_bytes_per_cell -= RHS_ROUNDTRIP_BYTES;
+        s.sub_launches = 1;
+        specs.push(s);
+    }
+    let mut upd = update_spec();
+    upd.name = "Update(fused)";
+    // The dU axpy reads the RHS from cache, not DRAM: one read (state or dU)
+    // fewer per component.
+    upd.dram_bytes_per_cell -= NCONS as f64 * 8.0;
+    upd.sub_launches = 1;
+    specs.push(upd);
+    specs
+}
+
+/// The fused kernel-IR backend (see module docs).
+///
+/// The per-kernel trait methods have no fusion opportunity (each names a
+/// single kernel), so they delegate to the bitwise-identical
+/// [`LanesBackend`]; the fused program itself enters through
+/// [`run_stage_patch`] (barrier driver) and [`accumulate_rhs_ir`]
+/// (task-graph paths).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FusedBackend;
+
+impl KernelBackend for FusedBackend {
+    const NAME: &'static str = "fused";
+
+    fn weno_flux_recon(
+        u: &impl FabView,
+        met: &FArrayBox,
+        rhs: &mut FArrayBox,
+        region: IndexBox,
+        dir: usize,
+        gas: &PerfectGas,
+        variant: WenoVariant,
+        recon: Reconstruction,
+    ) {
+        LanesBackend::weno_flux_recon(u, met, rhs, region, dir, gas, variant, recon);
+    }
+
+    fn viscous_flux_les(
+        u: &impl FabView,
+        met: &FArrayBox,
+        rhs: &mut FArrayBox,
+        region: IndexBox,
+        gas: &PerfectGas,
+        sgs: Option<&Smagorinsky>,
+    ) {
+        LanesBackend::viscous_flux_les(u, met, rhs, region, gas, sgs);
+    }
+
+    fn compute_dt_patch(
+        u: &impl FabView,
+        met: &FArrayBox,
+        valid: IndexBox,
+        gas: &PerfectGas,
+        cfl: f64,
+    ) -> f64 {
+        LanesBackend::compute_dt_patch(u, met, valid, gas, cfl)
+    }
+
+    fn eddy_viscosity_field(
+        model: &Smagorinsky,
+        u: &impl FabView,
+        met: &FArrayBox,
+        out: &mut FArrayBox,
+        valid: IndexBox,
+        gas: &PerfectGas,
+    ) {
+        LanesBackend::eddy_viscosity_field(model, u, met, out, valid, gas);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::metrics::{compute_metrics, generate_coords, NCOORDS, NMETRICS};
+    use crate::state::{Conserved, Primitive};
+    use crocco_fab::{BoxArray, DistributionMapping, MultiFab};
+    use crocco_geometry::{RealVect, StretchedMapping};
+    use std::sync::Arc;
+
+    fn patch(extents: IntVect, gas: &PerfectGas) -> (MultiFab, MultiFab) {
+        let bx = IndexBox::from_extents(extents[0], extents[1], extents[2]);
+        let ba = Arc::new(BoxArray::new(vec![bx]));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        let map = StretchedMapping::new(RealVect::ZERO, RealVect::splat(1.0), 1.25, 1);
+        let mut coords = MultiFab::new(ba.clone(), dm.clone(), NCOORDS, kernels::NGHOST + 2);
+        generate_coords(&map, extents, &mut coords);
+        let mut metrics = MultiFab::new(ba.clone(), dm.clone(), NMETRICS, kernels::NGHOST);
+        compute_metrics(&coords, &mut metrics);
+        let mut state = MultiFab::new(ba, dm, NCONS, kernels::NGHOST);
+        let all = state.fab(0).bx();
+        for p in all.cells() {
+            let x = p[0] as f64 / extents[0] as f64;
+            let y = p[1] as f64 / extents[1] as f64;
+            let w = Primitive {
+                rho: 1.0 + 0.2 * (4.0 * x).sin() * (2.0 * y).cos(),
+                vel: [0.5 - 0.2 * y, 0.15 * (3.0 * x).cos(), 0.05 * y],
+                p: 1.0 + 0.08 * (2.0 * x + 3.0 * y).sin(),
+                t: 0.0,
+            };
+            let u = Conserved::from_primitive(&w, gas);
+            for c in 0..NCONS {
+                state.fab_mut(0).set(p, c, u.0[c]);
+            }
+        }
+        (state, metrics)
+    }
+
+    fn bits(fab: &FArrayBox) -> Vec<u64> {
+        fab.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn fuse_splits_at_the_state_axpy_barrier() {
+        let prog = KernelIr::rk_stage(true).fuse();
+        assert_eq!(
+            prog.tile_ops,
+            vec![
+                TileOp::Zero,
+                TileOp::WenoFlux { dir: 0 },
+                TileOp::WenoFlux { dir: 1 },
+                TileOp::WenoFlux { dir: 2 },
+                TileOp::ViscousFlux,
+                TileOp::DuAxpy,
+            ]
+        );
+        assert_eq!(prog.epilogue, vec![TileOp::StateAxpy]);
+        assert!(prog.tile_ops.iter().all(TileOp::fusable));
+        // Inviscid stage drops exactly the viscous op.
+        let inviscid = KernelIr::rk_stage(false).fuse();
+        assert_eq!(inviscid.tile_ops.len(), prog.tile_ops.len() - 1);
+    }
+
+    #[test]
+    fn fused_stage_matches_unfused_bitwise() {
+        let gas = PerfectGas::air();
+        let sgs = Smagorinsky { cs: 0.16 };
+        let (state, metrics) = patch(IntVect::new(16, 8, 8), &gas);
+        let valid = state.valid_box(0);
+        let (a, dt, b) = (0.5, 0.013, 0.91);
+        let (variant, recon) = (WenoVariant::Symbo, Reconstruction::ComponentWise);
+
+        // A nonzero dU pattern so the a·dU term is exercised.
+        let mut du_ref = FArrayBox::new(valid, NCONS);
+        for p in valid.cells() {
+            for c in 0..NCONS {
+                du_ref.set(p, c, 0.01 * ((p[0] + 2 * p[1] - p[2]) as f64 + c as f64));
+            }
+        }
+        let mut du_fused = FArrayBox::new(valid, NCONS);
+        du_fused.copy_from(&du_ref, valid, 0, 0, NCONS);
+        let all = state.fab(0).bx();
+        let mut st_ref = FArrayBox::new(all, NCONS);
+        st_ref.copy_from(state.fab(0), all, 0, 0, NCONS);
+        let mut st_fused = FArrayBox::new(all, NCONS);
+        st_fused.copy_from(state.fab(0), all, 0, 0, NCONS);
+
+        // Unfused reference: whole-patch scalar kernels + whole-fab axpys.
+        let mut rhs = FArrayBox::new(valid, NCONS);
+        for dir in 0..3 {
+            kernels::weno_flux_recon(
+                state.fab(0), metrics.fab(0), &mut rhs, valid, dir, &gas, variant, recon,
+            );
+        }
+        kernels::viscous_flux_les(state.fab(0), metrics.fab(0), &mut rhs, valid, &gas, Some(&sgs));
+        du_ref.lincomb(a, dt, &rhs);
+        st_ref.lincomb(1.0, b, &du_ref);
+
+        // Fused: NaN-poisoned scratch proves Zero covers every tile.
+        let mut scratch = FArrayBox::new(valid, NCONS);
+        scratch.fill(f64::NAN);
+        let prog = KernelIr::rk_stage(true).fuse();
+        run_stage_patch(
+            &prog, state.fab(0), metrics.fab(0), &mut scratch, &mut du_fused, valid,
+            IntVect::new(1_000_000, 4, 4), &gas, variant, recon, Some(&sgs), a, dt,
+        );
+        run_epilogue_patch(&prog.epilogue, &mut st_fused, &du_fused, b);
+
+        assert_eq!(bits(&du_ref), bits(&du_fused), "dU diverged");
+        assert_eq!(bits(&st_ref), bits(&st_fused), "state diverged");
+    }
+
+    #[test]
+    fn materializing_mode_matches_scalar_accumulation() {
+        let gas = PerfectGas::nondimensional();
+        let (state, metrics) = patch(IntVect::new(12, 8, 8), &gas);
+        let valid = state.valid_box(0);
+        let mut r_s = FArrayBox::new(valid, NCONS);
+        let mut r_f = FArrayBox::new(valid, NCONS);
+        for dir in 0..3 {
+            kernels::weno_flux_recon(
+                state.fab(0), metrics.fab(0), &mut r_s, valid, dir, &gas,
+                WenoVariant::Js5, Reconstruction::ComponentWise,
+            );
+        }
+        kernels::viscous_flux_les(state.fab(0), metrics.fab(0), &mut r_s, valid, &gas, None);
+        accumulate_rhs_ir(
+            state.fab(0), metrics.fab(0), &mut r_f, valid, &gas,
+            WenoVariant::Js5, Reconstruction::ComponentWise, None,
+        );
+        assert_eq!(bits(&r_s), bits(&r_f));
+    }
+
+    #[test]
+    fn fused_specs_preserve_flops_and_cut_dram() {
+        let fused = fused_specs(true);
+        let unfused = crocco_perfmodel::kernelspec::stage_kernels();
+        assert_eq!(fused.len(), unfused.len());
+        let flops = |v: &[KernelSpec]| -> f64 { v.iter().map(|k| k.flops_per_cell).sum() };
+        let dram = |v: &[KernelSpec]| -> f64 { v.iter().map(|k| k.dram_bytes_per_cell).sum() };
+        assert_eq!(flops(&fused), flops(&unfused), "fusion must not change arithmetic");
+        assert!(dram(&fused) < dram(&unfused), "fusion must cut DRAM traffic");
+        for k in &fused {
+            assert!(k.name.ends_with("(fused)"), "{}", k.name);
+            assert!(k.ai_dram() > 0.0);
+        }
+    }
+}

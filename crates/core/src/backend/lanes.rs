@@ -1,0 +1,888 @@
+//! The SIMD-lane backend: stable-Rust vectorization via `[f64; LANES]`
+//! lane arrays.
+//!
+//! The paper's GPU port got its kernel throughput from mapping the
+//! branch-free WENO algebra onto wide data-parallel hardware (§IV-B). On the
+//! host we reach the same structure with *lane arrays*: every scalar local
+//! of the hot loops becomes a fixed-width `[f64; LANES]`, every operation a
+//! hand-unrolled loop over the lanes — a shape LLVM reliably autovectorizes
+//! on stable Rust, with no `std::simd` nightly dependency and no `unsafe`
+//! (this crate is `#![forbid(unsafe_code)]`).
+//!
+//! # Lane layout
+//!
+//! The WENO face loop lanes across [`LANES`] **contiguous faces** of one
+//! pencil: the six-point stencil windows are gathered into lane-transposed
+//! scratch `w[k][lane]` (window position outer, lane inner) so each algebra
+//! step — candidates, smoothness, α-weights, normalization — is a dense
+//! elementwise op over the lane dimension. The viscous, `ComputeDt`, and
+//! SGS loops lane across contiguous x-cells of one row the same way.
+//!
+//! # Bitwise identity with Scalar
+//!
+//! Lanes never fuses, reassociates, or reorders the operations *within* one
+//! cell or face — it only evaluates independent cells/faces side by side.
+//! Three details make this exact, not approximate:
+//!
+//! * The α-weight guard `if d[r] == 0.0` and the downwind cap
+//!   `if d[3] > 0.0` branch on the *variant's linear weights*, which are
+//!   lane-uniform — the branches hoist out of the lane loop unchanged.
+//! * Accumulations (`sum`, `out`, the wave-speed sum) start from `0.0` and
+//!   add terms in the same order as the scalar code, so every intermediate
+//!   rounding matches.
+//! * `f64::min`/`max` and the remaining per-lane calls into shared scalar
+//!   helpers (`to_primitive`, `sound_speed`, `viscosity`) are the very same
+//!   functions the scalar backend runs.
+//!
+//! Rust does not contract `a*b + c` into FMA, so lane loops and scalar code
+//! round identically. The invariance suite asserts equality with `to_bits`.
+//!
+//! # Scalar fallbacks (documented limitation)
+//!
+//! [`Reconstruction::Characteristic`] builds a Roe eigensystem *per face*
+//! and projects through dense 5×5 maps — per-face data-dependent work with
+//! no contiguous lane structure — so this backend delegates characteristic
+//! sweeps to the scalar kernel wholesale. Pencil remainders (the last
+//! `nfaces mod LANES` faces) and row remainders also run the scalar body.
+
+// `for l in 0..LANES`-style index loops over several lane arrays at once
+// are the whole point of this module: they are what LLVM autovectorizes,
+// and the iterator/zip rewrites clippy suggests obscure the lane index
+// without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
+use super::KernelBackend;
+use crate::eos::PerfectGas;
+use crate::kernels;
+use crate::metrics::comp as mcomp;
+use crate::sgs::Smagorinsky;
+use crate::state::{cons, Conserved, NCONS};
+use crate::weno::{linear_weights, reconstruct_face, Reconstruction, WenoVariant, EPS,
+    STENCIL_RADIUS};
+use crocco_fab::{FArrayBox, FabView};
+use crocco_geometry::{IndexBox, IntVect};
+
+/// Lane width: 8 × f64 = one ZMM register, two YMM ops, or four NEON ops —
+/// wide enough to amortize loop overhead on any of them.
+pub const LANES: usize = 8;
+
+/// Fixed-width SIMD lane kernels (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LanesBackend;
+
+impl KernelBackend for LanesBackend {
+    const NAME: &'static str = "lanes";
+
+    fn weno_flux_recon(
+        u: &impl FabView,
+        met: &FArrayBox,
+        rhs: &mut FArrayBox,
+        region: IndexBox,
+        dir: usize,
+        gas: &PerfectGas,
+        variant: WenoVariant,
+        recon: Reconstruction,
+    ) {
+        if recon == Reconstruction::Characteristic {
+            // Per-face Roe eigensystems have no lane structure: scalar path.
+            kernels::weno_flux_recon(u, met, rhs, region, dir, gas, variant, recon);
+            return;
+        }
+        weno_flux_lanes(u, met, rhs, region, dir, gas, variant);
+    }
+
+    fn viscous_flux_les(
+        u: &impl FabView,
+        met: &FArrayBox,
+        rhs: &mut FArrayBox,
+        region: IndexBox,
+        gas: &PerfectGas,
+        sgs: Option<&Smagorinsky>,
+    ) {
+        viscous_flux_lanes(u, met, rhs, region, gas, sgs);
+    }
+
+    fn compute_dt_patch(
+        u: &impl FabView,
+        met: &FArrayBox,
+        valid: IndexBox,
+        gas: &PerfectGas,
+        cfl: f64,
+    ) -> f64 {
+        compute_dt_lanes(u, met, valid, gas, cfl)
+    }
+
+    fn eddy_viscosity_field(
+        model: &Smagorinsky,
+        u: &impl FabView,
+        met: &FArrayBox,
+        out: &mut FArrayBox,
+        valid: IndexBox,
+        gas: &PerfectGas,
+    ) {
+        eddy_viscosity_field_lanes(model, u, met, out, valid, gas);
+    }
+}
+
+/// WENO candidate reconstructions for [`LANES`] faces at once:
+/// `w[k][lane]` is window position `k` of face `lane`. Per-lane operation
+/// order matches [`crate::weno`]'s `candidates` exactly.
+#[inline(always)]
+fn candidates_lanes(w: &[[f64; LANES]; 6]) -> [[f64; LANES]; 4] {
+    let mut q = [[0.0; LANES]; 4];
+    for l in 0..LANES {
+        q[0][l] = (2.0 * w[0][l] - 7.0 * w[1][l] + 11.0 * w[2][l]) / 6.0;
+        q[1][l] = (-w[1][l] + 5.0 * w[2][l] + 2.0 * w[3][l]) / 6.0;
+        q[2][l] = (2.0 * w[2][l] + 5.0 * w[3][l] - w[4][l]) / 6.0;
+        q[3][l] = (11.0 * w[3][l] - 7.0 * w[4][l] + 2.0 * w[5][l]) / 6.0;
+    }
+    q
+}
+
+/// Jiang–Shu smoothness indicators for [`LANES`] faces at once.
+#[inline(always)]
+fn smoothness_lanes(w: &[[f64; LANES]; 6]) -> [[f64; LANES]; 4] {
+    #[inline(always)]
+    fn b(a: f64, b_: f64, c: f64, lin: f64) -> f64 {
+        13.0 / 12.0 * (a - 2.0 * b_ + c).powi(2) + 0.25 * lin * lin
+    }
+    let mut is = [[0.0; LANES]; 4];
+    for l in 0..LANES {
+        is[0][l] = b(w[0][l], w[1][l], w[2][l], w[0][l] - 4.0 * w[1][l] + 3.0 * w[2][l]);
+        is[1][l] = b(w[1][l], w[2][l], w[3][l], w[1][l] - w[3][l]);
+        is[2][l] = b(w[2][l], w[3][l], w[4][l], 3.0 * w[2][l] - 4.0 * w[3][l] + w[4][l]);
+        is[3][l] = b(w[3][l], w[4][l], w[5][l], 3.0 * w[3][l] - 4.0 * w[4][l] + w[5][l]);
+    }
+    is
+}
+
+/// Face reconstruction for [`LANES`] faces at once, from lane-transposed
+/// windows. Bitwise-equal per lane to [`crate::weno::reconstruct_face`]:
+/// the `d[r]` branches are lane-uniform, and `sum`/`out` accumulate in the
+/// scalar order starting from `0.0` (the α's are never `-0.0`, so skipping
+/// the scalar code's leading `0.0 +` term is exact).
+///
+/// Deliberately `inline(never)`: inlining two of these into the face loop
+/// puts ~24 live 6×LANES arrays in one region and the register allocator
+/// answers with per-lane stack spills that cost far more than a call.
+#[inline(never)]
+fn reconstruct_face_lanes(w: &[[f64; LANES]; 6], variant: WenoVariant) -> [f64; LANES] {
+    let q = candidates_lanes(w);
+    let is = smoothness_lanes(w);
+    let d = linear_weights(variant);
+    let mut alpha = [[0.0; LANES]; 4];
+    for r in 0..4 {
+        if d[r] == 0.0 {
+            continue;
+        }
+        for l in 0..LANES {
+            let denom = EPS + is[r][l];
+            alpha[r][l] = d[r] / (denom * denom);
+        }
+    }
+    if d[3] > 0.0 {
+        for l in 0..LANES {
+            alpha[3][l] = alpha[3][l].min(alpha[0][l]).min(alpha[1][l]).min(alpha[2][l]);
+        }
+    }
+    let mut sum = [0.0; LANES];
+    for row in &alpha {
+        for l in 0..LANES {
+            sum[l] += row[l];
+        }
+    }
+    let mut out = [0.0; LANES];
+    for r in 0..4 {
+        for l in 0..LANES {
+            out[l] += alpha[r][l] / sum[l] * q[r][l];
+        }
+    }
+    out
+}
+
+/// Lane-structured component-wise WENO sweep: row-copy pencil loads (one
+/// slice copy per field on x-pencils), a branch-free vectorized split-flux
+/// pass over the whole pencil, the laned face loop, and a row-streamed flux
+/// difference.
+fn weno_flux_lanes(
+    u: &impl FabView,
+    met: &FArrayBox,
+    rhs: &mut FArrayBox,
+    valid: IndexBox,
+    dir: usize,
+    gas: &PerfectGas,
+    variant: WenoVariant,
+) {
+    let r = STENCIL_RADIUS as i64;
+    let n = valid.length(dir) as usize;
+    let m = n + 2 * r as usize;
+    // Component-major (SoA) pencil scratch: `fhat[c * m + i]`. The laned
+    // face loop reads windows `i = f0 + l + k` — unit stride in the lane
+    // index `l` — so SoA turns the window gather into plain vector loads
+    // where the scalar kernel's array-of-struct layout would force a
+    // stride-NCONS transpose. Pure storage; per-element arithmetic and its
+    // order are untouched.
+    let nf = n + 1;
+    let mut fhat = vec![0.0f64; NCONS * m];
+    let mut v = vec![0.0f64; NCONS * m];
+    let mut speed = vec![0.0; m];
+    let mut jacs = vec![0.0; m];
+    let mut craw = vec![0.0f64; NCONS * m];
+    let mut mrow = vec![0.0f64; 3 * m];
+    let mut face_flux = vec![0.0f64; NCONS * nf];
+
+    let (d1, d2) = match dir {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    };
+    let mut plane_lo = valid.lo();
+    let mut plane_hi = valid.hi();
+    plane_lo[dir] = 0;
+    plane_hi[dir] = 0;
+    for plane in IndexBox::new(plane_lo, plane_hi).cells() {
+        // Pencil load, arithmetic-free. x-pencils are contiguous in fab
+        // storage, so each of the nine fields (five state components, the
+        // Jacobian, one metric row) arrives as one `read_row`/`row` slice
+        // copy — no per-cell index arithmetic at all. y/z pencils gather
+        // per cell, component-major, as before.
+        let mut pbase = valid.lo();
+        pbase[d1] = plane[d1];
+        pbase[d2] = plane[d2];
+        pbase[dir] -= r;
+        if dir == 0 {
+            for c in 0..NCONS {
+                u.read_row(pbase, c, &mut craw[c * m..(c + 1) * m]);
+            }
+            jacs.copy_from_slice(met.row(pbase, mcomp::JAC, m));
+            for d in 0..3 {
+                mrow[d * m..(d + 1) * m].copy_from_slice(met.row(pbase, mcomp::M + d, m));
+            }
+        } else {
+            for idx in 0..m {
+                let mut p = pbase;
+                p[dir] += idx as i64;
+                for c in 0..NCONS {
+                    craw[c * m + idx] = u.get(p, c);
+                }
+                jacs[idx] = met.get(p, mcomp::JAC);
+                for d in 0..3 {
+                    mrow[d * m + idx] = met.get(p, mcomp::M + dir * 3 + d);
+                }
+            }
+        }
+        // Split-flux algebra over the whole pencil: one branch-free loop on
+        // contiguous equal-length slices, which LLVM vectorizes end to end
+        // (`max`, `abs`, `sqrt`, and division all have packed forms). The
+        // per-cell expressions replicate `Conserved::to_primitive` and
+        // `PerfectGas::sound_speed` exactly (the unused temperature is dead
+        // code the scalar path also drops).
+        let g1 = gas.gamma - 1.0;
+        {
+            // Every operand below is a slice of provable length `m`, so the
+            // `for i in 0..m` loop is bounds-check-free — one panic branch
+            // inside would stop LLVM from vectorizing it.
+            let speed = &mut speed[..m];
+            let jacs = &jacs[..m];
+            let (c_rho, c_rest) = craw.split_at(m);
+            let (c_mx, c_rest) = c_rest.split_at(m);
+            let (c_my, c_rest) = c_rest.split_at(m);
+            let (c_mz, c_e) = c_rest.split_at(m);
+            let (m0, m_rest) = mrow.split_at(m);
+            let (m1, m2) = m_rest.split_at(m);
+            let (f_rho, f_rest) = fhat.split_at_mut(m);
+            let (f_mx, f_rest) = f_rest.split_at_mut(m);
+            let (f_my, f_rest) = f_rest.split_at_mut(m);
+            let (f_mz, f_e) = f_rest.split_at_mut(m);
+            let (v_rho, v_rest) = v.split_at_mut(m);
+            let (v_mx, v_rest) = v_rest.split_at_mut(m);
+            let (v_my, v_rest) = v_rest.split_at_mut(m);
+            let (v_mz, v_e) = v_rest.split_at_mut(m);
+            for i in 0..m {
+                let rho = c_rho[i];
+                let inv = 1.0 / rho;
+                let v0 = c_mx[i] * inv;
+                let v1 = c_my[i] * inv;
+                let v2 = c_mz[i] * inv;
+                let ke = 0.5 * rho * (v0 * v0 + v1 * v1 + v2 * v2);
+                let pn = g1 * (c_e[i] - ke);
+                let a = (gas.gamma * pn.max(1e-300) / rho).sqrt();
+                let mnorm = (m0[i] * m0[i] + m1[i] * m1[i] + m2[i] * m2[i]).sqrt();
+                let uc = m0[i] * v0 + m1[i] * v1 + m2[i] * v2;
+                speed[i] = (uc.abs() + a * mnorm) / jacs[i];
+                f_rho[i] = rho * uc;
+                f_mx[i] = c_mx[i] * uc + pn * m0[i];
+                f_my[i] = c_my[i] * uc + pn * m1[i];
+                f_mz[i] = c_mz[i] * uc + pn * m2[i];
+                f_e[i] = (c_e[i] + pn) * uc;
+                v_rho[i] = jacs[i] * rho;
+                v_mx[i] = jacs[i] * c_mx[i];
+                v_my[i] = jacs[i] * c_my[i];
+                v_mz[i] = jacs[i] * c_mz[i];
+                v_e[i] = jacs[i] * c_e[i];
+            }
+        }
+        // Laned face loop: LANES contiguous faces per iteration, windows
+        // gathered into lane-transposed scratch.
+        let mut f0 = 0;
+        while f0 + LANES <= nf {
+            // λ per face: max over the six window speeds. k-outer keeps each
+            // lane's max chain in the scalar order (k = 0..5) while the lane
+            // loop vectorizes over unit-stride speed loads.
+            let sw = &speed[f0..f0 + LANES + 5];
+            let mut lambda = [0.0f64; LANES];
+            for k in 0..6 {
+                for l in 0..LANES {
+                    lambda[l] = lambda[l].max(sw[l + k]);
+                }
+            }
+            for c in 0..NCONS {
+                // Window slices: `fw[l + k]` with `l + k ≤ LANES + 4`, so
+                // one bounds check per slice and unit-stride lane loads.
+                let fw = &fhat[c * m + f0..c * m + f0 + LANES + 5];
+                let vw = &v[c * m + f0..c * m + f0 + LANES + 5];
+                let mut wp = [[0.0; LANES]; 6];
+                let mut wm = [[0.0; LANES]; 6];
+                for k in 0..6 {
+                    for l in 0..LANES {
+                        wp[k][l] = 0.5 * (fw[l + k] + lambda[l] * vw[l + k]);
+                        wm[k][l] = 0.5 * (fw[l + 5 - k] - lambda[l] * vw[l + 5 - k]);
+                    }
+                }
+                let rp = reconstruct_face_lanes(&wp, variant);
+                let rm = reconstruct_face_lanes(&wm, variant);
+                for l in 0..LANES {
+                    face_flux[c * nf + f0 + l] = rp[l] + rm[l];
+                }
+            }
+            f0 += LANES;
+        }
+        // Scalar tail: the scalar kernel's face body verbatim.
+        for f in f0..nf {
+            let base = f;
+            let mut lambda: f64 = 0.0;
+            for k in 0..6 {
+                lambda = lambda.max(speed[base + k]);
+            }
+            for c in 0..NCONS {
+                let mut wp = [0.0; 6];
+                let mut wm = [0.0; 6];
+                for k in 0..6 {
+                    let q = 0.5 * (fhat[c * m + base + k] + lambda * v[c * m + base + k]);
+                    wp[k] = q;
+                    let qm = 0.5 * (fhat[c * m + base + 5 - k] - lambda * v[c * m + base + 5 - k]);
+                    wm[k] = qm;
+                }
+                face_flux[c * nf + f] =
+                    reconstruct_face(&wp, variant) + reconstruct_face(&wm, variant);
+            }
+        }
+        // Flux difference into rhs — per-cell op identical to the scalar
+        // kernel (`rhs += -(f_{i+1} - f_i)/J`, same Jacobian values, cached
+        // from the gather). x-pencils stream straight into the rhs row;
+        // other directions keep the per-cell adds.
+        if dir == 0 {
+            let mut p = valid.lo();
+            p[d1] = plane[d1];
+            p[d2] = plane[d2];
+            for c in 0..NCONS {
+                let fr = &face_flux[c * nf..(c + 1) * nf];
+                let row = rhs.row_mut(p, c, n);
+                for i in 0..n {
+                    row[i] += -(fr[i + 1] - fr[i]) / jacs[r as usize + i];
+                }
+            }
+        } else {
+            for i in 0..n {
+                let mut p = valid.lo();
+                p[d1] = plane[d1];
+                p[d2] = plane[d2];
+                p[dir] = valid.lo()[dir] + i as i64;
+                let jac = jacs[r as usize + i];
+                for c in 0..NCONS {
+                    let fp = face_flux[c * nf + i + 1];
+                    let fm = face_flux[c * nf + i];
+                    rhs.add(p, c, -(fp - fm) / jac);
+                }
+            }
+        }
+    }
+}
+
+/// Iterates the rows (fixed `j`, `k`) of `bx` as `(row base point, length)`.
+/// Shared with the fused backend's axpy interpreter, which must walk cells
+/// in the same x-fastest order.
+pub(crate) fn rows(bx: IndexBox) -> impl Iterator<Item = (IntVect, usize)> {
+    let (lo, hi) = (bx.lo(), bx.hi());
+    let len = (hi[0] - lo[0] + 1) as usize;
+    (lo[2]..=hi[2]).flat_map(move |k| {
+        (lo[1]..=hi[1]).map(move |j| (IntVect::new(lo[0], j, k), len))
+    })
+}
+
+/// Lane-structured viscous/LES fluxes: same two global-memory-style scratch
+/// passes as the scalar kernel, with pass 1's gradient/stress/flux algebra
+/// and pass 2's divergence laned across contiguous x-cells of each row. The
+/// per-cell primitive fill (pass 0) and the per-point SGS closure call are
+/// shared with the scalar kernel verbatim.
+fn viscous_flux_lanes(
+    u: &impl FabView,
+    met: &FArrayBox,
+    rhs: &mut FArrayBox,
+    valid: IndexBox,
+    gas: &PerfectGas,
+    sgs: Option<&Smagorinsky>,
+) {
+    if gas.mu_ref == 0.0 && sgs.is_none() {
+        return;
+    }
+    let work = valid.grow(2);
+    let prim_region = work.grow(2);
+    let mut prims = FArrayBox::new(prim_region, 4);
+    for p in prim_region.cells() {
+        let w = Conserved([
+            u.get(p, cons::RHO),
+            u.get(p, cons::MX),
+            u.get(p, cons::MY),
+            u.get(p, cons::MZ),
+            u.get(p, cons::ENER),
+        ])
+        .to_primitive(gas);
+        prims.set(p, 0, w.vel[0]);
+        prims.set(p, 1, w.vel[1]);
+        prims.set(p, 2, w.vel[2]);
+        prims.set(p, 3, w.t);
+    }
+    let mut scratch = FArrayBox::new(work, 3 * NCONS);
+
+    // Pass 1, laned: gradients → stress/heat flux → contravariant flux.
+    for (row0, len) in rows(work) {
+        let mut x0 = 0usize;
+        while x0 < len {
+            let w_ = LANES.min(len - x0);
+            let at = |l: usize| IntVect::new(row0[0] + (x0 + l) as i64, row0[1], row0[2]);
+            let mut jac = [0.0; LANES];
+            for l in 0..w_ {
+                jac[l] = met.get(at(l), mcomp::JAC);
+            }
+            // Computational gradients of u, v, w, T (4th-order central).
+            let mut dcomp = [[[0.0; LANES]; 3]; 4]; // [field][xi][lane]
+            for (fi, rowf) in dcomp.iter_mut().enumerate() {
+                for (xi, dc) in rowf.iter_mut().enumerate() {
+                    let e = IntVect::unit(xi);
+                    for l in 0..w_ {
+                        let p = at(l);
+                        dc[l] = (prims.get(p - e * 2, fi) - 8.0 * prims.get(p - e, fi)
+                            + 8.0 * prims.get(p + e, fi)
+                            - prims.get(p + e * 2, fi))
+                            / 12.0;
+                    }
+                }
+            }
+            // Metric rows, loaded once per chunk.
+            let mut mm = [[[0.0; LANES]; 3]; 3]; // [d][j][lane]
+            for (d, md) in mm.iter_mut().enumerate() {
+                for (j, mdj) in md.iter_mut().enumerate() {
+                    for l in 0..w_ {
+                        mdj[l] = met.get(at(l), mcomp::M + d * 3 + j);
+                    }
+                }
+            }
+            // Transform to physical space, same d-accumulation order.
+            let mut dphys = [[[0.0; LANES]; 3]; 4];
+            for (rowc, dp_row) in dcomp.iter().zip(dphys.iter_mut()) {
+                for (j, dp) in dp_row.iter_mut().enumerate() {
+                    for l in 0..w_ {
+                        let mut s = 0.0;
+                        for (d, rc) in rowc.iter().enumerate() {
+                            s += mm[d][j][l] / jac[l] * rc[l];
+                        }
+                        dp[l] = s;
+                    }
+                }
+            }
+            let mut w_vel = [[0.0; LANES]; 3];
+            let mut w_t = [0.0; LANES];
+            for l in 0..w_ {
+                let p = at(l);
+                w_vel[0][l] = prims.get(p, 0);
+                w_vel[1][l] = prims.get(p, 1);
+                w_vel[2][l] = prims.get(p, 2);
+                w_t[l] = prims.get(p, 3);
+            }
+            let mut mu = [0.0; LANES];
+            let mut kk = [0.0; LANES];
+            for l in 0..w_ {
+                mu[l] = gas.viscosity(w_t[l]);
+                kk[l] = gas.conductivity(w_t[l]);
+            }
+            if let Some(model) = sgs {
+                for l in 0..w_ {
+                    // Per-point closure shared with the scalar kernel.
+                    let mu_t = model.eddy_viscosity(u, met, at(l), gas);
+                    mu[l] += mu_t;
+                    kk[l] += mu_t * gas.cp() / 0.9;
+                }
+            }
+            let mut div = [0.0; LANES];
+            for l in 0..w_ {
+                div[l] = dphys[0][0][l] + dphys[1][1][l] + dphys[2][2][l];
+            }
+            let mut tau = [[[0.0; LANES]; 3]; 3];
+            for i in 0..3 {
+                for j in 0..3 {
+                    for l in 0..w_ {
+                        tau[i][j][l] = mu[l] * (dphys[i][j][l] + dphys[j][i][l]);
+                    }
+                }
+                for l in 0..w_ {
+                    tau[i][i][l] -= 2.0 / 3.0 * mu[l] * div[l];
+                }
+            }
+            for d in 0..3 {
+                let mut fv = [[0.0; LANES]; NCONS];
+                for j in 0..3 {
+                    for l in 0..w_ {
+                        fv[cons::MX][l] += mm[d][j][l] * tau[0][j][l];
+                        fv[cons::MY][l] += mm[d][j][l] * tau[1][j][l];
+                        fv[cons::MZ][l] += mm[d][j][l] * tau[2][j][l];
+                        let work_term = w_vel[0][l] * tau[0][j][l]
+                            + w_vel[1][l] * tau[1][j][l]
+                            + w_vel[2][l] * tau[2][j][l];
+                        fv[cons::ENER][l] += mm[d][j][l] * (work_term + kk[l] * dphys[3][j][l]);
+                    }
+                }
+                for (c, fvc) in fv.iter().enumerate() {
+                    for l in 0..w_ {
+                        scratch.set(at(l), d * NCONS + c, fvc[l]);
+                    }
+                }
+            }
+            x0 += w_;
+        }
+    }
+
+    // Pass 2, laned: divergence of the contravariant viscous flux.
+    for (row0, len) in rows(valid) {
+        let mut x0 = 0usize;
+        while x0 < len {
+            let w_ = LANES.min(len - x0);
+            let at = |l: usize| IntVect::new(row0[0] + (x0 + l) as i64, row0[1], row0[2]);
+            let mut jac = [0.0; LANES];
+            for l in 0..w_ {
+                jac[l] = met.get(at(l), mcomp::JAC);
+            }
+            for c in 0..NCONS {
+                let mut s = [0.0; LANES];
+                for d in 0..3 {
+                    let e = IntVect::unit(d);
+                    for l in 0..w_ {
+                        let p = at(l);
+                        s[l] += (scratch.get(p - e * 2, d * NCONS + c)
+                            - 8.0 * scratch.get(p - e, d * NCONS + c)
+                            + 8.0 * scratch.get(p + e, d * NCONS + c)
+                            - scratch.get(p + e * 2, d * NCONS + c))
+                            / 12.0;
+                    }
+                }
+                for l in 0..w_ {
+                    rhs.add(at(l), c, s[l] / jac[l]);
+                }
+            }
+            x0 += w_;
+        }
+    }
+}
+
+/// Lane-structured `ComputeDt`: the wave-speed sum is laned across
+/// contiguous x-cells; the running `min` reduction visits cells in the
+/// scalar order (x fastest), so the result is bitwise-identical (`min` is
+/// exact regardless of association).
+fn compute_dt_lanes(
+    u: &impl FabView,
+    met: &FArrayBox,
+    valid: IndexBox,
+    gas: &PerfectGas,
+    cfl: f64,
+) -> f64 {
+    let mut dt = f64::INFINITY;
+    for (row0, len) in rows(valid) {
+        let mut x0 = 0usize;
+        while x0 < len {
+            let w_ = LANES.min(len - x0);
+            let at = |l: usize| IntVect::new(row0[0] + (x0 + l) as i64, row0[1], row0[2]);
+            let mut a = [0.0; LANES];
+            let mut vel = [[0.0; LANES]; 3];
+            let mut jac = [0.0; LANES];
+            for l in 0..w_ {
+                let p = at(l);
+                let w = Conserved([
+                    u.get(p, cons::RHO),
+                    u.get(p, cons::MX),
+                    u.get(p, cons::MY),
+                    u.get(p, cons::MZ),
+                    u.get(p, cons::ENER),
+                ])
+                .to_primitive(gas);
+                a[l] = gas.sound_speed(w.rho, w.p.max(1e-300));
+                vel[0][l] = w.vel[0];
+                vel[1][l] = w.vel[1];
+                vel[2][l] = w.vel[2];
+                jac[l] = met.get(p, mcomp::JAC);
+            }
+            let mut sum = [0.0; LANES];
+            for d in 0..3 {
+                for l in 0..w_ {
+                    let p = at(l);
+                    let mvec = [
+                        met.get(p, mcomp::M + d * 3),
+                        met.get(p, mcomp::M + d * 3 + 1),
+                        met.get(p, mcomp::M + d * 3 + 2),
+                    ];
+                    let mnorm =
+                        (mvec[0] * mvec[0] + mvec[1] * mvec[1] + mvec[2] * mvec[2]).sqrt();
+                    let uc = mvec[0] * vel[0][l] + mvec[1] * vel[1][l] + mvec[2] * vel[2][l];
+                    sum[l] += (uc.abs() + a[l] * mnorm) / jac[l];
+                }
+            }
+            for &s in sum.iter().take(w_) {
+                if s > 0.0 {
+                    dt = dt.min(cfl / s);
+                }
+            }
+            x0 += w_;
+        }
+    }
+    dt
+}
+
+/// Lane-structured Smagorinsky eddy-viscosity field: the gradient transform
+/// and |S| contraction are laned across contiguous x-cells; per-cell
+/// operation order matches [`Smagorinsky::eddy_viscosity`] exactly.
+fn eddy_viscosity_field_lanes(
+    model: &Smagorinsky,
+    u: &impl FabView,
+    met: &FArrayBox,
+    out: &mut FArrayBox,
+    valid: IndexBox,
+    gas: &PerfectGas,
+) {
+    let prim = |q: IntVect| {
+        Conserved([
+            u.get(q, cons::RHO),
+            u.get(q, cons::MX),
+            u.get(q, cons::MY),
+            u.get(q, cons::MZ),
+            u.get(q, cons::ENER),
+        ])
+        .to_primitive(gas)
+    };
+    for (row0, len) in rows(valid) {
+        let mut x0 = 0usize;
+        while x0 < len {
+            let w_ = LANES.min(len - x0);
+            let at = |l: usize| IntVect::new(row0[0] + (x0 + l) as i64, row0[1], row0[2]);
+            let mut jac = [0.0; LANES];
+            let mut delta = [0.0; LANES];
+            for l in 0..w_ {
+                jac[l] = met.get(at(l), mcomp::JAC);
+                delta[l] = jac[l].cbrt();
+            }
+            // Computational velocity gradients (2nd-order central).
+            let mut dcomp = [[[0.0; LANES]; 3]; 3]; // [xi][vel comp][lane]
+            for (xi, rowx) in dcomp.iter_mut().enumerate() {
+                let e = IntVect::unit(xi);
+                for l in 0..w_ {
+                    let wp = prim(at(l) + e);
+                    let wm = prim(at(l) - e);
+                    for (i, dc) in rowx.iter_mut().enumerate() {
+                        dc[l] = 0.5 * (wp.vel[i] - wm.vel[i]);
+                    }
+                }
+            }
+            // Transform: ∂u_i/∂x_j = Σ_d (m_dj / J) ∂u_i/∂ξ_d.
+            let mut g = [[[0.0; LANES]; 3]; 3];
+            for (i, grow) in g.iter_mut().enumerate() {
+                for (j, gij) in grow.iter_mut().enumerate() {
+                    for l in 0..w_ {
+                        let mut s = 0.0;
+                        for (d, drow) in dcomp.iter().enumerate() {
+                            s += met.get(at(l), mcomp::M + d * 3 + j) / jac[l] * drow[i][l];
+                        }
+                        gij[l] = s;
+                    }
+                }
+            }
+            let mut ss = [0.0; LANES];
+            for (i, grow) in g.iter().enumerate() {
+                for (j, gij) in grow.iter().enumerate() {
+                    for l in 0..w_ {
+                        let sij = 0.5 * (gij[l] + g[j][i][l]);
+                        ss[l] += sij * sij;
+                    }
+                }
+            }
+            for l in 0..w_ {
+                let smag = (2.0 * ss[l]).sqrt();
+                let rho = u.get(at(l), cons::RHO);
+                out.set(at(l), 0, rho * (model.cs * delta[l]).powi(2) * smag);
+            }
+            x0 += w_;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{compute_metrics, generate_coords, NCOORDS, NMETRICS};
+    use crate::state::Primitive;
+    use crocco_fab::{BoxArray, DistributionMapping, MultiFab};
+    use crocco_geometry::{IndexBox, RealVect, StretchedMapping};
+    use std::sync::Arc;
+
+    /// Sheared, stretched single-patch fixture with a nonlinear flow field:
+    /// exercises every metric term and both flux-split signs.
+    fn patch(extents: IntVect, gas: &PerfectGas) -> (MultiFab, MultiFab) {
+        let bx = IndexBox::from_extents(extents[0], extents[1], extents[2]);
+        let ba = Arc::new(BoxArray::new(vec![bx]));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        let map = StretchedMapping::new(RealVect::ZERO, RealVect::splat(1.0), 1.25, 1);
+        let mut coords = MultiFab::new(ba.clone(), dm.clone(), NCOORDS, kernels::NGHOST + 2);
+        generate_coords(&map, extents, &mut coords);
+        let mut metrics = MultiFab::new(ba.clone(), dm.clone(), NMETRICS, kernels::NGHOST);
+        compute_metrics(&coords, &mut metrics);
+        let mut state = MultiFab::new(ba, dm, NCONS, kernels::NGHOST);
+        let all = state.fab(0).bx();
+        for p in all.cells() {
+            let x = p[0] as f64 / extents[0] as f64;
+            let y = p[1] as f64 / extents[1] as f64;
+            let w = Primitive {
+                rho: 1.0 + 0.25 * (5.0 * x).sin() * (3.0 * y).cos(),
+                vel: [0.6 - 0.3 * y, 0.2 * (4.0 * x).cos(), -0.1 + 0.05 * y],
+                p: 1.0 + 0.1 * (3.0 * x + 2.0 * y).sin(),
+                t: 0.0,
+            };
+            let u = Conserved::from_primitive(&w, gas);
+            for c in 0..NCONS {
+                state.fab_mut(0).set(p, c, u.0[c]);
+            }
+        }
+        (state, metrics)
+    }
+
+    fn bits(fab: &FArrayBox) -> Vec<u64> {
+        fab.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn weno_matches_scalar_bitwise_all_variants_and_dirs() {
+        let gas = PerfectGas::nondimensional();
+        // 11 in x: the 12 x-faces exercise one full lane block + a 4-face
+        // scalar tail; y/z faces are all-tail and all-block respectively.
+        let (state, metrics) = patch(IntVect::new(11, 6, 8), &gas);
+        let valid = state.valid_box(0);
+        for variant in [WenoVariant::Js5, WenoVariant::CentralSym6, WenoVariant::Symbo] {
+            for dir in 0..3 {
+                let mut r_s = FArrayBox::new(valid, NCONS);
+                let mut r_l = FArrayBox::new(valid, NCONS);
+                kernels::weno_flux_recon(
+                    state.fab(0), metrics.fab(0), &mut r_s, valid, dir, &gas, variant,
+                    Reconstruction::ComponentWise,
+                );
+                LanesBackend::weno_flux_recon(
+                    state.fab(0), metrics.fab(0), &mut r_l, valid, dir, &gas, variant,
+                    Reconstruction::ComponentWise,
+                );
+                assert_eq!(bits(&r_s), bits(&r_l), "{variant:?} dir {dir} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn characteristic_falls_back_to_scalar_bitwise() {
+        let gas = PerfectGas::nondimensional();
+        let (state, metrics) = patch(IntVect::new(12, 8, 8), &gas);
+        let valid = state.valid_box(0);
+        let mut r_s = FArrayBox::new(valid, NCONS);
+        let mut r_l = FArrayBox::new(valid, NCONS);
+        kernels::weno_flux_recon(
+            state.fab(0), metrics.fab(0), &mut r_s, valid, 0, &gas, WenoVariant::Js5,
+            Reconstruction::Characteristic,
+        );
+        LanesBackend::weno_flux_recon(
+            state.fab(0), metrics.fab(0), &mut r_l, valid, 0, &gas, WenoVariant::Js5,
+            Reconstruction::Characteristic,
+        );
+        assert_eq!(bits(&r_s), bits(&r_l));
+    }
+
+    #[test]
+    fn viscous_and_les_match_scalar_bitwise() {
+        let gas = PerfectGas::air();
+        let (state, metrics) = patch(IntVect::new(10, 6, 8), &gas);
+        let valid = state.valid_box(0);
+        for sgs in [None, Some(Smagorinsky { cs: 0.17 })] {
+            let mut r_s = FArrayBox::new(valid, NCONS);
+            let mut r_l = FArrayBox::new(valid, NCONS);
+            kernels::viscous_flux_les(
+                state.fab(0), metrics.fab(0), &mut r_s, valid, &gas, sgs.as_ref(),
+            );
+            LanesBackend::viscous_flux_les(
+                state.fab(0), metrics.fab(0), &mut r_l, valid, &gas, sgs.as_ref(),
+            );
+            assert_eq!(bits(&r_s), bits(&r_l), "sgs={}", sgs.is_some());
+        }
+    }
+
+    #[test]
+    fn compute_dt_matches_scalar_bitwise() {
+        let gas = PerfectGas::nondimensional();
+        let (state, metrics) = patch(IntVect::new(13, 7, 8), &gas);
+        let valid = state.valid_box(0);
+        let d_s = kernels::compute_dt_patch(state.fab(0), metrics.fab(0), valid, &gas, 0.7);
+        let d_l = LanesBackend::compute_dt_patch(state.fab(0), metrics.fab(0), valid, &gas, 0.7);
+        assert_eq!(d_s.to_bits(), d_l.to_bits());
+    }
+
+    #[test]
+    fn eddy_viscosity_field_matches_scalar_bitwise() {
+        let gas = PerfectGas::air();
+        let (state, metrics) = patch(IntVect::new(9, 6, 8), &gas);
+        let valid = state.valid_box(0);
+        let model = Smagorinsky { cs: 0.12 };
+        let mut o_s = FArrayBox::new(valid, 1);
+        let mut o_l = FArrayBox::new(valid, 1);
+        model.eddy_viscosity_field(state.fab(0), metrics.fab(0), &mut o_s, valid, &gas);
+        LanesBackend::eddy_viscosity_field(
+            &model, state.fab(0), metrics.fab(0), &mut o_l, valid, &gas,
+        );
+        assert_eq!(bits(&o_s), bits(&o_l));
+    }
+
+    #[test]
+    fn tiled_lanes_accumulation_matches_whole_patch() {
+        // Partition invariance must survive the lane restructuring: summing
+        // per-tile lane sweeps equals one whole-patch lane sweep bitwise.
+        let gas = PerfectGas::nondimensional();
+        let (state, metrics) = patch(IntVect::new(16, 8, 8), &gas);
+        let valid = state.valid_box(0);
+        let mut whole = FArrayBox::new(valid, NCONS);
+        let mut tiled = FArrayBox::new(valid, NCONS);
+        for dir in 0..3 {
+            LanesBackend::weno_flux_recon(
+                state.fab(0), metrics.fab(0), &mut whole, valid, dir, &gas,
+                WenoVariant::Symbo, Reconstruction::ComponentWise,
+            );
+        }
+        for tile in crocco_fab::tile_boxes(valid, IntVect::new(1_000_000, 4, 4)) {
+            for dir in 0..3 {
+                LanesBackend::weno_flux_recon(
+                    state.fab(0), metrics.fab(0), &mut tiled, tile, dir, &gas,
+                    WenoVariant::Symbo, Reconstruction::ComponentWise,
+                );
+            }
+        }
+        assert_eq!(bits(&whole), bits(&tiled));
+    }
+}

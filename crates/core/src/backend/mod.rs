@@ -1,0 +1,287 @@
+//! Pluggable tiled kernel backends (DESIGN.md §4h).
+//!
+//! The paper's GPU port restructured CRoCCo's hot loops — WENO, viscous,
+//! `ComputeDt`, update — onto an explicit tile/thread abstraction so the same
+//! numerics could run on very different execution substrates (§IV-B). This
+//! module is that seam in the reproduction: the [`KernelBackend`] trait
+//! names the per-patch kernels the RK driver consumes, and three
+//! implementations provide them, all dispatched over
+//! [`crocco_fab::tiles::tile_boxes`] tiles through the [`FabView`] raw-view
+//! machinery:
+//!
+//! * [`ScalarBackend`] — the original per-point kernels from
+//!   [`crate::kernels`], unchanged. The bitwise reference.
+//! * [`LanesBackend`] — stable-Rust SIMD via fixed-width `[f64; LANES]`
+//!   lane arrays: the branch-free WENO candidate/smoothness/weight algebra
+//!   is evaluated for [`lanes::LANES`] contiguous faces at once from
+//!   lane-transposed window scratch, and the viscous, `ComputeDt`, and SGS
+//!   loops vectorize across contiguous cells. Bitwise-identical to Scalar
+//!   by construction (every per-cell operation sequence is preserved; lanes
+//!   only reorder *across* independent cells).
+//! * [`FusedBackend`] — a GPU-shaped backend: each RK stage is a small
+//!   per-tile op DAG ([`fused::KernelIr`]) whose flux-difference + RK-axpy
+//!   chain is fused ([`fused::KernelIr::fuse`]) so the stage RHS never
+//!   round-trips a full-patch fab between kernels, executed by an
+//!   interpreter over the tile list. Emits per-kernel
+//!   [`crocco_perfmodel::KernelSpec`] entries so the roofline model can
+//!   score *measured* throughput against its ceiling.
+//!
+//! Selection goes through [`SolverConfig::kernel_backend`] and composes
+//! with `overlap`, `dist_overlap`, and `fabcheck`; the invariance suite
+//! (`tests/backend_invariance.rs`) proves Lanes and Fused match Scalar
+//! bitwise on the compression ramp across those combinations.
+//!
+//! [`SolverConfig::kernel_backend`]: crate::config::SolverConfig::kernel_backend
+
+pub mod fused;
+pub mod lanes;
+pub mod scalar;
+
+use crate::eos::PerfectGas;
+use crate::sgs::Smagorinsky;
+use crate::weno::{Reconstruction, WenoVariant};
+use crocco_fab::{FArrayBox, FabView};
+use crocco_geometry::IndexBox;
+use serde::{Deserialize, Serialize};
+
+pub use fused::FusedBackend;
+pub use lanes::LanesBackend;
+pub use scalar::ScalarBackend;
+
+/// The per-patch kernel set a backend must provide.
+///
+/// Methods are associated functions generic over [`FabView`] (so the
+/// task-graph path can pass raw read views), which makes the trait
+/// non-object-safe by design: dispatch goes through the [`BackendKind`]
+/// enum, never through `dyn` — mirroring how the paper's port selects a
+/// compiled kernel flavour, not a virtual call, per platform.
+///
+/// Every implementation must be bitwise-identical to [`ScalarBackend`]
+/// (or ULP-bounded with the tolerance documented on the implementation);
+/// the current three are all exactly bitwise.
+pub trait KernelBackend {
+    /// Short label for reports and benchmark tables.
+    const NAME: &'static str;
+
+    /// One-direction WENO convective flux: accumulates
+    /// `−(1/J)·∂F̂_dir/∂ξ_dir` into `rhs` over `region`. See
+    /// [`crate::kernels::weno_flux_recon`] for the contract.
+    #[allow(clippy::too_many_arguments)]
+    fn weno_flux_recon(
+        u: &impl FabView,
+        met: &FArrayBox,
+        rhs: &mut FArrayBox,
+        region: IndexBox,
+        dir: usize,
+        gas: &PerfectGas,
+        variant: WenoVariant,
+        recon: Reconstruction,
+    );
+
+    /// 4th-order central viscous/LES fluxes accumulated into `rhs` over
+    /// `region`. See [`crate::kernels::viscous_flux_les`].
+    fn viscous_flux_les(
+        u: &impl FabView,
+        met: &FArrayBox,
+        rhs: &mut FArrayBox,
+        region: IndexBox,
+        gas: &PerfectGas,
+        sgs: Option<&Smagorinsky>,
+    );
+
+    /// CFL-constrained time step over one patch. See
+    /// [`crate::kernels::compute_dt_patch`].
+    fn compute_dt_patch(
+        u: &impl FabView,
+        met: &FArrayBox,
+        valid: IndexBox,
+        gas: &PerfectGas,
+        cfl: f64,
+    ) -> f64;
+
+    /// Smagorinsky eddy-viscosity field over `valid` into component 0 of
+    /// `out`. See [`Smagorinsky::eddy_viscosity_field`].
+    fn eddy_viscosity_field(
+        model: &Smagorinsky,
+        u: &impl FabView,
+        met: &FArrayBox,
+        out: &mut FArrayBox,
+        valid: IndexBox,
+        gas: &PerfectGas,
+    );
+}
+
+/// Value-level backend selection ([`SolverConfig::kernel_backend`]).
+///
+/// [`SolverConfig::kernel_backend`]: crate::config::SolverConfig::kernel_backend
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Per-point reference kernels (the default; bitwise baseline).
+    #[default]
+    Scalar,
+    /// Fixed-width `[f64; LANES]` SIMD lane kernels.
+    Lanes,
+    /// Per-tile fused kernel-IR interpreter.
+    Fused,
+}
+
+impl BackendKind {
+    /// All backends, in ablation order.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Scalar, BackendKind::Lanes, BackendKind::Fused];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Scalar => ScalarBackend::NAME,
+            BackendKind::Lanes => LanesBackend::NAME,
+            BackendKind::Fused => FusedBackend::NAME,
+        }
+    }
+
+    /// Parses a backend name (`"scalar"`, `"lanes"`, `"fused"`), as used by
+    /// the CI matrix' `CROCCO_BACKEND` environment filter and the ablation
+    /// binaries. Case-insensitive; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(BackendKind::Scalar),
+            "lanes" => Some(BackendKind::Lanes),
+            "fused" => Some(BackendKind::Fused),
+            _ => None,
+        }
+    }
+
+    /// Dispatches [`KernelBackend::weno_flux_recon`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn weno_flux_recon(
+        self,
+        u: &impl FabView,
+        met: &FArrayBox,
+        rhs: &mut FArrayBox,
+        region: IndexBox,
+        dir: usize,
+        gas: &PerfectGas,
+        variant: WenoVariant,
+        recon: Reconstruction,
+    ) {
+        match self {
+            BackendKind::Scalar => {
+                ScalarBackend::weno_flux_recon(u, met, rhs, region, dir, gas, variant, recon)
+            }
+            BackendKind::Lanes => {
+                LanesBackend::weno_flux_recon(u, met, rhs, region, dir, gas, variant, recon)
+            }
+            BackendKind::Fused => {
+                FusedBackend::weno_flux_recon(u, met, rhs, region, dir, gas, variant, recon)
+            }
+        }
+    }
+
+    /// Dispatches [`KernelBackend::viscous_flux_les`].
+    pub fn viscous_flux_les(
+        self,
+        u: &impl FabView,
+        met: &FArrayBox,
+        rhs: &mut FArrayBox,
+        region: IndexBox,
+        gas: &PerfectGas,
+        sgs: Option<&Smagorinsky>,
+    ) {
+        match self {
+            BackendKind::Scalar => ScalarBackend::viscous_flux_les(u, met, rhs, region, gas, sgs),
+            BackendKind::Lanes => LanesBackend::viscous_flux_les(u, met, rhs, region, gas, sgs),
+            BackendKind::Fused => FusedBackend::viscous_flux_les(u, met, rhs, region, gas, sgs),
+        }
+    }
+
+    /// Dispatches [`KernelBackend::compute_dt_patch`].
+    pub fn compute_dt_patch(
+        self,
+        u: &impl FabView,
+        met: &FArrayBox,
+        valid: IndexBox,
+        gas: &PerfectGas,
+        cfl: f64,
+    ) -> f64 {
+        match self {
+            BackendKind::Scalar => ScalarBackend::compute_dt_patch(u, met, valid, gas, cfl),
+            BackendKind::Lanes => LanesBackend::compute_dt_patch(u, met, valid, gas, cfl),
+            BackendKind::Fused => FusedBackend::compute_dt_patch(u, met, valid, gas, cfl),
+        }
+    }
+
+    /// Dispatches [`KernelBackend::eddy_viscosity_field`].
+    pub fn eddy_viscosity_field(
+        self,
+        model: &Smagorinsky,
+        u: &impl FabView,
+        met: &FArrayBox,
+        out: &mut FArrayBox,
+        valid: IndexBox,
+        gas: &PerfectGas,
+    ) {
+        match self {
+            BackendKind::Scalar => {
+                ScalarBackend::eddy_viscosity_field(model, u, met, out, valid, gas)
+            }
+            BackendKind::Lanes => LanesBackend::eddy_viscosity_field(model, u, met, out, valid, gas),
+            BackendKind::Fused => FusedBackend::eddy_viscosity_field(model, u, met, out, valid, gas),
+        }
+    }
+
+    /// Accumulates the full stage RHS `L(U)` over `region`: the three
+    /// directional WENO fluxes then the viscous/LES flux, in the fixed
+    /// per-cell operation order every execution path shares (see
+    /// [`crate::driver`]'s partition-invariance argument). The Fused backend
+    /// routes this through its IR interpreter in RHS-materializing mode
+    /// ([`fused::accumulate_rhs_ir`]) — the task-graph paths own the update,
+    /// so the RK-axpy fusion is inert there and only the flux pipeline of
+    /// the program runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_rhs(
+        self,
+        u: &impl FabView,
+        met: &FArrayBox,
+        rhs: &mut FArrayBox,
+        region: IndexBox,
+        gas: &PerfectGas,
+        variant: WenoVariant,
+        recon: Reconstruction,
+        sgs: Option<&Smagorinsky>,
+    ) {
+        match self {
+            BackendKind::Scalar | BackendKind::Lanes => {
+                for dir in 0..3 {
+                    self.weno_flux_recon(u, met, rhs, region, dir, gas, variant, recon);
+                }
+                self.viscous_flux_les(u, met, rhs, region, gas, sgs);
+            }
+            BackendKind::Fused => {
+                fused::accumulate_rhs_ir(u, met, rhs, region, gas, variant, recon, sgs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_labels() {
+        for k in BackendKind::ALL {
+            let name = match k {
+                BackendKind::Scalar => "scalar",
+                BackendKind::Lanes => "lanes",
+                BackendKind::Fused => "fused",
+            };
+            assert_eq!(BackendKind::parse(name), Some(k));
+            assert_eq!(BackendKind::parse(&name.to_uppercase()), Some(k));
+        }
+        assert_eq!(BackendKind::parse("cuda"), None);
+    }
+
+    #[test]
+    fn default_is_the_bitwise_reference() {
+        assert_eq!(BackendKind::default(), BackendKind::Scalar);
+    }
+}

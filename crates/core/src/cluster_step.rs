@@ -29,7 +29,7 @@ use crate::bc::PhysicalBc;
 use crate::driver::{
     accumulate_rhs, LevelData, PlanKind, RunReport, Simulation, AUX_DIST_SKELETON,
 };
-use crate::kernels::{compute_dt_patch, NGHOST};
+use crate::kernels::NGHOST;
 use crocco_amr::fillpatch::{fill_two_level_patch, resolve_two_level_plans, TwoLevelPlans};
 use crocco_amr::BoundaryFiller;
 use crocco_fab::plan_cache::{PlanKey, PlanOp};
@@ -258,13 +258,14 @@ impl Simulation {
     fn compute_dt_cluster(&mut self, ep: &GroupEndpoint<'_>) -> Result<(), StageError> {
         let rank = ep.rank();
         let mut dt = f64::INFINITY;
+        let backend = self.cfg.kernel_backend;
         for lev in &self.levels {
             let owners = lev.state.distribution().clone();
             for i in 0..lev.state.nfabs() {
                 if owners.owner(i) != rank {
                     continue;
                 }
-                let d = compute_dt_patch(
+                let d = backend.compute_dt_patch(
                     lev.state.fab(i),
                     lev.metrics.fab(i),
                     lev.state.valid_box(i),
@@ -358,6 +359,8 @@ impl Simulation {
         let recon = self.cfg.reconstruction;
         let les = self.cfg.les;
         let reference = self.cfg.version.reference_kernels();
+        let backend = self.cfg.kernel_backend;
+        let tile = self.cfg.tile_size;
         let threads = self.cfg.threads;
         let a = self.cfg.time_scheme.a(stage);
         let b = self.cfg.time_scheme.b(stage);
@@ -471,6 +474,7 @@ impl Simulation {
                     if !interior.is_empty() {
                         accumulate_rhs(
                             &u, met, rhs, interior, &gas, weno, recon, les.as_ref(), reference,
+                            backend, tile,
                         );
                     }
                 }
@@ -478,6 +482,7 @@ impl Simulation {
                     for slab in band_slabs(valid, interior) {
                         accumulate_rhs(
                             &u, met, rhs, slab, &gas, weno, recon, les.as_ref(), reference,
+                            backend, tile,
                         );
                     }
                 }

@@ -1,5 +1,6 @@
 //! Solver configuration and the paper's code-version ladder.
 
+use crate::backend::BackendKind;
 use crate::integrators::TimeScheme;
 use crate::problems::ProblemKind;
 use crate::sgs::Smagorinsky;
@@ -194,6 +195,22 @@ pub struct SolverConfig {
     /// cargo feature to have any effect; off by default — poisoning changes
     /// what a bug *does* (trap vs silent zero), never correct results.
     pub nan_poison: bool,
+    /// Kernel backend for the hot loops (DESIGN.md §4h): the scalar
+    /// reference, the SIMD lane kernels, or the fused kernel-IR interpreter.
+    /// All three are bitwise-identical on the solution
+    /// (`tests/backend_invariance.rs`); they differ only in throughput.
+    /// Composes with [`overlap`](Self::overlap),
+    /// [`dist_overlap`](Self::dist_overlap), and
+    /// [`fabcheck`](Self::fabcheck). Defaults to [`BackendKind::Scalar`].
+    pub kernel_backend: BackendKind,
+    /// Tile shape for kernel dispatch, `(tx, ty, tz)` in cells. `None` (the
+    /// default) sweeps each patch as a single region — the pre-backend
+    /// behaviour. `Some` partitions every sweep region with
+    /// [`crocco_fab::tile_boxes`]; the partition is bitwise-irrelevant
+    /// (every valid cell lies in exactly one tile) but sets the cache
+    /// working set, and is the unit the fused backend's per-tile programs
+    /// execute over.
+    pub tile_size: Option<IntVect>,
     /// Chaos-runtime configuration for cluster stepping (DESIGN.md §4g):
     /// seeded fault injection on the transport plus scheduled rank crashes,
     /// and the checkpoint interval the recovery loop
@@ -258,6 +275,8 @@ impl Default for SolverConfigBuilder {
                 dist_overlap: false,
                 fabcheck: cfg!(feature = "fabcheck"),
                 nan_poison: false,
+                kernel_backend: BackendKind::Scalar,
+                tile_size: None,
                 chaos: None,
             },
         }
@@ -401,6 +420,19 @@ impl SolverConfigBuilder {
         self
     }
 
+    /// Selects the kernel backend (scalar reference, SIMD lanes, or the
+    /// fused kernel-IR interpreter).
+    pub fn kernel_backend(mut self, k: BackendKind) -> Self {
+        self.cfg.kernel_backend = k;
+        self
+    }
+
+    /// Sets the kernel dispatch tile shape (cells per tile in x, y, z).
+    pub fn tile_size(mut self, tx: i64, ty: i64, tz: i64) -> Self {
+        self.cfg.tile_size = Some(IntVect::new(tx, ty, tz));
+        self
+    }
+
     /// Sets the chaos-runtime configuration (fault injection, crash
     /// schedule, checkpoint interval) used by cluster stepping. Pass the
     /// same config to [`LocalCluster::run_with_chaos`] so transport and
@@ -430,6 +462,11 @@ impl SolverConfigBuilder {
         }
         assert!(c.max_grid_size % c.blocking_factor == 0);
         assert!(c.nranks >= 1 && c.threads >= 1);
+        if let Some(t) = c.tile_size {
+            for d in 0..3 {
+                assert!(t[d] >= 1, "tile_size component {d} must be positive, got {}", t[d]);
+            }
+        }
         self.cfg
     }
 }

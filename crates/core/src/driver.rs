@@ -9,11 +9,10 @@
 //!                     // WENOx/y/z, Viscous, Update; AverageDown at stage 3
 //! ```
 
+use crate::backend::{fused, BackendKind};
 use crate::bc::PhysicalBc;
 use crate::config::SolverConfig;
-use crate::kernels::{
-    compute_dt_patch, gradient_magnitude, viscous_flux_les, weno_flux_recon, NGHOST,
-};
+use crate::kernels::{gradient_magnitude, NGHOST};
 use crate::config::CoordSource;
 use crate::metrics::{
     compute_metrics, generate_coords, read_coords_from_file, write_coords_file, NCOORDS,
@@ -32,8 +31,9 @@ use crocco_amr::tagging::TagSet;
 use crocco_fab::plan::PlanStats;
 use crocco_fab::plan_cache::{PlanKey, PlanOp};
 use crocco_fab::{
-    band_slabs, fabcheck, run_rk_stage_with_skeleton, BoxArray, DistributionMapping, FArrayBox,
-    FabRd, FabRw, FabView, MultiFab, StageFabs, StageSkeleton, SweepPhase,
+    band_slabs, fabcheck, run_rk_stage_with_skeleton, tile_boxes, BoxArray, DistributionMapping,
+    FArrayBox, FabRd, FabRw, FabView, MultiFab, StageFabs, StageSkeleton, SweepPhase,
+    DEFAULT_TILE,
 };
 use crocco_geometry::{GridMapping, IndexBox, IntVect, ProblemDomain, RealVect};
 use crocco_perfmodel::Profiler;
@@ -609,9 +609,10 @@ impl Simulation {
     /// levels and patches, with the `ReduceRealMin` collective recorded.
     pub(crate) fn compute_dt(&mut self) {
         let mut dt = f64::INFINITY;
+        let backend = self.cfg.kernel_backend;
         for lev in &self.levels {
             for i in 0..lev.state.nfabs() {
-                let d = compute_dt_patch(
+                let d = backend.compute_dt_patch(
                     lev.state.fab(i),
                     lev.metrics.fab(i),
                     lev.state.valid_box(i),
@@ -721,6 +722,8 @@ impl Simulation {
         let recon = self.cfg.reconstruction;
         let les = self.cfg.les;
         let reference = self.cfg.version.reference_kernels();
+        let backend = self.cfg.kernel_backend;
+        let tile = self.cfg.tile_size;
         let threads = self.cfg.threads;
         let a = self.cfg.time_scheme.a(stage);
         let b = self.cfg.time_scheme.b(stage);
@@ -734,6 +737,49 @@ impl Simulation {
         } = &mut self.levels[l];
         let ba = state.boxarray().clone();
         state.assert_ghosts_fresh("advance_level RK stage kernels");
+        if backend == BackendKind::Fused && !reference {
+            // Fused kernel-IR path (DESIGN.md §4h): phase one runs the fused
+            // per-tile program (zero → fluxes → dU axpy, the stage RHS tile
+            // staying cache-resident) over every tile of every patch with the
+            // state read-only; phase two streams the state axpy. The split
+            // preserves the barrier schedule — all stencil reads of U
+            // complete before any write of U — so the result is
+            // bitwise-identical (`tests/backend_invariance.rs`).
+            let viscous = gas.mu_ref != 0.0 || les.is_some();
+            let prog = fused::KernelIr::rk_stage(viscous).fuse();
+            let t = tile.unwrap_or(DEFAULT_TILE);
+            {
+                let state = &*state;
+                parallel_zip_mut(du.fabs_mut(), rhs, threads, |i, dufab, rhsfab| {
+                    if poison && a == 0.0 {
+                        // 0·SNAN is still NaN: a poisoned dU must be dropped
+                        // explicitly at the first stage, not multiplied away.
+                        dufab.fill(0.0);
+                    }
+                    fused::run_stage_patch(
+                        &prog,
+                        state.fab(i),
+                        metrics.fab(i),
+                        rhsfab,
+                        dufab,
+                        ba.get(i),
+                        t,
+                        &gas,
+                        weno,
+                        recon,
+                        les.as_ref(),
+                        a,
+                        dt,
+                    );
+                });
+            }
+            let du = &*du;
+            parallel_for_each_mut(state.fabs_mut(), threads, |i, stfab| {
+                fused::run_epilogue_patch(&prog.epilogue, stfab, du.fab(i), b);
+            });
+            self.profiler.add("Advance", t0.elapsed().as_secs_f64());
+            return;
+        }
         // RHS per patch, in parallel, into the level's persistent scratch:
         // each worker owns one rhs fab (zeroed in place, never reallocated).
         {
@@ -750,6 +796,8 @@ impl Simulation {
                     recon,
                     les.as_ref(),
                     reference,
+                    backend,
+                    tile,
                 );
             });
         }
@@ -787,6 +835,8 @@ impl Simulation {
         let recon = self.cfg.reconstruction;
         let les = self.cfg.les;
         let reference = self.cfg.version.reference_kernels();
+        let backend = self.cfg.kernel_backend;
+        let tile = self.cfg.tile_size;
         let threads = self.cfg.threads;
         let a = self.cfg.time_scheme.a(stage);
         let b = self.cfg.time_scheme.b(stage);
@@ -891,6 +941,7 @@ impl Simulation {
                     if !interior.is_empty() {
                         accumulate_rhs(
                             &u, met, rhs, interior, &gas, weno, recon, les.as_ref(), reference,
+                            backend, tile,
                         );
                     }
                 }
@@ -898,6 +949,7 @@ impl Simulation {
                     for slab in band_slabs(valid, interior) {
                         accumulate_rhs(
                             &u, met, rhs, slab, &gas, weno, recon, les.as_ref(), reference,
+                            backend, tile,
                         );
                     }
                 }
@@ -982,10 +1034,15 @@ impl Simulation {
 /// Accumulates the stage RHS `L(U)` over `region` of one patch: the three
 /// directional WENO fluxes (optimized or reference kernels per the code
 /// version) then the viscous/LES flux, in the fixed per-cell operation order
-/// both execution paths share — the barrier path passes the whole valid box,
-/// the task-graph path the interior box and the boundary-band slabs, and
-/// because every valid cell lies in exactly one such region the partition is
-/// bitwise-irrelevant.
+/// every execution path shares — the barrier path passes the whole valid box,
+/// the task-graph path the interior box and the boundary-band slabs, and a
+/// configured `tile` shape further partitions whichever region arrives.
+/// Because every valid cell lies in exactly one such (sub)region the
+/// partition is bitwise-irrelevant.
+///
+/// `backend` selects the kernel implementation (all bitwise-identical);
+/// `reference` (the V1.0 "Fortran" kernels) overrides it, since the
+/// reference kernels exist precisely to be the unrestructured baseline.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn accumulate_rhs(
     u: &impl FabView,
@@ -997,15 +1054,23 @@ pub(crate) fn accumulate_rhs(
     recon: crate::weno::Reconstruction,
     les: Option<&crate::sgs::Smagorinsky>,
     reference: bool,
+    backend: BackendKind,
+    tile: Option<IntVect>,
 ) {
-    for dir in 0..3 {
+    let tiles = match tile {
+        Some(t) => tile_boxes(region, t),
+        None => vec![region],
+    };
+    for reg in tiles {
         if reference {
-            weno_flux_reference(u, met, rhs, region, dir, gas, weno);
+            for dir in 0..3 {
+                weno_flux_reference(u, met, rhs, reg, dir, gas, weno);
+            }
+            crate::kernels::viscous_flux_les(u, met, rhs, reg, gas, les);
         } else {
-            weno_flux_recon(u, met, rhs, region, dir, gas, weno, recon);
+            backend.accumulate_rhs(u, met, rhs, reg, gas, weno, recon, les);
         }
     }
-    viscous_flux_les(u, met, rhs, region, gas, les);
 }
 
 /// Gathers valid-region data from `src` into `dst_fab` (periodic-aware),

@@ -343,7 +343,7 @@ pub fn viscous_flux_les(
 /// `min over cells of CFL / Σ_d (|m_d·u| + a‖m_d‖)/J` — the curvilinear form
 /// of Eq. 3.
 pub fn compute_dt_patch(
-    u: &FArrayBox,
+    u: &impl FabView,
     met: &FArrayBox,
     valid: IndexBox,
     gas: &PerfectGas,

@@ -24,6 +24,7 @@
 // fab modules (multifab, view, overlap) — none of it lives here.
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod bc;
 pub mod charproj;
 pub mod chemistry;
@@ -45,6 +46,7 @@ pub mod state;
 pub mod validation;
 pub mod weno;
 
+pub use backend::BackendKind;
 pub use cluster_step::ChaosRunReport;
 pub use config::{CodeVersion, SolverConfig};
 pub use driver::Simulation;

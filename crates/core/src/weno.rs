@@ -49,8 +49,9 @@ pub enum WenoVariant {
 /// reads `f[i-2] ..= f[i+3]`, so kernels need 3 ghost cells.
 pub const STENCIL_RADIUS: usize = 3;
 
-/// Regularization constant in the nonlinear weights.
-const EPS: f64 = 1e-6;
+/// Regularization constant in the nonlinear weights. Shared with the lane
+/// backend (`backend::lanes`), whose weight algebra must match bitwise.
+pub(crate) const EPS: f64 = 1e-6;
 
 /// Candidate reconstructions at the `i+½` face from the window
 /// `w = [f[i-2], f[i-1], f[i], f[i+1], f[i+2], f[i+3]]`.

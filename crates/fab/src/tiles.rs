@@ -100,6 +100,73 @@ mod tests {
         assert!(tiles.iter().all(|t| t.num_points() == 1));
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The exact-partition contract under arbitrary box origins, box
+        /// extents, and tile shapes — including every remainder case: no
+        /// overlap, no gap, every tile within bounds and within the
+        /// requested shape, and each direction split into full-size tiles
+        /// plus at most one remainder of exactly `extent mod tile` cells.
+        #[test]
+        fn tiles_partition_exactly(
+            ox in -5i64..5,
+            oy in -5i64..5,
+            oz in -5i64..5,
+            nx in 1i64..24,
+            ny in 1i64..16,
+            nz in 1i64..12,
+            tx in 1i64..30,
+            ty in 1i64..20,
+            tz in 1i64..14,
+        ) {
+            use proptest::prelude::prop_assert;
+            use proptest::prelude::prop_assert_eq;
+            let lo = IntVect::new(ox, oy, oz);
+            let bx = IndexBox::new(lo, lo + IntVect::new(nx - 1, ny - 1, nz - 1));
+            let tile = IntVect::new(tx, ty, tz);
+            let tiles = tile_boxes(bx, tile);
+
+            // Expected tile count: ceil(n/t) per direction.
+            let ceil = |n: i64, t: i64| (n + t - 1) / t;
+            prop_assert_eq!(
+                tiles.len() as i64,
+                ceil(nx, tx) * ceil(ny, ty) * ceil(nz, tz)
+            );
+
+            // No gap: total points match. No overlap: pairwise disjoint.
+            // Together: every cell lies in exactly one tile.
+            let total: u64 = tiles.iter().map(|t| t.num_points()).sum();
+            prop_assert_eq!(total, bx.num_points());
+            for (i, a) in tiles.iter().enumerate() {
+                prop_assert!(bx.contains_box(a));
+                for d in 0..3 {
+                    prop_assert!(a.size()[d] <= tile[d]);
+                }
+                for b in &tiles[i + 1..] {
+                    prop_assert!(!a.intersects(b));
+                }
+            }
+
+            // Remainder handling per direction: interior tiles are
+            // full-size; only a tile touching the high edge may be the
+            // (nonzero) remainder.
+            for t in &tiles {
+                for d in 0..3 {
+                    let n = [nx, ny, nz][d];
+                    let want = [tx, ty, tz][d].min(n);
+                    if t.hi()[d] == bx.hi()[d] {
+                        let rem = n % [tx, ty, tz][d];
+                        let edge = if rem == 0 { want } else { rem };
+                        prop_assert_eq!(t.size()[d], edge);
+                    } else {
+                        prop_assert_eq!(t.size()[d], want);
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn work_list_covers_every_patch() {
         let ba = Arc::new(BoxArray::decompose(

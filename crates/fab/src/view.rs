@@ -40,6 +40,22 @@ pub trait FabView {
     fn ncomp(&self) -> usize;
     /// Value at cell `p`, component `c`.
     fn get(&self, p: IntVect, c: usize) -> f64;
+    /// Copies the contiguous x-row of `out.len()` cells starting at `p`,
+    /// component `c`, into `out`.
+    ///
+    /// Pencil-sweeping kernels use this to load a whole stencil row in one
+    /// call instead of per-cell `get`s — for the SIMD-lane backend that one
+    /// slice copy replaces the per-cell index arithmetic that otherwise
+    /// dominates the gather. The default falls back to `get` so wrapper
+    /// views (e.g. `fabcheck` instrumentation) still observe every access;
+    /// the dense views below override it with a single slice copy.
+    fn read_row(&self, p: IntVect, c: usize, out: &mut [f64]) {
+        let mut q = p;
+        for o in out.iter_mut() {
+            *o = self.get(q, c);
+            q[0] += 1;
+        }
+    }
 }
 
 impl FabView for FArrayBox {
@@ -56,6 +72,11 @@ impl FabView for FArrayBox {
     #[inline]
     fn get(&self, p: IntVect, c: usize) -> f64 {
         FArrayBox::get(self, p, c)
+    }
+
+    #[inline]
+    fn read_row(&self, p: IntVect, c: usize, out: &mut [f64]) {
+        out.copy_from_slice(self.row(p, c, out.len()));
     }
 }
 
@@ -114,6 +135,22 @@ impl FabView for FabRd<'_> {
         // constructor's contract guarantees the allocation is live and no
         // unordered writer touches the cells this view reads.
         unsafe { *self.raw.ptr.add(self.raw.offset(p, c)) }
+    }
+
+    #[inline]
+    fn read_row(&self, p: IntVect, c: usize, out: &mut [f64]) {
+        debug_assert!(
+            p[0] + out.len() as i64 - 1 <= self.raw.bx.hi()[0],
+            "row leaves box"
+        );
+        // SAFETY: x-rows are contiguous in fab storage; `offset` debug-asserts
+        // `p` inside the fab box and the assert above keeps the row end in
+        // bounds. The constructor's contract guarantees the allocation is live
+        // and no unordered writer touches the cells this view reads.
+        let src = unsafe {
+            std::slice::from_raw_parts(self.raw.ptr.add(self.raw.offset(p, c)), out.len())
+        };
+        out.copy_from_slice(src);
     }
 }
 

@@ -43,5 +43,5 @@ pub use kernelspec::KernelSpec;
 pub use network::NetworkModel;
 pub use profiler::Profiler;
 pub use resilience::ResilienceModel;
-pub use roofline::{RooflineLevel, RooflinePoint};
+pub use roofline::{score_measured, MeasuredPoint, RooflineLevel, RooflinePoint};
 pub use summit::SummitPlatform;

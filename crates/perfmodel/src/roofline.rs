@@ -52,6 +52,52 @@ pub struct RooflinePoint {
     pub bandwidth_bound: bool,
 }
 
+/// A *measured* kernel throughput scored against the roofline ceiling its
+/// spec implies — the falsifiable half of the model: `evaluate` prices a
+/// kernel analytically, [`score_measured`] grades what a backend actually
+/// achieved.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MeasuredPoint {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Measured throughput in cells/s.
+    pub cells_per_s: f64,
+    /// Achieved flop rate implied by the spec's per-cell count (flop/s).
+    pub achieved_flops: f64,
+    /// DRAM arithmetic intensity of the spec (flop/byte).
+    pub ai_dram: f64,
+    /// The roofline ceiling at this AI: `min(peak, AI × DRAM bandwidth)`
+    /// (flop/s).
+    pub ceiling: f64,
+    /// `achieved_flops / ceiling` — the achieved fraction of roofline.
+    pub fraction: f64,
+}
+
+/// Scores a measured throughput (`cells_per_s`) for `spec` against the
+/// machine roofline given by `peak_flops` (flop/s) and `dram_bw` (B/s):
+/// the ceiling is the classic `min(peak, AI·BW)` at the spec's DRAM
+/// intensity, and the returned fraction is how much of it the measurement
+/// realized. Pass host ceilings to grade the CPU backends or
+/// [`GpuModel`] numbers to compare against the modeled V100.
+pub fn score_measured(
+    spec: &KernelSpec,
+    cells_per_s: f64,
+    peak_flops: f64,
+    dram_bw: f64,
+) -> MeasuredPoint {
+    let achieved_flops = cells_per_s * spec.flops_per_cell;
+    let ai = spec.ai_dram();
+    let ceiling = (ai * dram_bw).min(peak_flops);
+    MeasuredPoint {
+        kernel: spec.name,
+        cells_per_s,
+        achieved_flops,
+        ai_dram: ai,
+        ceiling,
+        fraction: achieved_flops / ceiling,
+    }
+}
+
 /// Evaluates the full hierarchical roofline of `spec` on `gpu` at problem
 /// size `ncells`: one point per memory level.
 pub fn evaluate(gpu: &GpuModel, spec: &KernelSpec, ncells: u64) -> Vec<RooflinePoint> {
@@ -114,6 +160,28 @@ mod tests {
                 p
             );
         }
+    }
+
+    #[test]
+    fn measured_score_is_bandwidth_limited_for_weno() {
+        // WENO's AI (0.4 flop/B) is far below any machine balance, so the
+        // ceiling must be the bandwidth slope, not peak flops.
+        let spec = weno_spec(0);
+        let (peak, bw) = (100e9, 50e9); // nominal host ceilings
+        let p = score_measured(&spec, 10e6, peak, bw);
+        assert!((p.ceiling - spec.ai_dram() * bw).abs() < 1.0);
+        assert!(p.ceiling < peak);
+        assert!((p.achieved_flops - 10e6 * spec.flops_per_cell).abs() < 1.0);
+        assert!((p.fraction - p.achieved_flops / p.ceiling).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_score_caps_at_peak_for_high_ai() {
+        // A synthetic compute-heavy spec must hit the flat (peak) ceiling.
+        let mut spec = weno_spec(0);
+        spec.flops_per_cell = 1e6;
+        let p = score_measured(&spec, 1e6, 100e9, 50e9);
+        assert_eq!(p.ceiling, 100e9);
     }
 
     #[test]

@@ -10,7 +10,13 @@
 //! 3. every workspace crate root outside the allowlist opens with
 //!    `#![forbid(unsafe_code)]`, so the policy survives refactors that move
 //!    code between crates;
-//! 4. `todo!`, `unimplemented!` and `dbg!` never reach the tree.
+//! 4. `todo!`, `unimplemented!` and `dbg!` never reach the tree;
+//! 5. arch-specific intrinsics and nightly SIMD paths (`std::arch`,
+//!    `core::arch`, `std::simd`, `core::simd`) never appear — the SIMD-lane
+//!    kernel backend (DESIGN.md §4h) is *stable, safe* Rust by design, and
+//!    this keeps later "just one intrinsic" optimizations from eroding
+//!    that: vectorization must come from lane-array loops the compiler can
+//!    autovectorize, not from per-ISA escape hatches.
 //!
 //! The scanner is a small hand-rolled Rust lexer (line/nested-block comments,
 //! string/raw-string/char literals, char-vs-lifetime disambiguation):
@@ -40,6 +46,11 @@ const SKIP_DIRS: &[&str] = &["target", "vendor", ".git"];
 
 /// Macros that must not reach the tree: stubs and debug leftovers.
 const BANNED_MACROS: &[&str] = &["todo", "unimplemented", "dbg"];
+
+/// Module paths that must not reach the tree (rule 5): per-ISA intrinsics
+/// and nightly SIMD. The kernel backends vectorize through lane-array loops
+/// on stable Rust; there is no allowlist for these.
+const BANNED_PATHS: &[&str] = &["std::arch", "core::arch", "std::simd", "core::simd"];
 
 /// One `file:line: message` finding.
 pub struct Diagnostic {
@@ -120,6 +131,19 @@ fn lint_file(rel: &Path, rel_str: &str, src: &str, is_crate_root: bool, report: 
                     path: rel.to_path_buf(),
                     line: lineno,
                     message: format!("`{mac}!` must not reach the tree"),
+                });
+            }
+        }
+        for path in BANNED_PATHS {
+            if line.contains(path) {
+                report.diagnostics.push(Diagnostic {
+                    path: rel.to_path_buf(),
+                    line: lineno,
+                    message: format!(
+                        "`{path}` must not reach the tree: kernels vectorize \
+                         through stable lane-array loops, not per-ISA \
+                         intrinsics or nightly SIMD (DESIGN.md §4h)"
+                    ),
                 });
             }
         }
@@ -562,6 +586,28 @@ mod tests {
         assert!(msgs[0].contains("multifab.rs:6"), "{msgs:?}");
         assert!(msgs[0].contains("without a `// SAFETY:`"), "{msgs:?}");
         assert_eq!(report.unsafe_sites, 2);
+    }
+
+    #[test]
+    fn fixture_intrinsics_and_nightly_simd_are_banned_everywhere() {
+        let fx = Fixture::new();
+        fx.write("Cargo.toml", "[package]\nname = \"fx\"\n");
+        fx.write("src/lib.rs", "#![forbid(unsafe_code)]\n");
+        // Even the unsafe-allowlisted fab modules get no intrinsics pass.
+        fx.write("crates/fab/Cargo.toml", "[package]\nname = \"fab\"\n");
+        fx.write("crates/fab/src/lib.rs", "pub mod multifab;\n");
+        fx.write(
+            "crates/fab/src/multifab.rs",
+            "use core::arch::x86_64::_mm512_add_pd;\n\
+             pub fn f(x: std::simd::f64x8) {}\n\
+             // a comment naming std::arch is fine\n\
+             pub const DOC: &str = \"core::simd in a string is fine\";\n",
+        );
+        let report = lint_root(&fx.root);
+        let msgs = messages(&report);
+        assert_eq!(report.diagnostics.len(), 2, "{msgs:?}");
+        assert!(msgs[0].contains("`core::arch` must not reach the tree"), "{msgs:?}");
+        assert!(msgs[1].contains("`std::simd` must not reach the tree"), "{msgs:?}");
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! The kernel backends (`SolverConfig::kernel_backend`) must be
+//! *observationally invisible*: the SIMD lane kernels and the fused
+//! kernel-IR interpreter restructure the hot loops — lane-transposed WENO
+//! windows, per-tile fused flux + RK-axpy programs — but never reassociate,
+//! reorder, or contract a single per-cell operation, so the solution must
+//! match the scalar reference **bitwise** — not merely close. (No ULP
+//! tolerance is needed: the only scalar fallbacks, characteristic
+//! reconstruction and lane/tile remainders, run the identical scalar code.)
+//!
+//! These tests run the compression-ramp configuration (sheared curvilinear
+//! grid, two AMR levels, a regrid mid-run at `regrid_freq = 3`) under
+//! Scalar / Lanes / Fused across the `overlap` × `fabcheck` × `nan_poison`
+//! matrix, plus an LES leg exercising the laned viscous/SGS kernels and a
+//! tiled leg exercising the partition. DESIGN.md §4h spells out why
+//! bitwise identity holds; this suite is the end-to-end proof.
+//!
+//! The CI `backend` matrix leg sets `CROCCO_BACKEND` to focus one backend
+//! per job; unset, every backend is exercised.
+
+use crocco::solver::backend::BackendKind;
+use crocco::solver::config::{CodeVersion, SolverConfig, SolverConfigBuilder};
+use crocco::solver::driver::Simulation;
+use crocco::solver::problems::ProblemKind;
+use proptest::prelude::*;
+
+/// The shrunk compression-ramp configuration from `tests/fabcheck_invariance.rs`.
+fn ramp_builder(extent_x: i64, cfl: f64) -> SolverConfigBuilder {
+    SolverConfig::builder()
+        .problem(ProblemKind::Ramp)
+        .extents(extent_x, extent_x / 2, 8)
+        .version(CodeVersion::V2_0)
+        .max_levels(2)
+        .blocking_factor(4)
+        .max_grid_size(16)
+        .regrid_freq(3)
+        .cfl(cfl)
+}
+
+/// Advances `steps` and flattens every level's valid state to bit patterns,
+/// so the comparison is exact (NaN-safe, -0.0-safe).
+fn run_bits(cfg: SolverConfig, steps: u32) -> Vec<u64> {
+    let mut sim = Simulation::new(cfg);
+    sim.advance_steps(steps);
+    let mut bits = Vec::new();
+    for l in 0..sim.nlevels() {
+        let state = &sim.level(l).state;
+        for i in 0..state.nfabs() {
+            let fab = state.fab(i);
+            for c in 0..state.ncomp() {
+                for p in state.valid_box(i).cells() {
+                    bits.push(fab.get(p, c).to_bits());
+                }
+            }
+        }
+    }
+    bits
+}
+
+/// The non-scalar backends, filtered by the CI matrix' `CROCCO_BACKEND`
+/// variable ("scalar" legs still compare Scalar against itself as a smoke
+/// run of the harness).
+fn backends_under_test() -> Vec<BackendKind> {
+    match std::env::var("CROCCO_BACKEND") {
+        Ok(name) => {
+            let k = BackendKind::parse(&name)
+                .unwrap_or_else(|| panic!("unknown CROCCO_BACKEND {name:?}"));
+            vec![k]
+        }
+        Err(_) => vec![BackendKind::Lanes, BackendKind::Fused],
+    }
+}
+
+#[test]
+fn backends_match_scalar_bitwise_on_the_ramp() {
+    // 4 steps crosses the regrid at step 3, so the backends also run over
+    // freshly regridded patches (and the fused path's tile programs see the
+    // new box layout).
+    let reference = run_bits(ramp_builder(48, 0.5).threads(4).build(), 4);
+    for k in backends_under_test() {
+        let got = run_bits(ramp_builder(48, 0.5).threads(4).kernel_backend(k).build(), 4);
+        assert_eq!(reference.len(), got.len());
+        assert!(reference == got, "{} diverged from scalar bitwise", k.label());
+    }
+}
+
+/// LES leg on the periodic vortex: the ramp's physical-BC fill leaves the
+/// fourth ghost ring (which only the viscous kernel's `grow(4)` primitive
+/// pass reads) unfilled, so LES rides the configuration `les_mode.rs`
+/// already proves complete.
+fn vortex_builder() -> SolverConfigBuilder {
+    SolverConfig::builder()
+        .problem(ProblemKind::IsentropicVortex)
+        .extents(16, 16, 8)
+        .version(CodeVersion::V2_0)
+        .cfl(0.4)
+}
+
+#[test]
+fn backends_match_scalar_bitwise_with_les() {
+    // LES exercises the laned viscous + Smagorinsky kernels (and the fused
+    // program's ViscousFlux op) end to end.
+    let reference = run_bits(vortex_builder().threads(2).les(0.16).build(), 4);
+    for k in backends_under_test() {
+        let got = run_bits(
+            vortex_builder().threads(2).les(0.16).kernel_backend(k).build(),
+            4,
+        );
+        assert!(reference == got, "{} diverged under LES", k.label());
+    }
+}
+
+#[test]
+fn tile_partition_is_bitwise_invisible() {
+    // Odd tile shapes against the scalar whole-patch sweep: every valid
+    // cell lies in exactly one tile, so the partition may not change a bit.
+    let reference = run_bits(ramp_builder(48, 0.5).threads(4).build(), 4);
+    for k in BackendKind::ALL {
+        for (tx, ty, tz) in [(1_000_000, 8, 8), (5, 3, 7)] {
+            let got = run_bits(
+                ramp_builder(48, 0.5)
+                    .threads(4)
+                    .kernel_backend(k)
+                    .tile_size(tx, ty, tz)
+                    .build(),
+                4,
+            );
+            assert!(
+                reference == got,
+                "{} with tile ({tx},{ty},{tz}) diverged",
+                k.label()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn backends_compose_with_overlap_fabcheck_poison(
+        overlap in any::<bool>(),
+        fabcheck in any::<bool>(),
+        nan_poison in any::<bool>(),
+        steps in 3u32..5,
+    ) {
+        // The full composition matrix: the task-graph executor consumes the
+        // backends through the same `accumulate_rhs` seam, the sanitizer's
+        // aliasing proofs and ghost-epoch discipline must hold for the
+        // restructured kernels, and poisoning must stay semantics-free.
+        let reference = run_bits(
+            ramp_builder(48, 0.5)
+                .threads(4)
+                .overlap(overlap)
+                .fabcheck(fabcheck)
+                .nan_poison(nan_poison)
+                .build(),
+            steps,
+        );
+        for k in backends_under_test() {
+            let got = run_bits(
+                ramp_builder(48, 0.5)
+                    .threads(4)
+                    .overlap(overlap)
+                    .fabcheck(fabcheck)
+                    .nan_poison(nan_poison)
+                    .kernel_backend(k)
+                    .build(),
+                steps,
+            );
+            prop_assert_eq!(reference.len(), got.len());
+            prop_assert!(
+                reference == got,
+                "{} diverged (overlap={}, fabcheck={}, poison={})",
+                k.label(), overlap, fabcheck, nan_poison
+            );
+        }
+    }
+}
