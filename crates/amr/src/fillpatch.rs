@@ -34,7 +34,7 @@ pub trait BoundaryFiller: Send + Sync {
     /// barrier path. Implementors only provide `fill_view`; call sites that
     /// hold a `&mut FArrayBox` keep using this adapter.
     fn fill(&self, fab: &mut FArrayBox, valid: IndexBox, domain: &ProblemDomain, time: f64) {
-        self.fill_view(&mut FabRw::from_mut(fab), valid, domain, time);
+        crocco_fab::with_rw(fab, |rw| self.fill_view(rw, valid, domain, time));
     }
 }
 
@@ -216,19 +216,21 @@ pub fn fill_patch_two_levels_with(
     {
         let plans = &plans;
         parallel_for_each_mut(fine.fabs_mut(), opts.threads, |i, fab| {
-            let cells = fill_two_level_patch(
-                i,
-                &mut FabRw::from_mut(fab),
-                plans,
-                coarse,
-                coarse_coords,
-                fine_coords.map(|m| m.fab(i)),
-                coarse_domain,
-                ratio,
-                interp,
-                coarse_bc,
-                time,
-            );
+            let cells = crocco_fab::with_rw(fab, |rw| {
+                fill_two_level_patch(
+                    i,
+                    rw,
+                    plans,
+                    coarse,
+                    coarse_coords,
+                    fine_coords.map(|m| m.fab(i)),
+                    coarse_domain,
+                    ratio,
+                    interp,
+                    coarse_bc,
+                    time,
+                )
+            });
             interpolated.fetch_add(cells, Ordering::Relaxed);
         });
     }

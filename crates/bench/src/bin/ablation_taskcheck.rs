@@ -1,0 +1,179 @@
+//! Ablation: the cost of concurrency soundness (DESIGN.md §4i).
+//!
+//! Three questions, three tables:
+//!
+//! 1. What does one static verification pass cost, and how does it scale
+//!    with patch count? (`verify_stage` / `verify_dist` over real
+//!    `FillBoundary` plans — the work the drivers memoize per regrid.)
+//! 2. What does leaving the verifier on (`SolverConfig::taskcheck`, the
+//!    default) cost per step on a real AMR run? The answer justifies the
+//!    on-by-default choice.
+//! 3. What does the adversarial scheduler cost relative to the thread
+//!    pool? (It serializes the graph, so it is a debugging tool, not a
+//!    production schedule — the table quantifies that.)
+//!
+//! All solver runs are checked bitwise-identical before timings are
+//! reported: a knob that changed a single bit would invalidate the table.
+
+use crocco_bench::report::{fmt_time, print_table};
+use crocco_fab::{verify_dist, verify_stage, BoxArray, DistributionMapping, DistributionStrategy,
+    PlanCache, StageSkeleton};
+use crocco_geometry::decompose::ChopParams;
+use crocco_geometry::{IndexBox, ProblemDomain};
+use crocco_solver::config::{CodeVersion, SolverConfig, SolverConfigBuilder};
+use crocco_solver::driver::Simulation;
+use crocco_solver::problems::ProblemKind;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Steps per timed run (`CROCCO_ABLATION_STEPS` overrides; longer runs
+/// shrink the relative scheduling noise of a timeshared container).
+fn steps() -> u32 {
+    std::env::var("CROCCO_ABLATION_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
+}
+
+/// Timed-run repetitions; the tables report each config's *minimum* wall,
+/// the standard robust estimator under one-sided scheduling noise.
+const REPS: u32 = 3;
+
+fn ramp_builder() -> SolverConfigBuilder {
+    SolverConfig::builder()
+        .problem(ProblemKind::Ramp)
+        .extents(64, 32, 8)
+        .version(CodeVersion::V2_0)
+        .max_levels(2)
+        .blocking_factor(4)
+        .max_grid_size(16)
+        .regrid_freq(5)
+        .cfl(0.5)
+}
+
+/// Flattens every level's valid state to bit patterns for exact comparison.
+fn state_bits(sim: &Simulation) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for l in 0..sim.nlevels() {
+        let state = &sim.level(l).state;
+        for i in 0..state.nfabs() {
+            for c in 0..state.ncomp() {
+                for p in state.valid_box(i).cells() {
+                    bits.push(state.fab(i).get(p, c).to_bits());
+                }
+            }
+        }
+    }
+    bits
+}
+
+/// Table 1: one verification pass over a real plan at growing patch counts.
+fn static_cost_table() {
+    let mut rows = Vec::new();
+    for (ex, ey, ez) in [(16i64, 8, 8), (32, 16, 8), (64, 32, 16), (128, 64, 16)] {
+        let domain = ProblemDomain::non_periodic(IndexBox::from_extents(ex, ey, ez));
+        let ba = Arc::new(BoxArray::decompose(domain.bx, ChopParams::new(4, 8)));
+        let nghost = 2;
+        let valid: Vec<IndexBox> = (0..ba.len()).map(|i| ba.get(i)).collect();
+        // On-node stage graph.
+        let dm1 = Arc::new(DistributionMapping::new(&ba, 1, DistributionStrategy::RoundRobin));
+        let cache = PlanCache::new();
+        let fb = cache.fill_boundary(&ba, &dm1, &domain, nghost, 5);
+        let skel = StageSkeleton::build(&fb, ba.len());
+        let stage = verify_stage(&fb, &skel, &valid, nghost);
+        stage.assert_clean("stage");
+        // Whole-cluster schedule at 4 ranks (rebuilds every rank's graph and
+        // proves tag-completeness + cross-rank acyclicity on top).
+        let dm4 = Arc::new(DistributionMapping::new(&ba, 4, DistributionStrategy::RoundRobin));
+        let cache4 = PlanCache::new();
+        let fb4 = cache4.fill_boundary(&ba, &dm4, &domain, nghost, 5);
+        let dist = verify_dist(&fb4, dm4.owners(), 4, &valid, nghost);
+        dist.assert_clean("dist");
+        rows.push(vec![
+            format!("{}x{}x{}", ex, ey, ez),
+            ba.len().to_string(),
+            stage.tasks.to_string(),
+            stage.pairs_checked.to_string(),
+            format!("{} us", stage.micros),
+            dist.tasks.to_string(),
+            dist.pairs_checked.to_string(),
+            format!("{} us", dist.micros),
+        ]);
+    }
+    print_table(
+        "static verification cost (one pass, memoized per regrid)",
+        &[
+            "domain", "patches", "stage tasks", "stage pairs", "stage cost", "dist tasks (4 ranks)",
+            "dist pairs", "dist cost",
+        ],
+        &rows,
+    );
+}
+
+/// One timed run of `cfg`: wall seconds plus the final state bits.
+fn one_run(cfg: &SolverConfig) -> (f64, Vec<u64>) {
+    let mut sim = Simulation::new(cfg.clone());
+    let t0 = Instant::now();
+    sim.advance_steps(steps());
+    (t0.elapsed().as_secs_f64(), state_bits(&sim))
+}
+
+/// Minimum wall per config over [`REPS`] *interleaved* repetitions (A, B,
+/// A, B, …), plus each config's (rep-invariant) state bits. Interleaving
+/// cancels the slow drift of a timeshared container that back-to-back
+/// blocks would attribute to whichever config ran later; the minimum is
+/// the standard robust estimator under one-sided scheduling noise.
+fn timed_pair(a: &SolverConfig, b: &SolverConfig) -> ((f64, Vec<u64>), (f64, Vec<u64>)) {
+    let (mut ta, mut tb) = (f64::INFINITY, f64::INFINITY);
+    let (mut bits_a, mut bits_b) = (Vec::new(), Vec::new());
+    for _ in 0..REPS {
+        let (t, bits) = one_run(a);
+        ta = ta.min(t);
+        bits_a = bits;
+        let (t, bits) = one_run(b);
+        tb = tb.min(t);
+        bits_b = bits;
+    }
+    ((ta, bits_a), (tb, bits_b))
+}
+
+/// Tables 2 + 3: verifier on/off step time, pool vs adversarial schedule.
+fn solver_overhead_tables() {
+    let base = |on: bool| ramp_builder().threads(4).overlap(true).taskcheck(on);
+    let ((t_off, bits_off), (t_on, bits_on)) =
+        timed_pair(&base(false).build(), &base(true).build());
+    assert!(bits_off == bits_on, "taskcheck knob changed the answer");
+    let overhead = (t_on / t_off - 1.0) * 100.0;
+    print_table(
+        &format!(
+            "static verifier on/off, task-graph ramp, {} steps, best of {REPS} (bitwise-identical)",
+            steps()
+        ),
+        &["config", "wall", "overhead"],
+        &[
+            vec!["taskcheck off".into(), fmt_time(t_off), "-".into()],
+            vec!["taskcheck on (default)".into(), fmt_time(t_on), format!("{overhead:+.2}%")],
+        ],
+    );
+
+    let ((t_pool, _), (t_adv, bits_adv)) =
+        timed_pair(&base(true).build(), &base(true).sched_seed(0).build());
+    assert!(bits_adv == bits_on, "adversarial schedule changed the answer");
+    print_table(
+        "pool vs adversarial schedule (bitwise-identical)",
+        &["schedule", "wall", "vs pool"],
+        &[
+            vec!["pool(4)".into(), fmt_time(t_pool), "-".into()],
+            vec![
+                "adversarial(seed 0)".into(),
+                fmt_time(t_adv),
+                format!("{:.2}x", t_adv / t_pool),
+            ],
+        ],
+    );
+}
+
+fn main() {
+    static_cost_table();
+    solver_overhead_tables();
+}

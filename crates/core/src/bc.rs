@@ -223,10 +223,11 @@ mod tests {
             t: 0.0,
         };
         let u = Conserved::from_primitive(&w, gas);
-        let mut rw = FabRw::from_mut(fab);
-        for p in valid.cells() {
-            set_state(&mut rw, p, &u);
-        }
+        crocco_fab::with_rw(fab, |rw| {
+            for p in valid.cells() {
+                set_state(rw, p, &u);
+            }
+        });
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use crate::bc::PhysicalBc;
 use crate::driver::{
     accumulate_rhs, LevelData, PlanKind, RunReport, Simulation, AUX_DIST_SKELETON,
+    AUX_DIST_VERIFY,
 };
 use crate::kernels::NGHOST;
 use crocco_amr::fillpatch::{fill_two_level_patch, resolve_two_level_plans, TwoLevelPlans};
@@ -361,7 +362,6 @@ impl Simulation {
         let reference = self.cfg.version.reference_kernels();
         let backend = self.cfg.kernel_backend;
         let tile = self.cfg.tile_size;
-        let threads = self.cfg.threads;
         let a = self.cfg.time_scheme.a(stage);
         let b = self.cfg.time_scheme.b(stage);
         let poison = self.cfg.nan_poison;
@@ -428,6 +428,39 @@ impl Simulation {
             },
             || DistSkeleton::build(&fb, fine.state.distribution().owners(), ep.rank()),
         );
+        // Static verification of the *whole* distributed stage (every
+        // rank's graph rebuilt from the replicated owner map, plus
+        // tag-completeness and cross-rank acyclicity, DESIGN.md §4i). Every
+        // rank runs the identical deterministic check once per (grids,
+        // plan, nranks) generation — memoized, regrid-invalidated.
+        if self.cfg.taskcheck {
+            let report = cache.get_or_build_aux(
+                PlanKey {
+                    op: PlanOp::Aux(AUX_DIST_VERIFY),
+                    aux: ep.nranks() as u64,
+                    ..PlanKey::fill_boundary(
+                        fine.state.boxarray(),
+                        fine.state.distribution(),
+                        &domain,
+                        fine.state.nghost(),
+                        fine.state.ncomp(),
+                    )
+                },
+                || {
+                    let ba = fine.state.boxarray();
+                    let valid: Vec<crocco_geometry::IndexBox> =
+                        (0..ba.len()).map(|i| ba.get(i)).collect();
+                    crocco_fab::verify_dist(
+                        &fb,
+                        fine.state.distribution().owners(),
+                        ep.nranks(),
+                        &valid,
+                        fine.state.nghost(),
+                    )
+                },
+            );
+            report.assert_clean("distributed RK stage skeletons");
+        }
         self.profiler.add("FillPatch", t0.elapsed().as_secs_f64());
 
         let t1 = std::time::Instant::now();
@@ -502,7 +535,7 @@ impl Simulation {
             level: l,
             epoch,
             overlap: self.cfg.dist_overlap,
-            threads,
+            sched: self.cfg.schedule(),
         };
         run_dist_rk_stage(
             StageFabs { state, du, rhs },

@@ -222,6 +222,22 @@ pub struct SolverConfig {
     /// [`Simulation::advance_steps_chaos`]: crate::driver::Simulation::advance_steps_chaos
     /// [`ChaosConfig`]: crocco_runtime::chaos::ChaosConfig
     pub chaos: Option<crocco_runtime::chaos::ChaosConfig>,
+    /// Statically verify every RK-stage task-graph skeleton before its first
+    /// execution (DESIGN.md §4i): prove all conflicting task pairs ordered
+    /// by happens-before, and — on the distributed path — every receive
+    /// matched by exactly one send with the cross-rank union acyclic. Runs
+    /// once per (grids, plan) generation, memoized beside the skeleton in
+    /// the plan cache; a violation panics with both task labels and the
+    /// offending box. On by default — the cost is microseconds per regrid.
+    pub taskcheck: bool,
+    /// Adversarial-schedule seed for the task-graph paths: `Some(seed)`
+    /// replaces the worker pool with a single-threaded executor running a
+    /// seeded arbitrary legal topological linearization (seed 0 =
+    /// reverse-priority, the worst case for every "it happens to run in
+    /// insertion order" assumption). Results must be — and are, by the
+    /// invariance suites — bitwise-identical under any legal schedule.
+    /// `None` (the default) uses the normal thread pool.
+    pub sched_seed: Option<u64>,
 }
 
 impl SolverConfig {
@@ -237,6 +253,16 @@ impl SolverConfig {
             self.max_levels
         } else {
             1
+        }
+    }
+
+    /// The schedule for task-graph stage execution: the configured thread
+    /// pool, or a seeded adversarial linearization when
+    /// [`sched_seed`](Self::sched_seed) is set.
+    pub fn schedule(&self) -> crocco_runtime::Schedule {
+        match self.sched_seed {
+            Some(seed) => crocco_runtime::Schedule::adversarial(seed),
+            None => crocco_runtime::Schedule::pool(self.threads),
         }
     }
 }
@@ -278,6 +304,8 @@ impl Default for SolverConfigBuilder {
                 kernel_backend: BackendKind::Scalar,
                 tile_size: None,
                 chaos: None,
+                taskcheck: true,
+                sched_seed: None,
             },
         }
     }
@@ -441,6 +469,21 @@ impl SolverConfigBuilder {
     /// [`LocalCluster::run_with_chaos`]: crocco_runtime::LocalCluster::run_with_chaos
     pub fn chaos(mut self, cfg: crocco_runtime::chaos::ChaosConfig) -> Self {
         self.cfg.chaos = Some(cfg);
+        self
+    }
+
+    /// Enables/disables static schedule verification of the RK-stage task
+    /// graphs (on by default).
+    pub fn taskcheck(mut self, on: bool) -> Self {
+        self.cfg.taskcheck = on;
+        self
+    }
+
+    /// Runs the task-graph paths under a seeded adversarial schedule (an
+    /// arbitrary legal topological linearization) instead of the thread
+    /// pool. Seed 0 is reverse-priority order.
+    pub fn sched_seed(mut self, seed: u64) -> Self {
+        self.cfg.sched_seed = Some(seed);
         self
     }
 

@@ -49,6 +49,13 @@ pub(crate) const AUX_STAGE_SKELETON: u32 = 3;
 /// `PlanOp::Aux` namespace tag for memoized distributed stage skeletons
 /// (`DistSkeleton`, keyed per rank through the key's `aux` bits).
 pub(crate) const AUX_DIST_SKELETON: u32 = 4;
+/// `PlanOp::Aux` namespace tag for memoized static schedule verifications of
+/// on-node stage skeletons (`VerifyReport`, DESIGN.md §4i).
+pub(crate) const AUX_STAGE_VERIFY: u32 = 5;
+/// `PlanOp::Aux` namespace tag for memoized static schedule verifications of
+/// distributed stages (all ranks + cross-rank checks; keyed by rank count
+/// through the key's `aux` bits).
+pub(crate) const AUX_DIST_VERIFY: u32 = 6;
 
 /// Williamson low-storage RK3 coefficients.
 pub const RK3_A: [f64; 3] = [0.0, -5.0 / 9.0, -153.0 / 128.0];
@@ -837,7 +844,6 @@ impl Simulation {
         let reference = self.cfg.version.reference_kernels();
         let backend = self.cfg.kernel_backend;
         let tile = self.cfg.tile_size;
-        let threads = self.cfg.threads;
         let a = self.cfg.time_scheme.a(stage);
         let b = self.cfg.time_scheme.b(stage);
         let poison = self.cfg.nan_poison;
@@ -982,11 +988,36 @@ impl Simulation {
             },
             || StageSkeleton::build(&fb, state.nfabs()),
         );
+        // Static schedule verification (DESIGN.md §4i): prove every
+        // conflicting task pair of the skeleton ordered, once per (grids,
+        // plan) generation — memoized beside the skeleton, so steady-state
+        // stages pay one cache hit.
+        if self.cfg.taskcheck {
+            let report = cache.get_or_build_aux(
+                PlanKey {
+                    op: PlanOp::Aux(AUX_STAGE_VERIFY),
+                    ..PlanKey::fill_boundary(
+                        state.boxarray(),
+                        state.distribution(),
+                        &domain,
+                        state.nghost(),
+                        state.ncomp(),
+                    )
+                },
+                || {
+                    let valid: Vec<IndexBox> =
+                        (0..state.nfabs()).map(|i| ba.get(i)).collect();
+                    crocco_fab::verify_stage(&fb, &skel, &valid, state.nghost())
+                },
+            );
+            report.assert_clean("on-node RK stage skeleton");
+        }
+        let sched = self.cfg.schedule();
         run_rk_stage_with_skeleton(
             StageFabs { state, du, rhs },
             &fb,
             &skel,
-            threads,
+            sched,
             &pre_halo,
             &bc_fill,
             &sweep,

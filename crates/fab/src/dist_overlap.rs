@@ -62,10 +62,12 @@ use crate::multifab::{copy_chunk_raw, MultiFab, RawFab};
 use crate::overlap::{StageFabs, SweepPhase};
 use crate::plan::{CopyChunk, CopyPlan};
 use crate::plan_cache::CachedPlan;
+use crate::taskcheck::{dist_rank_schedule, FabIds};
 use crate::view::{FabRd, FabRw};
 use bytes::Bytes;
 use crocco_runtime::cluster::CommError;
-use crocco_runtime::{tags, GroupEndpoint, RecvHandle, StageError, TaskGraph};
+use crocco_runtime::taskcheck::record_access;
+use crocco_runtime::{tags, GroupEndpoint, RecvHandle, Schedule, StageError, TaskGraph};
 
 /// The rank-local, stage-invariant structure of a level's distributed RK
 /// stage: which patches this rank owns, which plan chunks it copies locally,
@@ -167,8 +169,9 @@ pub struct DistStage<'a> {
     pub epoch: u64,
     /// `true` → task-graph overlap; `false` → sequential fenced phases.
     pub overlap: bool,
-    /// Worker threads for the overlapped graph (the fenced path is serial).
-    pub threads: usize,
+    /// Schedule for the overlapped graph — thread pool or seeded
+    /// adversarial linearization (the fenced path is always serial).
+    pub sched: Schedule,
 }
 
 /// Packs one plan chunk through a raw view: component-major, then
@@ -183,6 +186,11 @@ pub struct DistStage<'a> {
 // SAFETY: an unsafe fn — every dereference below is bounds-checked in debug
 // builds; callers uphold the aliasing contract documented above.
 unsafe fn pack_chunk_raw(src: &RawFab, chunk: &CopyChunk, ncomp: usize) -> Bytes {
+    record_access(
+        src.ptr as usize as u64,
+        false,
+        chunk.region.shift(-chunk.shift),
+    );
     let mut out = Vec::with_capacity((chunk.region.num_points() as usize) * ncomp * 8);
     for c in 0..ncomp {
         for p in chunk.region.cells() {
@@ -211,6 +219,7 @@ unsafe fn unpack_chunk_raw(dst: &RawFab, chunk: &CopyChunk, ncomp: usize, payloa
         "halo payload size mismatch for chunk into patch {}",
         chunk.dst_id
     );
+    record_access(dst.ptr as usize as u64, true, chunk.region);
     let mut words = payload.chunks_exact(8);
     for c in 0..ncomp {
         for p in chunk.region.cells() {
@@ -486,6 +495,24 @@ fn run_overlapped(
     let chunks = &plan.chunks;
     let mut graph = TaskGraph::new();
 
+    // Declared footprints: the same per-rank spec the static verifier checks
+    // (`taskcheck::verify_dist`), instantiated with live data addresses so
+    // the dynamic detector (feature `taskcheck`) can match executed accesses
+    // against the declarations. Pulling each footprint at `graph.len()`
+    // keeps the graph and the spec aligned by construction.
+    let valid: Vec<crocco_geometry::IndexBox> =
+        (0..n).map(|i| fabs.state.valid_box(i)).collect();
+    let ids = FabIds {
+        state: state_raw.iter().map(|r| r.ptr as usize as u64).collect(),
+        rhs: (0..n)
+            .map(|i| rhs_base.get().wrapping_add(i) as usize as u64)
+            .collect(),
+        du: (0..n)
+            .map(|i| du_base.get().wrapping_add(i) as usize as u64)
+            .collect(),
+    };
+    let rs = dist_rank_schedule(plan, skel, &valid, fabs.state.nghost(), &ids);
+
     // Post all receives before building the graph: a handle per remote
     // chunk, polled by its event task and drained by its halo task.
     let mut handles: Vec<Option<RecvHandle>> = vec![None; chunks.len()];
@@ -505,7 +532,8 @@ fn run_overlapped(
     let mut send_tasks = Vec::with_capacity(skel.sends.len());
     for &c in &skel.sends {
         let ep = st.ep;
-        send_tasks.push(graph.add_task(&[], move || {
+        let fp = rs.spec.footprint(graph.len()).clone();
+        send_tasks.push(graph.add_task_with(&[], fp, move || {
             let chunk = &chunks[c];
             // SAFETY: reads valid cells of the (owned) source patch; its
             // only writer, `update[src_id]`, depends on this task.
@@ -533,7 +561,8 @@ fn run_overlapped(
         // clones of the handles for its chunk range, all observing the
         // same completion slot.
         let patch_handles: Vec<Option<RecvHandle>> = handles[s..e].to_vec();
-        let h_i = graph.add_task(&recv_events[i], move || {
+        let fp = rs.spec.footprint(graph.len()).clone();
+        let h_i = graph.add_task_with(&recv_events[i], fp, move || {
             // SAFETY: writes only ghost cells of patch `i` (plan invariant
             // + pre_halo/bc_fill contracts); unordered tasks read only
             // valid cells, and all later access depends on this task.
@@ -572,7 +601,8 @@ fn run_overlapped(
 
     for &i in &skel.owned {
         let halo_i = halo[i].expect("owned patch has a halo task");
-        let interior = graph.add_task(&[], move || {
+        let fp = rs.spec.footprint(graph.len()).clone();
+        let interior = graph.add_task_with(&[], fp, move || {
             // SAFETY: read-only view; unordered tasks write only ghost
             // cells of `i` while the interior sweep reads only valid cells.
             let u = unsafe { FabRd::from_raw(*state_list.get(i)) };
@@ -581,7 +611,8 @@ fn run_overlapped(
             let rhs_i = unsafe { &mut *rhs_base.get().add(i) };
             sweep(i, u, SweepPhase::Interior, rhs_i);
         });
-        let boundary = graph.add_task(&[halo_i, interior], move || {
+        let fp = rs.spec.footprint(graph.len()).clone();
+        let boundary = graph.add_task_with(&[halo_i, interior], fp, move || {
             // SAFETY: as for the interior task; ghost reads are ordered
             // after `halo[i]` by the dependency edge.
             let u = unsafe { FabRd::from_raw(*state_list.get(i)) };
@@ -596,7 +627,10 @@ fn run_overlapped(
                 .map(|&d| halo[d].expect("local reader is owned")),
         );
         deps.extend(skel.send_readers[i].iter().map(|&k| send_tasks[k]));
-        graph.add_task(&deps, move || {
+        let fp = rs.spec.footprint(graph.len()).clone();
+        let sid = ids.state[i];
+        let vb = valid[i];
+        graph.add_task_with(&deps, fp, move || {
             // SAFETY: every reader of patch `i`'s state — its own sweeps,
             // each local halo copy out of `i`, and each send packing out of
             // `i` — is a dependency, so this is the unique last task
@@ -606,12 +640,21 @@ fn run_overlapped(
             let du = unsafe { &mut *du_base.get().add(i) };
             // SAFETY: the writers of `rhs[i]` are dependencies (see above).
             let rhs_i = unsafe { &*rhs_base.get().add(i) };
+            // The update writes through `&mut FArrayBox`, below the
+            // instrumented views — record the state write explicitly so the
+            // dynamic detector sees it.
+            record_access(sid, true, vb);
             update(i, du, st_fab, rhs_i);
         });
     }
 
+    // If graph construction and spec derivation ever disagree, the static
+    // proof would be about the wrong graph — fail here, not silently.
+    #[cfg(feature = "taskcheck")]
+    crate::taskcheck::assert_spec_matches(&graph.schedule_spec(), &rs.spec, "distributed RK stage");
+
     let ep = st.ep;
-    graph.try_run_with_progress(st.threads, &mut || {
+    graph.try_run_schedule_with_progress(st.sched, &mut || {
         ep.pump().map(|_| ()).map_err(StageError::Comm)
     })
 }
@@ -767,7 +810,7 @@ mod tests {
                     level: 0,
                     epoch: 7,
                     overlap,
-                    threads: 2,
+                    sched: Schedule::pool(2),
                 };
                 let sweep = |_i: usize, u: FabRd<'_>, phase: SweepPhase, rhs: &mut FArrayBox| {
                     let valid = u.bx().grow(-nghost);

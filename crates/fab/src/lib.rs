@@ -42,6 +42,7 @@ pub mod multifab;
 pub mod overlap;
 pub mod plan;
 pub mod plan_cache;
+pub mod taskcheck;
 pub mod tiles;
 pub mod view;
 
@@ -55,5 +56,8 @@ pub use overlap::{
 };
 pub use plan::{CopyChunk, CopyPlan};
 pub use plan_cache::{CachedPlan, PlanCache, PlanKey, PlanOp};
+pub use taskcheck::{
+    dist_rank_schedule, stage_spec, verify_dist, verify_stage, FabIds, VerifyReport,
+};
 pub use tiles::{tile_boxes, tiled_work_list, TileItem, DEFAULT_TILE};
-pub use view::{FabRd, FabRw, FabView};
+pub use view::{with_rw, FabRd, FabRw, FabView};

@@ -540,6 +540,12 @@ pub(crate) unsafe fn copy_chunk_raw(
     if region.is_empty() {
         return;
     }
+    crocco_runtime::taskcheck::record_access(dst.ptr as usize as u64, true, region);
+    crocco_runtime::taskcheck::record_access(
+        src.ptr as usize as u64,
+        false,
+        region.shift(-shift),
+    );
     let nx = region.size()[0] as usize;
     for c in 0..ncomp {
         for k in region.lo()[2]..=region.hi()[2] {

@@ -49,9 +49,11 @@
 use crate::fab::FArrayBox;
 use crate::multifab::{copy_chunk_raw, MultiFab, RawFab};
 use crate::plan_cache::CachedPlan;
+use crate::taskcheck::{stage_spec, FabIds};
 use crate::view::{FabRd, FabRw};
 use crocco_geometry::IndexBox;
-use crocco_runtime::TaskGraph;
+use crocco_runtime::taskcheck::record_access;
+use crocco_runtime::{Schedule, TaskGraph};
 
 /// Which part of a patch a kernel sweep covers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -185,17 +187,27 @@ pub fn run_rk_stage(
     update: &(dyn Fn(usize, &mut FArrayBox, &mut FArrayBox, &FArrayBox) + Sync),
 ) {
     let skel = StageSkeleton::build(fb, fabs.state.nfabs());
-    run_rk_stage_with_skeleton(fabs, fb, &skel, threads, pre_halo, bc_fill, sweep, update)
+    run_rk_stage_with_skeleton(
+        fabs,
+        fb,
+        &skel,
+        Schedule::pool(threads),
+        pre_halo,
+        bc_fill,
+        sweep,
+        update,
+    )
 }
 
 /// [`run_rk_stage`] with a pre-built (typically plan-cache-memoized)
-/// [`StageSkeleton`], skipping the per-stage topology derivation.
+/// [`StageSkeleton`], skipping the per-stage topology derivation, and an
+/// explicit [`Schedule`] (thread pool or seeded adversarial linearization).
 #[allow(clippy::too_many_arguments)]
 pub fn run_rk_stage_with_skeleton(
     fabs: StageFabs<'_>,
     fb: &CachedPlan,
     skel: &StageSkeleton,
-    threads: usize,
+    sched: Schedule,
     pre_halo: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
@@ -231,13 +243,31 @@ pub fn run_rk_stage_with_skeleton(
     let chunks = &fb.plan.chunks;
     let mut graph = TaskGraph::new();
 
+    // Declared footprints: the same spec derivation the static verifier
+    // checks (`taskcheck::verify_stage`), instantiated with live data
+    // addresses so the dynamic detector (feature `taskcheck`) can match
+    // executed accesses against the declarations. Pulling each footprint at
+    // `graph.len()` keeps the graph and the spec aligned by construction.
+    let valid: Vec<IndexBox> = (0..n).map(|i| fabs.state.valid_box(i)).collect();
+    let ids = FabIds {
+        state: state_raw.iter().map(|r| r.ptr as usize as u64).collect(),
+        rhs: (0..n)
+            .map(|i| rhs_base.get().wrapping_add(i) as usize as u64)
+            .collect(),
+        du: (0..n)
+            .map(|i| du_base.get().wrapping_add(i) as usize as u64)
+            .collect(),
+    };
+    let spec = stage_spec(&fb.plan, skel, &valid, fabs.state.nghost(), &ids);
+
     // Halo tasks: ghost-shell production for each patch, in the same order
     // as the barrier path (coarse-fine interpolation, then same-level
     // chunks, then physical BCs — BC corner mirrors may read ghosts the
     // chunks just wrote).
     let mut halo = Vec::with_capacity(n);
     for (i, &(s, e)) in chunk_range.iter().enumerate() {
-        halo.push(graph.add_task(&[], move || {
+        let fp = spec.footprint(graph.len()).clone();
+        halo.push(graph.add_task_with(&[], fp, move || {
             // SAFETY: this task writes only ghost cells of patch `i` (plan
             // invariant + pre_halo/bc_fill contracts); unordered tasks read
             // only valid cells, and all later access to these cells depends
@@ -264,7 +294,8 @@ pub fn run_rk_stage_with_skeleton(
     }
 
     for (i, &halo_i) in halo.iter().enumerate() {
-        let interior = graph.add_task(&[], move || {
+        let fp = spec.footprint(graph.len()).clone();
+        let interior = graph.add_task_with(&[], fp, move || {
             // SAFETY: read-only view; unordered tasks write only ghost
             // cells of `i` while the interior sweep reads only valid cells.
             let u = unsafe { FabRd::from_raw(*state_list.get(i)) };
@@ -273,7 +304,8 @@ pub fn run_rk_stage_with_skeleton(
             let rhs_i = unsafe { &mut *rhs_base.get().add(i) };
             sweep(i, u, SweepPhase::Interior, rhs_i);
         });
-        let boundary = graph.add_task(&[halo_i, interior], move || {
+        let fp = spec.footprint(graph.len()).clone();
+        let boundary = graph.add_task_with(&[halo_i, interior], fp, move || {
             // SAFETY: as for the interior task; ghost reads are ordered
             // after `halo[i]` by the dependency edge.
             let u = unsafe { FabRd::from_raw(*state_list.get(i)) };
@@ -283,7 +315,10 @@ pub fn run_rk_stage_with_skeleton(
         });
         let mut deps = vec![boundary];
         deps.extend(readers[i].iter().map(|&d| halo[d]));
-        graph.add_task(&deps, move || {
+        let fp = spec.footprint(graph.len()).clone();
+        let sid = ids.state[i];
+        let vb = valid[i];
+        graph.add_task_with(&deps, fp, move || {
             // SAFETY: every reader of patch `i`'s state (its own sweeps via
             // `boundary[i]`→`interior[i]`/`halo[i]`, and each halo task
             // copying out of `i`) is a dependency of this task, so it is
@@ -294,11 +329,20 @@ pub fn run_rk_stage_with_skeleton(
             let du = unsafe { &mut *du_base.get().add(i) };
             // SAFETY: the writers of `rhs[i]` are dependencies (see above).
             let rhs_i = unsafe { &*rhs_base.get().add(i) };
+            // The update writes through `&mut FArrayBox`, below the
+            // instrumented views — record the state write explicitly so the
+            // dynamic detector sees it.
+            record_access(sid, true, vb);
             update(i, du, st, rhs_i);
         });
     }
 
-    graph.run(threads);
+    // If graph construction and spec derivation ever disagree, the static
+    // proof would be about the wrong graph — fail here, not silently.
+    #[cfg(feature = "taskcheck")]
+    crate::taskcheck::assert_spec_matches(&graph.schedule_spec(), &spec, "on-node RK stage");
+
+    graph.run_schedule(sched);
 }
 
 /// Decomposes `valid` minus `interior` into disjoint axis-aligned slabs

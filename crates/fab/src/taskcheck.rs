@@ -1,0 +1,513 @@
+//! Schedule specs and static verification for the RK-stage task graphs
+//! (DESIGN.md §4i).
+//!
+//! [`crate::overlap`] and [`crate::dist_overlap`] hand-wire one task graph
+//! per RK stage; their safety arguments are prose. This module turns the
+//! prose into a checkable artifact: for each skeleton it derives a
+//! [`ScheduleSpec`] — the same tasks, in the same insertion order, with the
+//! same dependency edges, plus a declared [`Footprint`] per task built from
+//! the exact plan regions the executors copy — and
+//! [`ScheduleSpec::verify`] then proves every conflicting pair ordered.
+//! [`verify_dist`] replays the derivation for *all* ranks (skeletons are
+//! pure metadata, identically replicated) and additionally proves
+//! tag-completeness and cross-rank acyclicity via
+//! [`verify_cross_rank`].
+//!
+//! The spec builders are parameterized over fab identities
+//! ([`FabIds`]): the memoized static pass uses symbolic ids (patch index +
+//! space tag), while the executors instantiate the same spec with live
+//! allocation base pointers and attach its footprints to their
+//! [`TaskGraph`](crocco_runtime::TaskGraph) tasks — one derivation serves
+//! both, so the declared footprints cannot drift from the verified ones.
+//! The executors also assert (under the `taskcheck` feature) that the
+//! graph they built has exactly the spec's dependency lists.
+//!
+//! Footprint shapes, per patch `i` with valid box `V`, full box
+//! `B = V.grow(nghost)`:
+//!
+//! * `halo[i]` reads `B` of `i` (BC corner mirrors read ghosts and valid
+//!   cells), writes the ghost shell `B \ V` (pre-halo interpolation, chunk
+//!   copies, BC fills), and reads `region - shift` of every source patch in
+//!   its chunk range — valid cells, by the FillBoundary plan invariant.
+//! * `interior[i]` reads `V` (the sweep region is shrunk by the ghost width,
+//!   so the widest stencil stays inside valid cells) and writes `rhs[i]`.
+//! * `boundary[i]` reads `B` (band stencils reach into ghosts) and writes
+//!   `rhs[i]`.
+//! * `update[i]` reads `rhs[i]` and writes `V` of `i` and `du[i]` — the
+//!   writes whose ordering against every reader of `i` is exactly what the
+//!   `readers`/`send_readers` fences exist to guarantee.
+//! * `send[c]` (distributed) reads `region - shift` of its source patch;
+//!   receive events touch nothing.
+
+use crate::dist_overlap::DistSkeleton;
+use crate::overlap::StageSkeleton;
+use crate::plan::CopyPlan;
+use crate::plan_cache::CachedPlan;
+use crocco_geometry::IndexBox;
+use crocco_runtime::taskcheck::{subtract, Footprint, RankSchedule, ScheduleSpec};
+use crocco_runtime::{verify_cross_rank, Violation};
+use std::fmt;
+
+/// Fab identities for one spec instantiation: one id per patch for the
+/// state, RHS-scratch, and `du` spaces. Ids are opaque — the verifier only
+/// compares them for equality — but must be distinct across every
+/// `(space, patch)` pair.
+#[derive(Clone, Debug)]
+pub struct FabIds {
+    /// Per-patch state fab ids.
+    pub state: Vec<u64>,
+    /// Per-patch RHS-scratch fab ids.
+    pub rhs: Vec<u64>,
+    /// Per-patch `du` fab ids.
+    pub du: Vec<u64>,
+}
+
+impl FabIds {
+    /// Symbolic ids for the memoized static pass: patch index tagged with a
+    /// per-space high bit well clear of patch counts.
+    pub fn symbolic(npatches: usize) -> FabIds {
+        FabIds {
+            state: (0..npatches).map(|i| i as u64).collect(),
+            rhs: (0..npatches).map(|i| (1 << 32) | i as u64).collect(),
+            du: (0..npatches).map(|i| (2 << 32) | i as u64).collect(),
+        }
+    }
+}
+
+/// The footprint of one halo task: reads the patch's full box and its
+/// chunk-range sources, writes the ghost shell.
+#[allow(clippy::too_many_arguments)]
+fn halo_footprint(
+    label: String,
+    plan: &CopyPlan,
+    chunk_range: (usize, usize),
+    local_only_rank: Option<usize>,
+    i: usize,
+    valid: &[IndexBox],
+    nghost: i64,
+    ids: &FabIds,
+) -> Footprint {
+    let comp = (0, plan.ncomp);
+    let bx = valid[i].grow(nghost);
+    let mut fp = Footprint::new(label).reads(ids.state[i], comp, bx);
+    for shell in subtract(bx, valid[i]) {
+        fp = fp.writes(ids.state[i], comp, shell);
+    }
+    let (s, e) = chunk_range;
+    for c in &plan.chunks[s..e] {
+        // On the distributed path only locally-copied chunks read a source
+        // fab; remote chunks arrive as payloads (their ghost writes are
+        // already covered by the shell above).
+        if local_only_rank.is_some_and(|rank| c.src_rank != rank) {
+            continue;
+        }
+        fp = fp.reads(ids.state[c.src_id], comp, c.region.shift(-c.shift));
+    }
+    fp
+}
+
+/// The interior/boundary/update triple for patch `i`, appended in executor
+/// insertion order. `halo` and `send_deps` are the spec indices of the
+/// patch's fences.
+#[allow(clippy::too_many_arguments)]
+fn sweep_update_triple(
+    spec: &mut ScheduleSpec,
+    i: usize,
+    valid: &[IndexBox],
+    nghost: i64,
+    ncomp: usize,
+    halo_i: usize,
+    reader_halos: &[usize],
+    send_deps: &[usize],
+    ids: &FabIds,
+) {
+    let comp = (0, ncomp);
+    let bx = valid[i].grow(nghost);
+    let interior = spec.add(
+        &[],
+        Footprint::new(format!("interior[{i}]"))
+            .reads(ids.state[i], comp, valid[i])
+            .writes(ids.rhs[i], comp, valid[i]),
+    );
+    let boundary = spec.add(
+        &[halo_i, interior],
+        Footprint::new(format!("boundary[{i}]"))
+            .reads(ids.state[i], comp, bx)
+            .writes(ids.rhs[i], comp, valid[i]),
+    );
+    let mut deps = vec![boundary];
+    deps.extend_from_slice(reader_halos);
+    deps.extend_from_slice(send_deps);
+    spec.add(
+        &deps,
+        Footprint::new(format!("update[{i}]"))
+            .reads(ids.rhs[i], comp, valid[i])
+            .writes(ids.state[i], comp, valid[i])
+            .writes(ids.du[i], comp, valid[i]),
+    );
+}
+
+/// The schedule spec of one on-node RK-stage graph
+/// ([`crate::overlap::run_rk_stage_with_skeleton`]): same tasks, same
+/// insertion order, same dependency edges, with footprints from the plan
+/// regions. `valid[i]` is patch `i`'s valid box; `nghost` the ghost width.
+pub fn stage_spec(
+    plan: &CopyPlan,
+    skel: &StageSkeleton,
+    valid: &[IndexBox],
+    nghost: i64,
+    ids: &FabIds,
+) -> ScheduleSpec {
+    let mut spec = ScheduleSpec::new();
+    let mut halo = Vec::with_capacity(valid.len());
+    for (i, &range) in skel.chunk_range.iter().enumerate() {
+        let fp = halo_footprint(
+            format!("halo[{i}]"),
+            plan,
+            range,
+            None,
+            i,
+            valid,
+            nghost,
+            ids,
+        );
+        halo.push(spec.add(&[], fp));
+    }
+    for i in 0..valid.len() {
+        let reader_halos: Vec<usize> = skel.readers[i].iter().map(|&d| halo[d]).collect();
+        sweep_update_triple(
+            &mut spec,
+            i,
+            valid,
+            nghost,
+            plan.ncomp,
+            halo[i],
+            &reader_halos,
+            &[],
+            ids,
+        );
+    }
+    spec
+}
+
+/// One rank's slice of the distributed overlapped stage
+/// ([`crate::dist_overlap::run_dist_rk_stage`] with `overlap = true`):
+/// send tasks, receive events (with their channel keys — the plan chunk
+/// index, exactly the varying coordinate of
+/// [`crocco_runtime::tags::halo`]), then halo/interior/boundary/update for
+/// every owned patch, in executor insertion order.
+pub fn dist_rank_schedule(
+    plan: &CopyPlan,
+    skel: &DistSkeleton,
+    valid: &[IndexBox],
+    nghost: i64,
+    ids: &FabIds,
+) -> RankSchedule {
+    let comp = (0, plan.ncomp);
+    let chunks = &plan.chunks;
+    let mut rs = RankSchedule::default();
+    let mut send_tasks = Vec::with_capacity(skel.sends.len());
+    for &c in &skel.sends {
+        let chunk = &chunks[c];
+        let t = rs.spec.add(
+            &[],
+            Footprint::new(format!("send[{c}]")).reads(
+                ids.state[chunk.src_id],
+                comp,
+                chunk.region.shift(-chunk.shift),
+            ),
+        );
+        rs.sends.push((t, c as u64));
+        send_tasks.push(t);
+    }
+    let n = valid.len();
+    let mut recv_events: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &i in &skel.owned {
+        for &c in &skel.recvs[i] {
+            let t = rs.spec.add(&[], Footprint::new(format!("recv[{c}]")));
+            rs.recvs.push((t, c as u64));
+            recv_events[i].push(t);
+        }
+    }
+    let mut halo = vec![usize::MAX; n];
+    for &i in &skel.owned {
+        let fp = halo_footprint(
+            format!("halo[{i}]"),
+            plan,
+            skel.chunk_range[i],
+            Some(skel.rank),
+            i,
+            valid,
+            nghost,
+            ids,
+        );
+        halo[i] = rs.spec.add(&recv_events[i], fp);
+    }
+    for &i in &skel.owned {
+        let reader_halos: Vec<usize> = skel.readers[i].iter().map(|&d| halo[d]).collect();
+        let send_deps: Vec<usize> = skel.send_readers[i].iter().map(|&k| send_tasks[k]).collect();
+        sweep_update_triple(
+            &mut rs.spec,
+            i,
+            valid,
+            nghost,
+            plan.ncomp,
+            halo[i],
+            &reader_halos,
+            &send_deps,
+            ids,
+        );
+    }
+    rs
+}
+
+/// The outcome of one static verification pass over a real skeleton: what
+/// the plan cache memoizes beside the skeleton and the drivers consult once
+/// per (grids, plan) generation.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Total tasks across all verified schedules.
+    pub tasks: usize,
+    /// Conflicting region pairs checked against happens-before.
+    pub pairs_checked: u64,
+    /// Violations found (empty ⇔ the schedule is proven sound).
+    pub violations: Vec<Violation>,
+    /// Wall-clock cost of the verification, microseconds.
+    pub micros: u64,
+}
+
+impl VerifyReport {
+    /// `true` when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with every violation listed if the report is not clean — the
+    /// drivers' response to a broken skeleton (fail loudly at first
+    /// verification, not as a bitwise divergence later).
+    pub fn assert_clean(&self, what: &str) {
+        assert!(
+            self.is_clean(),
+            "taskcheck: schedule verification failed for {what}:\n{}",
+            self.violations
+                .iter()
+                .map(|v| format!("  - {v}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks, {} conflict pairs checked, {} violation(s), {} µs",
+            self.tasks,
+            self.pairs_checked,
+            self.violations.len(),
+            self.micros
+        )
+    }
+}
+
+/// Statically verifies the on-node RK-stage graph a
+/// [`StageSkeleton`] will produce: every conflicting task pair ordered by a
+/// happens-before path.
+pub fn verify_stage(
+    fb: &CachedPlan,
+    skel: &StageSkeleton,
+    valid: &[IndexBox],
+    nghost: i64,
+) -> VerifyReport {
+    let t0 = std::time::Instant::now();
+    let spec = stage_spec(&fb.plan, skel, valid, nghost, &FabIds::symbolic(valid.len()));
+    let v = spec.verify();
+    VerifyReport {
+        tasks: spec.len(),
+        pairs_checked: v.pairs_checked,
+        violations: v.violations,
+        micros: t0.elapsed().as_micros() as u64,
+    }
+}
+
+/// Statically verifies the *whole* distributed stage: rebuilds every rank's
+/// skeleton from the replicated metadata (`owner` map), verifies each
+/// rank's graph, and proves tag-completeness plus cross-rank acyclicity of
+/// the union — the lost-wakeup/deadlock check no single rank can run alone.
+pub fn verify_dist(
+    fb: &CachedPlan,
+    owner: &[usize],
+    nranks: usize,
+    valid: &[IndexBox],
+    nghost: i64,
+) -> VerifyReport {
+    let t0 = std::time::Instant::now();
+    let ids = FabIds::symbolic(valid.len());
+    let ranks: Vec<RankSchedule> = (0..nranks)
+        .map(|r| {
+            dist_rank_schedule(&fb.plan, &DistSkeleton::build(fb, owner, r), valid, nghost, &ids)
+        })
+        .collect();
+    let mut tasks = 0;
+    let mut pairs_checked = 0;
+    let mut violations = Vec::new();
+    for rs in &ranks {
+        tasks += rs.spec.len();
+        let v = rs.spec.verify();
+        pairs_checked += v.pairs_checked;
+        violations.extend(v.violations);
+    }
+    violations.extend(verify_cross_rank(&ranks));
+    VerifyReport {
+        tasks,
+        pairs_checked,
+        violations,
+        micros: t0.elapsed().as_micros() as u64,
+    }
+}
+
+/// Asserts the executor-built graph has exactly the spec's dependency
+/// structure (labels and footprints aside) — the anti-drift check run by
+/// the executors under the `taskcheck` feature: if graph construction and
+/// spec derivation ever disagree, the static proof would be about the wrong
+/// graph.
+pub fn assert_spec_matches(graph: &ScheduleSpec, spec: &ScheduleSpec, what: &str) {
+    assert_eq!(
+        graph.len(),
+        spec.len(),
+        "taskcheck drift: {what}: graph has {} tasks, spec {}",
+        graph.len(),
+        spec.len()
+    );
+    for i in 0..graph.len() {
+        assert_eq!(
+            graph.deps(i),
+            spec.deps(i),
+            "taskcheck drift: {what}: task {i} ('{}') dependency mismatch",
+            spec.label(i)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxarray::BoxArray;
+    use crate::distribution::{DistributionMapping, DistributionStrategy};
+    use crate::plan_cache::PlanCache;
+    use crocco_geometry::decompose::ChopParams;
+    use crocco_geometry::ProblemDomain;
+    use std::sync::Arc;
+
+    fn setup(nranks: usize) -> (Arc<BoxArray>, Arc<DistributionMapping>, ProblemDomain) {
+        let domain = ProblemDomain::non_periodic(IndexBox::from_extents(16, 8, 8));
+        let ba = Arc::new(BoxArray::decompose(domain.bx, ChopParams::new(4, 8)));
+        let dm = Arc::new(DistributionMapping::new(
+            &ba,
+            nranks,
+            DistributionStrategy::RoundRobin,
+        ));
+        (ba, dm, domain)
+    }
+
+    fn valid_boxes(ba: &BoxArray) -> Vec<IndexBox> {
+        (0..ba.len()).map(|i| ba.get(i)).collect()
+    }
+
+    #[test]
+    fn real_stage_skeleton_verifies_clean() {
+        let (ba, dm, domain) = setup(1);
+        let cache = PlanCache::new();
+        let nghost = 2;
+        let fb = cache.fill_boundary(&ba, &dm, &domain, nghost, 2);
+        let skel = StageSkeleton::build(&fb, ba.len());
+        let valid = valid_boxes(&ba);
+        let report = verify_stage(&fb, &skel, &valid, nghost);
+        assert_eq!(report.tasks, 4 * ba.len());
+        assert!(report.pairs_checked > 0, "stage must have conflict pairs");
+        report.assert_clean("test stage skeleton");
+    }
+
+    #[test]
+    fn real_dist_skeletons_verify_clean_at_multiple_rank_counts() {
+        for nranks in [1usize, 2, 4] {
+            let (ba, dm, domain) = setup(nranks);
+            let cache = PlanCache::new();
+            let nghost = 2;
+            let fb = cache.fill_boundary(&ba, &dm, &domain, nghost, 2);
+            let valid = valid_boxes(&ba);
+            let report = verify_dist(&fb, dm.owners(), nranks, &valid, nghost);
+            report.assert_clean("test dist skeleton");
+            assert!(report.tasks >= 4 * ba.len());
+        }
+    }
+
+    #[test]
+    fn deleting_a_reader_edge_is_flagged_as_the_exact_pair() {
+        let (ba, dm, domain) = setup(1);
+        let cache = PlanCache::new();
+        let nghost = 2;
+        let fb = cache.fill_boundary(&ba, &dm, &domain, nghost, 2);
+        let mut skel = StageSkeleton::build(&fb, ba.len());
+        // Drop one update fence: halo[d] reads patch i while update[i]
+        // rewrites it, now unordered.
+        let (i, d) = skel
+            .readers
+            .iter()
+            .enumerate()
+            .find_map(|(i, r)| r.iter().find(|&&d| d != i).map(|&d| (i, d)))
+            .expect("setup must produce a cross-patch reader");
+        skel.readers[i].retain(|&x| x != d);
+        let valid = valid_boxes(&ba);
+        let report = verify_stage(&fb, &skel, &valid, nghost);
+        assert!(!report.is_clean(), "deleted edge must be flagged");
+        let hit = report.violations.iter().any(|v| match v {
+            Violation::UnorderedConflict {
+                first_label,
+                second_label,
+                ..
+            } => {
+                first_label == &format!("halo[{d}]") && second_label == &format!("update[{i}]")
+                    || second_label == &format!("halo[{d}]")
+                        && first_label == &format!("update[{i}]")
+            }
+            _ => false,
+        });
+        assert!(
+            hit,
+            "expected halo[{d}]/update[{i}] in {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn dropping_a_send_makes_a_receive_unmatched() {
+        let (ba, dm, domain) = setup(2);
+        let cache = PlanCache::new();
+        let nghost = 2;
+        let fb = cache.fill_boundary(&ba, &dm, &domain, nghost, 2);
+        let valid = valid_boxes(&ba);
+        let ids = FabIds::symbolic(valid.len());
+        let mut ranks: Vec<RankSchedule> = (0..2)
+            .map(|r| {
+                dist_rank_schedule(
+                    &fb.plan,
+                    &DistSkeleton::build(&fb, dm.owners(), r),
+                    &valid,
+                    nghost,
+                    &ids,
+                )
+            })
+            .collect();
+        let dropped = ranks[0].sends.pop().expect("rank 0 must send something").1;
+        let violations = verify_cross_rank(&ranks);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::ChannelMismatch { chan, sends: 0, recvs: 1 } if *chan == dropped
+            )),
+            "lost send on channel {dropped} must be flagged: {violations:?}"
+        );
+    }
+}

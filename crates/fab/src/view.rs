@@ -28,7 +28,17 @@
 use crate::fab::FArrayBox;
 use crate::multifab::RawFab;
 use crocco_geometry::{IndexBox, IntVect};
+use crocco_runtime::taskcheck::record_access;
 use std::marker::PhantomData;
+
+/// Runs `f` with a read-write view of `fab` and returns its result — the
+/// safe entry point for code outside the raw-view modules (rule 6 of
+/// `cargo xtask lint` confines direct `FabRd`/`FabRw`/`RawFab` construction
+/// to this crate's view/overlap modules).
+pub fn with_rw<R>(fab: &mut FArrayBox, f: impl FnOnce(&mut FabRw<'_>) -> R) -> R {
+    let mut rw = FabRw::from_mut(fab);
+    f(&mut rw)
+}
 
 /// Read access to one fab's cells — the interface the solver kernels are
 /// generic over, so the same kernel source serves `&FArrayBox` (barrier
@@ -131,6 +141,7 @@ impl FabView for FabRd<'_> {
 
     #[inline]
     fn get(&self, p: IntVect, c: usize) -> f64 {
+        record_access(self.raw.ptr as usize as u64, false, IndexBox::new(p, p));
         // SAFETY: `offset` debug-asserts `p` inside the fab box; the
         // constructor's contract guarantees the allocation is live and no
         // unordered writer touches the cells this view reads.
@@ -142,6 +153,13 @@ impl FabView for FabRd<'_> {
         debug_assert!(
             p[0] + out.len() as i64 - 1 <= self.raw.bx.hi()[0],
             "row leaves box"
+        );
+        let mut row_end = p;
+        row_end[0] += out.len() as i64 - 1;
+        record_access(
+            self.raw.ptr as usize as u64,
+            false,
+            IndexBox::new(p, row_end),
         );
         // SAFETY: x-rows are contiguous in fab storage; `offset` debug-asserts
         // `p` inside the fab box and the assert above keeps the row end in
@@ -205,6 +223,7 @@ impl<'a> FabRw<'a> {
     /// Value at cell `p`, component `c`.
     #[inline]
     pub fn get(&self, p: IntVect, c: usize) -> f64 {
+        record_access(self.raw.ptr as usize as u64, false, IndexBox::new(p, p));
         // SAFETY: bounds debug-asserted by `offset`; the constructor's
         // contract orders this read against any writer of the cell.
         unsafe { *self.raw.ptr.add(self.raw.offset(p, c)) }
@@ -213,6 +232,7 @@ impl<'a> FabRw<'a> {
     /// Stores `v` at cell `p`, component `c`.
     #[inline]
     pub fn set(&mut self, p: IntVect, c: usize, v: f64) {
+        record_access(self.raw.ptr as usize as u64, true, IndexBox::new(p, p));
         // SAFETY: bounds debug-asserted by `offset`; the constructor's
         // contract gives this view exclusive access to the cells it writes.
         unsafe { *self.raw.ptr.add(self.raw.offset(p, c)) = v };

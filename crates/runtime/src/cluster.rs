@@ -130,6 +130,20 @@ pub enum CommError {
         /// The configured queue bound.
         cap: usize,
     },
+    /// A received payload had the wrong length for the decoder consuming it
+    /// (a tag collision delivering a foreign packet, or corruption that
+    /// slipped past the transport's repair layer). The packet crossed the
+    /// wire, so its shape is not a local invariant this rank may assert.
+    MalformedPayload {
+        /// Source rank of the offending packet.
+        src: usize,
+        /// Tag under which it was matched.
+        tag: u64,
+        /// Bytes the decoder needed.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -148,6 +162,15 @@ impl std::fmt::Display for CommError {
             CommError::QueueOverflow { cap } => {
                 write!(f, "unexpected-message queue overflowed its bound of {cap}")
             }
+            CommError::MalformedPayload {
+                src,
+                tag,
+                expected,
+                got,
+            } => write!(
+                f,
+                "payload from rank {src} tag {tag:#x} is {got} bytes, decoder needs {expected}"
+            ),
         }
     }
 }
@@ -905,10 +928,7 @@ impl<'a> GroupEndpoint<'a> {
                 let partner = rank + step;
                 if partner < n {
                     let payload = self.recv_matched(partner, reduce_tag)?;
-                    acc = combine(
-                        acc,
-                        f64::from_le_bytes(payload.as_ref().try_into().unwrap()),
-                    );
+                    acc = combine(acc, decode_f64(&payload, partner, reduce_tag)?);
                 }
             } else if rank % (2 * step) == step {
                 self.send(rank - step, reduce_tag, Bytes::copy_from_slice(&acc.to_le_bytes()));
@@ -931,11 +951,29 @@ impl<'a> GroupEndpoint<'a> {
                 }
             } else if rank % (2 * s) == s {
                 let payload = self.recv_matched(rank - s, bcast_tag)?;
-                acc = f64::from_le_bytes(payload.as_ref().try_into().unwrap());
+                acc = decode_f64(&payload, rank - s, bcast_tag)?;
             }
         }
         Ok(acc)
     }
+}
+
+/// Decodes a little-endian `f64` collective payload, mapping a wrong-sized
+/// packet to [`CommError::MalformedPayload`] instead of panicking: the bytes
+/// arrived from another rank, so their length is an input to validate, not
+/// an invariant to assert.
+fn decode_f64(payload: &Bytes, src: usize, tag: u64) -> Result<f64, CommError> {
+    let bytes: [u8; 8] =
+        payload
+            .as_ref()
+            .try_into()
+            .map_err(|_| CommError::MalformedPayload {
+                src,
+                tag,
+                expected: 8,
+                got: payload.len(),
+            })?;
+    Ok(f64::from_le_bytes(bytes))
 }
 
 impl RankEndpoint {

@@ -39,6 +39,7 @@ pub mod chaos;
 pub mod cluster;
 pub mod pool;
 pub mod sim;
+pub mod taskcheck;
 pub mod taskgraph;
 pub mod topology;
 
@@ -48,5 +49,9 @@ pub use cluster::{
 };
 pub use pool::{default_threads, parallel_for, parallel_for_each_mut, parallel_zip_mut};
 pub use sim::{CommOp, SimComm};
-pub use taskgraph::{StageError, TaskGraph, TaskHandle};
+pub use taskcheck::{
+    verify_cross_rank, Access, Footprint, RankSchedule, Region, ScheduleSpec, Verification,
+    Violation,
+};
+pub use taskgraph::{Schedule, StageError, TaskGraph, TaskHandle};
 pub use topology::Topology;

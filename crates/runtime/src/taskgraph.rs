@@ -29,10 +29,45 @@
 //!   small test problems want.
 
 use crate::cluster::CommError;
+use crate::taskcheck::{Footprint, ScheduleSpec};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+
+/// How a built [`TaskGraph`] is executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// The production executor: up to `threads` workers drain ready tasks
+    /// in queue order (inline serial execution when `threads <= 1`).
+    Pool {
+        /// Worker count.
+        threads: usize,
+    },
+    /// The adversarial executor: single-threaded, but free to pick *any*
+    /// legal topological linearization. Seed 0 is the deterministic
+    /// worst-case reverse-priority order (always the highest-index ready
+    /// task — the mirror image of insertion order); any other seed drives a
+    /// splitmix64 stream of arbitrary legal choices. The invariance suites
+    /// use this to prove results are bitwise-identical under any schedule
+    /// the dependency edges permit (DESIGN.md §4i).
+    Adversarial {
+        /// Choice seed (`0` = reverse-priority).
+        seed: u64,
+    },
+}
+
+impl Schedule {
+    /// The production pool schedule.
+    pub fn pool(threads: usize) -> Schedule {
+        Schedule::Pool { threads }
+    }
+
+    /// A seeded adversarial schedule (see [`Schedule::Adversarial`]).
+    pub fn adversarial(seed: u64) -> Schedule {
+        Schedule::Adversarial { seed }
+    }
+}
 
 /// A recoverable failure of one distributed RK-stage execution — what
 /// [`TaskGraph::try_run_with_progress`] returns instead of hanging peers or
@@ -139,6 +174,8 @@ pub struct TaskGraph<'env> {
     tasks: Vec<Task<'env>>,
     /// Indices of event tasks (subset of `tasks`).
     events: Vec<usize>,
+    /// Declared data footprints, aligned with `tasks` (default = undeclared).
+    footprints: Vec<Footprint>,
 }
 
 impl<'env> TaskGraph<'env> {
@@ -148,6 +185,7 @@ impl<'env> TaskGraph<'env> {
             id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
             tasks: Vec::new(),
             events: Vec::new(),
+            footprints: Vec::new(),
         }
     }
 
@@ -171,6 +209,19 @@ impl<'env> TaskGraph<'env> {
     where
         F: FnOnce() + Send + 'env,
     {
+        self.add_task_with(deps, Footprint::default(), f)
+    }
+
+    /// Like [`TaskGraph::add_task`], with a declared data [`Footprint`]: the
+    /// `(fab, component range, box)` regions the closure reads and writes.
+    /// Footprints feed the static schedule verifier
+    /// ([`TaskGraph::schedule_spec`]) and, under the `taskcheck` feature,
+    /// the dynamic detector's under-declaration audit — they do not affect
+    /// execution.
+    pub fn add_task_with<F>(&mut self, deps: &[TaskHandle], fp: Footprint, f: F) -> TaskHandle
+    where
+        F: FnOnce() + Send + 'env,
+    {
         let mut dep_idx = Vec::with_capacity(deps.len());
         for d in deps {
             assert_eq!(
@@ -186,6 +237,7 @@ impl<'env> TaskGraph<'env> {
             work: Work::Job(Box::new(f)),
             deps: dep_idx,
         });
+        self.footprints.push(fp);
         TaskHandle {
             graph: self.id,
             idx,
@@ -212,10 +264,23 @@ impl<'env> TaskGraph<'env> {
             work: Work::Event(Box::new(ready)),
             deps: Vec::new(),
         });
+        self.footprints.push(Footprint::default());
         TaskHandle {
             graph: self.id,
             idx,
         }
+    }
+
+    /// The pure dependency + footprint structure of this graph, decoupled
+    /// from the closures — what [`ScheduleSpec::verify`] proves race-free,
+    /// and what the fab spec builders assert their mirrored specs against
+    /// (the anti-drift check of DESIGN.md §4i).
+    pub fn schedule_spec(&self) -> ScheduleSpec {
+        let mut spec = ScheduleSpec::new();
+        for (t, fp) in self.tasks.iter().zip(&self.footprints) {
+            spec.add(&t.deps, fp.clone());
+        }
+        spec
     }
 
     /// Executes every task, honouring dependencies, on up to `threads`
@@ -227,11 +292,22 @@ impl<'env> TaskGraph<'env> {
     /// Panics if the graph contains event tasks — those only make sense
     /// with a progress pump, so use [`TaskGraph::run_with_progress`].
     pub fn run(self, threads: usize) {
+        self.run_schedule(Schedule::pool(threads));
+    }
+
+    /// Executes every task under the given [`Schedule`]. Semantics match
+    /// [`TaskGraph::run`] (panic rethrow, no event tasks permitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains event tasks — those only make sense
+    /// with a progress pump, so use [`TaskGraph::run_schedule_with_progress`].
+    pub fn run_schedule(self, sched: Schedule) {
         assert!(
             self.events.is_empty(),
             "graphs with event tasks need run_with_progress (a progress pump)"
         );
-        self.run_with_progress(threads, &mut || {});
+        self.run_schedule_with_progress(sched, &mut || {});
     }
 
     /// Executes every task, honouring dependencies, on up to `threads`
@@ -248,7 +324,14 @@ impl<'env> TaskGraph<'env> {
     /// while workers keep draining ready compute tasks — no worker ever
     /// blocks on communication.
     pub fn run_with_progress(self, threads: usize, progress: &mut (dyn FnMut() + '_)) {
-        match self.run_inner(threads, &mut || {
+        self.run_schedule_with_progress(Schedule::pool(threads), progress);
+    }
+
+    /// Executes every task under the given [`Schedule`] with `progress`
+    /// pumped between event polls — the schedule-generic form of
+    /// [`TaskGraph::run_with_progress`].
+    pub fn run_schedule_with_progress(self, sched: Schedule, progress: &mut (dyn FnMut() + '_)) {
+        match self.run_inner(sched, &mut || {
             progress();
             Ok(())
         }) {
@@ -269,7 +352,19 @@ impl<'env> TaskGraph<'env> {
         threads: usize,
         progress: &mut (dyn FnMut() -> Result<(), StageError> + '_),
     ) -> Result<(), StageError> {
-        match self.run_inner(threads, progress) {
+        self.try_run_schedule_with_progress(Schedule::pool(threads), progress)
+    }
+
+    /// Fault-tolerant schedule-generic runner — the form of
+    /// [`TaskGraph::try_run_with_progress`] the distributed invariance
+    /// suites use to drive adversarial linearizations through the
+    /// overlapped cross-rank stage.
+    pub fn try_run_schedule_with_progress(
+        self,
+        sched: Schedule,
+        progress: &mut (dyn FnMut() -> Result<(), StageError> + '_),
+    ) -> Result<(), StageError> {
+        match self.run_inner(sched, progress) {
             Ok(()) => Ok(()),
             Err(Failure::Panic(p)) => Err(StageError::TaskPanic {
                 message: panic_message(p.as_ref()),
@@ -278,26 +373,50 @@ impl<'env> TaskGraph<'env> {
         }
     }
 
-    /// Shared executor behind both runners. Panics are always caught and
-    /// returned with their original payload, so the infallible wrapper can
+    /// Builds the dynamic race tracker for this graph (a no-op token when
+    /// the `taskcheck` feature is off).
+    fn make_tracker(&self) -> Tracker {
+        #[cfg(feature = "taskcheck")]
+        {
+            let deps: Vec<Vec<usize>> = self.tasks.iter().map(|t| t.deps.clone()).collect();
+            crate::taskcheck::RunTracker::new(deps, self.footprints.clone())
+        }
+        #[cfg(not(feature = "taskcheck"))]
+        Tracker
+    }
+
+    /// Shared executor behind every runner. Panics are always caught and
+    /// returned with their original payload, so the infallible wrappers can
     /// rethrow them unchanged.
     fn run_inner(
         self,
-        threads: usize,
+        sched: Schedule,
         progress: &mut (dyn FnMut() -> Result<(), StageError> + '_),
     ) -> Result<(), Failure> {
         let n = self.tasks.len();
         if n == 0 {
             return Ok(());
         }
+        let tracker = self.make_tracker();
+        if let Schedule::Adversarial { seed } = sched {
+            self.run_adversarial(seed, progress, &tracker)?;
+            check_tracker(&tracker);
+            return Ok(());
+        }
+        let Schedule::Pool { threads } = sched else {
+            unreachable!()
+        };
         if threads <= 1 || n == 1 {
             // Insertion order is a topological order (deps point backwards).
             // A failure drops the remaining tasks — the fault-tolerant
             // caller rolls the whole stage back anyway.
-            for t in self.tasks {
+            for (i, t) in self.tasks.into_iter().enumerate() {
                 match t.work {
                     Work::Job(run) => {
-                        catch_unwind(AssertUnwindSafe(run)).map_err(Failure::Panic)?;
+                        let scope = enter_scope(&tracker, i);
+                        let result = catch_unwind(AssertUnwindSafe(run));
+                        drop(scope);
+                        result.map_err(Failure::Panic)?;
                     }
                     Work::Event(mut ready) => {
                         while !ready() {
@@ -307,6 +426,7 @@ impl<'env> TaskGraph<'env> {
                     }
                 }
             }
+            check_tracker(&tracker);
             return Ok(());
         }
 
@@ -391,7 +511,10 @@ impl<'env> TaskGraph<'env> {
                         .expect("job slot poisoned")
                         .take()
                         .expect("task scheduled twice");
-                    match catch_unwind(AssertUnwindSafe(job)) {
+                    let scope = enter_scope(&tracker, i);
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    drop(scope);
+                    match result {
                         Ok(()) => finish(i),
                         Err(payload) => {
                             let mut slot = panic_slot.lock().expect("panic slot poisoned");
@@ -454,9 +577,162 @@ impl<'env> TaskGraph<'env> {
         if let Some(e) = pump_err {
             return Err(Failure::Pump(e));
         }
+        check_tracker(&tracker);
+        Ok(())
+    }
+
+    /// The adversarial executor behind [`Schedule::Adversarial`]:
+    /// single-threaded Kahn's algorithm where the next ready job is chosen
+    /// by the seed instead of queue order. Events are polled between picks
+    /// with the progress pump, exactly like the serial pool path; because a
+    /// ready job always runs in preference to spinning on events, every
+    /// pack/send job a pending receive transitively needs still drains
+    /// first, so the liveness argument of the serial path carries over.
+    fn run_adversarial(
+        self,
+        seed: u64,
+        progress: &mut (dyn FnMut() -> Result<(), StageError> + '_),
+        tracker: &Tracker,
+    ) -> Result<(), Failure> {
+        let n = self.tasks.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            indeg[i] = t.deps.len();
+            for &d in &t.deps {
+                succs[d].push(i);
+            }
+        }
+        let mut works: Vec<Option<Work<'env>>> = Vec::with_capacity(n);
+        for t in self.tasks {
+            works.push(Some(t.work));
+        }
+        // Events have no dependencies (add_event invariant), so all of them
+        // are pollable from the start and never enter the ready-job set.
+        let mut pending_events: Vec<usize> = self.events;
+        let mut ready_jobs: Vec<usize> = (0..n)
+            .filter(|&i| indeg[i] == 0 && !matches!(works[i], Some(Work::Event(_))))
+            .collect();
+        let mut rng = seed;
+        let mut done = 0usize;
+        while done < n {
+            // Poll events first: firing one may release new ready jobs.
+            let mut fired = false;
+            let mut k = 0;
+            while k < pending_events.len() {
+                let i = pending_events[k];
+                let is_ready = match works[i].as_mut() {
+                    Some(Work::Event(p)) => p(),
+                    _ => unreachable!("event slot holds a non-event"),
+                };
+                if is_ready {
+                    works[i] = None;
+                    pending_events.swap_remove(k);
+                    fired = true;
+                    done += 1;
+                    for &s in &succs[i] {
+                        indeg[s] -= 1;
+                        if indeg[s] == 0 {
+                            ready_jobs.push(s);
+                        }
+                    }
+                } else {
+                    k += 1;
+                }
+            }
+            if ready_jobs.is_empty() {
+                if fired {
+                    continue;
+                }
+                debug_assert!(
+                    !pending_events.is_empty(),
+                    "no ready task on an incomplete DAG"
+                );
+                progress().map_err(Failure::Pump)?;
+                std::thread::yield_now();
+                continue;
+            }
+            // The adversarial pick: seed 0 always takes the highest-index
+            // ready task; other seeds draw from a splitmix64 stream.
+            let pos = if seed == 0 {
+                let mut best = 0;
+                for (p, &i) in ready_jobs.iter().enumerate() {
+                    if i > ready_jobs[best] {
+                        best = p;
+                    }
+                }
+                best
+            } else {
+                (splitmix64(&mut rng) % ready_jobs.len() as u64) as usize
+            };
+            let i = ready_jobs.swap_remove(pos);
+            let Some(Work::Job(job)) = works[i].take() else {
+                unreachable!("ready set holds a non-job")
+            };
+            let scope = enter_scope(tracker, i);
+            let result = catch_unwind(AssertUnwindSafe(job));
+            drop(scope);
+            result.map_err(Failure::Panic)?;
+            done += 1;
+            for &s in &succs[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready_jobs.push(s);
+                }
+            }
+        }
         Ok(())
     }
 }
+
+/// One step of the splitmix64 generator — the adversarial schedule's choice
+/// stream (tiny, seedable, and dependency-free).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Dynamic-tracker plumbing: a real reachability/footprint tracker with the
+/// `taskcheck` feature, a zero-sized token without it — so the executor
+/// paths stay free of `cfg` noise.
+#[cfg(feature = "taskcheck")]
+type Tracker = std::sync::Arc<crate::taskcheck::RunTracker>;
+#[cfg(not(feature = "taskcheck"))]
+#[derive(Clone, Copy)]
+struct Tracker;
+
+#[cfg(feature = "taskcheck")]
+use crate::taskcheck::TaskScope;
+#[cfg(not(feature = "taskcheck"))]
+struct TaskScope;
+
+// A (no-op) Drop keeps the executors' explicit `drop(scope)` flush points
+// meaningful in both builds (clippy::drop_non_drop).
+#[cfg(not(feature = "taskcheck"))]
+impl Drop for TaskScope {
+    fn drop(&mut self) {}
+}
+
+#[cfg(feature = "taskcheck")]
+fn enter_scope(tracker: &Tracker, task: usize) -> TaskScope {
+    TaskScope::enter(tracker, task)
+}
+
+#[cfg(not(feature = "taskcheck"))]
+fn enter_scope(_tracker: &Tracker, _task: usize) -> TaskScope {
+    TaskScope
+}
+
+#[cfg(feature = "taskcheck")]
+fn check_tracker(tracker: &Tracker) {
+    tracker.check();
+}
+
+#[cfg(not(feature = "taskcheck"))]
+fn check_tracker(_tracker: &Tracker) {}
 
 impl Default for TaskGraph<'_> {
     fn default() -> Self {
@@ -723,15 +999,172 @@ mod tests {
         assert_eq!(done.load(Ordering::Relaxed), 16);
     }
 
+    /// Like [`record_order`], under an arbitrary schedule.
+    fn record_order_sched(deps: &[Vec<usize>], sched: Schedule) -> Vec<usize> {
+        let order = Mutex::new(Vec::new());
+        let mut g = TaskGraph::new();
+        let mut handles: Vec<TaskHandle> = Vec::new();
+        for (i, d) in deps.iter().enumerate() {
+            let hd: Vec<TaskHandle> = d.iter().map(|&j| handles[j]).collect();
+            let order = &order;
+            handles.push(g.add_task(&hd, move || {
+                order.lock().unwrap().push(i);
+            }));
+        }
+        g.run_schedule(sched);
+        order.into_inner().unwrap()
+    }
+
+    #[test]
+    fn adversarial_seed_zero_is_reverse_priority() {
+        // Independent tasks: the worst-case order is exactly reversed
+        // insertion order, the mirror image of the serial pool path.
+        let deps: Vec<Vec<usize>> = (0..16).map(|_| vec![]).collect();
+        let order = record_order_sched(&deps, Schedule::adversarial(0));
+        assert_eq!(order, (0..16).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adversarial_schedules_respect_dependencies() {
+        // diamond + a tail chain
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2], vec![3], vec![]];
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+            let order = record_order_sched(&deps, Schedule::adversarial(seed));
+            assert_topological(&deps, &order);
+        }
+    }
+
+    #[test]
+    fn adversarial_runner_handles_events_and_errors() {
+        // Event gate under the adversarial runner: the "packet" arrives on
+        // the third pump, exactly like the pool-path event test.
+        let pumps = TestAtomicU64::new(0);
+        let arrived = AtomicBool::new(false);
+        let ran = TestAtomicU64::new(0);
+        let mut g = TaskGraph::new();
+        let ev = g.add_event(|| arrived.load(Ordering::Acquire));
+        let ran_ref = &ran;
+        g.add_task(&[ev], move || {
+            ran_ref.fetch_add(1, Ordering::Relaxed);
+        });
+        g.try_run_schedule_with_progress(Schedule::adversarial(3), &mut || {
+            if pumps.fetch_add(1, Ordering::Relaxed) + 1 >= 3 {
+                arrived.store(true, Ordering::Release);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+
+        // Panics become typed stage errors, same as the pool runner.
+        let mut g = TaskGraph::new();
+        g.add_task(&[], || panic!("kernel blew up"));
+        let err = g
+            .try_run_schedule_with_progress(Schedule::adversarial(0), &mut || Ok(()))
+            .expect_err("panic must surface");
+        assert_eq!(
+            err,
+            StageError::TaskPanic {
+                message: "kernel blew up".into()
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_spec_mirrors_the_graph() {
+        use crate::taskcheck::Footprint;
+        let mut g = TaskGraph::new();
+        let a = g.add_task_with(&[], Footprint::new("a"), || {});
+        let b = g.add_event(|| true);
+        g.add_task_with(&[a, b], Footprint::new("c"), || {});
+        let spec = g.schedule_spec();
+        assert_eq!(spec.len(), 3);
+        assert_eq!(spec.label(0), "a");
+        assert_eq!(spec.deps(2), &[0, 1]);
+        assert!(spec.verify().violations.is_empty());
+        g.run_with_progress(1, &mut || {});
+    }
+
+    /// Dynamic detector integration: unordered overlapping writes recorded
+    /// during execution trip the post-run audit on every executor path;
+    /// ordered graphs pass it; and accesses to fabs no footprint declares
+    /// are out of the schedule's scope and never trap (task-local scratch,
+    /// other-level data).
+    #[cfg(feature = "taskcheck")]
+    #[test]
+    fn dynamic_detector_traps_executed_races() {
+        use crate::taskcheck::{record_access, Footprint};
+        use crocco_geometry::{IndexBox, IntVect};
+        let bx = IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(3, 3, 3));
+        let fp = |l: &str| Footprint::new(l).writes(1, (0, 1), bx);
+        for sched in [
+            Schedule::pool(1),
+            Schedule::pool(4),
+            Schedule::adversarial(0),
+        ] {
+            // Two unordered tasks writing the same box of the same fab.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut g = TaskGraph::new();
+                g.add_task_with(&[], fp("w1"), move || record_access(1, true, bx));
+                g.add_task_with(&[], fp("w2"), move || record_access(1, true, bx));
+                g.run_schedule(sched);
+            }));
+            let msg = panic_message(result.expect_err("race must trap").as_ref());
+            assert!(msg.contains("taskcheck"), "unexpected panic: {msg}");
+
+            // The same accesses with an ordering edge pass.
+            let mut g = TaskGraph::new();
+            let a = g.add_task_with(&[], fp("w1"), move || record_access(1, true, bx));
+            g.add_task_with(&[a], fp("w2"), move || record_access(1, true, bx));
+            g.run_schedule(sched);
+
+            // Unordered overlapping writes to a fab *no* footprint declares
+            // are out-of-graph data the schedule does not arbitrate: clean.
+            let mut g = TaskGraph::new();
+            g.add_task_with(&[], fp("w1"), move || record_access(99, true, bx));
+            g.add_task_with(&[], fp("w2"), move || record_access(99, true, bx));
+            g.run_schedule(sched);
+        }
+    }
+
+    /// Dynamic detector integration: a task with a declared footprint that
+    /// touches cells outside it is an under-declaration the static pass
+    /// would have trusted — the audit traps it.
+    #[cfg(feature = "taskcheck")]
+    #[test]
+    fn dynamic_detector_traps_underdeclared_footprints() {
+        use crate::taskcheck::{record_access, Footprint};
+        use crocco_geometry::{IndexBox, IntVect};
+        let declared = IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(3, 3, 3));
+        let outside = IndexBox::new(IntVect::new(10, 0, 0), IntVect::new(11, 1, 1));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = TaskGraph::new();
+            g.add_task_with(&[], Footprint::new("liar").writes(5, (0, 1), declared), move || {
+                record_access(5, true, outside);
+            });
+            g.run(1);
+        }));
+        let msg = panic_message(result.expect_err("under-declaration must trap").as_ref());
+        assert!(msg.contains("under-declared"), "unexpected panic: {msg}");
+
+        // Honest declaration passes.
+        let mut g = TaskGraph::new();
+        g.add_task_with(&[], Footprint::new("honest").writes(5, (0, 1), declared), move || {
+            record_access(5, true, declared);
+        });
+        g.run(1);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         /// Random DAGs (deps always point to earlier tasks) execute in
-        /// topological order on both the serial and the threaded path.
+        /// topological order on the serial, threaded, and adversarial paths.
         #[test]
         fn random_dags_execute_topologically(
             raw in prop::collection::vec(prop::collection::vec(any::<usize>(), 0..4), 1..40),
             threads in prop::sample::select(vec![1usize, 2, 4, 8]),
+            seed in any::<u64>(),
         ) {
             let deps: Vec<Vec<usize>> = raw
                 .iter()
@@ -746,6 +1179,93 @@ mod tests {
                 .collect();
             let order = record_order(&deps, threads);
             assert_topological(&deps, &order);
+            let order = record_order_sched(&deps, Schedule::adversarial(seed));
+            assert_topological(&deps, &order);
+        }
+    }
+
+    /// The soundness bridge between the static and dynamic passes: any graph
+    /// the static verifier declares clean must execute without tripping the
+    /// dynamic race detector, on any legal linearization, when every task
+    /// touches exactly what it declared.
+    #[cfg(feature = "taskcheck")]
+    mod clean_graphs {
+        use super::*;
+        use crate::taskcheck::{record_access, Footprint};
+        use crocco_geometry::{IndexBox, IntVect};
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn verifier_clean_graphs_never_trip_the_dynamic_detector(
+                raw_deps in prop::collection::vec(prop::collection::vec(any::<usize>(), 0..3), 1..16),
+                raw_accs in prop::collection::vec(
+                    prop::collection::vec(
+                        (0u64..3, any::<bool>(), 0i64..6, 1i64..4),
+                        0..3,
+                    ),
+                    1..16,
+                ),
+                seed in any::<u64>(),
+            ) {
+                let n = raw_deps.len();
+                let mut fps = Vec::with_capacity(n);
+                let mut deps_list = Vec::with_capacity(n);
+                for (i, d) in raw_deps.iter().enumerate() {
+                    let deps: Vec<usize> = if i == 0 {
+                        Vec::new()
+                    } else {
+                        d.iter().map(|&r| r % i).collect()
+                    };
+                    let mut fp = Footprint::new(format!("t{i}"));
+                    for &(fab, write, lo, len) in
+                        raw_accs.get(i).map(Vec::as_slice).unwrap_or(&[])
+                    {
+                        let b = IndexBox::new(
+                            IntVect::new(lo, 0, 0),
+                            IntVect::new(lo + len - 1, 1, 1),
+                        );
+                        fp = if write {
+                            fp.writes(fab, (0, 1), b)
+                        } else {
+                            fp.reads(fab, (0, 1), b)
+                        };
+                    }
+                    fps.push(fp);
+                    deps_list.push(deps);
+                }
+                // Only verifier-clean graphs are in scope.
+                let mut spec = crate::taskcheck::ScheduleSpec::new();
+                for (deps, fp) in deps_list.iter().zip(&fps) {
+                    spec.add(deps, fp.clone());
+                }
+                if spec.verify().violations.is_empty() {
+                    // Each task touches exactly its declared regions; a trap
+                    // here would be a false positive in the dynamic detector.
+                    for sched in [Schedule::pool(2), Schedule::adversarial(seed)] {
+                        let mut g = TaskGraph::new();
+                        let mut handles: Vec<TaskHandle> = Vec::with_capacity(n);
+                        for (deps, fp) in deps_list.iter().zip(&fps) {
+                            let accs: Vec<(bool, u64, IndexBox)> = fp
+                                .accesses()
+                                .iter()
+                                .map(|&(a, r)| {
+                                    (a == crate::taskcheck::Access::Write, r.fab, r.bx)
+                                })
+                                .collect();
+                            let dep_handles: Vec<TaskHandle> =
+                                deps.iter().map(|&d| handles[d]).collect();
+                            handles.push(g.add_task_with(&dep_handles, fp.clone(), move || {
+                                for &(w, fab, bx) in &accs {
+                                    record_access(fab, w, bx);
+                                }
+                            }));
+                        }
+                        g.run_schedule(sched);
+                    }
+                }
+            }
         }
     }
 }

@@ -16,7 +16,18 @@
 //!    kernel backend (DESIGN.md §4h) is *stable, safe* Rust by design, and
 //!    this keeps later "just one intrinsic" optimizations from eroding
 //!    that: vectorization must come from lane-array loops the compiler can
-//!    autovectorize, not from per-ISA escape hatches.
+//!    autovectorize, not from per-ISA escape hatches;
+//! 6. raw fab views (`FabRd`/`FabRw`/`RawFab`) are constructed only inside
+//!    the fab view layer itself — everywhere else goes through the safe
+//!    `crocco_fab::with_rw` adapter, so the taskcheck access recorder
+//!    (DESIGN.md §4i) observes every view that touches fab memory.
+//!
+//! The scanner also emits one *advisory* (never-failing) metric: the
+//! `unwrap()`/`expect()` count in the non-test code of the network-facing
+//! runtime modules and the plan builder, where a panic fail-stops a whole
+//! simulated rank. Wire-reachable decode paths must return typed
+//! `CommError`/`StageError` values instead; the count keeps the residue
+//! (lock-poisoning and local-invariant asserts) visible in CI logs.
 //!
 //! The scanner is a small hand-rolled Rust lexer (line/nested-block comments,
 //! string/raw-string/char literals, char-vs-lifetime disambiguation):
@@ -52,6 +63,37 @@ const BANNED_MACROS: &[&str] = &["todo", "unimplemented", "dbg"];
 /// on stable Rust; there is no allowlist for these.
 const BANNED_PATHS: &[&str] = &["std::arch", "core::arch", "std::simd", "core::simd"];
 
+/// Modules allowed to construct raw fab views directly (rule 6). The list
+/// equals [`UNSAFE_ALLOWLIST`] by design: raw views exist exactly for the
+/// plan-execution path, and keeping construction there means the taskcheck
+/// access recorder wired into the view layer sees every fab access.
+const RAW_VIEW_ALLOWLIST: &[&str] = &[
+    "crates/fab/src/multifab.rs",
+    "crates/fab/src/view.rs",
+    "crates/fab/src/overlap.rs",
+    "crates/fab/src/dist_overlap.rs",
+];
+
+/// Raw-view constructor tokens banned outside [`RAW_VIEW_ALLOWLIST`].
+const RAW_VIEW_TOKENS: &[&str] = &[
+    "FabRd::new",
+    "FabRd::from_raw",
+    "FabRw::from_mut",
+    "FabRw::from_raw",
+    "RawFab::capture",
+    "RawFab::capture_const",
+];
+
+/// Files whose non-test `unwrap()`/`expect()` count is reported as an
+/// advisory metric: a panic here fail-stops a simulated rank, so
+/// wire-reachable decoding must use typed errors and the residue should
+/// stay visible. Counting stops at the first `#[cfg(test)]` line.
+const UNWRAP_AUDIT: &[&str] = &[
+    "crates/runtime/src/cluster.rs",
+    "crates/runtime/src/chaos.rs",
+    "crates/fab/src/plan.rs",
+];
+
 /// One `file:line: message` finding.
 pub struct Diagnostic {
     pub path: PathBuf,
@@ -64,6 +106,9 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     pub files_scanned: usize,
     pub unsafe_sites: usize,
+    /// Advisory `unwrap()`/`expect()` counts for the [`UNWRAP_AUDIT`] files
+    /// (non-test code only). Informational — never fails the lint.
+    pub unwrap_audit: Vec<(PathBuf, usize)>,
 }
 
 /// Lints every `.rs` file under `root` (minus [`SKIP_DIRS`]) plus the
@@ -77,6 +122,7 @@ pub fn lint_root(root: &Path) -> Report {
         diagnostics: Vec::new(),
         files_scanned: files.len(),
         unsafe_sites: 0,
+        unwrap_audit: Vec::new(),
     };
     let roots = crate_roots(root);
     for rel in &files {
@@ -101,6 +147,7 @@ pub fn lint_root(root: &Path) -> Report {
 fn lint_file(rel: &Path, rel_str: &str, src: &str, is_crate_root: bool, report: &mut Report) {
     let stripped = strip(src);
     let allowlisted = UNSAFE_ALLOWLIST.contains(&rel_str);
+    let view_allowed = RAW_VIEW_ALLOWLIST.contains(&rel_str);
 
     for (idx, line) in stripped.code.iter().enumerate() {
         let lineno = idx + 1;
@@ -147,6 +194,29 @@ fn lint_file(rel: &Path, rel_str: &str, src: &str, is_crate_root: bool, report: 
                 });
             }
         }
+        if !view_allowed {
+            for tok in RAW_VIEW_TOKENS {
+                if token_pos(line, tok).is_some() {
+                    report.diagnostics.push(Diagnostic {
+                        path: rel.to_path_buf(),
+                        line: lineno,
+                        message: format!(
+                            "`{tok}` outside the fab view layer ({}); go \
+                             through `crocco_fab::with_rw` or a plan-level \
+                             API so the taskcheck access recorder sees the \
+                             view (DESIGN.md §4i)",
+                            RAW_VIEW_ALLOWLIST.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if UNWRAP_AUDIT.contains(&rel_str) {
+        report
+            .unwrap_audit
+            .push((rel.to_path_buf(), count_unwraps(&stripped)));
     }
 
     if is_crate_root && !FORBID_EXEMPT_ROOTS.contains(&rel_str) {
@@ -185,6 +255,20 @@ fn has_safety_comment(stripped: &Stripped, idx: usize) -> bool {
         }
     }
     false
+}
+
+/// Counts `.unwrap(` / `.expect(` occurrences in the non-test code lines of
+/// a stripped file (everything before the first `#[cfg(test)]`). String and
+/// comment occurrences were already blanked by the lexer.
+fn count_unwraps(stripped: &Stripped) -> usize {
+    let mut n = 0;
+    for line in &stripped.code {
+        if line.split_whitespace().collect::<String>() == "#[cfg(test)]" {
+            break;
+        }
+        n += line.matches(".unwrap(").count() + line.matches(".expect(").count();
+    }
+    n
 }
 
 /// Position of `word` in `line` as a standalone token (identifier
@@ -611,6 +695,57 @@ mod tests {
     }
 
     #[test]
+    fn fixture_raw_views_banned_outside_fab_view_layer() {
+        let fx = Fixture::new();
+        fx.write("Cargo.toml", "[package]\nname = \"fx\"\n");
+        fx.write(
+            "src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn f(fab: &mut F) { let mut rw = FabRw::from_mut(fab); rw.set(p, 0, 1.0); }\n\
+             // FabRd::new in a comment is fine\n\
+             pub const DOC: &str = \"RawFab::capture in a string is fine\";\n",
+        );
+        // The same constructor inside the allowlisted view module passes.
+        fx.write("crates/fab/Cargo.toml", "[package]\nname = \"fab\"\n");
+        fx.write("crates/fab/src/lib.rs", "pub mod view;\n");
+        fx.write(
+            "crates/fab/src/view.rs",
+            "pub fn with_rw(fab: &mut F) { let _rw = FabRw::from_mut(fab); }\n",
+        );
+        let report = lint_root(&fx.root);
+        let msgs = messages(&report);
+        assert_eq!(report.diagnostics.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("src/lib.rs:2"), "{msgs:?}");
+        assert!(
+            msgs[0].contains("`FabRw::from_mut` outside the fab view layer"),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_unwrap_audit_counts_non_test_code_only() {
+        let fx = Fixture::new();
+        fx.write("Cargo.toml", "[package]\nname = \"fx\"\n");
+        fx.write("src/lib.rs", "#![forbid(unsafe_code)]\n");
+        fx.write("crates/runtime/Cargo.toml", "[package]\nname = \"rt\"\n");
+        fx.write("crates/runtime/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        fx.write(
+            "crates/runtime/src/cluster.rs",
+            "pub fn f(m: &M) { m.lock().expect(\"poisoned\"); }\n\
+             // a comment saying .unwrap() does not count\n\
+             pub fn g(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n\
+             #[cfg(test)]\n\
+             mod tests { fn t() { x().unwrap(); } }\n",
+        );
+        let report = lint_root(&fx.root);
+        assert!(report.diagnostics.is_empty(), "{:?}", messages(&report));
+        assert_eq!(report.unwrap_audit.len(), 1);
+        let (path, n) = &report.unwrap_audit[0];
+        assert!(path.ends_with("cluster.rs"));
+        assert_eq!(*n, 2, "test-module and comment occurrences must not count");
+    }
+
+    #[test]
     fn fixture_strings_and_comments_do_not_trip_rules() {
         let fx = Fixture::new();
         fx.write("Cargo.toml", "[package]\nname = \"fx\"\n");
@@ -640,5 +775,10 @@ mod tests {
         );
         assert!(report.files_scanned > 50, "walk found too few files");
         assert!(report.unsafe_sites > 0, "fab::multifab unsafe sites expected");
+        assert_eq!(
+            report.unwrap_audit.len(),
+            UNWRAP_AUDIT.len(),
+            "every audited file must exist in the workspace"
+        );
     }
 }

@@ -22,6 +22,13 @@ fn main() -> ExitCode {
             for d in &report.diagnostics {
                 eprintln!("{}:{}: {}", d.path.display(), d.line, d.message);
             }
+            for (path, n) in &report.unwrap_audit {
+                eprintln!(
+                    "xtask lint: advisory — {}: {} unwrap()/expect() call(s) in non-test code",
+                    path.display(),
+                    n
+                );
+            }
             if report.diagnostics.is_empty() {
                 eprintln!(
                     "xtask lint: OK — {} files, {} unsafe sites (all allowlisted and justified)",
@@ -44,7 +51,10 @@ fn main() -> ExitCode {
             eprintln!("  lint    enforce the unsafe-code policy (DESIGN.md §4d):");
             eprintln!("          unsafe only in allowlisted modules, every unsafe");
             eprintln!("          justified by a SAFETY comment, crate roots forbid");
-            eprintln!("          unsafe_code, no stray debug/stub macros");
+            eprintln!("          unsafe_code, no stray debug/stub macros, raw fab");
+            eprintln!("          views only in the fab view layer (DESIGN.md §4i),");
+            eprintln!("          plus an advisory unwrap()/expect() census of the");
+            eprintln!("          network-facing runtime modules");
             ExitCode::FAILURE
         }
     }

@@ -140,6 +140,33 @@ fn overlapped_cluster_matches_fenced_serial() {
 }
 
 #[test]
+fn dist_overlap_is_invariant_under_adversarial_schedules() {
+    // Seeded adversarial linearizations (seed 0 = reverse-priority, plus an
+    // arbitrary seed) replace each rank's thread pool with a hostile but
+    // legal topological order of its stage graph. Bitwise identity against
+    // the single-rank reference proves every dependency edge — including
+    // the recv events and send fences — is actually sufficient.
+    let reference = run_single(4);
+    for nranks in ranks_under_test() {
+        for seed in [0u64, 0x9e3779b97f4a7c15] {
+            let cfg = ramp_builder()
+                .nranks(nranks)
+                .threads(2)
+                .dist_overlap(true)
+                .sched_seed(seed)
+                .build();
+            for (rank, bits) in run_cluster(cfg, 4).into_iter().enumerate() {
+                assert!(
+                    reference == bits,
+                    "adversarial schedule (seed {seed:#x}) diverged bitwise at \
+                     nranks={nranks}, rank {rank}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn dist_overlap_composes_with_the_sanitizer() {
     // dist_overlap + fabcheck + nan_poison together: the distributed graph
     // path must satisfy the sanitizer's aliasing proofs and the du poisoning

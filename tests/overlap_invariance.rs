@@ -63,6 +63,30 @@ fn overlap_matches_barrier_bitwise_serial() {
     assert!(barrier == graph, "serial task-graph run diverged bitwise");
 }
 
+#[test]
+fn overlap_is_invariant_under_adversarial_schedules() {
+    // Seeded adversarial linearizations (seed 0 = reverse-priority, plus an
+    // arbitrary seed) replace the thread pool with a hostile but legal
+    // topological order. Bitwise identity against the barrier run is the
+    // taskcheck layer's end-to-end soundness proof: if any dependency edge
+    // were missing, some legal order would expose it as a diverging bit.
+    let barrier = run_bits(ramp_builder(48, 0.5).threads(4).build(), 4);
+    for seed in [0u64, 0x9e3779b97f4a7c15] {
+        let adversarial = run_bits(
+            ramp_builder(48, 0.5)
+                .threads(4)
+                .overlap(true)
+                .sched_seed(seed)
+                .build(),
+            4,
+        );
+        assert!(
+            barrier == adversarial,
+            "adversarial schedule (seed {seed:#x}) diverged bitwise"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(2))]
 
