@@ -1,8 +1,11 @@
 //! `AverageDown`: restrict covered coarse cells to the mean of their fine
 //! children (Algorithm 2, line 11 of the paper).
 
-use crocco_fab::MultiFab;
+use crocco_fab::owned::unpack_chunk_into;
+use crocco_fab::{FArrayBox, MultiFab};
 use crocco_geometry::{IndexBox, IntVect};
+use crocco_runtime::cluster::CommError;
+use crocco_runtime::GroupEndpoint;
 
 /// Sets every coarse cell covered by the fine level to the arithmetic mean of
 /// its `ratio³` covering fine cells, for every component.
@@ -15,20 +18,129 @@ pub fn average_down(fine: &MultiFab, coarse: &mut MultiFab, ratio: IntVect) {
         let cfoot = fbox.coarsen(ratio);
         for (i, overlap) in coarse.boxarray().intersections(cfoot) {
             let ffab = fine.fab(j);
-            for cp in overlap.cells() {
-                let children = IndexBox::new(cp, cp).refine(ratio).intersection(&fbox);
-                debug_assert_eq!(
-                    children.num_points(),
-                    (ratio[0] * ratio[1] * ratio[2]) as u64,
-                    "fine boxes must be ratio-aligned"
-                );
-                for c in 0..ncomp {
-                    let sum: f64 = children.cells().map(|p| ffab.get(p, c)).sum();
-                    coarse.fab_mut(i).set(cp, c, sum * inv);
-                }
-            }
+            restrict_into(ffab, fbox, coarse.fab_mut(i), overlap, ratio, ncomp, inv);
         }
     }
+}
+
+/// The per-chunk restriction kernel shared by the replicated and owned
+/// paths: writes the mean of each coarse cell's `ratio³` children into
+/// `cfab` over `overlap` (a subset of `fbox.coarsen(ratio)`).
+fn restrict_into(
+    ffab: &FArrayBox,
+    fbox: IndexBox,
+    cfab: &mut FArrayBox,
+    overlap: IndexBox,
+    ratio: IntVect,
+    ncomp: usize,
+    inv: f64,
+) {
+    for cp in overlap.cells() {
+        let children = IndexBox::new(cp, cp).refine(ratio).intersection(&fbox);
+        debug_assert_eq!(
+            children.num_points(),
+            (ratio[0] * ratio[1] * ratio[2]) as u64,
+            "fine boxes must be ratio-aligned"
+        );
+        for c in 0..ncomp {
+            let sum: f64 = children.cells().map(|p| ffab.get(p, c)).sum();
+            cfab.set(cp, c, sum * inv);
+        }
+    }
+}
+
+/// [`average_down`] for owned-data MultiFabs on a cluster: the fine owner of
+/// each restriction chunk computes the child means locally and ships only
+/// the restricted coarse cells to the coarse owner.
+///
+/// Every group member enumerates the identical chunk list (fine patch outer,
+/// `coarse.boxarray().intersections` inner — the exact loop order of the
+/// replicated [`average_down`]), so tags derived from the chunk index match
+/// across ranks. Payloads are component-major le-`f64` over
+/// `overlap.cells()` ([`crocco_fab::owned::pack_chunk`] wire format) and the
+/// restriction arithmetic is the same child-sum in the same iteration order,
+/// so the coarse result is bitwise-identical to the replicated restriction.
+/// Chunks whose fine and coarse owner coincide never touch the wire.
+///
+/// `mktag` maps a chunk index to a message tag (callers compose
+/// [`crocco_runtime::tags::owned`] with the `OWNED_REDIST` sub-space and the
+/// stage epoch). A detected fault surfaces as a typed [`CommError`].
+pub fn average_down_dist(
+    fine: &MultiFab,
+    coarse: &mut MultiFab,
+    ratio: IntVect,
+    ep: &GroupEndpoint<'_>,
+    mktag: &dyn Fn(usize) -> u64,
+) -> Result<(), CommError> {
+    assert_eq!(fine.ncomp(), coarse.ncomp());
+    let ncomp = fine.ncomp();
+    let inv = 1.0 / (ratio[0] * ratio[1] * ratio[2]) as f64;
+    let rank = ep.rank();
+
+    // Chunk enumeration, shared by all three passes below. Deterministic and
+    // identical on every rank: it reads only replicated metadata.
+    let chunks: Vec<(usize, usize, IndexBox)> = (0..fine.nfabs())
+        .flat_map(|j| {
+            let cfoot = fine.valid_box(j).coarsen(ratio);
+            coarse
+                .boxarray()
+                .intersections(cfoot)
+                .into_iter()
+                .map(move |(i, overlap)| (j, i, overlap))
+        })
+        .collect();
+
+    // All sends first (buffered transport), so the blocking waits always
+    // have matching traffic in flight on every rank.
+    for (k, &(j, i, overlap)) in chunks.iter().enumerate() {
+        let src_rank = fine.distribution().owner(j);
+        let dst_rank = coarse.distribution().owner(i);
+        if src_rank != rank || dst_rank == rank {
+            continue;
+        }
+        let fbox = fine.valid_box(j);
+        let ffab = fine.fab(j);
+        let mut out = Vec::with_capacity(overlap.num_points() as usize * ncomp * 8);
+        for c in 0..ncomp {
+            for cp in overlap.cells() {
+                let children = IndexBox::new(cp, cp).refine(ratio).intersection(&fbox);
+                let sum: f64 = children.cells().map(|p| ffab.get(p, c)).sum();
+                out.extend_from_slice(&(sum * inv).to_le_bytes());
+            }
+        }
+        ep.send(dst_rank, mktag(k), bytes::Bytes::from(out));
+    }
+    let handles: Vec<(usize, crocco_runtime::RecvHandle)> = chunks
+        .iter()
+        .enumerate()
+        .filter(|(_, &(j, i, _))| {
+            coarse.distribution().owner(i) == rank && fine.distribution().owner(j) != rank
+        })
+        .map(|(k, &(j, _, _))| (k, ep.irecv(fine.distribution().owner(j), mktag(k))))
+        .collect();
+    let mut landed = std::collections::HashMap::with_capacity(handles.len());
+    for (k, h) in &handles {
+        landed.insert(*k, ep.wait(h)?);
+    }
+
+    // Apply in chunk order: local restriction for chunks whose fine source
+    // is owned here, payload unpack for the rest. Chunk write regions are
+    // pairwise disjoint (fine valid boxes are disjoint and ratio-aligned),
+    // so application order cannot change the result.
+    for (k, &(j, i, overlap)) in chunks.iter().enumerate() {
+        if coarse.distribution().owner(i) != rank {
+            continue;
+        }
+        if fine.distribution().owner(j) == rank {
+            let fbox = fine.valid_box(j);
+            let ffab = fine.fab(j);
+            restrict_into(ffab, fbox, coarse.fab_mut(i), overlap, ratio, ncomp, inv);
+        } else {
+            let payload = landed.get(&k).expect("remote restriction was received");
+            unpack_chunk_into(coarse.fab_mut(i), overlap, ncomp, payload);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -92,6 +204,84 @@ mod tests {
         let fine_total = fine.sum(0);
         let coarse_total = coarse.sum(0) * 8.0; // coarse cells are 8× larger
         assert!((fine_total - coarse_total).abs() < 1e-10);
+    }
+
+    /// Distributed restriction over owned MultiFabs reproduces the
+    /// replicated restriction bitwise on every owned coarse patch, with the
+    /// fine and coarse levels distributed differently so chunks cross ranks.
+    #[test]
+    fn distributed_average_down_matches_replicated_bitwise() {
+        use crocco_fab::DistributionStrategy;
+        use crocco_runtime::{tags, LocalCluster};
+
+        let nranks = 2usize;
+        let coarse_boxes = vec![
+            IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(7, 7, 7)),
+            IndexBox::new(IntVect::new(8, 0, 0), IntVect::new(15, 7, 7)),
+        ];
+        let fine_boxes = vec![
+            IndexBox::new(IntVect::new(4, 4, 4), IntVect::new(11, 11, 11)),
+            IndexBox::new(IntVect::new(12, 4, 4), IntVect::new(19, 11, 11)),
+        ];
+        let cba = Arc::new(BoxArray::new(coarse_boxes));
+        let cdm = Arc::new(DistributionMapping::new(
+            &cba,
+            nranks,
+            DistributionStrategy::RoundRobin,
+        ));
+        let fba = Arc::new(BoxArray::new(fine_boxes));
+        let fdm = Arc::new(DistributionMapping::new(
+            &fba,
+            nranks,
+            DistributionStrategy::MortonSfc,
+        ));
+        let fill = |mf: &mut MultiFab| {
+            for i in 0..mf.nfabs() {
+                if !mf.is_allocated(i) {
+                    continue;
+                }
+                let b = mf.valid_box(i);
+                for p in b.cells() {
+                    let v = ((p[0] * 31 + p[1] * 7 + p[2]) as f64 * 0.37).sin();
+                    mf.fab_mut(i).set(p, 0, v);
+                }
+            }
+        };
+
+        let mut oracle_fine = MultiFab::new(fba.clone(), fdm.clone(), 1, 0);
+        fill(&mut oracle_fine);
+        let mut oracle_coarse = MultiFab::new(cba.clone(), cdm.clone(), 1, 0);
+        oracle_coarse.set_val(-1.0);
+        average_down(&oracle_fine, &mut oracle_coarse, IntVect::splat(2));
+
+        let results = LocalCluster::run(nranks, |ep| {
+            let gep = GroupEndpoint::full(&ep);
+            let rank = gep.rank();
+            let mut fine = MultiFab::new_owned(fba.clone(), fdm.clone(), 1, 0, rank);
+            fill(&mut fine);
+            let mut coarse = MultiFab::new_owned(cba.clone(), cdm.clone(), 1, 0, rank);
+            for i in 0..coarse.nfabs() {
+                if coarse.is_allocated(i) {
+                    coarse.fab_mut(i).fill(-1.0);
+                }
+            }
+            average_down_dist(&fine, &mut coarse, IntVect::splat(2), &gep, &|k| {
+                tags::owned(tags::OWNED_REDIST, 5, 1, k)
+            })
+            .expect("fault-free restriction");
+            coarse
+        });
+        for (rank, coarse) in results.iter().enumerate() {
+            for i in 0..coarse.nfabs() {
+                if coarse.is_allocated(i) {
+                    assert_eq!(
+                        coarse.fab(i).data(),
+                        oracle_coarse.fab(i).data(),
+                        "rank {rank} coarse patch {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

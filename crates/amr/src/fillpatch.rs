@@ -14,8 +14,10 @@ use crocco_fab::plan_cache::{CachedPlan, PlanCache, PlanKey, PlanOp};
 use crocco_fab::{
     boxarray::subtract_box, BoxArray, DistributionMapping, FArrayBox, FabRw, MultiFab,
 };
+use bytes::Bytes;
 use crocco_geometry::{IndexBox, IntVect, ProblemDomain};
 use crocco_runtime::parallel_for_each_mut;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -391,6 +393,51 @@ pub fn fill_two_level_patch(
     coarse_bc: &dyn BoundaryFiller,
     time: f64,
 ) -> u64 {
+    fill_two_level_patch_with_remote(
+        i,
+        dst,
+        plans,
+        coarse,
+        coarse_coords,
+        fine_coords_fab,
+        coarse_domain,
+        ratio,
+        interp,
+        coarse_bc,
+        time,
+        None,
+        None,
+    )
+}
+
+/// [`fill_two_level_patch`] for the owned-data distributed path: gather
+/// chunks whose coarse source patch lives on another rank are assembled
+/// from pre-exchanged wire payloads instead of local fab reads.
+///
+/// `remote_state` / `remote_coords` map *global chunk indices* of the
+/// state-gather and coordinate-gather plans to landed
+/// [`crocco_fab::owned::pack_chunk`] payloads (the result of
+/// [`crocco_fab::owned::exchange_chunks`] over the same chunk lists). A
+/// chunk found in the map is unpacked; any other chunk copies locally —
+/// bitwise the same bytes either way, so this function is an exact drop-in
+/// for the replicated gather. With both maps `None` every chunk must be
+/// locally readable (the replicated mode).
+#[allow(clippy::too_many_arguments)]
+pub fn fill_two_level_patch_with_remote(
+    i: usize,
+    dst: &mut FabRw<'_>,
+    plans: &TwoLevelPlans,
+    coarse: &MultiFab,
+    coarse_coords: Option<&MultiFab>,
+    fine_coords_fab: Option<&FArrayBox>,
+    coarse_domain: &ProblemDomain,
+    ratio: IntVect,
+    interp: &dyn Interpolator,
+    coarse_bc: &dyn BoundaryFiller,
+    time: f64,
+    remote_state: Option<&HashMap<usize, Bytes>>,
+    remote_coords: Option<&HashMap<usize, Bytes>>,
+) -> u64 {
     let tl = &*plans.state;
     let needed = &tl.needed[i];
     if needed.is_empty() {
@@ -400,7 +447,14 @@ pub fn fill_two_level_patch(
     let cbox = tl.cbox[i];
     let mut ctmp = FArrayBox::new(cbox, ncomp);
     let (s, e) = tl.ranges[i];
-    execute_gather(coarse, &mut ctmp, &tl.state.plan.chunks[s..e], ncomp);
+    execute_gather_with_remote(
+        coarse,
+        &mut ctmp,
+        &tl.state.plan.chunks[s..e],
+        s,
+        ncomp,
+        remote_state,
+    );
     // Physical-exterior cells of the temporary were not gathered
     // (they lie outside every coarse valid box); the coarse-level
     // boundary conditions supply them so interpolation next to
@@ -416,7 +470,14 @@ pub fn fill_two_level_patch(
         let ccmf = coarse_coords.expect("coord plan implies coarse coords");
         let mut c = FArrayBox::new(cbox, 3);
         let (cs, ce) = cg.ranges[i];
-        execute_gather(ccmf, &mut c, &cg.coords.plan.chunks[cs..ce], 3);
+        execute_gather_with_remote(
+            ccmf,
+            &mut c,
+            &cg.coords.plan.chunks[cs..ce],
+            cs,
+            3,
+            remote_coords,
+        );
         c
     });
     let fc = if plans.coords.is_some() {
@@ -648,10 +709,25 @@ fn plan_gather(
 }
 
 /// Executes gather chunks planned by [`plan_gather`]: for each chunk,
-/// `dst_fab[region] = src.fab(src_id)[region - shift]`.
-fn execute_gather(src: &MultiFab, dst_fab: &mut FArrayBox, chunks: &[CopyChunk], ncomp: usize) {
-    for c in chunks {
-        dst_fab.copy_shifted_from(src.fab(c.src_id), c.region, c.shift, ncomp);
+/// `dst_fab[region] = src.fab(src_id)[region - shift]`. A chunk whose
+/// *global* index (`base + position`) appears in `remote` unpacks the landed
+/// wire payload instead of reading the local fab — payload unpack and local
+/// copy write identical bytes (component-major le-`f64` round-trip), so the
+/// assembled temporary is bitwise-independent of which path each chunk took.
+fn execute_gather_with_remote(
+    src: &MultiFab,
+    dst_fab: &mut FArrayBox,
+    chunks: &[CopyChunk],
+    base: usize,
+    ncomp: usize,
+    remote: Option<&HashMap<usize, Bytes>>,
+) {
+    for (k, c) in chunks.iter().enumerate() {
+        if let Some(payload) = remote.and_then(|m| m.get(&(base + k))) {
+            crocco_fab::owned::unpack_chunk_into(dst_fab, c.region, ncomp, payload);
+        } else {
+            dst_fab.copy_shifted_from(src.fab(c.src_id), c.region, c.shift, ncomp);
+        }
     }
 }
 

@@ -17,7 +17,7 @@
 //!   direction),
 //! * [`fillpatch`] — `FillPatchSingleLevel` / `FillPatchTwoLevels` ghost
 //!   filling, the communication-dominant routine of Figs. 6–7,
-//! * [`average_down`] — restriction of covered coarse cells to the average
+//! * [`mod@average_down`] — restriction of covered coarse cells to the average
 //!   of their covering fine cells (Algorithm 2, line 11),
 //! * [`hierarchy`] — the level hierarchy, regridding with proper nesting,
 //!   and the active-point accounting behind the paper's 89–94 % grid
@@ -46,10 +46,12 @@ pub mod hierarchy;
 pub mod interp;
 pub mod tagging;
 
+pub use average_down::{average_down, average_down_dist};
 pub use cluster::{cluster_tags, ClusterParams};
 pub use fillpatch::{
-    fill_two_level_patch, resolve_two_level_plans, BoundaryFiller, CoordGatherPlan, FillOpts,
-    FillPatchReport, NoOpBoundary, TwoLevelPlan, TwoLevelPlans,
+    fill_two_level_patch, fill_two_level_patch_with_remote, resolve_two_level_plans,
+    BoundaryFiller, CoordGatherPlan, FillOpts, FillPatchReport, NoOpBoundary, TwoLevelPlan,
+    TwoLevelPlans,
 };
 pub use flux_register::{FluxRegister, InterfaceFace};
 pub use hierarchy::{AmrHierarchy, AmrParams, Level};

@@ -106,6 +106,41 @@ impl TagSet {
             cells: self.cells.iter().map(|p| p.coarsen(ratio)).collect(),
         }
     }
+
+    /// Serializes the tag set as lexicographically sorted little-endian
+    /// `i64` coordinate triples — the wire format of the distributed regrid
+    /// tag union. Sorting makes the bytes a pure function of the *set*
+    /// (`HashSet` iteration order never leaks), so identical sets produce
+    /// identical payloads on every rank.
+    pub fn to_sorted_bytes(&self) -> Vec<u8> {
+        let mut cells = self.to_vec();
+        cells.sort_unstable_by_key(|p| (p[0], p[1], p[2]));
+        let mut out = Vec::with_capacity(cells.len() * 24);
+        for p in cells {
+            for d in 0..3 {
+                out.extend_from_slice(&p[d].to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Unions the cells of a [`TagSet::to_sorted_bytes`] payload into this
+    /// set (the receive side of the distributed tag union).
+    ///
+    /// # Panics
+    /// Panics if the payload length is not a multiple of 24 bytes.
+    pub fn absorb_bytes(&mut self, bytes: &[u8]) {
+        assert!(
+            bytes.len().is_multiple_of(24),
+            "tag-union payload is not a sequence of i64 triples"
+        );
+        for triple in bytes.chunks_exact(24) {
+            let coord = |d: usize| {
+                i64::from_le_bytes(triple[d * 8..(d + 1) * 8].try_into().expect("8-byte word"))
+            };
+            self.cells.insert(IntVect::new(coord(0), coord(1), coord(2)));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +187,38 @@ mod tests {
         t.tag_box(IndexBox::from_extents(4, 4, 4));
         let c = t.coarsen(IntVect::splat(2));
         assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn sorted_bytes_are_set_deterministic_and_union_roundtrips() {
+        let mut a = TagSet::new();
+        let mut b = TagSet::new();
+        // Same set, different insertion order.
+        for p in [
+            IntVect::new(3, -1, 2),
+            IntVect::new(0, 0, 0),
+            IntVect::new(3, 5, -7),
+        ] {
+            a.tag(p);
+        }
+        for p in [
+            IntVect::new(3, 5, -7),
+            IntVect::new(3, -1, 2),
+            IntVect::new(0, 0, 0),
+        ] {
+            b.tag(p);
+        }
+        assert_eq!(a.to_sorted_bytes(), b.to_sorted_bytes());
+
+        let mut c = TagSet::new();
+        c.tag(IntVect::new(9, 9, 9));
+        c.absorb_bytes(&a.to_sorted_bytes());
+        assert_eq!(c.len(), 4);
+        assert!(c.contains(IntVect::new(3, 5, -7)));
+        assert!(c.contains(IntVect::new(9, 9, 9)));
+        // Absorbing again is idempotent (set union).
+        c.absorb_bytes(&b.to_sorted_bytes());
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

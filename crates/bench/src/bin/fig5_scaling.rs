@@ -5,7 +5,10 @@
 
 use crocco_bench::dmrscale::{amr_case, uniform_case};
 use crocco_bench::report::{fmt_ratio, fmt_time, print_table};
-use crocco_bench::simbench::{ranks_for, simulate_iteration_with, CommPricing};
+use crocco_bench::simbench::{
+    memory_per_rank, ranks_for, simulate_iteration_model, simulate_iteration_with, CommPricing,
+    DataModel,
+};
 use crocco_bench::table1::{strong_config, weak_configs, STRONG_NODES};
 use crocco_perfmodel::SummitPlatform;
 use crocco_solver::CodeVersion;
@@ -18,6 +21,9 @@ fn main() {
     }
     if arg == "weak" || arg == "both" {
         weak(&platform);
+    }
+    if arg == "weak" || arg == "both" || arg == "owned" {
+        owned_vs_replicated(&platform);
     }
 }
 
@@ -150,4 +156,67 @@ fn weak(platform: &SummitPlatform) {
         eff_400.2 * 100.0
     );
     println!("paper:    2.0 efficiency @400 = 54%, @1024 = 40%; 2.1 @400 = ~70%");
+}
+
+fn fmt_gib(bytes: u64) -> String {
+    format!("{:.2} GiB", bytes as f64 / f64::from(1u32 << 30))
+}
+
+/// The owned-data ablation (docs/DISTRIBUTED.md, docs/results/owned_dist.md):
+/// CRoCCo 2.0's weak scaling priced with the production owner-only storage
+/// against the retired replicated model, whose per-stage `allgather_fabs`
+/// and O(global) memory per rank this PR deleted from the step loop.
+fn owned_vs_replicated(platform: &SummitPlatform) {
+    let mut rows = Vec::new();
+    let mut base: Option<(f64, f64)> = None;
+    for cfg in weak_configs() {
+        let ranks = ranks_for(CodeVersion::V2_0, cfg.nodes, platform);
+        let case = amr_case(cfg.extents, ranks);
+        let t_own = simulate_iteration_model(
+            CodeVersion::V2_0,
+            &case,
+            platform,
+            CommPricing::Additive,
+            DataModel::Owned,
+        )
+        .total();
+        let repl = simulate_iteration_model(
+            CodeVersion::V2_0,
+            &case,
+            platform,
+            CommPricing::Additive,
+            DataModel::Replicated,
+        );
+        let t_repl = repl.total();
+        let b = *base.get_or_insert((t_own, t_repl));
+        rows.push(vec![
+            cfg.nodes.to_string(),
+            fmt_time(t_own),
+            fmt_time(t_repl),
+            fmt_time(repl.get("Allgather")),
+            format!("{:.0}%", 100.0 * b.0 / t_own),
+            format!("{:.0}%", 100.0 * b.1 / t_repl),
+            fmt_gib(memory_per_rank(&case, DataModel::Owned)),
+            fmt_gib(memory_per_rank(&case, DataModel::Replicated)),
+        ]);
+    }
+    print_table(
+        "Fig. 5 (owned-data ablation): weak scaling, owned vs replicated state (v2.0)",
+        &[
+            "nodes",
+            "owned",
+            "replicated",
+            "allgather",
+            "eff owned",
+            "eff repl",
+            "mem/rank owned",
+            "mem/rank repl",
+        ],
+        &rows,
+    );
+    println!(
+        "owned memory/rank stays O(owned cells) as nodes grow; the replicated model's \
+         per-stage allgather and O(global) footprint are what the owned-data port removed \
+         (docs/results/owned_dist.md)"
+    );
 }

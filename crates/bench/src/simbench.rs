@@ -96,6 +96,54 @@ pub enum CommPricing {
     Overlapped,
 }
 
+/// Where fab *data* lives across ranks (docs/DISTRIBUTED.md).
+///
+/// `Owned` is the production model (and what the paper's AMReX runs do):
+/// each rank allocates only the patches its `DistributionMapping` assigns
+/// it, so memory per rank is O(owned cells) and no stage re-replicates
+/// state. `Replicated` prices the test-oracle model the solver used before
+/// the owned-data port: every rank holds every patch and each RK stage ends
+/// with an `allgather_fabs` broadcast — O(global) memory per rank and an
+/// extra all-to-all of the level's valid cells, three times per iteration.
+/// `docs/results/owned_dist.md` tabulates the gap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataModel {
+    /// Every rank holds every patch; stages end in an allgather.
+    Replicated,
+    /// Owner-only storage; state never re-replicates (`allgather_fabs`
+    /// deleted from the step loop).
+    Owned,
+}
+
+/// Fab bytes resident per rank under `data`: the four solver MultiFabs
+/// (state with `NGHOST` ghosts, `dU` ghost-free, 3-component coordinates
+/// with `NGHOST + 2`, 27-component metrics with `NGHOST`), summed over the
+/// critical rank's owned patches (`Owned`) or every patch (`Replicated`).
+pub fn memory_per_rank(case: &ScaledCase, data: DataModel) -> u64 {
+    let mut per_rank = vec![0u64; case.nranks];
+    for level in &case.levels {
+        for (i, &owner) in level.dm.owners().iter().enumerate() {
+            let bx = level.ba.get(i);
+            let bytes_of = |ncomp: u64, nghost: i64| -> u64 {
+                bx.grow(nghost).num_points() * ncomp * std::mem::size_of::<f64>() as u64
+            };
+            let patch = bytes_of(NCONS as u64, NGHOST)   // state
+                + bytes_of(NCONS as u64, 0)              // dU
+                + bytes_of(3, NGHOST + 2)                // coordinates
+                + bytes_of(27, NGHOST);                  // metrics
+            match data {
+                DataModel::Owned => per_rank[owner] += patch,
+                DataModel::Replicated => {
+                    for r in per_rank.iter_mut() {
+                        *r += patch;
+                    }
+                }
+            }
+        }
+    }
+    per_rank.into_iter().max().unwrap_or(0)
+}
+
 /// Critical-rank load metrics of one level.
 struct LevelLoad {
     /// Valid cells on the most loaded rank (reductions, AverageDown).
@@ -173,12 +221,27 @@ pub fn simulate_iteration(
 }
 
 /// Simulates one iteration of `version` on `case` under an explicit
-/// communication-pricing model.
+/// communication-pricing model and the production owned-data model
+/// ([`DataModel::Owned`] — no per-stage allgather).
 pub fn simulate_iteration_with(
     version: CodeVersion,
     case: &ScaledCase,
     platform: &SummitPlatform,
     pricing: CommPricing,
+) -> IterationBreakdown {
+    simulate_iteration_model(version, case, platform, pricing, DataModel::Owned)
+}
+
+/// Simulates one iteration under explicit communication-pricing *and* data
+/// models. [`DataModel::Replicated`] adds the `Allgather` region: per RK
+/// stage, per level, every rank broadcasts its owned valid cells to all
+/// peers — the cost the owned-data port deleted from the step loop.
+pub fn simulate_iteration_model(
+    version: CodeVersion,
+    case: &ScaledCase,
+    platform: &SummitPlatform,
+    pricing: CommPricing,
+    data: DataModel,
 ) -> IterationBreakdown {
     let net = &platform.network;
     let nranks = case.nranks;
@@ -260,6 +323,22 @@ pub fn simulate_iteration_with(
         out.add("FillPatch/FillBoundary_nowait", fb_nowait);
         out.add("FillPatch/FillBoundary_finish", fb_finish);
         out.add("FillPatch", fb_nowait + fb_finish);
+
+        // --- Allgather (replicated data model only): after every stage the
+        // level's state re-replicates — each rank pushes its owned valid
+        // cells to all peers and receives everyone else's. Send volume grows
+        // linearly with rank count, which is what sinks weak scaling.
+        if data == DataModel::Replicated && nranks > 1 {
+            let total_cells: u64 = (0..case.levels[l].ba.len())
+                .map(|i| case.levels[l].ba.get(i).num_points())
+                .sum();
+            let cell_bytes = (NCONS * std::mem::size_of::<f64>()) as f64;
+            let send = lc.load.crit_cells as f64 * (nranks - 1) as f64 * cell_bytes;
+            let recv = (total_cells - lc.load.crit_cells) as f64 * cell_bytes;
+            let t_ag = STAGES
+                * (net.alpha * (nranks - 1) as f64 + send.max(recv) / net.bandwidth);
+            out.add("Allgather", t_ag);
+        }
 
         // --- FillPatch: two-level gathers.
         if let Some(pc) = &lc.pc {
@@ -435,6 +514,34 @@ mod tests {
             assert_eq!(add.get(region), ovl.get(region), "{region} must be unchanged");
         }
         assert!(ovl.total() < add.total());
+    }
+
+    #[test]
+    fn owned_data_model_is_the_default_and_beats_replicated() {
+        let p = platform();
+        let ranks = ranks_for(CodeVersion::V2_0, 64, &p);
+        let case = amr_case(IntVect::new(640 * 64, 320, 320), ranks);
+        let owned = simulate_iteration_model(
+            CodeVersion::V2_0, &case, &p, CommPricing::Additive, DataModel::Owned,
+        );
+        let repl = simulate_iteration_model(
+            CodeVersion::V2_0, &case, &p, CommPricing::Additive, DataModel::Replicated,
+        );
+        let dflt = simulate_iteration_with(CodeVersion::V2_0, &case, &p, CommPricing::Additive);
+        // Owned is the default model, adds no Allgather region, and every
+        // other region is identical between the two models.
+        assert_eq!(owned.regions, dflt.regions);
+        assert_eq!(owned.get("Allgather"), 0.0);
+        assert!(repl.get("Allgather") > 0.0);
+        assert!(repl.total() > owned.total());
+        for region in ["Advance", "FillPatch", "ComputeDt", "AverageDown", "Regrid"] {
+            assert_eq!(owned.get(region), repl.get(region), "{region} must be unchanged");
+        }
+        // The tentpole memory claim at simulated scale: O(owned), not
+        // O(global).
+        let m_owned = memory_per_rank(&case, DataModel::Owned);
+        let m_repl = memory_per_rank(&case, DataModel::Replicated);
+        assert!(m_owned * 8 < m_repl, "owned {m_owned} vs replicated {m_repl}");
     }
 
     #[test]

@@ -1,47 +1,97 @@
 //! Distributed time stepping over a [`LocalCluster`] endpoint: the driver
 //! loop of `driver.rs`, re-partitioned so each rank advances only the
 //! patches its `DistributionMapping` owns and halo data crosses ranks as
-//! real tag-matched messages (DESIGN.md §4f).
+//! real tag-matched messages (DESIGN.md §4f, docs/DISTRIBUTED.md).
 //!
-//! The execution model is *replicated metadata, replicated data*: every rank
-//! constructs an identical [`Simulation`] and keeps all `MultiFab`s
-//! bitwise-identical at step boundaries. Within an RK stage, each rank
-//! computes only its owned patches ([`run_dist_rk_stage`], fenced or
-//! overlapped per [`SolverConfig::dist_overlap`]); afterwards
-//! [`allgather_fabs`] restores full replication of the level's state. Grid
-//! control — regrid, remap, `AverageDown` — then runs rank-locally on the
-//! replicated data and stays deterministic, so every rank derives the same
-//! new hierarchy without any metadata exchange (the paper's "replicated
-//! metadata" AMReX regime, §III-B).
+//! The execution model is *replicated metadata, owned data*: every rank
+//! holds identical grid metadata (BoxArrays, DistributionMappings, plans) —
+//! the paper's "replicated metadata" AMReX regime, §III-B — while fab
+//! *data* lives only on its owner. Production stepping is the owned path
+//! ([`Simulation::new_owned`]): each rank allocates O(owned cells), every
+//! RK stage moves halo and coarse→fine gather data through cached plans
+//! ([`run_dist_rk_stage`], fenced or overlapped per
+//! [`SolverConfig::dist_overlap`], plus `exchange_chunks` for the two-level
+//! gathers), `AverageDown` restricts across ranks
+//! ([`average_down_dist`]), and regrid runs distributed: rank-local tagging
+//! on owned patches, a sorted-bytes tag union, the deterministic
+//! Berger–Rigoutsos clustering every rank replays identically, then a
+//! redistribution of surviving data along the old→new `ParallelCopy` plan.
+//! The step loop never re-replicates state.
 //!
-//! `ComputeDt` is the one true collective: each rank reduces its owned
-//! patches, then [`RankEndpoint::allreduce_f64`] combines the exact `min`
-//! (order-free, so bitwise-reproducible at any rank count).
+//! The older *replicated data* mode survives as the test oracle: every rank
+//! keeps all `MultiFab`s bitwise-identical at step boundaries by calling
+//! [`allgather_fabs`] after each stage, making grid control rank-local.
+//! `tests/owned_dist_invariance.rs` asserts the owned path is
+//! bitwise-identical to it at 1/2/4 ranks across regrids, sanitizers, and
+//! chaos recovery.
 //!
-//! `tests/dist_overlap_invariance.rs` drives this module at 1/2/4 ranks
-//! across a regrid and asserts bitwise equality against single-rank
-//! stepping.
+//! `ComputeDt` is the one true collective in both modes: each rank reduces
+//! its owned patches, then [`RankEndpoint::allreduce_f64`] combines the
+//! exact `min` (order-free, so bitwise-reproducible at any rank count).
+//!
+//! # Tag-epoch partition
+//!
+//! Every owned-data collective phase derives its message tags from
+//! [`tags::owned`] with a 12-bit epoch base all ranks compute identically:
+//! RK stages use `step·nstages + stage`; the regrid tag union, regrid
+//! remap/redistribution, checkpoint gather, and construction rounds use the
+//! reserved bases below. Phases fully drain their traffic (every send is
+//! matched by a blocking receive in the same phase), so the occasional
+//! wrap-around collision between a large stage epoch and a reserved base is
+//! harmless — the namespaces only need to keep *concurrently in-flight*
+//! messages apart.
 //!
 //! [`LocalCluster`]: crocco_runtime::LocalCluster
 //! [`SolverConfig::dist_overlap`]: crate::config::SolverConfig::dist_overlap
+//! [`average_down_dist`]: crocco_amr::average_down::average_down_dist
 
 use crate::bc::PhysicalBc;
 use crate::driver::{
-    accumulate_rhs, LevelData, PlanKind, RunReport, Simulation, AUX_DIST_SKELETON,
-    AUX_DIST_VERIFY,
+    accumulate_rhs, gather_all_chunks, gather_valid_chunks, LevelData, PlanKind, RunReport,
+    Simulation, AUX_DIST_SKELETON, AUX_DIST_VERIFY,
 };
+use crate::io::{checkpoint_header, patch_body_bytes, seal_checkpoint};
 use crate::kernels::NGHOST;
-use crocco_amr::fillpatch::{fill_two_level_patch, resolve_two_level_plans, TwoLevelPlans};
+use crate::metrics::NCOORDS;
+use crate::state::NCONS;
+use bytes::Bytes;
+use crocco_amr::average_down::average_down_dist;
+use crocco_amr::fillpatch::{
+    fill_two_level_patch_with_remote, resolve_two_level_plans, TwoLevelPlans,
+};
+use crocco_amr::tagging::TagSet;
 use crocco_amr::BoundaryFiller;
+use crocco_fab::owned::{exchange_chunks, redistribute};
+use crocco_fab::plan::CopyChunk;
 use crocco_fab::plan_cache::{PlanKey, PlanOp};
 use crocco_fab::{
     allgather_fabs, band_slabs, fabcheck, run_dist_rk_stage, DistSkeleton, DistStage, FArrayBox,
-    FabRd, FabRw, StageFabs, SweepPhase,
+    FabRd, FabRw, MultiFab, StageFabs, SweepPhase,
 };
 use crocco_geometry::{IntVect, ProblemDomain};
 use crocco_runtime::chaos::CrashPhase;
 use crocco_runtime::{tags, CommGroup, GroupEndpoint, RankEndpoint, StageError};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// 12-bit tag-epoch bases reserved for the owned-data collective phases
+/// that run *between* RK stages (see the module doc's tag-epoch partition).
+/// The low bits carry the step (or construction round) so back-to-back
+/// occurrences of the same phase cannot cross-match.
+const EPOCH_REGRID_TAGS: u64 = 0xD00;
+/// Regrid remap: coarse→fine interpolation gathers plus the old→new
+/// surviving-data redistribution.
+const EPOCH_REGRID_REMAP: u64 = 0xD80;
+/// Checkpoint gather: every rank streams its owned patch bodies to peers so
+/// all ranks seal identical replicated snapshots.
+const EPOCH_CHECKPOINT: u64 = 0xE00;
+/// Initial-regrid construction rounds in [`Simulation::new_owned`].
+const EPOCH_CONSTRUCT: u64 = 0xF00;
+
+/// Cross-rank donor payloads for one coarse→fine gather: state chunks, and
+/// — for coordinate-aware interpolators — coordinate chunks, each keyed by
+/// absolute index into the cached plan's chunk list.
+type RemoteGathers = (HashMap<usize, Bytes>, Option<HashMap<usize, Bytes>>);
 
 /// What [`Simulation::advance_steps_chaos`] did to survive the run: how
 /// often it checkpointed, whether this rank was the one that crashed, and
@@ -65,6 +115,278 @@ pub struct ChaosRunReport {
 }
 
 impl Simulation {
+    /// Constructs an owned-data simulation on one cluster rank: fab data is
+    /// allocated only for the patches `gep.rank()` owns, and the initial
+    /// regrid loop runs distributed — each round tags owned patches, unions
+    /// the tag sets across ranks (sorted-byte exchange, so every rank holds
+    /// the identical set), and replays the deterministic Berger–Rigoutsos
+    /// clustering in lockstep. Every rank therefore derives the same
+    /// hierarchy the serial [`Simulation::new`] would, while touching only
+    /// O(owned cells) of data.
+    ///
+    /// Forces `cfg.owned_dist = true`; `cfg.nranks` must equal
+    /// `gep.nranks()`.
+    pub fn new_owned(
+        mut cfg: crate::config::SolverConfig,
+        gep: &GroupEndpoint<'_>,
+    ) -> Result<Self, StageError> {
+        assert_eq!(cfg.nranks, gep.nranks(), "cfg.nranks must match the group size");
+        cfg.owned_dist = true;
+        let mut sim = Self::new_impl(cfg, Some(gep.rank()));
+        if sim.cfg.version.amr_enabled() {
+            for round in 0..sim.cfg.max_levels {
+                let mut tag_sets = sim.compute_tags();
+                sim.exchange_tag_union(gep, EPOCH_CONSTRUCT | round as u64, &mut tag_sets)?;
+                if !sim.hierarchy.regrid(&tag_sets) {
+                    break;
+                }
+                sim.rebuild_all_levels_from_ic();
+            }
+        }
+        Ok(sim)
+    }
+
+    /// The owned-data [`Simulation::from_checkpoint`]: restores the
+    /// hierarchy from a (replicated) checkpoint but allocates and fills only
+    /// the patches `rank` owns. No communication — every rank restores from
+    /// the same bytes.
+    pub fn from_checkpoint_owned(
+        mut cfg: crate::config::SolverConfig,
+        chk: &crate::io::Checkpoint,
+        rank: usize,
+    ) -> Self {
+        cfg.owned_dist = true;
+        Self::from_checkpoint_impl(cfg, chk, Some(rank))
+    }
+
+    /// Unions per-level tag sets across all ranks in place. Each rank sends
+    /// its sorted tag bytes for every level to every peer and absorbs
+    /// theirs; set-union is order-free, so all ranks end with the identical
+    /// `TagSet` and the downstream clustering stays in lockstep.
+    fn exchange_tag_union(
+        &self,
+        gep: &GroupEndpoint<'_>,
+        epoch_base: u64,
+        tag_sets: &mut [TagSet],
+    ) -> Result<(), StageError> {
+        if gep.nranks() == 1 {
+            return Ok(());
+        }
+        let me = gep.rank();
+        let epoch = tags::epoch_with_generation(gep.generation(), epoch_base);
+        for (l, t) in tag_sets.iter().enumerate() {
+            let payload = Bytes::from(t.to_sorted_bytes());
+            for dst in 0..gep.nranks() {
+                if dst != me {
+                    gep.send(dst, tags::owned(tags::OWNED_REDIST, epoch, l, me), payload.clone());
+                }
+            }
+        }
+        for (l, t) in tag_sets.iter_mut().enumerate() {
+            for src in 0..gep.nranks() {
+                if src == me {
+                    continue;
+                }
+                let payload = gep.recv_matched(src, tags::owned(tags::OWNED_REDIST, epoch, l, src))?;
+                t.absorb_bytes(&payload);
+            }
+        }
+        Ok(())
+    }
+
+    /// Distributed regrid (the owned-data counterpart of the rank-local
+    /// [`Simulation::regrid`]): tag owned patches, union tags across ranks,
+    /// replay the deterministic clustering, then remap — coarse→fine
+    /// interpolation reads remote coarse chunks gathered over the wire, and
+    /// surviving same-level data moves along the old→new `ParallelCopy`
+    /// plan via [`redistribute`] instead of being re-replicated.
+    ///
+    /// The serial path's post-remap ghost refresh (`fill_level`) is skipped:
+    /// it writes only ghost cells, which the next RK stage's FillPatch
+    /// rebuilds anyway, so valid-region state stays bitwise-identical to the
+    /// replicated oracle.
+    fn regrid_owned(&mut self, gep: &GroupEndpoint<'_>) -> Result<(), StageError> {
+        let mut tag_sets = self.compute_tags();
+        self.exchange_tag_union(
+            gep,
+            EPOCH_REGRID_TAGS | (u64::from(self.step) & 0x7F),
+            &mut tag_sets,
+        )?;
+        if !self.hierarchy.regrid(&tag_sets) {
+            return Ok(());
+        }
+        let epoch = tags::epoch_with_generation(
+            gep.generation(),
+            EPOCH_REGRID_REMAP | (u64::from(self.step) & 0x7F),
+        );
+        let cache = self.hierarchy.plan_cache().clone();
+        let old_levels = std::mem::take(&mut self.levels);
+        let mut old_iter = old_levels.into_iter();
+        // Level 0 grids never change: reuse its data wholesale.
+        self.levels.push(old_iter.next().expect("level 0 always exists"));
+        let old_fine: Vec<LevelData> = old_iter.collect();
+        for l in 1..self.hierarchy.nlevels() {
+            let lev = self.hierarchy.level(l);
+            let (ba, dm) = (lev.ba.clone(), lev.dm.clone());
+            let domain = self.hierarchy.domain(l);
+            let coarse_domain = self.hierarchy.domain(l - 1);
+            let coarse_bc = PhysicalBc::new(self.cfg.problem, self.gas, self.level_extents(l - 1));
+            let (coords, metrics) = self.make_level_grid(l);
+            let mut state = self.alloc_mf(ba.clone(), dm.clone(), NCONS, NGHOST);
+            let coarse = &self.levels[l - 1];
+            let (remote_state, remote_coords) = self.exchange_interp_gathers(
+                &coarse.state,
+                &coarse.coords,
+                &state,
+                &coarse_domain,
+                gep,
+                epoch,
+                l,
+            )?;
+            self.interp_full_level_with_remote(
+                &coarse.state,
+                &coarse.coords,
+                &coords,
+                &mut state,
+                &coarse_domain,
+                &coarse_bc,
+                Some(&remote_state),
+                remote_coords.as_ref(),
+            );
+            if let Some(old) = old_fine.get(l - 1) {
+                let plan = cache.parallel_copy(
+                    old.state.boxarray(),
+                    old.state.distribution(),
+                    state.boxarray(),
+                    state.distribution(),
+                    &domain,
+                    0,
+                    NCONS,
+                );
+                self.comm.absorb_plan(&plan.stats, PlanKind::ParallelCopy);
+                redistribute(&old.state, &mut state, &plan.plan, gep, &|k| {
+                    tags::owned(tags::OWNED_REDIST, epoch, l, k)
+                })?;
+            }
+            let du = self.alloc_mf(ba, dm, NCONS, 0);
+            self.levels.push(LevelData::new(state, du, coords, metrics));
+        }
+        Ok(())
+    }
+
+    /// Builds and executes the cross-rank exchange feeding
+    /// [`Simulation::interp_full_level_with_remote`] for one new fine
+    /// level: the coarse state (and, for coordinate-aware interpolators,
+    /// coarse coords) chunks that remap gathers, enumerated in exactly the
+    /// order the interpolation loop consumes them so remote payloads are
+    /// keyed by the same absolute chunk index it looks up.
+    #[allow(clippy::too_many_arguments)]
+    fn exchange_interp_gathers(
+        &self,
+        coarse_state: &MultiFab,
+        coarse_coords: &MultiFab,
+        fine_state: &MultiFab,
+        coarse_domain: &ProblemDomain,
+        gep: &GroupEndpoint<'_>,
+        epoch: u64,
+        level: usize,
+    ) -> Result<RemoteGathers, StageError> {
+        let ratio = IntVect::splat(2);
+        let needs_coords = self.interp.needs_coords();
+        let cdm = coarse_state.distribution();
+        let fdm = fine_state.distribution();
+        let mut schunks: Vec<CopyChunk> = Vec::new();
+        let mut cchunks: Vec<CopyChunk> = Vec::new();
+        for i in 0..fine_state.nfabs() {
+            let valid = fine_state.valid_box(i);
+            let cbox = valid.coarsen(ratio).grow(self.interp.coarse_ghost() + 1);
+            for (src_id, region, shift) in
+                gather_valid_chunks(coarse_state.boxarray(), cbox, coarse_domain)
+            {
+                schunks.push(CopyChunk {
+                    src_id,
+                    dst_id: i,
+                    src_rank: cdm.owner(src_id),
+                    dst_rank: fdm.owner(i),
+                    region,
+                    shift,
+                });
+            }
+            if needs_coords {
+                for (src_id, region, shift) in
+                    gather_all_chunks(coarse_coords, cbox, coarse_domain)
+                {
+                    cchunks.push(CopyChunk {
+                        src_id,
+                        dst_id: i,
+                        src_rank: cdm.owner(src_id),
+                        dst_rank: fdm.owner(i),
+                        region,
+                        shift,
+                    });
+                }
+            }
+        }
+        let remote_state = exchange_chunks(coarse_state, &schunks, NCONS, gep, &|k| {
+            tags::owned(tags::OWNED_GATHER, epoch, level, k)
+        })?;
+        let remote_coords = if needs_coords {
+            Some(exchange_chunks(coarse_coords, &cchunks, NCOORDS, gep, &|k| {
+                tags::owned(tags::OWNED_COORDS, epoch, level, k)
+            })?)
+        } else {
+            None
+        };
+        Ok((remote_state, remote_coords))
+    }
+
+    /// Serializes the full replicated checkpoint from owned data: every
+    /// rank streams its owned patch bodies to all peers and assembles the
+    /// patches in hierarchy order, so all ranks seal byte-identical
+    /// snapshots (the invariant chaos recovery relies on). Falls back to
+    /// the rank-local [`crate::io::write_checkpoint_bytes`] in replicated
+    /// mode, where all data is already present.
+    fn checkpoint_bytes_cluster(&self, gep: &GroupEndpoint<'_>) -> Result<Vec<u8>, StageError> {
+        let Some(rank) = self.owned_rank else {
+            return Ok(crate::io::write_checkpoint_bytes(self));
+        };
+        let epoch = tags::epoch_with_generation(
+            gep.generation(),
+            EPOCH_CHECKPOINT | (u64::from(self.step) & 0xFF),
+        );
+        // All sends first: owned bodies broadcast to every peer.
+        for (l, lev) in self.levels.iter().enumerate() {
+            let owners = lev.state.distribution();
+            for i in 0..lev.state.nfabs() {
+                if owners.owner(i) != rank {
+                    continue;
+                }
+                let body = Bytes::from(patch_body_bytes(&lev.state, i));
+                let tag = tags::owned(tags::OWNED_CKPT, epoch, l, i);
+                for dst in 0..gep.nranks() {
+                    if dst != rank {
+                        gep.send(dst, tag, body.clone());
+                    }
+                }
+            }
+        }
+        let mut w = checkpoint_header(self);
+        for (l, lev) in self.levels.iter().enumerate() {
+            let owners = lev.state.distribution();
+            for i in 0..lev.state.nfabs() {
+                let owner = owners.owner(i);
+                if owner == rank {
+                    w.extend_from_slice(&patch_body_bytes(&lev.state, i));
+                } else {
+                    let body =
+                        gep.recv_matched(owner, tags::owned(tags::OWNED_CKPT, epoch, l, i))?;
+                    w.extend_from_slice(&body);
+                }
+            }
+        }
+        Ok(seal_checkpoint(w))
+    }
+
     /// One full time step on a cluster rank (Algorithm 1 loop body,
     /// distributed). Every rank of the cluster must call this in lockstep
     /// with an identically configured, identically advanced `Simulation`.
@@ -85,17 +407,30 @@ impl Simulation {
             self.cfg.nranks,
             "group size must match cfg.nranks (the DistributionMapping rank count)"
         );
+        if let Some(r) = self.owned_rank {
+            assert_eq!(
+                gep.rank(),
+                r,
+                "endpoint logical rank must match the simulation's owned rank"
+            );
+        }
         self.crash_check(gep, CrashPhase::StepStart)?;
         if self.cfg.version.amr_enabled()
             && self.step > 0
             && self.step.is_multiple_of(self.cfg.regrid_freq)
         {
-            // Replicated data makes regrid + remap rank-local: every rank
-            // tags, grids, and remaps identically (deterministic kernels,
-            // no RNG), so the hierarchies stay in lockstep without a
-            // metadata exchange.
             let t0 = std::time::Instant::now();
-            self.regrid();
+            if self.owned_rank.is_some() {
+                // Owned data: tag locally, union tags, replay the
+                // deterministic clustering, redistribute surviving data.
+                self.regrid_owned(gep)?;
+            } else {
+                // Replicated data makes regrid + remap rank-local: every
+                // rank tags, grids, and remaps identically (deterministic
+                // kernels, no RNG), so the hierarchies stay in lockstep
+                // without a metadata exchange.
+                self.regrid();
+            }
             self.profiler.add("Regrid", t0.elapsed().as_secs_f64());
         }
         self.crash_check(gep, CrashPhase::AfterRegrid)?;
@@ -171,9 +506,17 @@ impl Simulation {
     ///    whose `nranks` is the shrunken group size (the load balancer
     ///    re-partitions over the survivors), and resume stepping.
     ///
-    /// Checkpoints are taken only at step boundaries, where replication
-    /// makes every rank's serialized state identical — so survivors restore
-    /// bitwise-identical states without exchanging a byte.
+    /// Checkpoints are taken only at step boundaries. Under the replicated
+    /// oracle every rank's serialized state is already identical; under
+    /// owned data `Simulation::checkpoint_bytes_cluster` first gathers
+    /// owned patch bodies across the group so every rank still seals the
+    /// same whole-domain snapshot — which is what lets any surviving subset
+    /// restore after a crash without the dead rank's memory. The gather
+    /// runs inside the fault boundary: a peer death during checkpointing
+    /// routes to the same rollback as a death mid-step. (A dying rank
+    /// always completes the gather before its crash point — crashes inject
+    /// at step phase boundaries and panics happen inside RK stages, both
+    /// strictly after the gather — so landed snapshots are never torn.)
     pub fn advance_steps_chaos(&mut self, n: u32, ep: &RankEndpoint) -> ChaosRunReport {
         let target = self.step + n;
         let interval = self
@@ -182,23 +525,26 @@ impl Simulation {
             .as_ref()
             .map_or(u32::MAX, |c| c.checkpoint_interval.max(1));
         let mut report = ChaosRunReport::default();
+        let owned = self.owned_rank.is_some();
         let mut group = CommGroup::full(self.cfg.nranks);
         let mut generation: u64 = 0;
         let mut snapshot: Vec<u8> = Vec::new();
         let mut snapshot_step: Option<u32> = None;
         while self.step < target {
-            if snapshot_step != Some(self.step)
-                && (snapshot_step.is_none() || self.step.is_multiple_of(interval))
-            {
-                snapshot = crate::io::write_checkpoint_bytes(self);
-                snapshot_step = Some(self.step);
-                report.checkpoints += 1;
-                report.checkpoint_bytes = report.checkpoint_bytes.max(snapshot.len());
-            }
             let gep = GroupEndpoint::new(ep, group.clone(), generation);
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.try_step_cluster(&gep)
-            }));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                || -> Result<(), StageError> {
+                    if snapshot_step != Some(self.step)
+                        && (snapshot_step.is_none() || self.step.is_multiple_of(interval))
+                    {
+                        snapshot = self.checkpoint_bytes_cluster(&gep)?;
+                        snapshot_step = Some(self.step);
+                        report.checkpoints += 1;
+                        report.checkpoint_bytes = report.checkpoint_bytes.max(snapshot.len());
+                    }
+                    self.try_step_cluster(&gep)
+                },
+            ));
             drop(gep);
             match outcome {
                 Ok(Ok(())) => {}
@@ -244,7 +590,18 @@ impl Simulation {
                         .expect("in-memory checkpoint cannot be corrupt");
                     let mut cfg = self.cfg.clone();
                     cfg.nranks = group.len();
-                    *self = Simulation::from_checkpoint(cfg, &chk);
+                    // The shrunken group renumbers logical ranks; under
+                    // owned data this rank re-owns the patches its *new*
+                    // logical rank maps to in the re-partitioned
+                    // DistributionMapping.
+                    let new_rank = owned.then(|| {
+                        group
+                            .members()
+                            .iter()
+                            .position(|&r| r == ep.rank())
+                            .expect("a survivor is always in its own group")
+                    });
+                    *self = Simulation::from_checkpoint_impl(cfg, &chk, new_rank);
                     report.rollback_steps.push(self.step);
                     snapshot_step = Some(self.step);
                 }
@@ -284,12 +641,17 @@ impl Simulation {
     }
 
     /// Algorithm 2, distributed: per stage, per level, one rank-crossing RK
-    /// stage followed by a state allgather; `AverageDown` (rank-local on the
-    /// re-replicated data) at the end of the final stage.
+    /// stage. Under owned data the state stays distributed throughout —
+    /// halos and coarse→fine gathers cross ranks through plans, and
+    /// `AverageDown` restricts owned fine patches into owned coarse patches
+    /// over the wire ([`average_down_dist`]). Under the replicated oracle
+    /// each stage instead ends with a state [`allgather_fabs`], after which
+    /// grid control is rank-local.
     fn rk3_cluster(&mut self, ep: &GroupEndpoint<'_>) -> Result<(), StageError> {
         let dt = self.dt;
         let nstages = self.cfg.time_scheme.stages();
         let rank = ep.rank();
+        let owned = self.owned_rank.is_some();
         for stage in 0..nstages {
             // The per-stage tag epoch every rank derives identically; halo
             // and gather tags of different stages can never cross-match,
@@ -300,32 +662,60 @@ impl Simulation {
             let epoch = tags::epoch_with_generation(ep.generation(), base);
             for l in 0..self.hierarchy.nlevels() {
                 self.fill_and_advance_cluster(l, stage, dt, ep, epoch)?;
-                // Restore replication of this level before anything reads
-                // non-owned patches (the finer level's coarse gather, the
-                // next stage's halo sources, AverageDown, regrid).
-                let t0 = std::time::Instant::now();
-                allgather_fabs(&mut self.levels[l].state, ep, l, epoch)?;
-                self.profiler.add("Allgather", t0.elapsed().as_secs_f64());
+                if !owned {
+                    // Replicated oracle: restore replication of this level
+                    // before anything reads non-owned patches (the finer
+                    // level's coarse gather, the next stage's halo sources,
+                    // AverageDown, regrid).
+                    let t0 = std::time::Instant::now();
+                    allgather_fabs(&mut self.levels[l].state, ep, l, epoch)?;
+                    self.profiler.add("Allgather", t0.elapsed().as_secs_f64());
+                }
             }
             if stage == nstages - 1 {
                 let t0 = std::time::Instant::now();
                 for l in (1..self.hierarchy.nlevels()).rev() {
                     let (lo, hi) = self.levels.split_at_mut(l);
-                    crocco_amr::average_down::average_down(
-                        &hi[0].state,
-                        &mut lo[l - 1].state,
-                        IntVect::splat(2),
-                    );
+                    if owned {
+                        average_down_dist(
+                            &hi[0].state,
+                            &mut lo[l - 1].state,
+                            IntVect::splat(2),
+                            ep,
+                            &|k| tags::owned(tags::OWNED_REDIST, epoch, l, k),
+                        )?;
+                    } else {
+                        crocco_amr::average_down::average_down(
+                            &hi[0].state,
+                            &mut lo[l - 1].state,
+                            IntVect::splat(2),
+                        );
+                    }
                 }
                 self.profiler
                     .add("AverageDown", t0.elapsed().as_secs_f64());
             }
             if self.cfg.nan_poison {
                 for (l, lev) in self.levels.iter().enumerate() {
-                    // State is replicated (post-allgather): check all
-                    // patches. dU is owner-local: a non-owned dU fab is
+                    // Replicated state (post-allgather): check all patches.
+                    // Owned state: only the allocated patches hold data.
+                    // dU is owner-local in both modes: a non-owned dU fab is
                     // legitimately still poisoned, so check owned only.
-                    fabcheck::check_for_nan(&lev.state, &format!("RK stage {stage} state L{l}"));
+                    if owned {
+                        for i in 0..lev.state.nfabs() {
+                            if lev.state.is_allocated(i) {
+                                assert!(
+                                    !lev.state.fab(i).has_nonfinite(lev.state.valid_box(i)),
+                                    "fabcheck: non-finite in RK stage {stage} state L{l} patch {i}"
+                                );
+                            }
+                        }
+                    } else {
+                        fabcheck::check_for_nan(
+                            &lev.state,
+                            &format!("RK stage {stage} state L{l}"),
+                        );
+                    }
                     for i in 0..lev.du.nfabs() {
                         if lev.du.distribution().owner(i) == rank {
                             assert!(
@@ -412,6 +802,38 @@ impl Simulation {
                     .absorb_plan(&cg.coord_plan().stats, PlanKind::CoordCopy);
             }
         }
+        // Owned data: the coarse→fine gather sources live on their owners,
+        // so execute the plan's cross-rank chunks up front — the payloads
+        // feed `fill_two_level_patch_with_remote` inside the stage tasks,
+        // keyed by absolute chunk index within the cached plan.
+        let remote_two: Option<RemoteGathers> =
+            if self.owned_rank.is_some() {
+                match &two {
+                    Some((plans, coarse, ..)) => {
+                        let rs = exchange_chunks(
+                            &coarse.state,
+                            &plans.state.state_plan().plan.chunks,
+                            NCONS,
+                            ep,
+                            &|k| tags::owned(tags::OWNED_GATHER, epoch, l, k),
+                        )?;
+                        let rc = match &plans.coords {
+                            Some(cg) => Some(exchange_chunks(
+                                &coarse.coords,
+                                &cg.coord_plan().plan.chunks,
+                                NCOORDS,
+                                ep,
+                                &|k| tags::owned(tags::OWNED_COORDS, epoch, l, k),
+                            )?),
+                            None => None,
+                        };
+                        Some((rs, rc))
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            };
         // The rank-crossing graph skeleton, memoized beside the plan it was
         // derived from; regrid invalidates both together.
         let skel = cache.get_or_build_aux(
@@ -478,7 +900,7 @@ impl Simulation {
 
         let pre_halo = |i: usize, rw: &mut FabRw<'_>| {
             if let Some((plans, coarse, coarse_domain, coarse_bc)) = &two {
-                let cells = fill_two_level_patch(
+                let cells = fill_two_level_patch_with_remote(
                     i,
                     rw,
                     plans,
@@ -490,6 +912,8 @@ impl Simulation {
                     interp,
                     coarse_bc,
                     time,
+                    remote_two.as_ref().map(|(rs, _)| rs),
+                    remote_two.as_ref().and_then(|(_, rc)| rc.as_ref()),
                 );
                 interpolated.fetch_add(cells, Ordering::Relaxed);
             }

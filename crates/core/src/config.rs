@@ -184,6 +184,17 @@ pub struct SolverConfig {
     ///
     /// [`Simulation::step_cluster`]: crate::driver::Simulation::step_cluster
     pub dist_overlap: bool,
+    /// Owned-data distribution (docs/DISTRIBUTED.md): each rank allocates
+    /// and advances only the patches its `DistributionMapping` assigns it.
+    /// Cross-rank data motion happens exclusively through cached plans —
+    /// per-stage halo/gather exchanges, a distributed tag union plus
+    /// redistribution at regrid, and a checkpoint gather for chaos recovery.
+    /// The step loop never calls `allgather_fabs`. Results are
+    /// bitwise-identical to the replicated path
+    /// (`tests/owned_dist_invariance.rs`); only memory per rank changes:
+    /// O(owned cells) instead of O(global cells). Off by default — the
+    /// replicated path survives as the test oracle.
+    pub owned_dist: bool,
     /// Run the `fabcheck` dynamic sanitizer on the solver's MultiFabs:
     /// plan-aliasing proofs before every ghost exchange and stale-ghost traps
     /// in the RK loop. Defaults to on when the crate is built with the
@@ -299,6 +310,7 @@ impl Default for SolverConfigBuilder {
                 plan_cache: true,
                 overlap: false,
                 dist_overlap: false,
+                owned_dist: false,
                 fabcheck: cfg!(feature = "fabcheck"),
                 nan_poison: false,
                 kernel_backend: BackendKind::Scalar,
@@ -430,6 +442,14 @@ impl SolverConfigBuilder {
     /// stepping (distributed halo/interior overlap).
     pub fn dist_overlap(mut self, on: bool) -> Self {
         self.cfg.dist_overlap = on;
+        self
+    }
+
+    /// Enables/disables owned-data distribution in cluster stepping: each
+    /// rank allocates and advances only its own patches, with all cross-rank
+    /// motion through cached plans (no `allgather_fabs`).
+    pub fn owned_dist(mut self, on: bool) -> Self {
+        self.cfg.owned_dist = on;
         self
     }
 

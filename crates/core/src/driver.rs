@@ -39,7 +39,9 @@ use crocco_geometry::{GridMapping, IndexBox, IntVect, ProblemDomain, RealVect};
 use crocco_perfmodel::Profiler;
 use crocco_runtime::{parallel_for_each_mut, parallel_zip_mut};
 use crocco_fab::DistributionStrategy;
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -82,10 +84,20 @@ pub struct LevelData {
 impl LevelData {
     /// Assembles one level's data, sizing the RHS scratch to the state's
     /// valid boxes.
-    fn new(state: MultiFab, du: MultiFab, coords: MultiFab, metrics: MultiFab) -> Self {
+    pub(crate) fn new(state: MultiFab, du: MultiFab, coords: MultiFab, metrics: MultiFab) -> Self {
         let ba = state.boxarray();
+        // Under owned-data distribution the RHS scratch follows the state's
+        // allocation: unallocated placeholders keep the vector index-aligned
+        // with the (replicated) BoxArray while storing nothing for patches
+        // other ranks own.
         let rhs = (0..ba.len())
-            .map(|i| FArrayBox::new(ba.get(i), NCONS))
+            .map(|i| {
+                if state.is_allocated(i) {
+                    FArrayBox::new(ba.get(i), NCONS)
+                } else {
+                    FArrayBox::unallocated(ba.get(i), NCONS)
+                }
+            })
             .collect();
         LevelData {
             state,
@@ -178,6 +190,12 @@ pub struct Simulation {
     pub comm: CommTotals,
     /// Per-level coordinate files (populated for `CoordSource::BinaryFile`).
     coord_files: Vec<std::path::PathBuf>,
+    /// `Some(rank)` when this instance participates in owned-data
+    /// distribution (docs/DISTRIBUTED.md): every `MultiFab` allocates data
+    /// only for the patches the `DistributionMapping` assigns to `rank`;
+    /// the rest are metadata-only placeholders. `None` (the default, and
+    /// always the case outside cluster stepping) replicates every patch.
+    pub(crate) owned_rank: Option<usize>,
     pub(crate) time: f64,
     pub(crate) dt: f64,
     pub(crate) step: u32,
@@ -187,6 +205,27 @@ impl Simulation {
     /// Builds the simulation: grid, metrics, initial flow, and (for AMR
     /// versions) the initial refined levels.
     pub fn new(cfg: SolverConfig) -> Self {
+        let mut sim = Simulation::new_impl(cfg, None);
+        // Iteratively grow the initial hierarchy: tag on the initial flow,
+        // regrid, re-initialize — until the ladder stops changing.
+        if sim.cfg.version.amr_enabled() {
+            for _ in 0..sim.cfg.max_levels {
+                let tags = sim.compute_tags();
+                if !sim.hierarchy.regrid(&tags) {
+                    break;
+                }
+                sim.rebuild_all_levels_from_ic();
+            }
+        }
+        sim
+    }
+
+    /// Shared construction body: everything except the initial-regrid loop,
+    /// which differs between the serial path (local tags suffice) and
+    /// owned-data cluster construction (each rank tags only owned patches,
+    /// so the per-round tag sets must be unioned across ranks first —
+    /// `Simulation::new_owned` in `cluster_step`).
+    pub(crate) fn new_impl(cfg: SolverConfig, owned_rank: Option<usize>) -> Self {
         let gas = cfg.problem.gas();
         let mapping = cfg.problem.mapping();
         let domain0 = ProblemDomain::new(
@@ -222,6 +261,7 @@ impl Simulation {
             profiler: Profiler::new(),
             comm: CommTotals::default(),
             coord_files: Vec::new(),
+            owned_rank,
             time: 0.0,
             dt: 0.0,
             step: 0,
@@ -229,17 +269,6 @@ impl Simulation {
         };
         sim.prepare_coord_files();
         sim.rebuild_all_levels_from_ic();
-        // Iteratively grow the initial hierarchy: tag on the initial flow,
-        // regrid, re-initialize — until the ladder stops changing.
-        if sim.cfg.version.amr_enabled() {
-            for _ in 0..sim.cfg.max_levels {
-                let tags = sim.compute_tags();
-                if !sim.hierarchy.regrid(&tags) {
-                    break;
-                }
-                sim.rebuild_all_levels_from_ic();
-            }
-        }
         sim
     }
 
@@ -248,6 +277,19 @@ impl Simulation {
     /// regenerated from the mapping (coordinates are a pure function of the
     /// grids, per §III-C), and the step/time counters resume.
     pub fn from_checkpoint(cfg: SolverConfig, chk: &crate::io::Checkpoint) -> Self {
+        Simulation::from_checkpoint_impl(cfg, chk, None)
+    }
+
+    /// Checkpoint restore body, parameterized on the ownership mode. With
+    /// `owned_rank = Some(r)` only owned patches allocate and only their
+    /// valid data is overwritten from the (globally identical) checkpoint
+    /// body — checkpoints stay whole-domain so any surviving rank subset can
+    /// restore from them after a crash.
+    pub(crate) fn from_checkpoint_impl(
+        cfg: SolverConfig,
+        chk: &crate::io::Checkpoint,
+        owned_rank: Option<usize>,
+    ) -> Self {
         let gas = cfg.problem.gas();
         let mapping = cfg.problem.mapping();
         let domain0 = ProblemDomain::new(
@@ -288,6 +330,7 @@ impl Simulation {
             profiler: Profiler::new(),
             comm: CommTotals::default(),
             coord_files: Vec::new(),
+            owned_rank,
             time: chk.time,
             dt: 0.0,
             step: chk.step,
@@ -295,10 +338,14 @@ impl Simulation {
         };
         sim.prepare_coord_files();
         sim.rebuild_all_levels_from_ic();
-        // Overwrite valid data with the checkpoint body.
+        // Overwrite valid data with the checkpoint body (owned patches only
+        // under owned-data distribution — the rest have no storage).
         for (l, level_data) in chk.data.iter().enumerate() {
             let state = &mut sim.levels[l].state;
             for (i, vals) in level_data.iter().enumerate() {
+                if !state.is_allocated(i) {
+                    continue;
+                }
                 let valid = state.valid_box(i);
                 let mut it = vals.iter();
                 for c in 0..NCONS {
@@ -314,18 +361,21 @@ impl Simulation {
     /// Allocates a solver `MultiFab` honouring the sanitizer knobs: signaling
     /// NaNs in every cell when `nan_poison` is on (so an unwritten cell traps
     /// in the next `check_for_nan` sweep instead of smuggling a zero), and the
-    /// per-fab `fabcheck` toggle mirroring the config.
-    fn alloc_mf(
+    /// per-fab `fabcheck` toggle mirroring the config. Under owned-data
+    /// distribution only the patches [`owned_rank`](Self::owned_rank) owns
+    /// get storage.
+    pub(crate) fn alloc_mf(
         &self,
         ba: Arc<BoxArray>,
         dm: Arc<DistributionMapping>,
         ncomp: usize,
         nghost: i64,
     ) -> MultiFab {
-        let mut mf = if self.cfg.nan_poison {
-            MultiFab::new_poisoned(ba, dm, ncomp, nghost)
-        } else {
-            MultiFab::new(ba, dm, ncomp, nghost)
+        let mut mf = match (self.owned_rank, self.cfg.nan_poison) {
+            (Some(r), true) => MultiFab::new_owned_poisoned(ba, dm, ncomp, nghost, r),
+            (Some(r), false) => MultiFab::new_owned(ba, dm, ncomp, nghost, r),
+            (None, true) => MultiFab::new_poisoned(ba, dm, ncomp, nghost),
+            (None, false) => MultiFab::new(ba, dm, ncomp, nghost),
         };
         mf.set_fabcheck(self.cfg.fabcheck);
         mf
@@ -368,9 +418,14 @@ impl Simulation {
 
     /// Allocates and initializes one level's grid data (coords + metrics),
     /// honouring the configured coordinate source.
-    fn make_level_grid(&self, l: usize) -> (MultiFab, MultiFab) {
+    pub(crate) fn make_level_grid(&self, l: usize) -> (MultiFab, MultiFab) {
         let lev = self.hierarchy.level(l);
-        let mut coords = MultiFab::new(lev.ba.clone(), lev.dm.clone(), NCOORDS, NGHOST + 2);
+        let mut coords = match self.owned_rank {
+            Some(r) => {
+                MultiFab::new_owned(lev.ba.clone(), lev.dm.clone(), NCOORDS, NGHOST + 2, r)
+            }
+            None => MultiFab::new(lev.ba.clone(), lev.dm.clone(), NCOORDS, NGHOST + 2),
+        };
         match self.cfg.coord_source {
             CoordSource::Memory => {
                 generate_coords(self.mapping.as_ref(), self.level_extents(l), &mut coords);
@@ -394,6 +449,9 @@ impl Simulation {
     /// problem's initial condition at the stored coordinates.
     fn init_state_from_ic(&self, coords: &MultiFab, state: &mut MultiFab) {
         for i in 0..state.nfabs() {
+            if !state.is_allocated(i) {
+                continue;
+            }
             let bx = state.fab(i).bx();
             for p in bx.cells() {
                 let x = RealVect::new(
@@ -411,7 +469,7 @@ impl Simulation {
 
     /// Rebuilds every level's data directly from the initial condition
     /// (used during hierarchy construction at t = 0).
-    fn rebuild_all_levels_from_ic(&mut self) {
+    pub(crate) fn rebuild_all_levels_from_ic(&mut self) {
         self.levels.clear();
         for l in 0..self.hierarchy.nlevels() {
             let lev = self.hierarchy.level(l);
@@ -456,13 +514,18 @@ impl Simulation {
 
     /// Refinement tags per level from the |∇ρ| criterion (§II-B): the scratch
     /// gradient field is thresholded against the configured value. Only
-    /// levels that may host a finer one are tagged.
+    /// levels that may host a finer one are tagged. Under owned-data
+    /// distribution this tags *owned* patches only — the distributed regrid
+    /// unions the per-rank sets before clustering.
     pub fn compute_tags(&self) -> Vec<TagSet> {
         let mut out = Vec::new();
         for l in 0..self.hierarchy.nlevels().min(self.cfg.effective_levels() - 1) {
             let state = &self.levels[l].state;
             let mut tags = TagSet::new();
             for i in 0..state.nfabs() {
+                if !state.is_allocated(i) {
+                    continue;
+                }
                 let valid = state.valid_box(i);
                 let mut g = FArrayBox::new(valid, 1);
                 gradient_magnitude(state.fab(i), &mut g, valid, crate::state::cons::RHO);
@@ -579,12 +642,69 @@ impl Simulation {
         coarse_domain: &ProblemDomain,
         coarse_bc: &PhysicalBc,
     ) {
+        self.interp_full_level_with_remote(
+            coarse_state,
+            coarse_coords,
+            fine_coords,
+            state,
+            coarse_domain,
+            coarse_bc,
+            None,
+            None,
+        );
+    }
+
+    /// The remap-interpolation body, parameterized on remote gather payloads
+    /// for owned-data regridding. Chunk indices are global over the
+    /// deterministic `(fab, chunk)` enumeration of [`interp_gather_chunks`]
+    /// — the same enumeration the distributed regrid uses to decide which
+    /// chunks to send — so `remote_state`/`remote_coords` maps (keyed by that
+    /// index, produced by `crocco_fab::owned::exchange_chunks`) substitute
+    /// bitwise-exactly for the local copies. With `None` maps every chunk
+    /// copies locally: the replicated path.
+    ///
+    /// Under owned-data distribution, fine patches this rank does not own
+    /// are skipped (their chunk indices still advance, keeping the global
+    /// numbering rank-independent).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn interp_full_level_with_remote(
+        &self,
+        coarse_state: &MultiFab,
+        coarse_coords: &MultiFab,
+        fine_coords: &MultiFab,
+        state: &mut MultiFab,
+        coarse_domain: &ProblemDomain,
+        coarse_bc: &PhysicalBc,
+        remote_state: Option<&HashMap<usize, Bytes>>,
+        remote_coords: Option<&HashMap<usize, Bytes>>,
+    ) {
         let ratio = IntVect::splat(2);
+        let owned = self.owned_rank.is_some();
+        let needs_coords = self.interp.needs_coords();
+        let mut state_base = 0usize;
+        let mut coord_base = 0usize;
         for i in 0..state.nfabs() {
             let valid = state.valid_box(i);
             let cbox = valid.coarsen(ratio).grow(self.interp.coarse_ghost() + 1);
+            let schunks = gather_valid_chunks(coarse_state.boxarray(), cbox, coarse_domain);
+            let cchunks = if needs_coords {
+                gather_all_chunks(coarse_coords, cbox, coarse_domain)
+            } else {
+                Vec::new()
+            };
+            if owned && !state.is_allocated(i) {
+                state_base += schunks.len();
+                coord_base += cchunks.len();
+                continue;
+            }
             let mut ctmp = FArrayBox::new(cbox, NCONS);
-            gather_valid(coarse_state, &mut ctmp, coarse_domain);
+            for (k, (src_id, region, shift)) in schunks.iter().enumerate() {
+                if let Some(payload) = remote_state.and_then(|m| m.get(&(state_base + k))) {
+                    crocco_fab::owned::unpack_chunk_into(&mut ctmp, *region, NCONS, payload);
+                } else {
+                    ctmp.copy_shifted_from(coarse_state.fab(*src_id), *region, *shift, NCONS);
+                }
+            }
             coarse_bc.fill(
                 &mut ctmp,
                 cbox.intersection(&coarse_domain.bx),
@@ -592,9 +712,15 @@ impl Simulation {
                 self.time,
             );
             let (cc, fc);
-            if self.interp.needs_coords() {
+            if needs_coords {
                 let mut c = FArrayBox::new(cbox, NCOORDS);
-                gather_all(coarse_coords, &mut c, coarse_domain);
+                for (k, (src_id, region, shift)) in cchunks.iter().enumerate() {
+                    if let Some(payload) = remote_coords.and_then(|m| m.get(&(coord_base + k))) {
+                        crocco_fab::owned::unpack_chunk_into(&mut c, *region, NCOORDS, payload);
+                    } else {
+                        c.copy_shifted_from(coarse_coords.fab(*src_id), *region, *shift, NCOORDS);
+                    }
+                }
                 cc = Some(c);
                 fc = Some(fine_coords.fab(i).clone());
             } else {
@@ -609,6 +735,8 @@ impl Simulation {
                 cc.as_ref(),
                 fc.as_ref(),
             );
+            state_base += schunks.len();
+            coord_base += cchunks.len();
         }
     }
 
@@ -1104,32 +1232,47 @@ pub(crate) fn accumulate_rhs(
     }
 }
 
-/// Gathers valid-region data from `src` into `dst_fab` (periodic-aware),
-/// without plan accounting (remap path).
-fn gather_valid(src: &MultiFab, dst_fab: &mut FArrayBox, domain: &ProblemDomain) {
-    let ncomp = dst_fab.ncomp();
+/// Enumerates the valid-region gather chunks filling `dst_bx` from `src_ba`
+/// (periodic-aware): `(src_id, region-in-dst-space, shift)` triples in a
+/// deterministic order — a pure function of replicated metadata, so every
+/// rank enumerates the identical list. The remap path executes these as
+/// local copies; the distributed regrid turns the rank-crossing ones into
+/// `CopyChunk` sends keyed by position in this list.
+pub(crate) fn gather_valid_chunks(
+    src_ba: &BoxArray,
+    dst_bx: IndexBox,
+    domain: &ProblemDomain,
+) -> Vec<(usize, IndexBox, IntVect)> {
+    let mut out = Vec::new();
     for shift in domain.periodic_shifts() {
-        let probe = dst_fab.bx().shift(-shift);
-        for (src_id, overlap) in src.boxarray().intersections(probe) {
-            dst_fab.copy_shifted_from(src.fab(src_id), overlap.shift(shift), shift, ncomp);
+        let probe = dst_bx.shift(-shift);
+        for (src_id, overlap) in src_ba.intersections(probe) {
+            out.push((src_id, overlap.shift(shift), shift));
         }
     }
+    out
 }
 
-/// Gathers valid+ghost data (for analytic coordinates).
-fn gather_all(src: &MultiFab, dst_fab: &mut FArrayBox, domain: &ProblemDomain) {
-    let ncomp = dst_fab.ncomp();
+/// Enumerates valid+ghost gather chunks (for analytic coordinates), in the
+/// same deterministic metadata-only order as [`gather_valid_chunks`].
+pub(crate) fn gather_all_chunks(
+    src: &MultiFab,
+    dst_bx: IndexBox,
+    domain: &ProblemDomain,
+) -> Vec<(usize, IndexBox, IntVect)> {
     let g = src.nghost();
+    let mut out = Vec::new();
     for shift in domain.periodic_shifts() {
-        let probe = dst_fab.bx().shift(-shift);
+        let probe = dst_bx.shift(-shift);
         for (src_id, _) in src.boxarray().intersections(probe.grow(g)) {
-            let overlap = src.fab(src_id).bx().intersection(&probe);
+            let overlap = src.boxarray().get(src_id).grow(g).intersection(&probe);
             if overlap.is_empty() {
                 continue;
             }
-            dst_fab.copy_shifted_from(src.fab(src_id), overlap.shift(shift), shift, ncomp);
+            out.push((src_id, overlap.shift(shift), shift));
         }
     }
+    out
 }
 
 #[cfg(test)]

@@ -103,12 +103,11 @@ pub fn write_plotfile(sim: &Simulation, path: impl AsRef<Path>) -> io::Result<()
     w.flush()
 }
 
-/// Serializes a restartable checkpoint to bytes: `CROCCO-CHK 2` header,
-/// little-endian f64 body, and a whole-file CRC-32 trailer.
-///
-/// The chaos recovery loop calls this directly to keep its periodic
-/// snapshots in memory; [`write_checkpoint`] is the file-backed wrapper.
-pub fn write_checkpoint_bytes(sim: &Simulation) -> Vec<u8> {
+/// Serializes the checkpoint *header* — magic line, step/time counters, and
+/// per-level grid metadata through the blank separator line. The header is a
+/// pure function of replicated metadata, so under owned-data distribution
+/// every rank produces identical header bytes locally.
+pub(crate) fn checkpoint_header(sim: &Simulation) -> Vec<u8> {
     let mut w: Vec<u8> = Vec::new();
     // Writing to a Vec cannot fail.
     writeln!(w, "CROCCO-CHK 2").unwrap();
@@ -123,21 +122,50 @@ pub fn write_checkpoint_bytes(sim: &Simulation) -> Vec<u8> {
         }
     }
     writeln!(w).unwrap();
-    for l in 0..sim.nlevels() {
-        let state = &sim.level(l).state;
-        for i in 0..state.nfabs() {
-            let valid = state.valid_box(i);
-            for c in 0..NCONS {
-                for p in valid.cells() {
-                    w.extend_from_slice(&state.fab(i).get(p, c).to_le_bytes());
-                }
-            }
+    w
+}
+
+/// Serializes one patch's checkpoint body: component-major little-endian f64
+/// over the valid cells of fab `i` — the unit the distributed checkpoint
+/// gather ships from each patch's owner. Panics if the patch has no storage
+/// (an unowned placeholder).
+pub(crate) fn patch_body_bytes(state: &crocco_fab::MultiFab, i: usize) -> Vec<u8> {
+    let valid = state.valid_box(i);
+    let mut w = Vec::with_capacity(valid.num_points() as usize * NCONS * 8);
+    for c in 0..NCONS {
+        for p in valid.cells() {
+            w.extend_from_slice(&state.fab(i).get(p, c).to_le_bytes());
         }
     }
+    w
+}
+
+/// Seals assembled checkpoint bytes (header + bodies) with the whole-file
+/// CRC-32 trailer, completing the v2 format.
+pub(crate) fn seal_checkpoint(mut w: Vec<u8>) -> Vec<u8> {
     let crc = crc32(&w);
     write!(w, "\ncrc {crc:08x}\n").unwrap();
     debug_assert!(w.ends_with(b"\n") && w.len() > CRC_TRAILER_LEN);
     w
+}
+
+/// Serializes a restartable checkpoint to bytes: `CROCCO-CHK 2` header,
+/// little-endian f64 body, and a whole-file CRC-32 trailer.
+///
+/// The chaos recovery loop calls this directly to keep its periodic
+/// snapshots in memory; [`write_checkpoint`] is the file-backed wrapper.
+/// Requires every patch allocated (replicated data); the owned-data path
+/// assembles the identical bytes from `checkpoint_header` plus gathered
+/// `patch_body_bytes` instead.
+pub fn write_checkpoint_bytes(sim: &Simulation) -> Vec<u8> {
+    let mut w = checkpoint_header(sim);
+    for l in 0..sim.nlevels() {
+        let state = &sim.level(l).state;
+        for i in 0..state.nfabs() {
+            w.extend_from_slice(&patch_body_bytes(state, i));
+        }
+    }
+    seal_checkpoint(w)
 }
 
 /// Writes a restartable checkpoint.

@@ -23,6 +23,7 @@
 // Enforced by `cargo xtask lint`: unsafe code is confined to the allowlisted
 // fab modules (multifab, view, overlap) — none of it lives here.
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod backend;
 pub mod bc;

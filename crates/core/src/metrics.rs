@@ -55,6 +55,11 @@ pub fn generate_coords(mapping: &dyn GridMapping, extents: IntVect, coords: &mut
         extents[2] as f64,
     ];
     for i in 0..coords.nfabs() {
+        // Owned-data distribution: patches owned elsewhere are
+        // metadata-only placeholders — nothing to fill.
+        if !coords.is_allocated(i) {
+            continue;
+        }
         let fab = coords.fab_mut(i);
         let bx = fab.bx();
         for p in bx.cells() {
@@ -136,6 +141,9 @@ pub fn read_coords_from_file(
     let n = [extents[0] as f64, extents[1] as f64, extents[2] as f64];
     let domain = crocco_geometry::IndexBox::from_extents(extents[0], extents[1], extents[2]);
     for i in 0..coords.nfabs() {
+        if !coords.is_allocated(i) {
+            continue;
+        }
         let bx = coords.fab(i).bx();
         let mut buf = Vec::new();
         for p in bx.cells() {
@@ -178,6 +186,11 @@ pub fn compute_metrics(coords: &MultiFab, metrics: &mut MultiFab) {
         "coords need 2 more ghosts than metrics for 4th-order stencils"
     );
     for i in 0..metrics.nfabs() {
+        // Owned-data distribution: coords and metrics share a distribution
+        // mapping, so an unallocated metrics patch has unallocated coords.
+        if !metrics.is_allocated(i) {
+            continue;
+        }
         let cfab = coords.fab(i);
         let mfab = metrics.fab_mut(i);
         let bx = mfab.bx();

@@ -30,13 +30,21 @@
 //! (`tests/dist_overlap_invariance.rs` proves this end-to-end, across a
 //! regrid, at 1/2/4 ranks).
 //!
-//! # Replication contract
+//! # Ownership contract
 //!
-//! Callers keep *metadata and data replicated*: every rank holds identical
-//! `MultiFab`s at stage entry, but only the owner's valid cells are
-//! trustworthy afterwards. [`allgather_fabs`] restores full replication
-//! (owner broadcasts each fab's valid+ghost box) so the next stage — and
-//! rank-local regrid/average-down — see identical bytes everywhere.
+//! Callers keep *metadata* replicated — every rank holds identical
+//! `BoxArray`s, `DistributionMapping`s, and cached plans — but data is
+//! **owned**: an owned MultiFab ([`MultiFab::new_owned`]) allocates storage
+//! only for the patches this rank's mapping entry assigns to it, and both
+//! executors dereference exactly the owned patches (local chunks have an
+//! owned source and destination; remote payloads unpack into owned ghosts),
+//! so the non-owned [`crate::fab::FArrayBox::unallocated`] placeholders are
+//! never touched. Cross-rank motion outside the stage graphs (FillPatch
+//! coarse gathers, regrid redistribution, checkpoint assembly) goes through
+//! [`crate::owned`]. The legacy replicated mode — every rank holding full
+//! data and [`allgather_fabs`] restoring replication after each stage —
+//! survives as the *test-only oracle* the owned path is proven
+//! bitwise-identical against (`tests/owned_dist_invariance.rs`).
 //!
 //! # Safety argument
 //!
@@ -49,9 +57,12 @@
 //! * receive events touch no fab at all — the payload parks in the
 //!   [`RecvHandle`] until `halo[i]` (their dependent) unpacks it into ghost
 //!   cells of `i`;
-//! * non-owned patches are read-only for the whole stage (halo copies and
-//!   packs read their valid cells; nothing writes them until the
-//!   post-stage [`allgather_fabs`], which runs after the graph joins).
+//! * non-owned patches are never dereferenced at all in owned mode (every
+//!   chunk with a non-owned source is received off the wire instead); in
+//!   the replicated oracle mode they are read-only for the whole stage
+//!   (halo copies and packs read their valid cells; nothing writes them
+//!   until the post-stage [`allgather_fabs`], which runs after the graph
+//!   joins).
 
 // Allowlisted unsafe surface of the workspace (`cargo xtask lint`): raw
 // views let graph tasks touch disjoint fab regions concurrently.
@@ -261,6 +272,14 @@ fn unpack_fab(fab: &mut FArrayBox, payload: &[u8]) {
 /// so after this call all group members hold identical `MultiFab`s again. A
 /// no-op on a single-rank group. Ranks are *logical* group ranks; a
 /// detected fault (dead member, starved receive) aborts the gather.
+///
+/// **Test-only oracle.** Since the owned-data conversion, the production
+/// step loop never calls this — steady-state stepping allocates O(owned
+/// cells) per rank and moves only plan chunks ([`crate::owned`]). The
+/// replicated mode (and this gather) is retained solely as the reference
+/// the owned path is proven bitwise-identical against
+/// (`tests/owned_dist_invariance.rs`); it requires fully-allocated
+/// MultiFabs and panics on owned ones.
 pub fn allgather_fabs(
     mf: &mut MultiFab,
     ep: &GroupEndpoint<'_>,

@@ -40,6 +40,31 @@ impl FArrayBox {
         f
     }
 
+    /// A metadata-only placeholder: carries a real box and component count but
+    /// holds no data. Owned-data `MultiFab`s use this for patches assigned to
+    /// other ranks, so box geometry stays queryable everywhere while storage
+    /// is O(owned cells) per rank. Any `get`/`set` on an unallocated fab
+    /// panics (slice index out of bounds).
+    ///
+    /// # Panics
+    /// Panics if `bx` is empty or `ncomp` is zero.
+    pub fn unallocated(bx: IndexBox, ncomp: usize) -> Self {
+        assert!(!bx.is_empty(), "cannot describe a fab over an empty box");
+        assert!(ncomp > 0, "fab needs at least one component");
+        FArrayBox {
+            bx,
+            ncomp,
+            data: Vec::new(),
+        }
+    }
+
+    /// `false` for metadata-only placeholders built by
+    /// [`FArrayBox::unallocated`]; `true` for every fab that owns storage.
+    #[inline]
+    pub fn is_allocated(&self) -> bool {
+        !self.data.is_empty()
+    }
+
     /// The valid-plus-ghost box this fab covers.
     #[inline]
     pub fn bx(&self) -> IndexBox {
@@ -395,5 +420,23 @@ mod tests {
     #[should_panic]
     fn empty_box_rejected() {
         FArrayBox::new(IndexBox::EMPTY, 1);
+    }
+
+    #[test]
+    fn unallocated_keeps_metadata_but_no_storage() {
+        let b = bx(4, 3, 2);
+        let f = FArrayBox::unallocated(b, 5);
+        assert_eq!(f.bx(), b);
+        assert_eq!(f.ncomp(), 5);
+        assert!(!f.is_allocated());
+        assert!(f.data().is_empty());
+        assert!(FArrayBox::new(b, 5).is_allocated());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unallocated_read_panics() {
+        let f = FArrayBox::unallocated(bx(2, 2, 2), 1);
+        f.get(IntVect::ZERO, 0);
     }
 }

@@ -33,6 +33,8 @@
 //! | S4 | AMR hierarchy, regrid, FillPatch (§III-B/C) | `amr` |
 //! | S5 | CRoCCo solver kernels + RK3 driver (§II, §III) | `core` (`crocco-solver`) |
 
+#![warn(missing_docs)]
+
 pub mod boxarray;
 pub mod dist_overlap;
 pub mod distribution;
@@ -40,6 +42,7 @@ pub mod fab;
 pub mod fabcheck;
 pub mod multifab;
 pub mod overlap;
+pub mod owned;
 pub mod plan;
 pub mod plan_cache;
 pub mod taskcheck;
@@ -48,6 +51,7 @@ pub mod view;
 
 pub use boxarray::BoxArray;
 pub use dist_overlap::{allgather_fabs, run_dist_rk_stage, DistSkeleton, DistStage};
+pub use owned::{exchange_chunks, pack_chunk, redistribute, unpack_chunk_into};
 pub use distribution::{DistributionMapping, DistributionStrategy};
 pub use fab::FArrayBox;
 pub use multifab::MultiFab;

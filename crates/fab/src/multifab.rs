@@ -62,6 +62,87 @@ impl MultiFab {
         }
     }
 
+    /// Allocates an *owned-data* MultiFab: metadata (boxes, owners) for every
+    /// patch, but storage only for the patches `dm` assigns to `rank` — the
+    /// other entries are [`FArrayBox::unallocated`] placeholders. This is the
+    /// scalable construction of the owned-data distributed path: memory per
+    /// rank is O(owned cells + ghosts), not O(global cells).
+    ///
+    /// Whole-level operations that touch every patch (`set_val`, the global
+    /// reductions, `fill_boundary`, `parallel_copy_from`) must not be used on
+    /// an owned MultiFab; the owned step path routes all cross-rank motion
+    /// through `dist_overlap`/`owned` exchanges instead, and panics on an
+    /// unallocated dereference make accidental whole-level use loud.
+    pub fn new_owned(
+        ba: Arc<BoxArray>,
+        dm: Arc<DistributionMapping>,
+        ncomp: usize,
+        nghost: i64,
+        rank: usize,
+    ) -> Self {
+        assert_eq!(ba.len(), dm.owners().len(), "BoxArray/DistributionMapping size mismatch");
+        let fabs = ba
+            .boxes()
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                if dm.owner(i) == rank {
+                    FArrayBox::new(b.grow(nghost), ncomp)
+                } else {
+                    FArrayBox::unallocated(b.grow(nghost), ncomp)
+                }
+            })
+            .collect();
+        MultiFab {
+            ba,
+            dm,
+            ncomp,
+            nghost,
+            fabs,
+            #[cfg(feature = "fabcheck")]
+            check: fabcheck::CheckState::default(),
+        }
+    }
+
+    /// [`MultiFab::new_owned`] with the `fabcheck` signaling-NaN allocation
+    /// poison applied to the owned patches (see [`MultiFab::new_poisoned`]).
+    /// Without the feature this is exactly `new_owned`.
+    pub fn new_owned_poisoned(
+        ba: Arc<BoxArray>,
+        dm: Arc<DistributionMapping>,
+        ncomp: usize,
+        nghost: i64,
+        rank: usize,
+    ) -> Self {
+        #[allow(unused_mut)]
+        let mut mf = Self::new_owned(ba, dm, ncomp, nghost, rank);
+        #[cfg(feature = "fabcheck")]
+        for f in &mut mf.fabs {
+            if f.is_allocated() {
+                f.fill(fabcheck::SNAN);
+            }
+        }
+        mf
+    }
+
+    /// `true` when patch `i` has storage on this rank (always `true` for
+    /// replicated MultiFabs built with [`MultiFab::new`]; owner-gated for
+    /// [`MultiFab::new_owned`] ones).
+    #[inline]
+    pub fn is_allocated(&self, i: usize) -> bool {
+        self.fabs[i].is_allocated()
+    }
+
+    /// Bytes of fab storage actually allocated in this MultiFab — the
+    /// memory-per-rank observable the owned-data tests assert on
+    /// (O(owned cells + ghosts), not O(global)).
+    pub fn local_data_bytes(&self) -> usize {
+        self.fabs
+            .iter()
+            .map(|f| std::mem::size_of_val(f.data()))
+            .sum()
+    }
+
     /// Like [`MultiFab::new`], but with the `fabcheck` feature every cell is
     /// poisoned with a signaling NaN ([`crate::fabcheck::SNAN`]) instead of
     /// zero, so any kernel consuming a never-written value propagates NaN and
@@ -814,6 +895,44 @@ mod tests {
         } else {
             assert_eq!(p.fab(0).get(lo, 0), 0.0);
         }
+    }
+
+    #[test]
+    fn owned_multifab_allocates_only_owned_patches() {
+        let (mf, _domain) = setup(2);
+        let ba = mf.boxarray().clone();
+        let dm = mf.distribution().clone();
+        let nranks = 3;
+        let mut total_owned = 0usize;
+        let mut full = 0usize;
+        for rank in 0..nranks {
+            let o = MultiFab::new_owned(ba.clone(), dm.clone(), 2, 2, rank);
+            for i in 0..o.nfabs() {
+                assert_eq!(o.is_allocated(i), dm.owner(i) == rank, "patch {i} rank {rank}");
+                // Metadata is intact even for placeholders.
+                assert_eq!(o.fab(i).bx(), ba.get(i).grow(2));
+                assert_eq!(o.fab(i).ncomp(), 2);
+            }
+            total_owned += o.local_data_bytes();
+            full = MultiFab::new(ba.clone(), dm.clone(), 2, 2).local_data_bytes();
+            assert!(o.local_data_bytes() < full, "rank {rank} holds the full level");
+        }
+        // The ranks' owned allocations partition the replicated allocation.
+        assert_eq!(total_owned, full);
+    }
+
+    #[cfg(feature = "fabcheck")]
+    #[test]
+    fn owned_poisoned_poisons_only_owned_patches() {
+        let (mf, _domain) = setup(1);
+        let dm = mf.distribution().clone();
+        let rank = 1;
+        let p = MultiFab::new_owned_poisoned(mf.boxarray().clone(), dm.clone(), 2, 1, rank);
+        let i = (0..p.nfabs()).find(|&i| dm.owner(i) == rank).unwrap();
+        let lo = p.valid_box(i).lo();
+        assert!(p.fab(i).get(lo, 0).is_nan());
+        let j = (0..p.nfabs()).find(|&i| dm.owner(i) != rank).unwrap();
+        assert!(!p.is_allocated(j));
     }
 
     #[test]

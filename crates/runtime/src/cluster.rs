@@ -50,6 +50,10 @@ pub struct Packet {
 /// receives — stragglers are filtered at decode time by
 /// [`tags::generation_of`].
 pub mod tags {
+    /// Traffic-class discriminant: an owned-data exchange message (chunked
+    /// gathers, redistributions, checkpoint payloads — sub-classified by the
+    /// `OWNED_*` space carried in the level field's top bits).
+    pub const KIND_OWNED: u64 = 0;
     /// Traffic-class discriminant: a same-level halo chunk.
     pub const KIND_HALO: u64 = 1;
     /// Traffic-class discriminant: a full-fab replication gather.
@@ -57,9 +61,32 @@ pub mod tags {
     /// Traffic-class discriminant: a collective phase message.
     pub const KIND_COLL: u64 = 3;
 
+    /// Owned-data sub-space: a coarse→fine state gather chunk (FillPatch or
+    /// regrid interpolation source data).
+    pub const OWNED_GATHER: u64 = 0;
+    /// Owned-data sub-space: a coarse coordinate gather chunk (the
+    /// curvilinear interpolator's coordinate `ParallelCopy`).
+    pub const OWNED_COORDS: u64 = 1;
+    /// Owned-data sub-space: a redistribution payload (average-down values,
+    /// old→new mapping `ParallelCopy` chunks, tag-set unions).
+    pub const OWNED_REDIST: u64 = 2;
+    /// Owned-data sub-space: a checkpoint patch payload replicated to
+    /// survivors.
+    pub const OWNED_CKPT: u64 = 3;
+
     fn compose(kind: u64, epoch: u64, level: usize, index: usize) -> u64 {
         debug_assert!(index < (1 << 32), "tag index overflows 32 bits");
         (kind << 62) | ((epoch & 0xFFFF) << 40) | (((level as u64) & 0xFF) << 32) | index as u64
+    }
+
+    /// Tag for owned-data exchange message `index` of `level` in sub-space
+    /// `space` (`OWNED_GATHER`/`OWNED_COORDS`/`OWNED_REDIST`/`OWNED_CKPT`)
+    /// during stage-epoch `epoch`. The space rides in bits 6–7 of the level
+    /// field, so levels up to 63 and four spaces never collide.
+    pub fn owned(space: u64, epoch: u64, level: usize, index: usize) -> u64 {
+        debug_assert!(space < 4, "owned tag space overflows 2 bits");
+        debug_assert!(level < 64, "owned tag level overflows 6 bits");
+        compose(KIND_OWNED, epoch, level | ((space as usize) << 6), index)
     }
 
     /// Tag for halo chunk `chunk` of `level` during stage-epoch `epoch`.
@@ -409,7 +436,9 @@ impl RankEndpoint {
     /// first: damaged frames trigger a link retransmit and vanish; accepted
     /// frames are acknowledged (clearing the sender-side pristine copy),
     /// duplicate-suppressed by sequence number, and generation-filtered
-    /// (halo/gather stragglers from before a rollback are discarded).
+    /// (halo/gather/owned-exchange stragglers from before a rollback are
+    /// discarded; only collective tags, whose bit layout differs, are
+    /// exempt).
     fn absorb(&self, m: &mut MatchState, pkt: Packet) -> Result<bool, CommError> {
         let Some(ch) = &self.chaos else {
             return Self::deliver(m, pkt);
@@ -427,7 +456,7 @@ impl RankEndpoint {
                     return Ok(false);
                 }
                 let kind = tags::kind_of(pkt.tag);
-                if (kind == tags::KIND_HALO || kind == tags::KIND_GATHER)
+                if kind != tags::KIND_COLL
                     && tags::generation_of(pkt.tag) != self.generation.load(Ordering::Relaxed)
                 {
                     ch.stats.stale_discards.fetch_add(1, Ordering::Relaxed);
@@ -571,9 +600,9 @@ impl RankEndpoint {
         n
     }
 
-    /// Drops queued unexpected halo/gather packets whose tag carries a
-    /// generation other than `generation` (pre-rollback stragglers that
-    /// were already matched into the queue). Collective packets are kept —
+    /// Drops queued unexpected halo/gather/owned-exchange packets whose tag
+    /// carries a generation other than `generation` (pre-rollback stragglers
+    /// that were already matched into the queue). Collective packets are kept —
     /// collective sequence numbers stay in lockstep through recovery, so a
     /// queued collective packet is either still wanted or rots harmlessly
     /// under a never-reused tag. Returns how many packets were purged.
@@ -1189,12 +1218,42 @@ mod matched_tests {
         let h = tags::halo(1, 2, 3);
         let g = tags::gather(1, 2, 3);
         let c = tags::collective(1, 0);
+        let o = tags::owned(tags::OWNED_GATHER, 1, 2, 3);
         assert_ne!(h, g);
         assert_ne!(h, c);
         assert_ne!(g, c);
+        assert_ne!(o, h);
+        assert_ne!(o, g);
+        assert_ne!(o, c);
         assert_ne!(tags::halo(1, 2, 3), tags::halo(2, 2, 3));
         assert_ne!(tags::collective(1, 0), tags::collective(1, 1));
         assert_ne!(tags::collective(1, 0), tags::collective(2, 0));
+    }
+
+    /// The four owned sub-spaces are disjoint tag namespaces at identical
+    /// (epoch, level, index) coordinates, carry the generation where the
+    /// stale filter expects it, and report `KIND_OWNED`.
+    #[test]
+    fn owned_tag_spaces_are_disjoint_and_generation_stamped() {
+        let spaces = [
+            tags::OWNED_GATHER,
+            tags::OWNED_COORDS,
+            tags::OWNED_REDIST,
+            tags::OWNED_CKPT,
+        ];
+        for (a, &sa) in spaces.iter().enumerate() {
+            for &sb in &spaces[a + 1..] {
+                assert_ne!(tags::owned(sa, 5, 1, 9), tags::owned(sb, 5, 1, 9));
+            }
+        }
+        let e = tags::epoch_with_generation(3, 0x123);
+        let t = tags::owned(tags::OWNED_REDIST, e, 2, 7);
+        assert_eq!(tags::kind_of(t), tags::KIND_OWNED);
+        assert_eq!(tags::generation_of(t), 3);
+        assert_ne!(
+            tags::owned(tags::OWNED_GATHER, e, 2, 7),
+            tags::owned(tags::OWNED_GATHER, e, 3, 7)
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! 6. raw fab views (`FabRd`/`FabRw`/`RawFab`) are constructed only inside
 //!    the fab view layer itself — everywhere else goes through the safe
 //!    `crocco_fab::with_rw` adapter, so the taskcheck access recorder
-//!    (DESIGN.md §4i) observes every view that touches fab memory.
+//!    (DESIGN.md §4i) observes every view that touches fab memory;
+//! 7. every `docs/results/*.md` file referenced from the narrative
+//!    documents ([`DOC_LINK_SOURCES`]) exists — the design docs cite
+//!    results notes as evidence, and a citation to a note nobody wrote
+//!    (or that a rename orphaned) silently breaks the audit trail.
 //!
 //! The scanner also emits one *advisory* (never-failing) metric: the
 //! `unwrap()`/`expect()` count in the non-test code of the network-facing
@@ -94,6 +98,16 @@ const UNWRAP_AUDIT: &[&str] = &[
     "crates/fab/src/plan.rs",
 ];
 
+/// Narrative documents whose `docs/results/*.md` references must resolve
+/// (rule 7). References are workspace-root-relative wherever they appear, so
+/// one spelling stays greppable across all the documents.
+const DOC_LINK_SOURCES: &[&str] = &[
+    "DESIGN.md",
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/DISTRIBUTED.md",
+];
+
 /// One `file:line: message` finding.
 pub struct Diagnostic {
     pub path: PathBuf,
@@ -140,7 +154,50 @@ pub fn lint_root(root: &Path) -> Report {
         let rel_str = rel_slashes(rel);
         lint_file(rel, &rel_str, &src, roots.contains(rel), &mut report);
     }
+    lint_doc_links(root, &mut report);
     report
+}
+
+/// Rule 7: every `docs/results/*.md` path mentioned in a
+/// [`DOC_LINK_SOURCES`] document names a file that exists. Matching is
+/// textual (these are Markdown files, not Rust) and tolerant of sentence
+/// punctuation after the path. A source document that is absent is skipped —
+/// the rule guards against dangling references, and fixture trees in the
+/// tests have no narrative documents at all.
+fn lint_doc_links(root: &Path, report: &mut Report) {
+    for rel in DOC_LINK_SOURCES {
+        let Ok(text) = fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        for (idx, line) in text.lines().enumerate() {
+            let mut rest = line;
+            while let Some(at) = rest.find("docs/results/") {
+                let tail = &rest[at..];
+                let end = tail
+                    .find(|c: char| {
+                        !(c.is_ascii_alphanumeric() || matches!(c, '/' | '_' | '-' | '.'))
+                    })
+                    .unwrap_or(tail.len());
+                let mut target = &tail[..end];
+                // Trailing sentence punctuation is prose, not path.
+                while !target.ends_with(".md") && target.ends_with(['.', ',']) {
+                    target = &target[..target.len() - 1];
+                }
+                if target.ends_with(".md") && !root.join(target).exists() {
+                    report.diagnostics.push(Diagnostic {
+                        path: PathBuf::from(rel),
+                        line: idx + 1,
+                        message: format!(
+                            "`{target}` is referenced but does not exist; \
+                             write the results note or fix the reference"
+                        ),
+                    });
+                }
+                rest = &rest[at + "docs/results/".len()..];
+            }
+        }
+    }
 }
 
 /// Applies all per-file rules to one source file.
@@ -758,6 +815,32 @@ mod tests {
         let report = lint_root(&fx.root);
         assert!(report.diagnostics.is_empty(), "{:?}", messages(&report));
         assert_eq!(report.unsafe_sites, 0);
+    }
+
+    #[test]
+    fn fixture_dangling_results_references_are_caught() {
+        let fx = Fixture::new();
+        fx.write("Cargo.toml", "[package]\nname = \"fx\"\n");
+        fx.write("src/lib.rs", "#![forbid(unsafe_code)]\n");
+        fx.write("docs/results/real.md", "# exists\n");
+        fx.write(
+            "DESIGN.md",
+            "Numbers in docs/results/real.md and docs/results/ghost.md.\n\
+             Also [linked](docs/results/gone.md) and the bare docs/results/ dir.\n",
+        );
+        let report = lint_root(&fx.root);
+        let msgs = messages(&report);
+        assert_eq!(report.diagnostics.len(), 2, "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("DESIGN.md:1")
+                && m.contains("`docs/results/ghost.md` is referenced but does not exist")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("DESIGN.md:2") && m.contains("docs/results/gone.md")),
+            "{msgs:?}"
+        );
     }
 
     #[test]

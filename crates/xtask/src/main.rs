@@ -53,8 +53,9 @@ fn main() -> ExitCode {
             eprintln!("          justified by a SAFETY comment, crate roots forbid");
             eprintln!("          unsafe_code, no stray debug/stub macros, raw fab");
             eprintln!("          views only in the fab view layer (DESIGN.md §4i),");
-            eprintln!("          plus an advisory unwrap()/expect() census of the");
-            eprintln!("          network-facing runtime modules");
+            eprintln!("          every docs/results/*.md cited by the narrative");
+            eprintln!("          documents exists, plus an advisory unwrap()/expect()");
+            eprintln!("          census of the network-facing runtime modules");
             ExitCode::FAILURE
         }
     }
