@@ -102,6 +102,26 @@ const AUX_TWO_LEVEL_COORDS: u32 = 2;
 /// Packs the remaining inputs the two-level planner reads into the key's
 /// client bits: interpolator coarse ghost, coordinate source ghost width and
 /// the refinement ratio (each well below 256 in practice).
+/// Coarse old-time data for a time-interpolated two-level fill (subcycling,
+/// docs/ARCHITECTURE.md §Subcycling): the coarse *old* state and the blend
+/// factor `alpha` — the fill time's position in the coarse `[old, new]`
+/// interval (0 = old state, 1 = new state). The gather scratch becomes
+/// `alpha·new + (1−alpha)·old`, gathered over the **same cached chunk list**
+/// as the new state, so time interpolation adds no plan-cache entries and
+/// the plan keys stay valid. `remote_old` carries the landed old-state
+/// payloads on the owned-data path (the same global-chunk-index keying as
+/// `remote_state`); `None` means every old chunk is locally readable.
+#[derive(Clone, Copy)]
+pub struct CoarseTimeInterp<'a> {
+    /// Coarse state at the old time level (valid cells are read; ghosts are
+    /// never gathered).
+    pub old: &'a MultiFab,
+    /// Blend factor in `[0, 1]`: `alpha = (t_fill − t_old) / (t_new − t_old)`.
+    pub alpha: f64,
+    /// Landed old-state gather chunks for the owned-data distributed path.
+    pub remote_old: Option<&'a HashMap<usize, Bytes>>,
+}
+
 fn two_level_aux(coarse_ghost: i64, ratio: IntVect, coord_nghost: i64) -> u64 {
     (coarse_ghost as u64 & 0xff)
         | ((coord_nghost as u64 & 0xff) << 8)
@@ -177,6 +197,7 @@ pub fn fill_patch_two_levels(
         coarse_coords,
         fine_coords,
         time,
+        None,
         FillOpts::default(),
     )
 }
@@ -198,6 +219,7 @@ pub fn fill_patch_two_levels_with(
     coarse_coords: Option<&MultiFab>,
     fine_coords: Option<&MultiFab>,
     time: f64,
+    time_interp: Option<CoarseTimeInterp<'_>>,
     opts: FillOpts<'_>,
 ) -> FillPatchReport {
     let plans = resolve_two_level_plans(
@@ -231,6 +253,7 @@ pub fn fill_patch_two_levels_with(
                     interp,
                     coarse_bc,
                     time,
+                    time_interp,
                 )
             });
             interpolated.fetch_add(cells, Ordering::Relaxed);
@@ -392,6 +415,7 @@ pub fn fill_two_level_patch(
     interp: &dyn Interpolator,
     coarse_bc: &dyn BoundaryFiller,
     time: f64,
+    time_interp: Option<CoarseTimeInterp<'_>>,
 ) -> u64 {
     fill_two_level_patch_with_remote(
         i,
@@ -405,6 +429,7 @@ pub fn fill_two_level_patch(
         interp,
         coarse_bc,
         time,
+        time_interp,
         None,
         None,
     )
@@ -435,6 +460,7 @@ pub fn fill_two_level_patch_with_remote(
     interp: &dyn Interpolator,
     coarse_bc: &dyn BoundaryFiller,
     time: f64,
+    time_interp: Option<CoarseTimeInterp<'_>>,
     remote_state: Option<&HashMap<usize, Bytes>>,
     remote_coords: Option<&HashMap<usize, Bytes>>,
 ) -> u64 {
@@ -455,6 +481,27 @@ pub fn fill_two_level_patch_with_remote(
         ncomp,
         remote_state,
     );
+    // Time interpolation (subcycling): gather the coarse *old* state over
+    // the same chunk list and blend `alpha·new + (1−alpha)·old` in place.
+    // `alpha == 1.0` skips the gather entirely, leaving the path bitwise
+    // what a plain fill produces.
+    if let Some(ti) = time_interp {
+        if ti.alpha != 1.0 {
+            let mut cold = FArrayBox::new(cbox, ncomp);
+            execute_gather_with_remote(
+                ti.old,
+                &mut cold,
+                &tl.state.plan.chunks[s..e],
+                s,
+                ncomp,
+                ti.remote_old,
+            );
+            let a = ti.alpha;
+            for (n, o) in ctmp.data_mut().iter_mut().zip(cold.data()) {
+                *n = a * *n + (1.0 - a) * *o;
+            }
+        }
+    }
     // Physical-exterior cells of the temporary were not gathered
     // (they lie outside every coarse valid box); the coarse-level
     // boundary conditions supply them so interpolation next to
@@ -836,6 +883,81 @@ mod tests {
     }
 
     #[test]
+    fn time_interpolated_fill_blends_coarse_old_and_new() {
+        // Subcycling's two-time-level fill: old = linear field, new = old
+        // plus a constant offset. A blended fill at alpha must land each
+        // interpolated ghost exactly at old + alpha·offset (both the
+        // interpolation and the blend are linear), alpha = 1 must be bitwise
+        // a plain new-state fill, and alpha = 0 bitwise a plain old-state
+        // fill.
+        let cdom_box = IndexBox::from_extents(16, 16, 8);
+        let cdomain = ProblemDomain::non_periodic(cdom_box);
+        let fdomain = cdomain.refine(IntVect::splat(2));
+        let old = make_level(vec![cdom_box], 1, 2, 0);
+        let mut new = old.clone();
+        for i in 0..new.nfabs() {
+            let b = new.valid_box(i);
+            for p in b.cells() {
+                let v = new.fab(i).get(p, 0);
+                new.fab_mut(i).set(p, 0, v + 10.0);
+            }
+        }
+        let fine0 = make_level(
+            vec![IndexBox::new(IntVect::new(8, 8, 4), IntVect::new(23, 23, 11))],
+            1,
+            2,
+            1,
+        );
+        let fill = |coarse: &MultiFab, ti: Option<CoarseTimeInterp<'_>>| -> MultiFab {
+            let mut fine = fine0.clone();
+            fill_patch_two_levels_with(
+                &mut fine,
+                coarse,
+                &fdomain,
+                &cdomain,
+                IntVect::splat(2),
+                &TrilinearInterp,
+                &NoOpBoundary,
+                &NoOpBoundary,
+                None,
+                None,
+                0.0,
+                ti,
+                FillOpts::default(),
+            );
+            fine
+        };
+        let pure_new = fill(&new, None);
+        let pure_old = fill(&old, None);
+        let ti = |alpha: f64| CoarseTimeInterp {
+            old: &old,
+            alpha,
+            remote_old: None,
+        };
+        // alpha = 1: bitwise the plain new fill (the old gather is skipped).
+        let at_one = fill(&new, Some(ti(1.0)));
+        assert_eq!(at_one.fab(0).data(), pure_new.fab(0).data());
+        // alpha = 0: bitwise the plain old fill.
+        let at_zero = fill(&new, Some(ti(0.0)));
+        assert_eq!(at_zero.fab(0).data(), pure_old.fab(0).data());
+        // alpha = 0.25: ghosts sit exactly a quarter of the offset above the
+        // old-fill values.
+        let at_q = fill(&new, Some(ti(0.25)));
+        let valid = fine0.valid_box(0);
+        let mut checked = 0;
+        for p in valid.grow(2).cells() {
+            if valid.contains(p) {
+                continue;
+            }
+            let got = at_q.fab(0).get(p, 0);
+            let expect = pure_old.fab(0).get(p, 0) + 0.25 * 10.0;
+            assert!((got - expect).abs() < 1e-12, "ghost {p:?}: {got} vs {expect}");
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
     fn fine_fine_data_wins_over_interpolation() {
         // Two adjacent fine patches: the shared face ghosts must come from
         // the neighbor (exact), not interpolation.
@@ -1013,6 +1135,7 @@ mod tests {
                 Some(&ccoords),
                 Some(&fcoords),
                 0.0,
+                None,
                 opts,
             );
             (fine, report)

@@ -2,16 +2,39 @@
 //!
 //! AMReX-core provides flux registers for subcycling codes: the coarse level
 //! advances with its own face fluxes, the fine level with (more accurate)
-//! fine-face fluxes, and the register accumulates the difference
-//! `δF = Σ F_fine − F_coarse` on every coarse face at the interface so a
-//! *reflux* pass can repair the coarse cells and restore global
-//! conservation. CRoCCo's no-subcycling scheme plus `AverageDown` sidesteps
-//! refluxing for covered cells, but the interface faces still see a flux
-//! mismatch — §III-C's "lacks conservation of quantities across interfaces"
-//! concern. This module supplies the standard machinery, completing the
-//! framework substrate.
+//! fine-face fluxes, and the register accumulates both sides on every coarse
+//! interface face so a *reflux* pass can replace the coarse flux with the
+//! time-and-area sum of the fine fluxes — repairing the uncovered coarse
+//! cells and restoring global conservation (§III-C's "lacks conservation of
+//! quantities across interfaces" concern). The subcycled driver uses it like
+//! this (docs/ARCHITECTURE.md §Subcycling):
+//!
+//! - the coarse advance records its interface fluxes with
+//!   [`FluxRegister::add_coarse_flux`], weighted by the net RK flux weight
+//!   of each stage;
+//! - each fine substep records every fine face crossing the interface with
+//!   [`FluxRegister::add_fine_flux`], weighted by the stage weight times
+//!   `dt_fine/dt_coarse` (the substep's share of the coarse step);
+//! - after the substeps, [`FluxRegister::reflux`] applies
+//!   `U[cell] += sign · dt_coarse · (Σfine − coarse) / J(cell)` to the
+//!   uncovered coarse cells.
+//!
+//! The coarse and fine accumulations are kept **separate** per face and
+//! combined only inside `reflux`, in one canonical order — so the final
+//! correction is bitwise-independent of which rank or executor contributed
+//! which side, and a face whose fine fluxes exactly match the coarse flux
+//! produces a bitwise-zero correction.
+//!
+//! The fluxes recorded are the *computational-space* contravariant fluxes
+//! `F̂ = Σ_j m_j F_j(U)` the WENO sweep differenced: the metric `m = J·∇ξ`
+//! already carries the face area, so `ratio²` fine-face fluxes sum directly
+//! to one coarse-face flux with no extra area weight (on a refined uniform
+//! grid `m_fine = m_coarse/4` exactly). Convective fluxes only — the viscous
+//! operator is not registered, so refluxed conservation is exact for
+//! inviscid runs. The register is not periodic-aware: faces whose coarse
+//! neighbor lies outside the domain are never recorded by either side.
 
-use crocco_fab::{BoxArray, FArrayBox, MultiFab};
+use crocco_fab::{BoxArray, MultiFab};
 use crocco_geometry::{IndexBox, IntVect};
 use std::collections::HashMap;
 
@@ -24,11 +47,19 @@ pub struct InterfaceFace {
     pub cell: IntVect,
     /// Face direction (0, 1, 2).
     pub dir: usize,
-    /// Sign of the refluxed tendency `sign·δF/Δx`: −1 when the shared face
+    /// Sign of the refluxed tendency `sign·δF/J`: −1 when the shared face
     /// is the coarse cell's *high* face (fine level above it), +1 when it is
     /// the cell's *low* face — the flux-difference orientation of
-    /// `dU = −(F_hi − F_lo)/Δx`.
+    /// `dU = −(F_hi − F_lo)/J`.
     pub sign: i8,
+}
+
+/// Per-face accumulators, coarse and fine sides kept separate so the
+/// combination order (fine − coarse, once, at reflux) is canonical.
+#[derive(Clone, Debug)]
+struct FaceAcc {
+    coarse: Vec<f64>,
+    fine: Vec<f64>,
 }
 
 /// Accumulates coarse/fine flux mismatches over the coarse–fine interface of
@@ -37,8 +68,7 @@ pub struct InterfaceFace {
 pub struct FluxRegister {
     ncomp: usize,
     ratio: IntVect,
-    /// Interface faces → accumulated `Σ F_fine/r² − F_coarse` per component.
-    register: HashMap<InterfaceFace, Vec<f64>>,
+    register: HashMap<InterfaceFace, FaceAcc>,
 }
 
 impl FluxRegister {
@@ -59,7 +89,10 @@ impl FluxRegister {
                         if !coarsened.intersects_any(IndexBox::new(cell, cell)) {
                             register.insert(
                                 InterfaceFace { cell, dir, sign },
-                                vec![0.0; ncomp],
+                                FaceAcc {
+                                    coarse: vec![0.0; ncomp],
+                                    fine: vec![0.0; ncomp],
+                                },
                             );
                         }
                     }
@@ -78,63 +111,150 @@ impl FluxRegister {
         self.register.len()
     }
 
+    /// Number of components per face.
+    pub fn ncomp(&self) -> usize {
+        self.ncomp
+    }
+
+    /// Whether `face` is part of the tracked interface.
+    pub fn contains(&self, face: &InterfaceFace) -> bool {
+        self.register.contains_key(face)
+    }
+
     /// Clears the accumulators.
     pub fn reset(&mut self) {
         for v in self.register.values_mut() {
-            v.iter_mut().for_each(|x| *x = 0.0);
+            v.coarse.iter_mut().for_each(|x| *x = 0.0);
+            v.fine.iter_mut().for_each(|x| *x = 0.0);
         }
     }
 
+    /// The register face crossed by the *outward* boundary face of
+    /// `fine_cell` in `dir`: its low face when `high` is false (the coarse
+    /// neighbor sits below, `sign = −1` from that neighbor's viewpoint), its
+    /// high face when `high` is true (`sign = +1`). The caller is
+    /// responsible for only passing faces on the fine-union boundary; use
+    /// [`contains`](Self::contains) to drop faces that border another fine
+    /// patch or the domain exterior.
+    pub fn fine_face(&self, fine_cell: IntVect, dir: usize, high: bool) -> InterfaceFace {
+        let outside = if high {
+            fine_cell + IntVect::unit(dir)
+        } else {
+            fine_cell - IntVect::unit(dir)
+        };
+        let cell = IntVect::new(
+            outside[0].div_euclid(self.ratio[0]),
+            outside[1].div_euclid(self.ratio[1]),
+            outside[2].div_euclid(self.ratio[2]),
+        );
+        InterfaceFace {
+            cell,
+            dir,
+            // From the coarse neighbor's viewpoint: a fine *low*-boundary
+            // face is that neighbor's high face (sign −1), and vice versa.
+            sign: if high { 1 } else { -1 },
+        }
+    }
+
+    /// All register faces whose coarse cell lies in `bx`, in canonical order
+    /// (cell z-major, then direction, then sign) — the deterministic face
+    /// list per coarse patch that recording plans and the owned-mode reflux
+    /// exchange are built from.
+    pub fn faces_in(&self, bx: IndexBox) -> Vec<InterfaceFace> {
+        let mut faces: Vec<InterfaceFace> = self
+            .register
+            .keys()
+            .filter(|f| bx.contains(f.cell))
+            .copied()
+            .collect();
+        faces.sort_by_key(|f| (f.cell[2], f.cell[1], f.cell[0], f.dir, f.sign));
+        faces
+    }
+
     /// Records the *coarse* flux through the interface face bordering
-    /// `cell` in `dir` (flux per coarse face, already dt-weighted by the
-    /// caller): subtracted from the register.
-    pub fn add_coarse_flux(&mut self, face: InterfaceFace, flux: &[f64]) {
+    /// `face.cell`: `coarse[c] += weight·flux[c]`. The subcycled driver
+    /// passes the net RK flux weight of the recording stage.
+    pub fn add_coarse_flux(&mut self, face: InterfaceFace, flux: &[f64], weight: f64) {
         if let Some(acc) = self.register.get_mut(&face) {
-            for (a, f) in acc.iter_mut().zip(flux) {
-                *a -= f;
+            for (a, f) in acc.coarse.iter_mut().zip(flux) {
+                *a += weight * f;
             }
         }
     }
 
-    /// Records one *fine* face flux crossing the same coarse face (flux per
-    /// fine face, dt-weighted): added with the fine-face area weight
-    /// `1/(r·r)` so that `ratio²` fine faces sum to one coarse face.
-    pub fn add_fine_flux(&mut self, face: InterfaceFace, flux: &[f64]) {
-        let (d1, d2) = match face.dir {
-            0 => (1, 2),
-            1 => (0, 2),
-            _ => (0, 1),
-        };
-        let weight = 1.0 / (self.ratio[d1] * self.ratio[d2]) as f64;
+    /// Records one *fine* face flux crossing the coarse face:
+    /// `fine[c] += weight·flux[c]`. The driver passes the net RK flux weight
+    /// times `dt_fine/dt_coarse`; the `ratio²` fine faces crossing one
+    /// coarse face all accumulate into the same entry (no area weight — the
+    /// contravariant flux already carries the fine face metric).
+    pub fn add_fine_flux(&mut self, face: InterfaceFace, flux: &[f64], weight: f64) {
         if let Some(acc) = self.register.get_mut(&face) {
-            for (a, f) in acc.iter_mut().zip(flux) {
-                *a += f * weight;
+            for (a, f) in acc.fine.iter_mut().zip(flux) {
+                *a += weight * f;
+            }
+        }
+    }
+
+    /// The fine-side accumulation for `face`, if tracked — what the owned
+    /// distributed path ships from the fine patch's owner to the coarse
+    /// cell's owner before refluxing.
+    pub fn fine_part(&self, face: &InterfaceFace) -> Option<&[f64]> {
+        self.register.get(face).map(|a| a.fine.as_slice())
+    }
+
+    /// Merges a fine-side contribution received from another rank:
+    /// `fine[c] += part[c]`. Each face has exactly one fine contributor
+    /// patch, so the merge lands on an all-zero accumulator and the result
+    /// is bitwise what the sender held.
+    pub fn add_fine_part(&mut self, face: InterfaceFace, part: &[f64]) {
+        if let Some(acc) = self.register.get_mut(&face) {
+            for (a, p) in acc.fine.iter_mut().zip(part) {
+                *a += p;
             }
         }
     }
 
     /// Applies the accumulated corrections to the coarse state:
-    /// `U[cell] += sign · δF / Δx_dir` — the reflux pass. `inv_dx[dir]`
-    /// converts a face flux into a cell tendency.
-    pub fn reflux(&self, coarse: &mut MultiFab, inv_dx: [f64; 3]) {
-        for (face, acc) in &self.register {
-            for (i, vb) in coarse.iter_valid().collect::<Vec<_>>() {
-                if vb.contains(face.cell) {
-                    let fab: &mut FArrayBox = coarse.fab_mut(i);
-                    for (c, &a) in acc.iter().enumerate().take(self.ncomp) {
-                        fab.add(face.cell, c, face.sign as f64 * a * inv_dx[face.dir]);
+    /// `U[cell] += sign · dt · (fine − coarse) / J(cell)` — the reflux pass,
+    /// with the dt scaling the subcycled driver defers to here and the cell
+    /// Jacobian (`metrics` component `jac_comp`) converting the
+    /// computational-space face flux into a cell tendency. Iterates patches,
+    /// cells, directions, and signs in a fixed order, so corrections to a
+    /// cell with several interface faces are applied in a
+    /// rank-count-independent sequence. Only allocated (owned) patches are
+    /// touched.
+    pub fn reflux(&self, coarse: &mut MultiFab, metrics: &MultiFab, jac_comp: usize, dt: f64) {
+        for i in 0..coarse.nfabs() {
+            if !coarse.is_allocated(i) {
+                continue;
+            }
+            let vb = coarse.valid_box(i);
+            for cell in vb.cells() {
+                for dir in 0..3 {
+                    for sign in [-1i8, 1i8] {
+                        let face = InterfaceFace { cell, dir, sign };
+                        if let Some(acc) = self.register.get(&face) {
+                            let jac = metrics.fab(i).get(cell, jac_comp);
+                            let fab = coarse.fab_mut(i);
+                            for c in 0..self.ncomp {
+                                let delta = acc.fine[c] - acc.coarse[c];
+                                fab.add(cell, c, sign as f64 * dt * delta / jac);
+                            }
+                        }
                     }
                 }
             }
         }
     }
 
-    /// Sum of absolute accumulated mismatch (diagnostics).
+    /// Sum of absolute accumulated mismatch `|fine − coarse|` over all faces
+    /// and components (diagnostics). Exactly `0.0` when every face's fine
+    /// fluxes cancel its coarse flux bitwise.
     pub fn total_mismatch(&self) -> f64 {
         self.register
             .values()
-            .flat_map(|v| v.iter())
-            .map(|x| x.abs())
+            .flat_map(|a| a.fine.iter().zip(&a.coarse))
+            .map(|(f, c)| (f - c).abs())
             .sum()
     }
 }
@@ -153,6 +273,13 @@ mod tests {
         )])
     }
 
+    /// A unit-Jacobian "metrics" MultiFab matching `coarse`'s layout.
+    fn unit_jac(like: &MultiFab) -> MultiFab {
+        let mut m = MultiFab::new(like.boxarray().clone(), like.distribution().clone(), 1, 0);
+        m.set_val(1.0);
+        m
+    }
+
     #[test]
     fn register_tracks_the_whole_interface_shell() {
         let r = FluxRegister::new(&fine_ba(), IntVect::splat(2), 5);
@@ -161,19 +288,37 @@ mod tests {
     }
 
     #[test]
-    fn matched_fluxes_cancel_exactly() {
+    fn identical_coarse_and_fine_fluxes_give_bitwise_zero_correction() {
+        // The satellite property: a coarse flux of 2.0 against the
+        // physically identical fine fluxes — 4 fine faces of 0.5 (the
+        // contravariant flux carries the quarter-area fine metric), over 2
+        // substeps at weight dt_f/dt_c = 0.5 — cancels *bitwise*, because
+        // 4·(2·0.5·0.5) is exact in binary floating point.
         let mut r = FluxRegister::new(&fine_ba(), IntVect::splat(2), 1);
         let face = InterfaceFace {
             cell: IntVect::new(3, 5, 5),
             dir: 0,
             sign: -1,
         };
-        r.add_coarse_flux(face, &[2.0]);
-        // 4 fine faces of flux 2.0 each, weight 1/4: sums to 2.0.
-        for _ in 0..4 {
-            r.add_fine_flux(face, &[2.0]);
+        r.add_coarse_flux(face, &[2.0], 1.0);
+        for _substep in 0..2 {
+            for _fine_face in 0..4 {
+                r.add_fine_flux(face, &[0.5], 0.5);
+            }
         }
-        assert!(r.total_mismatch() < 1e-14);
+        assert_eq!(r.total_mismatch(), 0.0);
+
+        // And the reflux pass leaves the coarse state bitwise untouched.
+        let coarse_domain = IndexBox::from_extents(16, 16, 16);
+        let ba = Arc::new(BoxArray::new(vec![coarse_domain]));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        let mut coarse = MultiFab::new(ba, dm, 1, 0);
+        coarse.set_val(1.0);
+        let jac = unit_jac(&coarse);
+        r.reflux(&mut coarse, &jac, 0, 0.37);
+        for p in coarse.valid_box(0).cells() {
+            assert_eq!(coarse.fab(0).get(p, 0).to_bits(), 1.0f64.to_bits());
+        }
     }
 
     #[test]
@@ -193,16 +338,70 @@ mod tests {
             dir: 0,
             sign: -1,
         };
-        // Coarse flux 3.0; fine faces say 2.0: δF = -1.0 on that face.
-        r.add_coarse_flux(face, &[3.0]);
+        // Coarse flux 3.0; the 4 fine faces sum to 2.0: δF = −1.0.
+        r.add_coarse_flux(face, &[3.0], 1.0);
         for _ in 0..4 {
-            r.add_fine_flux(face, &[2.0]);
+            r.add_fine_flux(face, &[0.5], 1.0);
         }
-        let inv_dx = [1.0; 3];
-        r.reflux(&mut coarse, inv_dx);
-        // The adjacent coarse cell received sign·δF = (−1)·(−1) = +1.
+        let jac = unit_jac(&coarse);
+        r.reflux(&mut coarse, &jac, 0, 1.0);
+        // The adjacent coarse cell received sign·dt·δF = (−1)·(−1) = +1.
         assert!((coarse.fab(0).get(IntVect::new(3, 9, 9), 0) - 2.0).abs() < 1e-14);
         assert!((coarse.sum(0) - before - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflux_scales_with_dt() {
+        let coarse_domain = IndexBox::from_extents(16, 16, 16);
+        let ba = Arc::new(BoxArray::new(vec![coarse_domain]));
+        let dm = Arc::new(DistributionMapping::all_on_root(&ba));
+        let mut coarse = MultiFab::new(ba, dm, 1, 0);
+        coarse.set_val(0.0);
+        let mut r = FluxRegister::new(&fine_ba(), IntVect::splat(2), 1);
+        let face = InterfaceFace {
+            cell: IntVect::new(3, 9, 9),
+            dir: 0,
+            sign: -1,
+        };
+        r.add_fine_flux(face, &[1.0], 1.0); // δ = +1 on that face
+        let jac = unit_jac(&coarse);
+        r.reflux(&mut coarse, &jac, 0, 0.25);
+        assert!((coarse.fab(0).get(IntVect::new(3, 9, 9), 0) - (-0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fine_face_maps_boundary_faces_to_register_keys() {
+        let r = FluxRegister::new(&fine_ba(), IntVect::splat(2), 1);
+        // Fine cell (8,10,10) sits on the fine patch's low-x boundary: its
+        // low-x face crosses the coarse face at uncovered cell (3,5,5).
+        let f = r.fine_face(IntVect::new(8, 10, 10), 0, false);
+        assert_eq!(f.cell, IntVect::new(3, 5, 5));
+        assert_eq!((f.dir, f.sign), (0, -1));
+        assert!(r.contains(&f));
+        // Fine cell (23,10,10) on the high-x boundary: high-x face crosses
+        // the coarse face at uncovered cell (12,5,5).
+        let f = r.fine_face(IntVect::new(23, 10, 10), 0, true);
+        assert_eq!(f.cell, IntVect::new(12, 5, 5));
+        assert_eq!((f.dir, f.sign), (0, 1));
+        assert!(r.contains(&f));
+        // An interior fine face maps to a covered cell: not in the register.
+        let f = r.fine_face(IntVect::new(12, 10, 10), 0, false);
+        assert!(!r.contains(&f));
+    }
+
+    #[test]
+    fn faces_in_is_deterministically_ordered() {
+        let r = FluxRegister::new(&fine_ba(), IntVect::splat(2), 1);
+        let all = r.faces_in(IndexBox::from_extents(16, 16, 16));
+        assert_eq!(all.len(), r.nfaces());
+        let mut sorted = all.clone();
+        sorted.sort_by_key(|f| (f.cell[2], f.cell[1], f.cell[0], f.dir, f.sign));
+        assert_eq!(all, sorted);
+        // Restricting to a sub-box keeps only faces whose coarse cell is in.
+        let half = IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(7, 15, 15));
+        for f in r.faces_in(half) {
+            assert!(half.contains(f.cell));
+        }
     }
 
     #[test]
@@ -213,7 +412,35 @@ mod tests {
             dir: 0,
             sign: 1,
         };
-        r.add_coarse_flux(inside, &[5.0]);
+        r.add_coarse_flux(inside, &[5.0], 1.0);
         assert_eq!(r.total_mismatch(), 0.0);
+    }
+
+    #[test]
+    fn fine_parts_merge_bitwise_across_owners() {
+        // Simulate the owned-mode exchange: the fine owner accumulates, the
+        // coarse owner merges the shipped part onto zeros — bitwise equal to
+        // single-rank accumulation.
+        let face = InterfaceFace {
+            cell: IntVect::new(3, 5, 5),
+            dir: 0,
+            sign: -1,
+        };
+        let mut serial = FluxRegister::new(&fine_ba(), IntVect::splat(2), 1);
+        let mut fine_owner = serial.clone();
+        let mut coarse_owner = serial.clone();
+        for k in 0..8 {
+            let f = [0.1 * (k as f64 + 1.0)];
+            serial.add_fine_flux(face, &f, 0.5);
+            fine_owner.add_fine_flux(face, &f, 0.5);
+        }
+        serial.add_coarse_flux(face, &[1.7], 1.0);
+        coarse_owner.add_coarse_flux(face, &[1.7], 1.0);
+        let part = fine_owner.fine_part(&face).unwrap().to_vec();
+        coarse_owner.add_fine_part(face, &part);
+        assert_eq!(
+            serial.total_mismatch().to_bits(),
+            coarse_owner.total_mismatch().to_bits()
+        );
     }
 }

@@ -57,7 +57,7 @@ use crate::state::NCONS;
 use bytes::Bytes;
 use crocco_amr::average_down::average_down_dist;
 use crocco_amr::fillpatch::{
-    fill_two_level_patch_with_remote, resolve_two_level_plans, TwoLevelPlans,
+    fill_two_level_patch_with_remote, resolve_two_level_plans, CoarseTimeInterp, TwoLevelPlans,
 };
 use crocco_amr::tagging::TagSet;
 use crocco_amr::BoundaryFiller;
@@ -435,10 +435,18 @@ impl Simulation {
         }
         self.crash_check(gep, CrashPhase::AfterRegrid)?;
         let t0 = std::time::Instant::now();
-        self.compute_dt_cluster(gep)?;
+        if self.cfg.subcycling {
+            self.compute_dt_cluster_subcycled(gep)?;
+        } else {
+            self.compute_dt_cluster(gep)?;
+        }
         self.profiler.add("ComputeDt", t0.elapsed().as_secs_f64());
         self.crash_check(gep, CrashPhase::AfterDt)?;
-        self.rk3_cluster(gep)?;
+        if self.cfg.subcycling {
+            self.advance_subcycled_cluster(gep)?;
+        } else {
+            self.rk3_cluster(gep)?;
+        }
         self.step += 1;
         self.time += self.dt;
         Ok(())
@@ -640,6 +648,257 @@ impl Simulation {
         Ok(())
     }
 
+    /// The subcycled analog of
+    /// [`compute_dt_cluster`](Self::compute_dt_cluster): each rank folds its
+    /// owned patches per level, scales the level minimum by `2^ℓ` (exact — a
+    /// power of two), and a single `allreduce` combines the coarse-step bound
+    /// `dt₀ = min_ℓ (2^ℓ · min dt)`. Bitwise the serial
+    /// [`compute_dt_subcycled`](Simulation::compute_dt_subcycled) at any rank
+    /// count: `min` is order-free and the exact scaling commutes with it.
+    fn compute_dt_cluster_subcycled(&mut self, ep: &GroupEndpoint<'_>) -> Result<(), StageError> {
+        let rank = ep.rank();
+        let backend = self.cfg.kernel_backend;
+        let mut dt = f64::INFINITY;
+        for (l, lev) in self.levels.iter().enumerate() {
+            let owners = lev.state.distribution().clone();
+            let mut m = f64::INFINITY;
+            for i in 0..lev.state.nfabs() {
+                if owners.owner(i) != rank {
+                    continue;
+                }
+                let d = backend.compute_dt_patch(
+                    lev.state.fab(i),
+                    lev.metrics.fab(i),
+                    lev.state.valid_box(i),
+                    &self.gas,
+                    self.cfg.cfl,
+                );
+                m = m.min(d);
+            }
+            dt = dt.min(m * (1u64 << l) as f64);
+        }
+        let dt = ep.allreduce_f64(dt, f64::min)?;
+        self.comm.reductions += 1;
+        assert!(dt.is_finite() && dt > 0.0, "ComputeDt produced dt={dt}");
+        self.dt = dt;
+        Ok(())
+    }
+
+    /// Draws the next subcycled-phase tag epoch. The recursion visits its
+    /// fill/exchange phases in the same order on every rank, so the monotone
+    /// `sub_slot` counter is rank-identical; the 12-bit base wraps below the
+    /// reserved regrid/checkpoint bases (`% EPOCH_REGRID_TAGS`) so no live
+    /// phase ever aliases them.
+    fn next_sub_epoch(&mut self, gep: &GroupEndpoint<'_>) -> u64 {
+        let base = self.sub_slot % EPOCH_REGRID_TAGS;
+        self.sub_slot += 1;
+        tags::epoch_with_generation(gep.generation(), base)
+    }
+
+    /// One subcycled coarse step over the cluster: the distributed analog of
+    /// the serial recursive `timeStep` (`advance_level_recursive`; worked
+    /// timeline in docs/DISTRIBUTED.md §Subcycled steps), sharing the serial
+    /// path's save-old / record / fold / reflux / average-down structure
+    /// while every fill, fine-part shipment, and restriction crosses ranks
+    /// through tag-epoch-partitioned messages.
+    fn advance_subcycled_cluster(&mut self, gep: &GroupEndpoint<'_>) -> Result<(), StageError> {
+        self.ensure_subcycle();
+        let (t, dt) = (self.time, self.dt);
+        self.advance_level_recursive_cluster(0, t, dt, None, gep)
+    }
+
+    /// Advances level `l` from `t` by `dt` on this rank's owned patches, then
+    /// recursively takes the two half-`dt` substeps of the next finer level,
+    /// ships fine register parts to coarse owners, refluxes, and averages
+    /// down across ranks. `parent` carries the coarser level's `(t_old, dt)`
+    /// for ghost time interpolation — exactly the serial recursion, so the
+    /// phase order (and hence `sub_slot`) is identical on every rank.
+    fn advance_level_recursive_cluster(
+        &mut self,
+        l: usize,
+        t: f64,
+        dt: f64,
+        parent: Option<(f64, f64)>,
+        gep: &GroupEndpoint<'_>,
+    ) -> Result<(), StageError> {
+        let nstages = self.cfg.time_scheme.stages();
+        let has_finer = l + 1 < self.hierarchy.nlevels();
+        let owned = self.owned_rank.is_some();
+        let rank = gep.rank();
+        if has_finer {
+            self.save_old(l);
+            self.subcycle[l].register.reset();
+            self.subcycle[l].zero_coarse_bufs();
+        }
+        if l > 0 {
+            self.subcycle[l - 1].zero_fine_bufs();
+        }
+        for stage in 0..nstages {
+            let t_fill = t + self.cfg.time_scheme.stage_time_fraction(stage) * dt;
+            let alpha = parent.map(|(pt, pdt)| (t_fill - pt) / pdt);
+            let sub = crate::subcycle::SubCtx { t, alpha };
+            let epoch = self.next_sub_epoch(gep);
+            self.fill_and_advance_cluster(l, stage, dt, gep, epoch, Some(&sub))?;
+            if !owned {
+                // Replicated oracle (single-rank only under subcycling —
+                // config validation): restore replication before anything
+                // reads non-owned patches.
+                let t0 = std::time::Instant::now();
+                allgather_fabs(&mut self.levels[l].state, gep, l, epoch)?;
+                self.profiler.add("Allgather", t0.elapsed().as_secs_f64());
+            }
+            if self.cfg.nan_poison {
+                let lev = &self.levels[l];
+                for i in 0..lev.state.nfabs() {
+                    if lev.state.is_allocated(i) {
+                        assert!(
+                            !lev.state.fab(i).has_nonfinite(lev.state.valid_box(i)),
+                            "fabcheck: non-finite in sub RK stage {stage} state L{l} patch {i}"
+                        );
+                    }
+                }
+                for i in 0..lev.du.nfabs() {
+                    if lev.du.distribution().owner(i) == rank {
+                        assert!(
+                            !lev.du.fab(i).has_nonfinite(lev.du.valid_box(i)),
+                            "fabcheck: non-finite in sub RK stage {stage} dU L{l} patch {i}"
+                        );
+                    }
+                }
+            }
+        }
+        let mut n = 0u64;
+        for i in 0..self.levels[l].state.nfabs() {
+            n += self.levels[l].state.valid_box(i).num_points();
+        }
+        self.cell_updates += n;
+        if has_finer {
+            self.subcycle[l].fold_coarse();
+        }
+        if l > 0 {
+            let (_, pdt) = parent.unwrap();
+            self.subcycle[l - 1].fold_fine(dt / pdt);
+        }
+        if has_finer {
+            let fdt = 0.5 * dt;
+            for i in 0..2 {
+                self.advance_level_recursive_cluster(
+                    l + 1,
+                    t + i as f64 * fdt,
+                    fdt,
+                    Some((t, dt)),
+                    gep,
+                )?;
+            }
+            let t0 = std::time::Instant::now();
+            if owned {
+                let epoch = self.next_sub_epoch(gep);
+                self.ship_fine_parts(l, gep, epoch)?;
+            }
+            {
+                let reg = &self.subcycle[l].register;
+                let LevelData { state, metrics, .. } = &mut self.levels[l];
+                reg.reflux(state, metrics, crate::metrics::comp::JAC, dt);
+            }
+            self.profiler.add("Reflux", t0.elapsed().as_secs_f64());
+            let t0 = std::time::Instant::now();
+            let epoch = self.next_sub_epoch(gep);
+            {
+                let (lo, hi) = self.levels.split_at_mut(l + 1);
+                if owned {
+                    average_down_dist(
+                        &hi[0].state,
+                        &mut lo[l].state,
+                        IntVect::splat(2),
+                        gep,
+                        &|k| tags::owned(tags::OWNED_REDIST, epoch, l + 1, k),
+                    )?;
+                } else {
+                    crocco_amr::average_down::average_down(
+                        &hi[0].state,
+                        &mut lo[l].state,
+                        IntVect::splat(2),
+                    );
+                }
+            }
+            self.profiler
+                .add("AverageDown", t0.elapsed().as_secs_f64());
+        }
+        Ok(())
+    }
+
+    /// Ships the fine-side register sums of level pair `l` from fine-patch
+    /// owners to coarse-patch owners (`tags::OWNED_REFLUX`), merging each
+    /// landed part onto the receiver's all-zero fine accumulators — bitwise
+    /// the single-rank fold, since every register face has exactly one fine
+    /// contributor patch (asserted in `subcycle::tests`). Pairs owned by one
+    /// rank are already folded locally and move nothing.
+    fn ship_fine_parts(
+        &mut self,
+        l: usize,
+        gep: &GroupEndpoint<'_>,
+        epoch: u64,
+    ) -> Result<(), StageError> {
+        let fine_dm = self.levels[l + 1].state.distribution().clone();
+        let coarse_dm = self.levels[l].state.distribution().clone();
+        let rank = gep.rank();
+        let mktag = |k: usize| tags::owned(tags::OWNED_REFLUX, epoch, l, k);
+        let landed: Vec<(usize, Bytes)> = {
+            let reg = &self.subcycle[l];
+            // All sends first (buffered transport), then blocking receives —
+            // the fenced discipline of `exchange_chunks`.
+            for (k, (j, p, faces)) in reg.fine_ship.iter().enumerate() {
+                if fine_dm.owner(*j) != rank || coarse_dm.owner(*p) == rank {
+                    continue;
+                }
+                let mut out = Vec::with_capacity(faces.len() * NCONS * 8);
+                for f in faces {
+                    let part = reg
+                        .register
+                        .fine_part(f)
+                        .expect("manifest face is registered");
+                    for x in part.iter().take(NCONS) {
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+                gep.send(coarse_dm.owner(*p), mktag(k), Bytes::from(out));
+            }
+            let handles: Vec<(usize, crocco_runtime::RecvHandle)> = reg
+                .fine_ship
+                .iter()
+                .enumerate()
+                .filter(|(_, (j, p, _))| {
+                    coarse_dm.owner(*p) == rank && fine_dm.owner(*j) != rank
+                })
+                .map(|(k, (j, _, _))| (k, gep.irecv(fine_dm.owner(*j), mktag(k))))
+                .collect();
+            let mut landed = Vec::with_capacity(handles.len());
+            for (k, h) in &handles {
+                landed.push((*k, gep.wait(h)?));
+            }
+            landed
+        };
+        let reg = &mut self.subcycle[l];
+        for (k, payload) in landed {
+            let (_, _, faces) = &reg.fine_ship[k];
+            assert_eq!(
+                payload.len(),
+                faces.len() * NCONS * 8,
+                "reflux part payload size mismatch"
+            );
+            let mut words = payload.chunks_exact(8);
+            for f in faces {
+                let mut part = [0.0; NCONS];
+                for x in &mut part {
+                    let w = words.next().expect("sized above");
+                    *x = f64::from_le_bytes(w.try_into().expect("8-byte word"));
+                }
+                reg.register.add_fine_part(*f, &part);
+            }
+        }
+        Ok(())
+    }
+
     /// Algorithm 2, distributed: per stage, per level, one rank-crossing RK
     /// stage. Under owned data the state stays distributed throughout —
     /// halos and coarse→fine gathers cross ranks through plans, and
@@ -661,7 +920,7 @@ impl Simulation {
             let base = u64::from(self.step) * nstages as u64 + stage as u64;
             let epoch = tags::epoch_with_generation(ep.generation(), base);
             for l in 0..self.hierarchy.nlevels() {
-                self.fill_and_advance_cluster(l, stage, dt, ep, epoch)?;
+                self.fill_and_advance_cluster(l, stage, dt, ep, epoch, None)?;
                 if !owned {
                     // Replicated oracle: restore replication of this level
                     // before anything reads non-owned patches (the finer
@@ -743,6 +1002,7 @@ impl Simulation {
         dt: f64,
         ep: &GroupEndpoint<'_>,
         epoch: u64,
+        sub: Option<&crate::subcycle::SubCtx>,
     ) -> Result<(), StageError> {
         let t0 = std::time::Instant::now();
         let gas = self.gas;
@@ -754,9 +1014,16 @@ impl Simulation {
         let tile = self.cfg.tile_size;
         let a = self.cfg.time_scheme.a(stage);
         let b = self.cfg.time_scheme.b(stage);
+        let w = self.cfg.time_scheme.net_flux_weight(stage);
         let poison = self.cfg.nan_poison;
-        let time = self.time;
+        let time = sub.map_or(self.time, |s| s.t);
         let ratio = IntVect::splat(2);
+        // Interface-flux recording (subcycling): immutable field borrows of
+        // the registers, disjoint from the `levels` split below. One sweep
+        // task per patch per stage keeps the buffer mutexes uncontended.
+        let rec_coarse = (sub.is_some() && l < self.subcycle.len()).then(|| &self.subcycle[l]);
+        let rec_fine =
+            (sub.is_some() && l > 0 && !self.subcycle.is_empty()).then(|| &self.subcycle[l - 1]);
         let domain = self.hierarchy.domain(l);
         let bc = PhysicalBc::new(self.cfg.problem, self.gas, self.level_extents(l));
         let coarse_ctx = (l > 0).then(|| {
@@ -834,6 +1101,60 @@ impl Simulation {
             } else {
                 None
             };
+        // Subcycled two-level fills also read the coarse *old* state: its
+        // cross-rank chunks travel over the same cached plan in the
+        // `OWNED_GATHER_OLD` tag space so the time blend sees remote donors.
+        // `alpha == 1` skips the blend entirely, so nothing moves.
+        let remote_old: Option<HashMap<usize, Bytes>> =
+            match (&two, sub.and_then(|s| s.alpha)) {
+                (Some((plans, coarse, ..)), Some(alpha))
+                    if self.owned_rank.is_some() && alpha != 1.0 =>
+                {
+                    let old = coarse
+                        .state_old
+                        .as_ref()
+                        .expect("subcycling saved the coarse old state before its substeps");
+                    Some(exchange_chunks(
+                        old,
+                        &plans.state.state_plan().plan.chunks,
+                        NCONS,
+                        ep,
+                        &|k| tags::owned(tags::OWNED_GATHER_OLD, epoch, l, k),
+                    )?)
+                }
+                _ => None,
+            };
+        let ti: Option<CoarseTimeInterp<'_>> = match (&two, sub.and_then(|s| s.alpha)) {
+            (Some((_, coarse, ..)), Some(alpha)) => Some(CoarseTimeInterp {
+                old: coarse
+                    .state_old
+                    .as_ref()
+                    .expect("subcycling saved the coarse old state before its substeps"),
+                alpha,
+                remote_old: remote_old.as_ref(),
+            }),
+            _ => None,
+        };
+        // Declare the time-interpolated fill's coarse old-state reads on the
+        // halo-task footprints, as on the on-node path — but only chunks this
+        // rank reads *locally* (`src_rank == rank`): remote chunks arrive as
+        // the pre-exchanged payloads gathered above and touch no fab. The
+        // old fab of a local source is always allocated here, since this
+        // rank owns the source patch.
+        let extra_halo: Vec<Vec<(u64, crocco_geometry::IndexBox)>> = match (&two, &ti) {
+            (Some((plans, ..)), Some(t)) if t.alpha != 1.0 => {
+                let rank = ep.rank();
+                let mut per_patch = vec![Vec::new(); fine.state.nfabs()];
+                for c in &plans.state.state_plan().plan.chunks {
+                    if c.src_rank == rank {
+                        let id = t.old.fab(c.src_id).data().as_ptr() as usize as u64;
+                        per_patch[c.dst_id].push((id, c.region.shift(-c.shift)));
+                    }
+                }
+                per_patch
+            }
+            _ => Vec::new(),
+        };
         // The rank-crossing graph skeleton, memoized beside the plan it was
         // derived from; regrid invalidates both together.
         let skel = cache.get_or_build_aux(
@@ -892,6 +1213,7 @@ impl Simulation {
             coords,
             metrics,
             rhs,
+            ..
         } = fine;
         let ba = state.boxarray().clone();
         let coords = &*coords;
@@ -912,6 +1234,7 @@ impl Simulation {
                     interp,
                     coarse_bc,
                     time,
+                    ti,
                     remote_two.as_ref().map(|(rs, _)| rs),
                     remote_two.as_ref().and_then(|(_, rc)| rc.as_ref()),
                 );
@@ -942,6 +1265,41 @@ impl Simulation {
                             backend, tile,
                         );
                     }
+                    // Subcycling: the boundary-band task is the one point
+                    // where this patch's ghosts are filled and the state is
+                    // still at the stage's input time — record the interface
+                    // fluxes here, exactly as the on-node overlapped path
+                    // does.
+                    if let Some(reg) = rec_coarse {
+                        if !reg.coarse_faces[i].is_empty() {
+                            let mut buf = reg.coarse_buf[i].lock().unwrap();
+                            crate::subcycle::record_faces(
+                                &u,
+                                met,
+                                &reg.coarse_faces[i],
+                                w,
+                                &mut buf,
+                                &gas,
+                                weno,
+                                recon,
+                            );
+                        }
+                    }
+                    if let Some(reg) = rec_fine {
+                        if !reg.fine_faces[i].is_empty() {
+                            let mut buf = reg.fine_buf[i].lock().unwrap();
+                            crate::subcycle::record_faces(
+                                &u,
+                                met,
+                                &reg.fine_faces[i],
+                                w,
+                                &mut buf,
+                                &gas,
+                                weno,
+                                recon,
+                            );
+                        }
+                    }
                 }
             }
         };
@@ -966,6 +1324,7 @@ impl Simulation {
             &fb,
             &skel,
             &st,
+            &extra_halo,
             &pre_halo,
             &bc_fill,
             &sweep,

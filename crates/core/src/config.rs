@@ -241,6 +241,20 @@ pub struct SolverConfig {
     /// the plan cache; a violation panics with both task labels and the
     /// offending box. On by default — the cost is microseconds per regrid.
     pub taskcheck: bool,
+    /// Per-level time stepping (docs/ARCHITECTURE.md §Subcycling): level ℓ
+    /// advances with its own CFL-limited `dt` — `2^ℓ` substeps per coarse
+    /// step at refinement ratio 2 — filling fine ghosts by interpolating the
+    /// coarse level *in time* between its old and new states, and repairing
+    /// conservation at each coarse/fine interface with an
+    /// [`crocco_amr::FluxRegister`] reflux after the substeps. Cuts total
+    /// cell-updates on deep hierarchies (docs/results/subcycle.md). With a
+    /// single level the subcycled step is bitwise-identical to lockstep
+    /// (`tests/subcycle_invariance.rs`). Off by default — lockstep (all
+    /// levels share the globally minimal `dt`) remains the reference mode.
+    /// Incompatible with replicated multi-rank stepping and with chaos
+    /// injection; compose with [`owned_dist`](Self::owned_dist) for the
+    /// distributed path.
+    pub subcycling: bool,
     /// Adversarial-schedule seed for the task-graph paths: `Some(seed)`
     /// replaces the worker pool with a single-threaded executor running a
     /// seeded arbitrary legal topological linearization (seed 0 =
@@ -317,6 +331,7 @@ impl Default for SolverConfigBuilder {
                 tile_size: None,
                 chaos: None,
                 taskcheck: true,
+                subcycling: false,
                 sched_seed: None,
             },
         }
@@ -499,6 +514,13 @@ impl SolverConfigBuilder {
         self
     }
 
+    /// Enables per-level time stepping with time-interpolated coarse/fine
+    /// boundaries and refluxing (off by default — lockstep).
+    pub fn subcycling(mut self, on: bool) -> Self {
+        self.cfg.subcycling = on;
+        self
+    }
+
     /// Runs the task-graph paths under a seeded adversarial schedule (an
     /// arbitrary legal topological linearization) instead of the thread
     /// pool. Seed 0 is reverse-priority order.
@@ -529,6 +551,17 @@ impl SolverConfigBuilder {
             for d in 0..3 {
                 assert!(t[d] >= 1, "tile_size component {d} must be positive, got {}", t[d]);
             }
+        }
+        if c.subcycling {
+            assert!(
+                c.nranks == 1 || c.owned_dist,
+                "subcycling requires owned_dist for multi-rank stepping \
+                 (the replicated path stays lockstep as the oracle)"
+            );
+            assert!(
+                c.chaos.is_none(),
+                "subcycling does not compose with chaos injection yet"
+            );
         }
         self.cfg
     }
@@ -564,6 +597,18 @@ mod tests {
     #[should_panic]
     fn misaligned_extents_rejected() {
         SolverConfig::builder().extents(30, 8, 8).build();
+    }
+
+    #[test]
+    #[should_panic]
+    fn subcycling_requires_owned_dist_for_multirank() {
+        SolverConfig::builder().subcycling(true).nranks(2).build();
+    }
+
+    #[test]
+    fn subcycling_composes_with_owned_dist() {
+        let cfg = SolverConfig::builder().subcycling(true).nranks(2).owned_dist(true).build();
+        assert!(cfg.subcycling && cfg.owned_dist);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::reference::weno_flux_reference;
 use crate::state::NCONS;
 use crocco_amr::fillpatch::{
     fill_patch_single_level_with, fill_patch_two_levels_with, fill_two_level_patch,
-    resolve_two_level_plans, FillOpts, FillPatchReport, TwoLevelPlans,
+    resolve_two_level_plans, CoarseTimeInterp, FillOpts, FillPatchReport, TwoLevelPlans,
 };
 use crocco_amr::hierarchy::{AmrHierarchy, AmrParams};
 use crocco_amr::interp::Interpolator;
@@ -79,6 +79,12 @@ pub struct LevelData {
     /// regrid and zeroed in place each stage, so the hot loop never touches
     /// the allocator.
     pub(crate) rhs: Vec<FArrayBox>,
+    /// The state at the start of the current coarse step, kept while
+    /// subcycling so finer levels can time-interpolate their coarse/fine
+    /// ghosts between this and `state` (docs/ARCHITECTURE.md §Subcycling).
+    /// Swapped (not copied) with `state` at each save; `None` until the
+    /// first subcycled step and on levels with nothing finer.
+    pub(crate) state_old: Option<MultiFab>,
 }
 
 impl LevelData {
@@ -105,6 +111,7 @@ impl LevelData {
             coords,
             metrics,
             rhs,
+            state_old: None,
         }
     }
 }
@@ -173,6 +180,12 @@ pub struct RunReport {
     pub reduction_fraction: f64,
     /// Communication accounting.
     pub comm: CommTotals,
+    /// Total cell updates (one full RK step of one cell) across the run.
+    /// Lockstep advances every level each step; subcycling advances level
+    /// `ℓ` `2^ℓ` times per coarse step — this counter is what the
+    /// `fig_subcycle` ablation compares (docs/results/subcycle.md).
+    #[serde(default)]
+    pub cell_updates: u64,
 }
 
 /// A full CRoCCo simulation instance.
@@ -199,6 +212,17 @@ pub struct Simulation {
     pub(crate) time: f64,
     pub(crate) dt: f64,
     pub(crate) step: u32,
+    /// Flux registers + recording geometry per coarse/fine level pair
+    /// (`subcycle[l]` couples levels `l` and `l+1`). Rebuilt lazily whenever
+    /// the grids change; empty unless `cfg.subcycling`.
+    pub(crate) subcycle: Vec<crate::subcycle::InterfaceReg>,
+    /// Running cell-update total (see [`RunReport::cell_updates`]).
+    pub(crate) cell_updates: u64,
+    /// Monotone subcycled-exchange slot counter for the owned-data path:
+    /// every fill/exchange round inside a subcycled step draws a fresh tag
+    /// epoch from this counter so substeps never alias each other's
+    /// messages. Identical across ranks by construction.
+    pub(crate) sub_slot: u64,
 }
 
 impl Simulation {
@@ -265,6 +289,9 @@ impl Simulation {
             time: 0.0,
             dt: 0.0,
             step: 0,
+            subcycle: Vec::new(),
+            cell_updates: 0,
+            sub_slot: 0,
             cfg,
         };
         sim.prepare_coord_files();
@@ -334,6 +361,9 @@ impl Simulation {
             time: chk.time,
             dt: 0.0,
             step: chk.step,
+            subcycle: Vec::new(),
+            cell_updates: 0,
+            sub_slot: 0,
             cfg,
         };
         sim.prepare_coord_files();
@@ -551,9 +581,24 @@ impl Simulation {
             self.profiler.add("Regrid", t0.elapsed().as_secs_f64());
         }
         let t0 = std::time::Instant::now();
-        self.compute_dt();
+        if self.cfg.subcycling {
+            self.compute_dt_subcycled();
+        } else {
+            self.compute_dt();
+        }
         self.profiler.add("ComputeDt", t0.elapsed().as_secs_f64());
-        self.rk3();
+        if self.cfg.subcycling {
+            self.advance_subcycled();
+        } else {
+            self.rk3();
+            let mut n = 0u64;
+            for lev in &self.levels {
+                for i in 0..lev.state.nfabs() {
+                    n += lev.state.valid_box(i).num_points();
+                }
+            }
+            self.cell_updates += n;
+        }
         self.step += 1;
         self.time += self.dt;
     }
@@ -576,6 +621,7 @@ impl Simulation {
             equivalent_points: self.hierarchy.equivalent_fine_points(),
             reduction_fraction: self.hierarchy.reduction_fraction(),
             comm: self.comm,
+            cell_updates: self.cell_updates,
         }
     }
 
@@ -764,9 +810,19 @@ impl Simulation {
 
     /// FillPatch for one level (single-level at 0, two-level above).
     pub(crate) fn fill_level(&mut self, l: usize) {
+        self.fill_level_sub(l, None);
+    }
+
+    /// The FillPatch body, parameterized on the subcycling context: `sub`
+    /// overrides the boundary-condition time with the substep's start time
+    /// and (on refined levels) blends the coarse parent's old/new states for
+    /// the ghost interpolation. `None` is the lockstep path, bitwise
+    /// unchanged.
+    pub(crate) fn fill_level_sub(&mut self, l: usize, sub: Option<&crate::subcycle::SubCtx>) {
         let t0 = std::time::Instant::now();
         let domain = self.hierarchy.domain(l);
         let bc = PhysicalBc::new(self.cfg.problem, self.gas, self.level_extents(l));
+        let bc_time = sub.map_or(self.time, |s| s.t);
         let opts = FillOpts {
             cache: if self.cfg.plan_cache {
                 Some(self.hierarchy.plan_cache().as_ref())
@@ -776,7 +832,7 @@ impl Simulation {
             threads: self.cfg.threads,
         };
         let report: FillPatchReport = if l == 0 {
-            fill_patch_single_level_with(&mut self.levels[0].state, &domain, &bc, self.time, opts)
+            fill_patch_single_level_with(&mut self.levels[0].state, &domain, &bc, bc_time, opts)
         } else {
             let coarse_domain = self.hierarchy.domain(l - 1);
             let coarse_bc =
@@ -784,6 +840,14 @@ impl Simulation {
             let (lo, hi) = self.levels.split_at_mut(l);
             let coarse = &lo[l - 1];
             let fine = &mut hi[0];
+            let time_interp = sub.and_then(|s| s.alpha).map(|alpha| CoarseTimeInterp {
+                old: coarse
+                    .state_old
+                    .as_ref()
+                    .expect("subcycling saved the coarse old state before its substeps"),
+                alpha,
+                remote_old: None,
+            });
             fill_patch_two_levels_with(
                 &mut fine.state,
                 &coarse.state,
@@ -795,7 +859,8 @@ impl Simulation {
                 &coarse_bc,
                 Some(&coarse.coords),
                 Some(&fine.coords),
-                self.time,
+                bc_time,
+                time_interp,
                 opts,
             )
         };
@@ -820,7 +885,7 @@ impl Simulation {
         for stage in 0..nstages {
             for l in 0..self.hierarchy.nlevels() {
                 if self.cfg.overlap {
-                    self.fill_and_advance_overlap(l, stage, dt);
+                    self.fill_and_advance_overlap(l, stage, dt, None);
                 } else {
                     self.fill_level(l);
                     self.advance_level(l, stage, dt);
@@ -845,6 +910,225 @@ impl Simulation {
                     fabcheck::check_for_nan(&lev.du, &format!("RK stage {stage} dU L{l}"));
                 }
             }
+        }
+    }
+
+    /// The subcycled analog of [`compute_dt`](Self::compute_dt): level `ℓ`
+    /// advances with `dt₀/2^ℓ`, so the coarse step is bounded by the
+    /// *scaled* per-level CFL minima, `dt₀ = min_ℓ (2^ℓ · min_patches dt)`.
+    /// On a single level this reduces bitwise to the lockstep fold
+    /// (`min · 2⁰ = min`).
+    pub(crate) fn compute_dt_subcycled(&mut self) {
+        let backend = self.cfg.kernel_backend;
+        let mut dt = f64::INFINITY;
+        for (l, lev) in self.levels.iter().enumerate() {
+            let mut m = f64::INFINITY;
+            for i in 0..lev.state.nfabs() {
+                let d = backend.compute_dt_patch(
+                    lev.state.fab(i),
+                    lev.metrics.fab(i),
+                    lev.state.valid_box(i),
+                    &self.gas,
+                    self.cfg.cfl,
+                );
+                m = m.min(d);
+            }
+            dt = dt.min(m * (1u64 << l) as f64);
+        }
+        self.comm.reductions += 1;
+        assert!(dt.is_finite() && dt > 0.0, "ComputeDt produced dt={dt}");
+        self.dt = dt;
+    }
+
+    /// Rebuilds the per-pair flux registers and recording geometry iff the
+    /// grids changed since the last build (identity-compared through the
+    /// BoxArray `Arc`s, the same invalidation token the plan cache keys on).
+    pub(crate) fn ensure_subcycle(&mut self) {
+        let npairs = self.hierarchy.nlevels() - 1;
+        let stale = self.subcycle.len() != npairs
+            || (0..npairs).any(|l| {
+                !Arc::ptr_eq(&self.subcycle[l].coarse_ba, self.levels[l].state.boxarray())
+                    || !Arc::ptr_eq(&self.subcycle[l].fine_ba, self.levels[l + 1].state.boxarray())
+            });
+        if stale {
+            self.subcycle = (0..npairs)
+                .map(|l| {
+                    crate::subcycle::InterfaceReg::build(
+                        self.levels[l].state.boxarray(),
+                        self.levels[l + 1].state.boxarray(),
+                        self.hierarchy.domain(l).bx,
+                        IntVect::splat(2),
+                    )
+                })
+                .collect();
+        }
+    }
+
+    /// Swap-saves level `ℓ`'s state into its old-time slot before the level
+    /// advances, (re)allocating the slot only when the grids changed. After
+    /// the swap the fresh `state` buffer is seeded from the old data, so the
+    /// in-place RK update continues from the current solution while
+    /// `state_old` keeps an untouched copy for time interpolation.
+    pub(crate) fn save_old(&mut self, l: usize) {
+        let stale = match &self.levels[l].state_old {
+            Some(o) => !Arc::ptr_eq(o.boxarray(), self.levels[l].state.boxarray()),
+            None => true,
+        };
+        if stale {
+            let ba = self.levels[l].state.boxarray().clone();
+            let dm = self.levels[l].state.distribution().clone();
+            let mf = self.alloc_mf(ba, dm, NCONS, NGHOST);
+            self.levels[l].state_old = Some(mf);
+        }
+        let LevelData {
+            state, state_old, ..
+        } = &mut self.levels[l];
+        let old = state_old.as_mut().unwrap();
+        std::mem::swap(old, state);
+        for i in 0..state.nfabs() {
+            if !state.is_allocated(i) {
+                continue;
+            }
+            state
+                .fab_mut(i)
+                .data_mut()
+                .copy_from_slice(old.fab(i).data());
+        }
+    }
+
+    /// Records this level's interface fluxes into the stage accumulation
+    /// buffers (barrier path: a dedicated pass between FillPatch and the
+    /// stage kernels, when ghosts are fresh and the state is still at the
+    /// stage's input time — the overlap path records the same values inside
+    /// the per-patch boundary-band sweep tasks).
+    fn record_level_fluxes(&self, l: usize, w: f64) {
+        if self.subcycle.is_empty() {
+            return;
+        }
+        let gas = self.gas;
+        let weno = self.cfg.weno;
+        let recon = self.cfg.reconstruction;
+        let lev = &self.levels[l];
+        if l < self.subcycle.len() {
+            let reg = &self.subcycle[l];
+            for p in 0..lev.state.nfabs() {
+                if !lev.state.is_allocated(p) || reg.coarse_faces[p].is_empty() {
+                    continue;
+                }
+                let mut buf = reg.coarse_buf[p].lock().unwrap();
+                crate::subcycle::record_faces(
+                    lev.state.fab(p),
+                    lev.metrics.fab(p),
+                    &reg.coarse_faces[p],
+                    w,
+                    &mut buf,
+                    &gas,
+                    weno,
+                    recon,
+                );
+            }
+        }
+        if l > 0 {
+            let reg = &self.subcycle[l - 1];
+            for j in 0..lev.state.nfabs() {
+                if !lev.state.is_allocated(j) || reg.fine_faces[j].is_empty() {
+                    continue;
+                }
+                let mut buf = reg.fine_buf[j].lock().unwrap();
+                crate::subcycle::record_faces(
+                    lev.state.fab(j),
+                    lev.metrics.fab(j),
+                    &reg.fine_faces[j],
+                    w,
+                    &mut buf,
+                    &gas,
+                    weno,
+                    recon,
+                );
+            }
+        }
+    }
+
+    /// One subcycled coarse step: the AMReX-style recursive `timeStep`
+    /// (docs/ARCHITECTURE.md §Subcycling). Level 0 takes one step of
+    /// `self.dt`; each refined level takes `ref_ratio` substeps of its
+    /// parent's `dt/2`, time-interpolating coarse/fine ghosts between the
+    /// parent's old and new states, and the accumulated coarse/fine flux
+    /// mismatch is refluxed into the parent before AverageDown.
+    fn advance_subcycled(&mut self) {
+        self.ensure_subcycle();
+        let (t, dt) = (self.time, self.dt);
+        self.advance_level_recursive(0, t, dt, None);
+    }
+
+    /// Advances level `l` from `t` by `dt` (one step of this level), then
+    /// recursively takes the two half-`dt` substeps of the next finer level,
+    /// refluxes, and averages down. `parent` carries the coarser level's
+    /// `(t_old, dt)` for ghost time interpolation.
+    fn advance_level_recursive(&mut self, l: usize, t: f64, dt: f64, parent: Option<(f64, f64)>) {
+        let nstages = self.cfg.time_scheme.stages();
+        let has_finer = l + 1 < self.hierarchy.nlevels();
+        if has_finer {
+            self.save_old(l);
+            self.subcycle[l].register.reset();
+            self.subcycle[l].zero_coarse_bufs();
+        }
+        if l > 0 {
+            self.subcycle[l - 1].zero_fine_bufs();
+        }
+        for stage in 0..nstages {
+            let w = self.cfg.time_scheme.net_flux_weight(stage);
+            let t_fill = t + self.cfg.time_scheme.stage_time_fraction(stage) * dt;
+            let alpha = parent.map(|(pt, pdt)| (t_fill - pt) / pdt);
+            let sub = crate::subcycle::SubCtx { t, alpha };
+            if self.cfg.overlap {
+                self.fill_and_advance_overlap(l, stage, dt, Some(&sub));
+            } else {
+                self.fill_level_sub(l, Some(&sub));
+                self.record_level_fluxes(l, w);
+                self.advance_level(l, stage, dt);
+            }
+            if self.cfg.nan_poison {
+                let lev = &self.levels[l];
+                fabcheck::check_for_nan(&lev.state, &format!("sub RK stage {stage} state L{l}"));
+                fabcheck::check_for_nan(&lev.du, &format!("sub RK stage {stage} dU L{l}"));
+            }
+        }
+        let mut n = 0u64;
+        for i in 0..self.levels[l].state.nfabs() {
+            n += self.levels[l].state.valid_box(i).num_points();
+        }
+        self.cell_updates += n;
+        if has_finer {
+            self.subcycle[l].fold_coarse();
+        }
+        if l > 0 {
+            let (_, pdt) = parent.unwrap();
+            self.subcycle[l - 1].fold_fine(dt / pdt);
+        }
+        if has_finer {
+            let fdt = 0.5 * dt;
+            for i in 0..2 {
+                self.advance_level_recursive(l + 1, t + i as f64 * fdt, fdt, Some((t, dt)));
+            }
+            let t0 = std::time::Instant::now();
+            {
+                let reg = &self.subcycle[l].register;
+                let LevelData { state, metrics, .. } = &mut self.levels[l];
+                reg.reflux(state, metrics, crate::metrics::comp::JAC, dt);
+            }
+            self.profiler.add("Reflux", t0.elapsed().as_secs_f64());
+            let t0 = std::time::Instant::now();
+            {
+                let (lo, hi) = self.levels.split_at_mut(l + 1);
+                crocco_amr::average_down::average_down(
+                    &hi[0].state,
+                    &mut lo[l].state,
+                    IntVect::splat(2),
+                );
+            }
+            self.profiler
+                .add("AverageDown", t0.elapsed().as_secs_f64());
         }
     }
 
@@ -963,7 +1247,13 @@ impl Simulation {
     /// "FillPatch" profiler region; on cache hits that region is nearly
     /// empty because the halo data motion itself now runs inside "Advance",
     /// hidden behind the interior sweeps.
-    fn fill_and_advance_overlap(&mut self, l: usize, stage: usize, dt: f64) {
+    fn fill_and_advance_overlap(
+        &mut self,
+        l: usize,
+        stage: usize,
+        dt: f64,
+        sub: Option<&crate::subcycle::SubCtx>,
+    ) {
         let t0 = std::time::Instant::now();
         let gas = self.gas;
         let weno = self.cfg.weno;
@@ -975,7 +1265,14 @@ impl Simulation {
         let a = self.cfg.time_scheme.a(stage);
         let b = self.cfg.time_scheme.b(stage);
         let poison = self.cfg.nan_poison;
-        let time = self.time;
+        let time = sub.map_or(self.time, |s| s.t);
+        let w = self.cfg.time_scheme.net_flux_weight(stage);
+        // Interface-flux recording (subcycled steps only): `rec_coarse` is
+        // this level's role as the coarse side of the pair above it,
+        // `rec_fine` its role as the fine side of the pair below.
+        let rec_coarse = (sub.is_some() && l < self.subcycle.len()).then(|| &self.subcycle[l]);
+        let rec_fine = (sub.is_some() && l > 0 && !self.subcycle.is_empty())
+            .then(|| &self.subcycle[l - 1]);
         let ratio = IntVect::splat(2);
         let domain = self.hierarchy.domain(l);
         let bc = PhysicalBc::new(self.cfg.problem, self.gas, self.level_extents(l));
@@ -1035,6 +1332,7 @@ impl Simulation {
             coords,
             metrics,
             rhs,
+            ..
         } = fine;
         let ba = state.boxarray().clone();
         let coords = &*coords;
@@ -1043,7 +1341,37 @@ impl Simulation {
 
         // Coarse-fine ghosts for patch `i` (no-op on the base level). Same
         // gather + coarse-BC + interpolate sequence as the barrier path,
-        // through the same resolved plans.
+        // through the same resolved plans. Subcycled substeps blend the
+        // coarse parent's old/new states at the substep's fill time.
+        let ti: Option<CoarseTimeInterp<'_>> = match (&two, sub.and_then(|s| s.alpha)) {
+            (Some((_, coarse, _, _)), Some(alpha)) => Some(CoarseTimeInterp {
+                old: coarse
+                    .state_old
+                    .as_ref()
+                    .expect("subcycling saved the coarse old state before its substeps"),
+                alpha,
+                remote_old: None,
+            }),
+            _ => None,
+        };
+        // The blend above reads the coarse *old* state below the instrumented
+        // views, so declare those reads on each halo task's footprint (and
+        // record them for the dynamic detector): per fine patch, the gather
+        // chunks it consumes, at their source regions in the old fab (fab id
+        // = data base pointer, the executor's id convention). `alpha == 1.0`
+        // skips the old-state gather entirely, so there is nothing to
+        // declare.
+        let extra_halo: Vec<Vec<(u64, IndexBox)>> = match (&two, &ti) {
+            (Some((plans, ..)), Some(t)) if t.alpha != 1.0 => {
+                let mut per_patch = vec![Vec::new(); state.nfabs()];
+                for c in &plans.state.state_plan().plan.chunks {
+                    let id = t.old.fab(c.src_id).data().as_ptr() as usize as u64;
+                    per_patch[c.dst_id].push((id, c.region.shift(-c.shift)));
+                }
+                per_patch
+            }
+            _ => Vec::new(),
+        };
         let pre_halo = |i: usize, rw: &mut FabRw<'_>| {
             if let Some((plans, coarse, coarse_domain, coarse_bc)) = &two {
                 let cells = fill_two_level_patch(
@@ -1058,6 +1386,7 @@ impl Simulation {
                     interp,
                     coarse_bc,
                     time,
+                    ti,
                 );
                 interpolated.fetch_add(cells, Ordering::Relaxed);
             }
@@ -1085,6 +1414,42 @@ impl Simulation {
                             &u, met, rhs, slab, &gas, weno, recon, les.as_ref(), reference,
                             backend, tile,
                         );
+                    }
+                    // Subcycled interface-flux recording: the boundary-band
+                    // task is the one point in the graph where this patch's
+                    // ghosts are filled and its state is still at the stage's
+                    // input time. One task per patch per stage, so the lock
+                    // is uncontended and the per-face accumulation order is
+                    // the same as the barrier path's.
+                    if let Some(reg) = rec_coarse {
+                        if !reg.coarse_faces[i].is_empty() {
+                            let mut buf = reg.coarse_buf[i].lock().unwrap();
+                            crate::subcycle::record_faces(
+                                &u,
+                                met,
+                                &reg.coarse_faces[i],
+                                w,
+                                &mut buf,
+                                &gas,
+                                weno,
+                                recon,
+                            );
+                        }
+                    }
+                    if let Some(reg) = rec_fine {
+                        if !reg.fine_faces[i].is_empty() {
+                            let mut buf = reg.fine_buf[i].lock().unwrap();
+                            crate::subcycle::record_faces(
+                                &u,
+                                met,
+                                &reg.fine_faces[i],
+                                w,
+                                &mut buf,
+                                &gas,
+                                weno,
+                                recon,
+                            );
+                        }
                     }
                 }
             }
@@ -1146,6 +1511,7 @@ impl Simulation {
             &fb,
             &skel,
             sched,
+            &extra_halo,
             &pre_halo,
             &bc_fill,
             &sweep,

@@ -86,6 +86,26 @@ impl TimeScheme {
         }
         y
     }
+
+    /// The *net* flux weight of stage `s`: the coefficient `w[s]` such that
+    /// one full 2N step is `U(t+dt) = U(t) + dt · Σ_s w[s]·L(U_s)`. For the
+    /// accumulator recurrence this is `w[s] = Σ_{k≥s} b[k]·Π_{j=s+1..k} a[j]`
+    /// — the sensitivity of the final state to the stage-`s` RHS. The flux
+    /// register accumulates interface fluxes with these weights so the
+    /// refluxed correction matches exactly what the RK update applied
+    /// (docs/ARCHITECTURE.md §Subcycling). `Σ_s w[s] = 1` for any consistent
+    /// scheme.
+    pub fn net_flux_weight(&self, s: usize) -> f64 {
+        let mut w = 0.0;
+        let mut chain = 1.0;
+        for k in s..self.stages() {
+            if k > s {
+                chain *= self.a(k);
+            }
+            w += self.b(k) * chain;
+        }
+        w
+    }
 }
 
 /// Integrates the scalar ODE `y' = f(t, y)` over one step with a 2N scheme —
@@ -166,6 +186,25 @@ mod tests {
             let y = step_scalar(scheme, |_, _| 1.0, 0.0, 0.0, 0.7);
             assert!((y - 0.7).abs() < 1e-13, "{scheme:?}");
         }
+    }
+
+    #[test]
+    fn net_flux_weights_sum_to_one_and_reproduce_the_step() {
+        for scheme in ALL {
+            let total: f64 = (0..scheme.stages()).map(|s| scheme.net_flux_weight(s)).sum();
+            assert!((total - 1.0).abs() < 1e-14, "{scheme:?}: Σw = {total}");
+            // A constant RHS makes every stage RHS equal, so the weighted sum
+            // must reproduce step_scalar exactly (up to rounding).
+            let dt = 0.37;
+            let direct = step_scalar(scheme, |_, _| 2.5, 0.0, 1.0, dt);
+            let weighted: f64 =
+                1.0 + dt * (0..scheme.stages()).map(|s| scheme.net_flux_weight(s) * 2.5).sum::<f64>();
+            assert!((direct - weighted).abs() < 1e-13, "{scheme:?}");
+        }
+        // Williamson RK3 closed forms: w2 = b2, w1 = b1 + b2·a2, w0 = b0 + w1·a1.
+        let w = TimeScheme::Rk3Williamson;
+        assert!((w.net_flux_weight(2) - w.b(2)).abs() < 1e-15);
+        assert!((w.net_flux_weight(1) - (w.b(1) + w.b(2) * w.a(2))).abs() < 1e-15);
     }
 
     #[test]

@@ -41,6 +41,177 @@ pub fn weno_flux(
     weno_flux_recon(u, met, rhs, valid, dir, gas, variant, Reconstruction::ComponentWise)
 }
 
+/// Per-cell quantities the WENO face reconstruction consumes: the
+/// contravariant flux, the J-scaled state, the raw conserved state, the
+/// direction metric, and the contravariant wave speed.
+#[derive(Clone, Copy)]
+struct CellFluxData {
+    fhat: [f64; NCONS],
+    v: [f64; NCONS],
+    uraw: [f64; NCONS],
+    mvec: [f64; 3],
+    speed: f64,
+}
+
+/// Evaluates [`CellFluxData`] at cell `p` for sweep direction `dir` — the
+/// single definition of the per-cell arithmetic, shared by the pencil gather
+/// and the interface-flux recomputation so both are bitwise-identical.
+fn gather_cell(
+    u: &impl FabView,
+    met: &FArrayBox,
+    p: IntVect,
+    dir: usize,
+    gas: &PerfectGas,
+) -> CellFluxData {
+    let cell = Conserved([
+        u.get(p, cons::RHO),
+        u.get(p, cons::MX),
+        u.get(p, cons::MY),
+        u.get(p, cons::MZ),
+        u.get(p, cons::ENER),
+    ]);
+    let jac = met.get(p, mcomp::JAC);
+    let mvec = [
+        met.get(p, mcomp::M + dir * 3),
+        met.get(p, mcomp::M + dir * 3 + 1),
+        met.get(p, mcomp::M + dir * 3 + 2),
+    ];
+    let w = cell.to_primitive(gas);
+    let a = gas.sound_speed(w.rho, w.p.max(1e-300));
+    let mnorm = (mvec[0] * mvec[0] + mvec[1] * mvec[1] + mvec[2] * mvec[2]).sqrt();
+    let uc = mvec[0] * w.vel[0] + mvec[1] * w.vel[1] + mvec[2] * w.vel[2];
+    // `speed` uses uc/J — the true contravariant velocity — so that λ·V has
+    // flux units. F̂ = Σ_j m_j F_j(U); uc = m·u makes it the J-scaled
+    // computational-space flux directly.
+    let pn = w.p;
+    let v = cell.0.map(|q| jac * q);
+    CellFluxData {
+        fhat: [
+            cell.0[cons::RHO] * uc,
+            cell.0[cons::MX] * uc + pn * mvec[0],
+            cell.0[cons::MY] * uc + pn * mvec[1],
+            cell.0[cons::MZ] * uc + pn * mvec[2],
+            (cell.0[cons::ENER] + pn) * uc,
+        ],
+        v,
+        uraw: cell.0,
+        mvec,
+        speed: (uc.abs() + a * mnorm) / jac,
+    }
+}
+
+/// Reconstructs the interface flux from a 6-cell window (`slices[0..6]` =
+/// cells face−3 … face+2 along the sweep direction). The one definition of
+/// the per-face arithmetic shared by the pencil sweep and
+/// [`interface_face_flux`].
+#[allow(clippy::too_many_arguments)]
+fn reconstruct_window_flux(
+    fhat: &[[f64; NCONS]],
+    v: &[[f64; NCONS]],
+    uraw: &[[f64; NCONS]],
+    mvecs: &[[f64; 3]],
+    speed: &[f64],
+    gas: &PerfectGas,
+    variant: WenoVariant,
+    recon: Reconstruction,
+) -> [f64; NCONS] {
+    let mut lambda: f64 = 0.0;
+    for &s in speed.iter().take(6) {
+        lambda = lambda.max(s);
+    }
+    let mut ff = [0.0; NCONS];
+    match recon {
+        Reconstruction::ComponentWise => {
+            for (c, f) in ff.iter_mut().enumerate() {
+                let mut wp = [0.0; 6];
+                let mut wm = [0.0; 6];
+                for k in 0..6 {
+                    let q = 0.5 * (fhat[k][c] + lambda * v[k][c]);
+                    wp[k] = q;
+                    // Minus flux, reversed orientation.
+                    let qm = 0.5 * (fhat[5 - k][c] - lambda * v[5 - k][c]);
+                    wm[k] = qm;
+                }
+                *f = reconstruct_face(&wp, variant) + reconstruct_face(&wm, variant);
+            }
+        }
+        Reconstruction::Characteristic => {
+            // Roe eigensystem at the face from the two adjacent cells, with
+            // the face normal from the averaged metric.
+            let (il, ir) = (2, 3);
+            let roe = roe_average(&Conserved(uraw[il]), &Conserved(uraw[ir]), gas);
+            let mavg = [
+                0.5 * (mvecs[il][0] + mvecs[ir][0]),
+                0.5 * (mvecs[il][1] + mvecs[ir][1]),
+                0.5 * (mvecs[il][2] + mvecs[ir][2]),
+            ];
+            let mnorm = (mavg[0] * mavg[0] + mavg[1] * mavg[1] + mavg[2] * mavg[2]).sqrt();
+            let normal = [mavg[0] / mnorm, mavg[1] / mnorm, mavg[2] / mnorm];
+            let es = eigen_system(&roe, normal, gas);
+            // Project split fluxes into characteristic space.
+            let mut cp = [[0.0; 6]; NCONS]; // [field][window]
+            let mut cm = [[0.0; 6]; NCONS];
+            for k in 0..6 {
+                let mut qp = [0.0; NCONS];
+                let mut qm = [0.0; NCONS];
+                for c in 0..NCONS {
+                    qp[c] = 0.5 * (fhat[k][c] + lambda * v[k][c]);
+                    qm[c] = 0.5 * (fhat[5 - k][c] - lambda * v[5 - k][c]);
+                }
+                let wp = es.to_characteristic(&qp);
+                let wm = es.to_characteristic(&qm);
+                for field in 0..NCONS {
+                    cp[field][k] = wp[field];
+                    cm[field][k] = wm[field];
+                }
+            }
+            let mut what = [0.0; NCONS];
+            for field in 0..NCONS {
+                what[field] =
+                    reconstruct_face(&cp[field], variant) + reconstruct_face(&cm[field], variant);
+            }
+            ff = es.to_conserved(&what);
+        }
+    }
+    ff
+}
+
+/// Recomputes the WENO convective interface flux `F̂_dir` at the **low**
+/// face of cell `p` — bitwise-identical to the value the pencil sweep used
+/// for that face, because both call the same `gather_cell` /
+/// `reconstruct_window_flux` arithmetic over the same 6-cell window
+/// (`p−3e_dir … p+2e_dir`). The subcycling flux register records these at
+/// coarse/fine interfaces (docs/ARCHITECTURE.md §Subcycling). `u` needs
+/// [`NGHOST`] filled ghosts around the window, exactly as the sweep does.
+/// Convective flux only: the viscous operator is not registered (reflux is
+/// exact for inviscid runs; see `amr::flux_register`).
+pub fn interface_face_flux(
+    u: &impl FabView,
+    met: &FArrayBox,
+    p: IntVect,
+    dir: usize,
+    gas: &PerfectGas,
+    variant: WenoVariant,
+    recon: Reconstruction,
+) -> [f64; NCONS] {
+    let mut fhat = [[0.0; NCONS]; 6];
+    let mut v = [[0.0; NCONS]; 6];
+    let mut uraw = [[0.0; NCONS]; 6];
+    let mut mvecs = [[0.0; 3]; 6];
+    let mut speed = [0.0; 6];
+    for k in 0..6 {
+        let mut q = p;
+        q[dir] = p[dir] - STENCIL_RADIUS as i64 + k as i64;
+        let cd = gather_cell(u, met, q, dir, gas);
+        fhat[k] = cd.fhat;
+        v[k] = cd.v;
+        uraw[k] = cd.uraw;
+        mvecs[k] = cd.mvec;
+        speed[k] = cd.speed;
+    }
+    reconstruct_window_flux(&fhat, &v, &uraw, &mvecs, &speed, gas, variant, recon)
+}
+
 /// [`weno_flux`] with an explicit reconstruction basis (component-wise or
 /// Roe characteristic).
 #[allow(clippy::too_many_arguments)]
@@ -82,111 +253,27 @@ pub fn weno_flux_recon(
             p[d1] = plane[d1];
             p[d2] = plane[d2];
             p[dir] = valid.lo()[dir] + off;
-            let cell = Conserved([
-                u.get(p, cons::RHO),
-                u.get(p, cons::MX),
-                u.get(p, cons::MY),
-                u.get(p, cons::MZ),
-                u.get(p, cons::ENER),
-            ]);
-            let jac = met.get(p, mcomp::JAC);
-            let mvec = [
-                met.get(p, mcomp::M + dir * 3),
-                met.get(p, mcomp::M + dir * 3 + 1),
-                met.get(p, mcomp::M + dir * 3 + 2),
-            ];
-            let w = cell.to_primitive(gas);
-            let a = gas.sound_speed(w.rho, w.p.max(1e-300));
-            let mnorm = (mvec[0] * mvec[0] + mvec[1] * mvec[1] + mvec[2] * mvec[2]).sqrt();
-            let uc = mvec[0] * w.vel[0] + mvec[1] * w.vel[1] + mvec[2] * w.vel[2];
-            // `speed` uses uc/J — the true contravariant velocity — so that
-            // λ·V below has flux units.
-            speed[idx] = (uc.abs() + a * mnorm) / jac;
-            // Contravariant flux F̂ = Σ_j m_j F_j(U); uc = m·u makes it the
-            // J-scaled computational-space flux directly.
-            let pn = w.p;
-            fhat[idx] = [
-                cell.0[cons::RHO] * uc,
-                cell.0[cons::MX] * uc + pn * mvec[0],
-                cell.0[cons::MY] * uc + pn * mvec[1],
-                cell.0[cons::MZ] * uc + pn * mvec[2],
-                (cell.0[cons::ENER] + pn) * uc,
-            ];
-            for c in 0..NCONS {
-                v[idx][c] = jac * cell.0[c];
-                uraw[idx][c] = cell.0[c];
-            }
-            mvecs[idx] = mvec;
+            let cd = gather_cell(u, met, p, dir, gas);
+            fhat[idx] = cd.fhat;
+            v[idx] = cd.v;
+            uraw[idx] = cd.uraw;
+            mvecs[idx] = cd.mvec;
+            speed[idx] = cd.speed;
         }
         // Reconstruct each face lo-½ … hi+½ (n+1 faces): face f sits
         // between valid-offset cells f-1 and f, window = pencil f..f+5.
         for (f, ff) in face_flux.iter_mut().enumerate() {
             let base = f; // window start in pencil indexing
-            let mut lambda: f64 = 0.0;
-            for k in 0..6 {
-                lambda = lambda.max(speed[base + k]);
-            }
-            match recon {
-                Reconstruction::ComponentWise => {
-                    for c in 0..NCONS {
-                        let mut wp = [0.0; 6];
-                        let mut wm = [0.0; 6];
-                        for k in 0..6 {
-                            let q = 0.5 * (fhat[base + k][c] + lambda * v[base + k][c]);
-                            wp[k] = q;
-                            // Minus flux, reversed orientation.
-                            let qm =
-                                0.5 * (fhat[base + 5 - k][c] - lambda * v[base + 5 - k][c]);
-                            wm[k] = qm;
-                        }
-                        ff[c] =
-                            reconstruct_face(&wp, variant) + reconstruct_face(&wm, variant);
-                    }
-                }
-                Reconstruction::Characteristic => {
-                    // Roe eigensystem at the face from the two adjacent
-                    // cells, with the face normal from the averaged metric.
-                    let il = base + 2;
-                    let ir = base + 3;
-                    let roe = roe_average(
-                        &Conserved(uraw[il]),
-                        &Conserved(uraw[ir]),
-                        gas,
-                    );
-                    let mavg = [
-                        0.5 * (mvecs[il][0] + mvecs[ir][0]),
-                        0.5 * (mvecs[il][1] + mvecs[ir][1]),
-                        0.5 * (mvecs[il][2] + mvecs[ir][2]),
-                    ];
-                    let mnorm =
-                        (mavg[0] * mavg[0] + mavg[1] * mavg[1] + mavg[2] * mavg[2]).sqrt();
-                    let normal = [mavg[0] / mnorm, mavg[1] / mnorm, mavg[2] / mnorm];
-                    let es = eigen_system(&roe, normal, gas);
-                    // Project split fluxes into characteristic space.
-                    let mut cp = [[0.0; 6]; NCONS]; // [field][window]
-                    let mut cm = [[0.0; 6]; NCONS];
-                    for k in 0..6 {
-                        let mut qp = [0.0; NCONS];
-                        let mut qm = [0.0; NCONS];
-                        for c in 0..NCONS {
-                            qp[c] = 0.5 * (fhat[base + k][c] + lambda * v[base + k][c]);
-                            qm[c] = 0.5 * (fhat[base + 5 - k][c] - lambda * v[base + 5 - k][c]);
-                        }
-                        let wp = es.to_characteristic(&qp);
-                        let wm = es.to_characteristic(&qm);
-                        for field in 0..NCONS {
-                            cp[field][k] = wp[field];
-                            cm[field][k] = wm[field];
-                        }
-                    }
-                    let mut what = [0.0; NCONS];
-                    for field in 0..NCONS {
-                        what[field] = reconstruct_face(&cp[field], variant)
-                            + reconstruct_face(&cm[field], variant);
-                    }
-                    *ff = es.to_conserved(&what);
-                }
-            }
+            *ff = reconstruct_window_flux(
+                &fhat[base..base + 6],
+                &v[base..base + 6],
+                &uraw[base..base + 6],
+                &mvecs[base..base + 6],
+                &speed[base..base + 6],
+                gas,
+                variant,
+                recon,
+            );
         }
         // Flux difference into rhs.
         for i in 0..n {
@@ -556,6 +643,82 @@ mod tests {
         // domain edge where the state is uniform ⇒ ≈ 0.
         let total: f64 = valid.cells().map(|p| rhs.get(p, cons::RHO)).sum();
         assert!(total.abs() < 1e-8, "mass tendency {total}");
+    }
+
+    #[test]
+    fn interface_face_flux_reproduces_the_pencil_sweep_bitwise() {
+        // Rebuild a patch's rhs from per-face interface_face_flux calls and
+        // demand bitwise equality with weno_flux_recon — the property the
+        // subcycling flux register depends on.
+        let gas = PerfectGas::nondimensional();
+        let map = StretchedMapping::new(RealVect::ZERO, RealVect::splat(1.0), 1.15, 0);
+        let (mut state, metrics) = single_patch(IntVect::new(12, 8, 8), &map);
+        let all = state.fab(0).bx();
+        for p in all.cells() {
+            let x = (p[0] as f64 + 0.5) / 12.0;
+            let y = (p[1] as f64 + 0.5) / 8.0;
+            let w = Primitive {
+                rho: 1.0 + 0.2 * (3.0 * x).sin() * (2.0 * y).cos(),
+                vel: [0.6 + 0.1 * (2.0 * x).cos(), -0.2, 0.1],
+                p: 1.0 + 0.1 * (2.0 * y).sin(),
+                t: 0.0,
+            };
+            let u = Conserved::from_primitive(&w, &gas);
+            for c in 0..NCONS {
+                state.fab_mut(0).set(p, c, u.0[c]);
+            }
+        }
+        let valid = state.valid_box(0);
+        for recon in [Reconstruction::ComponentWise, Reconstruction::Characteristic] {
+            let mut rhs = FArrayBox::new(valid, NCONS);
+            let mut rebuilt = FArrayBox::new(valid, NCONS);
+            for dir in 0..3 {
+                weno_flux_recon(
+                    state.fab(0),
+                    metrics.fab(0),
+                    &mut rhs,
+                    valid,
+                    dir,
+                    &gas,
+                    WenoVariant::Symbo,
+                    recon,
+                );
+                let e = IntVect::unit(dir);
+                for p in valid.cells() {
+                    let fm = interface_face_flux(
+                        state.fab(0),
+                        metrics.fab(0),
+                        p,
+                        dir,
+                        &gas,
+                        WenoVariant::Symbo,
+                        recon,
+                    );
+                    let fp = interface_face_flux(
+                        state.fab(0),
+                        metrics.fab(0),
+                        p + e,
+                        dir,
+                        &gas,
+                        WenoVariant::Symbo,
+                        recon,
+                    );
+                    let jac = metrics.fab(0).get(p, mcomp::JAC);
+                    for c in 0..NCONS {
+                        rebuilt.add(p, c, -(fp[c] - fm[c]) / jac);
+                    }
+                }
+            }
+            for p in valid.cells() {
+                for c in 0..NCONS {
+                    assert_eq!(
+                        rhs.get(p, c).to_bits(),
+                        rebuilt.get(p, c).to_bits(),
+                        "{recon:?}: face-rebuilt rhs differs at {p:?} comp {c}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod riemann;
 pub mod sgs;
 pub mod species;
 pub mod state;
+pub(crate) mod subcycle;
 pub mod validation;
 pub mod weno;
 

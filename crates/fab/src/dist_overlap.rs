@@ -325,12 +325,21 @@ pub fn allgather_fabs(
 /// kernel task — returns a typed [`StageError`] instead of hanging peers;
 /// partially-written fabs are then meaningless and the caller must roll
 /// back to a checkpoint (DESIGN.md §4g).
+///
+/// `extra_halo` carries per-patch read-only `(fab id, region)` declarations
+/// for the halo tasks, exactly as on
+/// [`crate::overlap::run_rk_stage_with_skeleton`]: the subcycled two-level
+/// fill passes the *locally read* coarse old-state gather regions (remote
+/// chunks arrive as pre-exchanged payloads and touch no fab). Footprints
+/// only exist on the overlapped executor; the fenced path runs no graph and
+/// ignores the declarations.
 #[allow(clippy::too_many_arguments)]
 pub fn run_dist_rk_stage(
     fabs: StageFabs<'_>,
     fb: &CachedPlan,
     skel: &DistSkeleton,
     st: &DistStage<'_>,
+    extra_halo: &[Vec<(u64, crocco_geometry::IndexBox)>],
     pre_halo: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
@@ -341,9 +350,15 @@ pub fn run_dist_rk_stage(
     assert_eq!(fabs.rhs.len(), n, "state/rhs patch-count mismatch");
     assert_eq!(skel.chunk_range.len(), n, "skeleton/patch-count mismatch");
     assert_eq!(skel.rank, st.ep.rank(), "skeleton built for another rank");
+    assert!(
+        extra_halo.is_empty() || extra_halo.len() == n,
+        "extra halo reads must cover every patch or none"
+    );
     fabs.state.check_plan_gated(&fb.plan, true);
     if st.overlap {
-        run_overlapped(fabs, &fb.plan, skel, st, pre_halo, bc_fill, sweep, update)
+        run_overlapped(
+            fabs, &fb.plan, skel, st, extra_halo, pre_halo, bc_fill, sweep, update,
+        )
     } else {
         run_fenced(fabs, &fb.plan, skel, st, pre_halo, bc_fill, sweep, update)
     }
@@ -488,6 +503,7 @@ fn run_overlapped(
     plan: &CopyPlan,
     skel: &DistSkeleton,
     st: &DistStage<'_>,
+    extra_halo: &[Vec<(u64, crocco_geometry::IndexBox)>],
     pre_halo: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
@@ -580,8 +596,18 @@ fn run_overlapped(
         // clones of the handles for its chunk range, all observing the
         // same completion slot.
         let patch_handles: Vec<Option<RecvHandle>> = handles[s..e].to_vec();
-        let fp = rs.spec.footprint(graph.len()).clone();
+        let mut fp = rs.spec.footprint(graph.len()).clone();
+        let extras = extra_halo.get(i).cloned().unwrap_or_default();
+        for &(id, bx) in &extras {
+            fp = fp.reads(id, (0, ncomp), bx);
+        }
         let h_i = graph.add_task_with(&recv_events[i], fp, move || {
+            // The time-interpolated fill inside `pre_halo` reads its extra
+            // fabs below the instrumented views — record the declared reads
+            // explicitly so the dynamic detector sees them.
+            for &(id, bx) in &extras {
+                record_access(id, false, bx);
+            }
             // SAFETY: writes only ghost cells of patch `i` (plan invariant
             // + pre_halo/bc_fill contracts); unordered tasks read only
             // valid cells, and all later access depends on this task.
@@ -871,6 +897,7 @@ mod tests {
                     &fb,
                     &skel,
                     &st,
+                    &[],
                     &|_i, _rw| {},
                     &|_i, _rw| {},
                     &sweep,

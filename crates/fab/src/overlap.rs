@@ -192,6 +192,7 @@ pub fn run_rk_stage(
         fb,
         &skel,
         Schedule::pool(threads),
+        &[],
         pre_halo,
         bc_fill,
         sweep,
@@ -202,12 +203,21 @@ pub fn run_rk_stage(
 /// [`run_rk_stage`] with a pre-built (typically plan-cache-memoized)
 /// [`StageSkeleton`], skipping the per-stage topology derivation, and an
 /// explicit [`Schedule`] (thread pool or seeded adversarial linearization).
+///
+/// `extra_halo` declares per-patch read-only `(fab id, region)` pairs the
+/// `pre_halo` closure touches beyond the same-level exchange — on subcycled
+/// substeps, the coarse *old*-state regions the time-interpolated FillPatch
+/// blends (docs/ARCHITECTURE.md §Subcycling). Each pair is added to that
+/// patch's halo-task footprint and recorded for the dynamic detector, so
+/// the declared schedule stays honest about every fab the stage reads.
+/// Pass `&[]` when there is nothing extra; otherwise one entry per patch.
 #[allow(clippy::too_many_arguments)]
 pub fn run_rk_stage_with_skeleton(
     fabs: StageFabs<'_>,
     fb: &CachedPlan,
     skel: &StageSkeleton,
     sched: Schedule,
+    extra_halo: &[Vec<(u64, IndexBox)>],
     pre_halo: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     bc_fill: &(dyn Fn(usize, &mut FabRw<'_>) + Sync),
     sweep: &(dyn Fn(usize, FabRd<'_>, SweepPhase, &mut FArrayBox) + Sync),
@@ -217,6 +227,10 @@ pub fn run_rk_stage_with_skeleton(
     assert_eq!(fabs.du.nfabs(), n, "state/du patch-count mismatch");
     assert_eq!(fabs.rhs.len(), n, "state/rhs patch-count mismatch");
     assert_eq!(skel.chunk_range.len(), n, "skeleton/patch-count mismatch");
+    assert!(
+        extra_halo.is_empty() || extra_halo.len() == n,
+        "extra halo reads must cover every patch or none"
+    );
     // Under `fabcheck`, prove the halo plan alias-free exactly as the
     // barrier executor would before running it.
     fabs.state.check_plan_gated(&fb.plan, true);
@@ -266,8 +280,18 @@ pub fn run_rk_stage_with_skeleton(
     // chunks just wrote).
     let mut halo = Vec::with_capacity(n);
     for (i, &(s, e)) in chunk_range.iter().enumerate() {
-        let fp = spec.footprint(graph.len()).clone();
+        let mut fp = spec.footprint(graph.len()).clone();
+        let extras: Vec<(u64, IndexBox)> = extra_halo.get(i).cloned().unwrap_or_default();
+        for &(id, bx) in &extras {
+            fp = fp.reads(id, (0, ncomp), bx);
+        }
         halo.push(graph.add_task_with(&[], fp, move || {
+            // The time-interpolated fill inside `pre_halo` reads its extra
+            // fabs below the instrumented views — record the declared reads
+            // explicitly so the dynamic detector sees them.
+            for &(id, bx) in &extras {
+                record_access(id, false, bx);
+            }
             // SAFETY: this task writes only ghost cells of patch `i` (plan
             // invariant + pre_halo/bc_fill contracts); unordered tasks read
             // only valid cells, and all later access to these cells depends

@@ -35,6 +35,7 @@ pub mod network;
 pub mod profiler;
 pub mod resilience;
 pub mod roofline;
+pub mod subcycle;
 pub mod summit;
 
 pub use cpu::{CpuBackend, CpuModel};
@@ -44,4 +45,5 @@ pub use network::NetworkModel;
 pub use profiler::Profiler;
 pub use resilience::ResilienceModel;
 pub use roofline::{score_measured, MeasuredPoint, RooflineLevel, RooflinePoint};
+pub use subcycle::SubcycleModel;
 pub use summit::SummitPlatform;

@@ -1,0 +1,111 @@
+//! Work model for subcycling in time (docs/ARCHITECTURE.md §Subcycling).
+//!
+//! Lockstep AMR (Algorithm 2) marches every level with the globally minimal
+//! dt — set by the finest level, dt₀/2^ℓmax. To advance the solution by one
+//! coarse-step-equivalent of simulated time (dt₀), every cell of every level
+//! is therefore updated 2^ℓmax times. Per-level dt instead updates level ℓ's
+//! cells 2^ℓ times over the same span:
+//!
+//! ```text
+//!   lockstep  = 2^ℓmax · Σ_ℓ N_ℓ          updates per dt₀
+//!   subcycled = Σ_ℓ 2^ℓ · N_ℓ             updates per dt₀
+//! ```
+//!
+//! Their ratio is the ideal compute-bound speedup: it approaches 2^ℓmax as
+//! the fine levels' coverage shrinks toward zero, and degenerates to exactly
+//! 1 when the hierarchy is a single level (or when every level covers the
+//! whole domain at ℓmax's cost — refinement without locality buys nothing).
+//!
+//! The model prices cell updates only. Subcycling's overheads — the
+//! old-state save and time-interpolation blend (O(fine ghost cells)), the
+//! interface-flux recording and reflux (O(interface faces)), and the extra
+//! per-substep-pair AverageDown — are *surface* terms one cell deep, so they
+//! vanish relative to the volume term as patches grow. `fig_subcycle`
+//! (`docs/results/subcycle.md`) measures how much of the ideal ratio
+//! survives them on a real hierarchy.
+
+/// Per-level cell counts of a hierarchy, index = level. Constructed from a
+/// live simulation's level sizes and evaluated analytically.
+#[derive(Debug, Clone)]
+pub struct SubcycleModel {
+    cells: Vec<u64>,
+}
+
+impl SubcycleModel {
+    /// `cells_per_level[ℓ]` = total valid cells on level ℓ.
+    pub fn new(cells_per_level: Vec<u64>) -> Self {
+        Self {
+            cells: cells_per_level,
+        }
+    }
+
+    /// Finest level index (0 for a single-level or empty hierarchy).
+    fn lmax(&self) -> u32 {
+        self.cells.len().saturating_sub(1) as u32
+    }
+
+    /// Cell updates per dt₀ of simulated time when every level marches with
+    /// the finest level's dt.
+    pub fn lockstep_updates(&self) -> f64 {
+        let scale = (1u64 << self.lmax()) as f64;
+        self.cells.iter().map(|&n| n as f64 * scale).sum()
+    }
+
+    /// Cell updates per dt₀ of simulated time when level ℓ marches with
+    /// dt₀/2^ℓ.
+    pub fn subcycled_updates(&self) -> f64 {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(l, &n)| n as f64 * (1u64 << l) as f64)
+            .sum()
+    }
+
+    /// Ideal compute-bound speedup of subcycling over lockstep: the ratio of
+    /// the two update counts. Always in `[1, 2^ℓmax]`; 1.0 for an empty or
+    /// single-level hierarchy.
+    pub fn ideal_speedup(&self) -> f64 {
+        let sub = self.subcycled_updates();
+        if sub == 0.0 {
+            return 1.0;
+        }
+        self.lockstep_updates() / sub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_is_the_identity() {
+        let m = SubcycleModel::new(vec![1000]);
+        assert_eq!(m.lockstep_updates(), m.subcycled_updates());
+        assert_eq!(m.ideal_speedup(), 1.0);
+        assert_eq!(SubcycleModel::new(Vec::new()).ideal_speedup(), 1.0);
+    }
+
+    #[test]
+    fn three_level_counts_match_the_hand_sum() {
+        // N = [8192, 2048, 512]: lockstep pays 4·Σ N_ℓ = 43008 updates per
+        // dt₀, subcycling 8192 + 2·2048 + 4·512 = 14336.
+        let m = SubcycleModel::new(vec![8192, 2048, 512]);
+        assert_eq!(m.lockstep_updates(), 43008.0);
+        assert_eq!(m.subcycled_updates(), 14336.0);
+        assert!((m.ideal_speedup() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_bounded_by_the_refinement_depth() {
+        // Fine coverage → 0: speedup → 2^ℓmax. Full coverage: the fine
+        // level dominates both sums and the advantage collapses toward 1.
+        let sparse = SubcycleModel::new(vec![1_000_000, 8, 8]);
+        assert!(sparse.ideal_speedup() > 3.99 && sparse.ideal_speedup() <= 4.0);
+        let dense = SubcycleModel::new(vec![1_000_000, 4_000_000, 16_000_000]);
+        assert!(dense.ideal_speedup() < 1.4);
+        for m in [&sparse, &dense] {
+            let s = m.ideal_speedup();
+            assert!((1.0..=4.0).contains(&s), "speedup {s} out of bounds");
+        }
+    }
+}

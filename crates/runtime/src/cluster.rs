@@ -73,6 +73,16 @@ pub mod tags {
     /// Owned-data sub-space: a checkpoint patch payload replicated to
     /// survivors.
     pub const OWNED_CKPT: u64 = 3;
+    /// Owned-data sub-space: a coarse *old-time-level* state gather chunk —
+    /// the second gather a subcycled two-level fill performs so fine ranks
+    /// can time-interpolate coarse ghosts (docs/ARCHITECTURE.md
+    /// §Subcycling). Same chunk enumeration as `OWNED_GATHER`, distinct
+    /// space so the two never cross-match within one fill.
+    pub const OWNED_GATHER_OLD: u64 = 4;
+    /// Owned-data sub-space: a refluxing payload — the fine-side flux-sum
+    /// parts a fine-patch owner ships to the coarse-patch owner after its
+    /// substeps.
+    pub const OWNED_REFLUX: u64 = 5;
 
     fn compose(kind: u64, epoch: u64, level: usize, index: usize) -> u64 {
         debug_assert!(index < (1 << 32), "tag index overflows 32 bits");
@@ -80,13 +90,14 @@ pub mod tags {
     }
 
     /// Tag for owned-data exchange message `index` of `level` in sub-space
-    /// `space` (`OWNED_GATHER`/`OWNED_COORDS`/`OWNED_REDIST`/`OWNED_CKPT`)
-    /// during stage-epoch `epoch`. The space rides in bits 6–7 of the level
-    /// field, so levels up to 63 and four spaces never collide.
+    /// `space` (`OWNED_GATHER`/`OWNED_COORDS`/`OWNED_REDIST`/`OWNED_CKPT`/
+    /// `OWNED_GATHER_OLD`/`OWNED_REFLUX`) during stage-epoch `epoch`. The
+    /// space rides in bits 5–7 of the level field, so levels up to 31 and
+    /// eight spaces never collide.
     pub fn owned(space: u64, epoch: u64, level: usize, index: usize) -> u64 {
-        debug_assert!(space < 4, "owned tag space overflows 2 bits");
-        debug_assert!(level < 64, "owned tag level overflows 6 bits");
-        compose(KIND_OWNED, epoch, level | ((space as usize) << 6), index)
+        debug_assert!(space < 8, "owned tag space overflows 3 bits");
+        debug_assert!(level < 32, "owned tag level overflows 5 bits");
+        compose(KIND_OWNED, epoch, level | ((space as usize) << 5), index)
     }
 
     /// Tag for halo chunk `chunk` of `level` during stage-epoch `epoch`.
@@ -1230,7 +1241,7 @@ mod matched_tests {
         assert_ne!(tags::collective(1, 0), tags::collective(2, 0));
     }
 
-    /// The four owned sub-spaces are disjoint tag namespaces at identical
+    /// The six owned sub-spaces are disjoint tag namespaces at identical
     /// (epoch, level, index) coordinates, carry the generation where the
     /// stale filter expects it, and report `KIND_OWNED`.
     #[test]
@@ -1240,6 +1251,8 @@ mod matched_tests {
             tags::OWNED_COORDS,
             tags::OWNED_REDIST,
             tags::OWNED_CKPT,
+            tags::OWNED_GATHER_OLD,
+            tags::OWNED_REFLUX,
         ];
         for (a, &sa) in spaces.iter().enumerate() {
             for &sb in &spaces[a + 1..] {

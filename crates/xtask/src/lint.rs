@@ -828,9 +828,15 @@ mod tests {
             "Numbers in docs/results/real.md and docs/results/ghost.md.\n\
              Also [linked](docs/results/gone.md) and the bare docs/results/ dir.\n",
         );
+        // docs/ARCHITECTURE.md is a rule-7 source too: its §Subcycling
+        // narrative points at docs/results/subcycle.md, which must resolve.
+        fx.write(
+            "docs/ARCHITECTURE.md",
+            "The payoff is measured in docs/results/subcycle.md.\n",
+        );
         let report = lint_root(&fx.root);
         let msgs = messages(&report);
-        assert_eq!(report.diagnostics.len(), 2, "{msgs:?}");
+        assert_eq!(report.diagnostics.len(), 3, "{msgs:?}");
         assert!(
             msgs.iter().any(|m| m.contains("DESIGN.md:1")
                 && m.contains("`docs/results/ghost.md` is referenced but does not exist")),
@@ -839,6 +845,21 @@ mod tests {
         assert!(
             msgs.iter()
                 .any(|m| m.contains("DESIGN.md:2") && m.contains("docs/results/gone.md")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("ARCHITECTURE.md:1")
+                && m.contains("`docs/results/subcycle.md` is referenced but does not exist")),
+            "{msgs:?}"
+        );
+        // Writing the results file resolves the reference and only the
+        // DESIGN.md danglers remain.
+        fx.write("docs/results/subcycle.md", "# measured\n");
+        let report = lint_root(&fx.root);
+        let msgs = messages(&report);
+        assert_eq!(report.diagnostics.len(), 2, "{msgs:?}");
+        assert!(
+            !msgs.iter().any(|m| m.contains("subcycle.md")),
             "{msgs:?}"
         );
     }

@@ -154,6 +154,7 @@ fn dynamic_detector_traps_the_same_mutation_at_runtime() {
             &fb,
             skel,
             Schedule::adversarial(0),
+            &[],
             &|_, _| {},
             &|_, _| {},
             &|_, _, _, _| {},
