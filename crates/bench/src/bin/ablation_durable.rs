@@ -1,0 +1,171 @@
+//! Ablation: durable checkpoint spill (DESIGN.md §4j). Three experiments:
+//!
+//! 1. **Spill tax vs interval** — the ramp solver under the chaos runtime
+//!    with the double-buffered disk spill enabled, sweeping the checkpoint
+//!    interval. Reports wall time against the in-memory-only baseline and
+//!    the number of sealed spills per run.
+//! 2. **Single-spill and cold-restart latency** — microbenchmarks the
+//!    atomic slot + manifest write (temp + fsync + rename, both buffers
+//!    exercised) and the full cold-restart path (recovery ladder + owned
+//!    re-partitioning) from the spill directory.
+//! 3. **Young/Daly pricing** — feeds the *measured* spill cost into
+//!    `perfmodel::resilience::optimal_interval_measured` to report the
+//!    optimal checkpoint interval and expected overhead at Summit-like
+//!    node counts (results table: `docs/results/durable_ckpt.md`).
+//!
+//! `CROCCO_DIST_RANKS` overrides the cluster size (default 2).
+
+use crocco_bench::report::{fmt_time, print_table};
+use crocco_perfmodel::resilience::ResilienceModel;
+use crocco_runtime::chaos::ChaosConfig;
+use crocco_runtime::{GroupEndpoint, LocalCluster};
+use crocco_solver::config::{CodeVersion, SolverConfig, SolverConfigBuilder};
+use crocco_solver::driver::Simulation;
+use crocco_solver::durable::DurableCheckpointer;
+use crocco_solver::io::write_checkpoint_bytes;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const STEPS: u32 = 8;
+
+fn ramp_builder() -> SolverConfigBuilder {
+    SolverConfig::builder()
+        .problem(crocco_solver::problems::ProblemKind::Ramp)
+        .extents(48, 24, 8)
+        .version(CodeVersion::V2_0)
+        .max_levels(2)
+        .blocking_factor(4)
+        .max_grid_size(16)
+        .regrid_freq(3)
+        .cfl(0.5)
+}
+
+/// One chaos-runtime run; `spill_dir` enables the durable spill. Returns
+/// (wall seconds, spills sealed, checkpoint bytes).
+fn run(nranks: usize, interval: u32, spill_dir: Option<&Path>) -> (f64, u32, usize) {
+    let chaos = ChaosConfig {
+        checkpoint_interval: interval,
+        ..ChaosConfig::default()
+    };
+    let mut builder = ramp_builder().nranks(nranks).chaos(chaos.clone());
+    if let Some(dir) = spill_dir {
+        builder = builder.spill_dir(dir);
+    }
+    let cfg = builder.build();
+    let t0 = Instant::now();
+    let (reports, _) = LocalCluster::run_with_chaos(nranks, chaos, move |ep| {
+        let gep = GroupEndpoint::full(&ep);
+        let mut sim = Simulation::new_owned(cfg.clone(), &gep).expect("construction");
+        drop(gep);
+        sim.advance_steps_chaos(STEPS, &ep)
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let r0 = &reports[0];
+    assert_eq!(r0.spill_failures, 0, "fault-free spills must all land");
+    (wall, r0.spills, r0.checkpoint_bytes)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("crocco_abl_durable_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn main() {
+    let nranks: usize = std::env::var("CROCCO_DIST_RANKS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(2);
+
+    // --- 1. Spill tax vs interval --------------------------------------
+    let (base_wall, _, ckpt_bytes) = run(nranks, 2, None);
+    let mut rows = vec![vec![
+        "in-memory only (interval 2)".into(),
+        fmt_time(base_wall),
+        "-".into(),
+        "1.00x".into(),
+    ]];
+    for interval in [1u32, 2, 4, 8] {
+        let dir = temp_dir(&format!("i{interval}"));
+        let (wall, spills, _) = run(nranks, interval, Some(&dir));
+        rows.push(vec![
+            format!("disk spill, interval {interval}"),
+            fmt_time(wall),
+            spills.to_string(),
+            format!("{:.2}x", wall / base_wall),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    print_table(
+        &format!(
+            "Durable spill tax, ramp {STEPS} steps, {nranks} ranks, {:.1} MiB checkpoints",
+            ckpt_bytes as f64 / (1024.0 * 1024.0)
+        ),
+        &["configuration", "wall", "spills", "vs in-memory"],
+        &rows,
+    );
+
+    // --- 2. Single-spill + cold-restart latency ------------------------
+    let mut sim = Simulation::new(ramp_builder().build());
+    sim.advance_steps(4);
+    let bytes = write_checkpoint_bytes(&sim);
+    let dir = temp_dir("micro");
+    let mut sp = DurableCheckpointer::open(&dir, None).expect("open spill dir");
+    let reps = 10u32;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        sp.spill(sim.step_count(), &bytes).expect("spill");
+    }
+    let spill_s = t0.elapsed().as_secs_f64() / f64::from(reps);
+    let t0 = Instant::now();
+    let (_, info) = Simulation::from_checkpoint_file_owned(
+        ramp_builder().nranks(nranks).build(),
+        &dir,
+        0,
+    )
+    .expect("cold restart");
+    let restart_s = t0.elapsed().as_secs_f64();
+    print_table(
+        "Durable spill microbenchmark (slot + manifest, fsync'd atomic rename)",
+        &["metric", "value"],
+        &[
+            vec![
+                "checkpoint size".into(),
+                format!("{:.1} MiB", bytes.len() as f64 / (1024.0 * 1024.0)),
+            ],
+            vec![format!("spill latency (avg of {reps})"), fmt_time(spill_s)],
+            vec![
+                "spill bandwidth".into(),
+                format!("{:.0} MiB/s", bytes.len() as f64 / spill_s / (1024.0 * 1024.0)),
+            ],
+            vec![
+                format!("cold restart (slot {}, rank 0/{nranks})", info.slot),
+                fmt_time(restart_s),
+            ],
+        ],
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- 3. Young/Daly pricing of the measured spill cost --------------
+    let model = ResilienceModel::summit();
+    let work = 24.0 * 3600.0;
+    let mut rows = Vec::new();
+    for nnodes in [92usize, 460, 4600] {
+        let i_opt = model.optimal_interval_measured(spill_s, nnodes);
+        let overhead =
+            model.expected_runtime_measured(work, i_opt, spill_s, restart_s, nnodes) / work;
+        rows.push(vec![
+            nnodes.to_string(),
+            format!("{:.0} s", i_opt),
+            format!("{:.4}x", overhead),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Young/Daly optimum for the measured spill cost ({}) on Summit MTBF",
+            fmt_time(spill_s)
+        ),
+        &["nodes", "optimal interval", "24h-run overhead"],
+        &rows,
+    );
+}

@@ -112,6 +112,13 @@ pub struct ChaosRunReport {
     /// Largest serialized checkpoint, in bytes (the per-rank snapshot cost
     /// `perfmodel::resilience` prices).
     pub checkpoint_bytes: usize,
+    /// Durable spills sealed to disk (slot + manifest both landed) — only
+    /// counted on the spilling rank (logical rank 0 of the chaos group).
+    pub spills: u32,
+    /// Spill attempts abandoned (disk-full, or transient errors outlasting
+    /// the retry budget). Each one degrades gracefully: the step loop
+    /// continues on in-memory checkpoints alone.
+    pub spill_failures: u32,
 }
 
 impl Simulation {
@@ -534,6 +541,28 @@ impl Simulation {
             .map_or(u32::MAX, |c| c.checkpoint_interval.max(1));
         let mut report = ChaosRunReport::default();
         let owned = self.owned_rank.is_some();
+        // Durable spill (DESIGN.md §4j): every rank opens the spiller —
+        // after a group shrink a *different* physical rank may become
+        // logical rank 0 and take over spilling (the resume-aware slot
+        // rotation reads the manifest, so the takeover never clobbers the
+        // only good slot). A directory that cannot be opened degrades to
+        // in-memory-only checkpoints with a warning, like any other spill
+        // failure.
+        let mut spiller = self.cfg.spill_dir.as_ref().and_then(|dir| {
+            let plan = self.cfg.chaos.as_ref().and_then(|c| c.storage.clone());
+            match crate::durable::DurableCheckpointer::open(dir, plan) {
+                Ok(sp) => Some(sp),
+                Err(e) => {
+                    report.spill_failures += 1;
+                    eprintln!(
+                        "[crocco] durable spill disabled: cannot open {}: {e}; \
+                         continuing on in-memory checkpoints",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
         let mut group = CommGroup::full(self.cfg.nranks);
         let mut generation: u64 = 0;
         let mut snapshot: Vec<u8> = Vec::new();
@@ -549,6 +578,24 @@ impl Simulation {
                         snapshot_step = Some(self.step);
                         report.checkpoints += 1;
                         report.checkpoint_bytes = report.checkpoint_bytes.max(snapshot.len());
+                        // One durable copy per checkpoint: every rank holds
+                        // the identical sealed bytes after the gather, so
+                        // the group's logical rank 0 spills for all.
+                        if gep.rank() == 0 {
+                            if let Some(sp) = spiller.as_mut() {
+                                match sp.spill(self.step, &snapshot) {
+                                    Ok(_) => report.spills += 1,
+                                    Err(e) => {
+                                        report.spill_failures += 1;
+                                        eprintln!(
+                                            "[crocco] durable spill failed at step {}: {e}; \
+                                             continuing on in-memory checkpoints",
+                                            self.step
+                                        );
+                                    }
+                                }
+                            }
+                        }
                     }
                     self.try_step_cluster(&gep)
                 },

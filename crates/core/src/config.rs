@@ -233,6 +233,16 @@ pub struct SolverConfig {
     /// [`Simulation::advance_steps_chaos`]: crate::driver::Simulation::advance_steps_chaos
     /// [`ChaosConfig`]: crocco_runtime::chaos::ChaosConfig
     pub chaos: Option<crocco_runtime::chaos::ChaosConfig>,
+    /// Durable-spill directory for the chaos stepping loop (DESIGN.md §4j):
+    /// `Some(dir)` makes rank 0 of the chaos group also write each periodic
+    /// checkpoint to disk through the double-buffered atomic writer
+    /// (`core::durable`), so a *whole-process* death is recoverable by cold
+    /// restart ([`Simulation::from_checkpoint_file_owned`]). Spill failures
+    /// degrade gracefully: the run continues on in-memory checkpoints with
+    /// a warning. `None` (the default) keeps checkpoints in memory only.
+    ///
+    /// [`Simulation::from_checkpoint_file_owned`]: crate::driver::Simulation::from_checkpoint_file_owned
+    pub spill_dir: Option<std::path::PathBuf>,
     /// Statically verify every RK-stage task-graph skeleton before its first
     /// execution (DESIGN.md §4i): prove all conflicting task pairs ordered
     /// by happens-before, and — on the distributed path — every receive
@@ -330,6 +340,7 @@ impl Default for SolverConfigBuilder {
                 kernel_backend: BackendKind::Scalar,
                 tile_size: None,
                 chaos: None,
+                spill_dir: None,
                 taskcheck: true,
                 subcycling: false,
                 sched_seed: None,
@@ -504,6 +515,14 @@ impl SolverConfigBuilder {
     /// [`LocalCluster::run_with_chaos`]: crocco_runtime::LocalCluster::run_with_chaos
     pub fn chaos(mut self, cfg: crocco_runtime::chaos::ChaosConfig) -> Self {
         self.cfg.chaos = Some(cfg);
+        self
+    }
+
+    /// Sets the durable-spill directory: periodic chaos checkpoints are
+    /// also written to disk (double-buffered, atomic, CRC-sealed) so a
+    /// whole-process death is recoverable by cold restart.
+    pub fn spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cfg.spill_dir = Some(dir.into());
         self
     }
 

@@ -32,7 +32,30 @@ use std::io::{self, BufRead, BufWriter, Cursor, Read, Write};
 use std::path::Path;
 
 /// Byte length of the v2 CRC trailer: `"\ncrc "` + 8 hex digits + `"\n"`.
-const CRC_TRAILER_LEN: usize = 14;
+pub(crate) const CRC_TRAILER_LEN: usize = 14;
+
+/// Validates a CRC-sealed byte stream (see [`seal_checkpoint`]) and returns
+/// the payload in front of the trailer. Shared by the v2 checkpoint parser
+/// and the durable-spill manifest (`core::durable`).
+pub(crate) fn verify_sealed(bytes: &[u8]) -> io::Result<&[u8]> {
+    if bytes.len() < CRC_TRAILER_LEN {
+        return Err(bad_data("sealed object truncated: missing CRC trailer"));
+    }
+    let (prefix, trailer) = bytes.split_at(bytes.len() - CRC_TRAILER_LEN);
+    let stored = trailer
+        .strip_prefix(b"\ncrc ")
+        .and_then(|t| t.strip_suffix(b"\n"))
+        .and_then(|hex| std::str::from_utf8(hex).ok())
+        .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| bad_data("sealed object truncated or malformed: bad CRC trailer"))?;
+    let actual = crc32(prefix);
+    if actual != stored {
+        return Err(bad_data(format!(
+            "sealed object corrupt: CRC mismatch (stored {stored:08x}, computed {actual:08x})"
+        )));
+    }
+    Ok(prefix)
+}
 
 /// A parsed checkpoint, ready to be restored into a `Simulation` (see
 /// [`Simulation::from_checkpoint`]).
@@ -66,6 +89,16 @@ fn parse_box(line: &str) -> io::Result<IndexBox> {
         .collect::<Result<_, _>>()?;
     if nums.len() != 6 {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad box line"));
+    }
+    // Bound coordinates so box arithmetic downstream (`hi - lo + 1`, point
+    // counts) cannot overflow on adversarial input. Real grids are many
+    // orders of magnitude below this.
+    const COORD_BOUND: i64 = 1 << 40;
+    if nums.iter().any(|&c| c.abs() > COORD_BOUND) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("box coordinate out of range (|c| > 2^40): {line:?}"),
+        ));
     }
     Ok(IndexBox::new(
         IntVect::new(nums[0], nums[1], nums[2]),
@@ -189,23 +222,7 @@ pub fn parse_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
     const MAGIC_V1: &[u8] = b"CROCCO-CHK 1\n";
     const MAGIC_V2: &[u8] = b"CROCCO-CHK 2\n";
     let payload = if bytes.starts_with(MAGIC_V2) {
-        if bytes.len() < MAGIC_V2.len() + CRC_TRAILER_LEN {
-            return Err(bad_data("checkpoint truncated: missing CRC trailer"));
-        }
-        let (prefix, trailer) = bytes.split_at(bytes.len() - CRC_TRAILER_LEN);
-        let stored = trailer
-            .strip_prefix(b"\ncrc ")
-            .and_then(|t| t.strip_suffix(b"\n"))
-            .and_then(|hex| std::str::from_utf8(hex).ok())
-            .and_then(|hex| u32::from_str_radix(hex, 16).ok())
-            .ok_or_else(|| bad_data("checkpoint truncated or malformed: bad CRC trailer"))?;
-        let actual = crc32(prefix);
-        if actual != stored {
-            return Err(bad_data(format!(
-                "checkpoint corrupt: CRC mismatch (stored {stored:08x}, computed {actual:08x})"
-            )));
-        }
-        prefix
+        verify_sealed(bytes).map_err(|e| bad_data(format!("checkpoint {e}")))?
     } else if bytes.starts_with(MAGIC_V1) {
         // Legacy format: no integrity trailer, parse as-is.
         bytes
@@ -239,6 +256,19 @@ pub fn parse_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
     let nlevels: usize = field(&read_line(&mut r)?, "nlevels")?
         .parse()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    // Adversarial-input guards (the v1 path has no CRC, so every declared
+    // count must be bounded by the bytes actually present *before* any
+    // allocation sized from it): a level or box header needs at least one
+    // line (≥ 2 bytes) of payload each, and a box body needs 8 bytes per
+    // value — huge declared counts on a short file are rejected up front
+    // instead of attempting a giant allocation or panicking on a slice.
+    let remaining = |r: &Cursor<&[u8]>| payload.len().saturating_sub(r.position() as usize);
+    if nlevels > remaining(&r) / 2 {
+        return Err(bad_data(format!(
+            "checkpoint declares {nlevels} levels but only {} bytes remain",
+            remaining(&r)
+        )));
+    }
     let mut levels = Vec::with_capacity(nlevels);
     for _ in 0..nlevels {
         let header = read_line(&mut r)?;
@@ -247,6 +277,12 @@ pub fn parse_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
             .last()
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| bad_data("bad level header"))?;
+        if nboxes > remaining(&r) / 2 {
+            return Err(bad_data(format!(
+                "checkpoint declares {nboxes} boxes but only {} bytes remain",
+                remaining(&r)
+            )));
+        }
         let mut boxes = Vec::with_capacity(nboxes);
         for _ in 0..nboxes {
             boxes.push(parse_box(&read_line(&mut r)?)?);
@@ -260,8 +296,19 @@ pub fn parse_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
     for boxes in &levels {
         let mut level_data = Vec::with_capacity(boxes.len());
         for b in boxes {
-            let n = b.num_points() as usize * NCONS;
-            let mut buf = vec![0u8; n * 8];
+            let n = (b.num_points() as usize)
+                .checked_mul(NCONS)
+                .and_then(|n| n.checked_mul(8))
+                .filter(|&need| need <= remaining(&r))
+                .ok_or_else(|| {
+                    bad_data(format!(
+                        "checkpoint truncated: box {b:?} declares {} values but only {} body \
+                         bytes remain",
+                        (b.num_points() as usize).saturating_mul(NCONS),
+                        remaining(&r)
+                    ))
+                })?;
+            let mut buf = vec![0u8; n];
             r.read_exact(&mut buf)
                 .map_err(|_| bad_data("checkpoint truncated: body shorter than grid metadata"))?;
             let vals: Vec<f64> = buf
@@ -414,6 +461,73 @@ mod tests {
         let chk = parse_checkpoint(&v1).expect("legacy format must parse");
         assert_eq!(chk.step, 2);
         assert_eq!(chk.time, s.time());
+    }
+
+    fn pristine_bytes() -> &'static [u8] {
+        use std::sync::OnceLock;
+        static PRISTINE: OnceLock<Vec<u8>> = OnceLock::new();
+        PRISTINE.get_or_init(|| write_checkpoint_bytes(&sim()))
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(512))]
+
+        /// Fuzz-style robustness proof for the parser (ISSUE 10 satellite):
+        /// arbitrary byte mutations of a valid checkpoint — including
+        /// version downgrades to the CRC-less v1 path, stomps over the
+        /// declared counts, and truncations — must either parse or return a
+        /// typed error, never panic or abort on a bad slice/allocation.
+        #[test]
+        fn parser_survives_random_mutations(
+            edits in proptest::prelude::prop::collection::vec(
+                (proptest::prelude::any::<u64>(), proptest::prelude::any::<u8>()),
+                1..8usize,
+            ),
+            downgrade in proptest::prelude::any::<bool>(),
+            do_truncate in proptest::prelude::any::<bool>(),
+            cut in proptest::prelude::any::<u64>(),
+        ) {
+            let mut bytes = pristine_bytes().to_vec();
+            if downgrade {
+                // "CROCCO-CHK 2" -> "CROCCO-CHK 1": drop the trailer so the
+                // mutations land on the unguarded legacy path.
+                bytes[11] = b'1';
+                let keep = bytes.len() - CRC_TRAILER_LEN;
+                bytes.truncate(keep);
+            }
+            for &(pos, val) in &edits {
+                let pos = (pos % bytes.len() as u64) as usize;
+                bytes[pos] = val;
+            }
+            if do_truncate {
+                let keep = (cut % (bytes.len() as u64 + 1)) as usize;
+                bytes.truncate(keep);
+            }
+            // Must not panic; the Result itself is unconstrained.
+            let _ = parse_checkpoint(&bytes);
+        }
+    }
+
+    #[test]
+    fn declared_counts_beyond_buffer_are_rejected_descriptively() {
+        // A v1 header (no CRC to save it) claiming a huge box on a tiny
+        // body: the parser must refuse before sizing any allocation from
+        // the declared count.
+        let adversarial = b"CROCCO-CHK 1\nstep 0\ntime 0\nnlevels 1\nlevel 0 nboxes 1\nbox 0 0 0 9999999 9999999 9999999\n\nshort".to_vec();
+        let err = parse_checkpoint(&adversarial).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("remain"), "{err}");
+
+        // Huge declared level/box *counts* with no matching metadata.
+        let many_levels = b"CROCCO-CHK 1\nstep 0\ntime 0\nnlevels 99999999\n".to_vec();
+        let err = parse_checkpoint(&many_levels).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Coordinates outside the arithmetic-safe range.
+        let huge_coords =
+            b"CROCCO-CHK 1\nstep 0\ntime 0\nnlevels 1\nlevel 0 nboxes 1\nbox -9223372036854775807 0 0 9223372036854775807 0 0\n\n".to_vec();
+        let err = parse_checkpoint(&huge_coords).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod chemistry;
 pub mod cluster_step;
 pub mod config;
 pub mod driver;
+pub mod durable;
 pub mod eos;
 pub mod integrators;
 pub mod io;
@@ -52,6 +53,10 @@ pub use backend::BackendKind;
 pub use cluster_step::ChaosRunReport;
 pub use config::{CodeVersion, SolverConfig};
 pub use driver::Simulation;
+pub use durable::{
+    recover, CheckpointStore, CkptError, DiskStore, DurableCheckpointer, FaultyStore, Manifest,
+    RestartInfo,
+};
 pub use eos::PerfectGas;
 pub use problems::ProblemKind;
 pub use weno::WenoVariant;

@@ -96,6 +96,37 @@ impl ResilienceModel {
         );
         work * (1.0 + c / interval) / (1.0 - loss)
     }
+
+    /// Young's optimal interval from a *measured* per-checkpoint cost
+    /// (seconds) rather than the modeled drain time — the durable-spill
+    /// ablation (`docs/results/durable_ckpt.md`) measures the actual
+    /// gather + seal + fsync'd double-buffer write and feeds it in here.
+    pub fn optimal_interval_measured(&self, checkpoint_cost: f64, nnodes: usize) -> f64 {
+        assert!(checkpoint_cost >= 0.0);
+        (2.0 * checkpoint_cost * self.system_mtbf(nnodes)).sqrt()
+    }
+
+    /// Daly's expected wall-clock with measured checkpoint and rollback
+    /// costs (seconds) — the counterpart of [`Self::expected_runtime`] for
+    /// calibrating against real spill timings instead of the bandwidth
+    /// model.
+    pub fn expected_runtime_measured(
+        &self,
+        work: f64,
+        interval: f64,
+        checkpoint_cost: f64,
+        rollback_cost: f64,
+        nnodes: usize,
+    ) -> f64 {
+        assert!(interval > 0.0 && work >= 0.0);
+        let m = self.system_mtbf(nnodes);
+        let loss = (rollback_cost + interval / 2.0) / m;
+        assert!(
+            loss < 1.0,
+            "failure rate exceeds forward progress (interval {interval}s, MTBF {m}s)"
+        );
+        work * (1.0 + checkpoint_cost / interval) / (1.0 - loss)
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +166,29 @@ mod tests {
         assert!(at(i_opt) <= at(i_opt * 2.0));
         // And the overhead is a tax: always ≥ the raw work.
         assert!(at(i_opt) > work);
+    }
+
+    #[test]
+    fn measured_variants_agree_with_modeled_at_equal_costs() {
+        let m = ResilienceModel::summit();
+        let bytes = 64 << 20;
+        let nodes = 128;
+        let c = m.checkpoint_time(bytes);
+        let r = m.rollback_time(bytes, 5_000);
+        assert!(
+            (m.optimal_interval_measured(c, nodes) - m.optimal_interval(bytes, nodes)).abs()
+                < 1e-9
+        );
+        let work = 3600.0;
+        let i = m.optimal_interval(bytes, nodes);
+        assert!(
+            (m.expected_runtime_measured(work, i, c, r, nodes)
+                - m.expected_runtime(work, i, bytes, 5_000, nodes))
+            .abs()
+                < 1e-9
+        );
+        // A costlier measured checkpoint stretches the optimal interval.
+        assert!(m.optimal_interval_measured(4.0 * c, nodes) > m.optimal_interval_measured(c, nodes));
     }
 
     #[test]

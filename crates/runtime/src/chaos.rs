@@ -94,6 +94,10 @@ pub struct ChaosConfig {
     pub wait_timeout_ms: u64,
     /// Initial receiver-driven retransmit backoff; doubles per retry.
     pub retry_backoff_ms: u64,
+    /// Storage-fault plan applied to the durable checkpoint store, when the
+    /// solver is configured to spill checkpoints to disk (`None` = the
+    /// store is faithful).
+    pub storage: Option<StorageFaultPlan>,
 }
 
 impl Default for ChaosConfig {
@@ -109,6 +113,7 @@ impl Default for ChaosConfig {
             checkpoint_interval: 4,
             wait_timeout_ms: 10_000,
             retry_backoff_ms: 1,
+            storage: None,
         }
     }
 }
@@ -207,6 +212,123 @@ impl FaultPlan {
             return (FaultAction::Delay, aux);
         }
         (FaultAction::Deliver, aux)
+    }
+}
+
+// --- Storage faults ---------------------------------------------------------
+
+/// The damage the storage-fault plan inflicts on one checkpoint-store write
+/// (the durable-spill analogue of [`FaultAction`]). Silent faults corrupt
+/// what lands and *claim success* — only the CRC seal catches them at
+/// recovery time; loud faults surface as errors the spill loop must handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageFault {
+    /// Only a prefix of the bytes lands at the destination (crash mid-write
+    /// on a stack without atomic rename, or a rename against an unsynced
+    /// temp file). Silent: detected by the CRC seal at recovery.
+    TornWrite,
+    /// One bit of the landed object flips (media decay / firmware bug).
+    /// Silent: detected by the CRC seal at recovery.
+    BitFlip,
+    /// The write claims success but nothing lands — and any previous object
+    /// under the same name is gone (lost manifest, dropped journal entry).
+    LoseWrite,
+    /// fsync blocks for the configured delay, then the write succeeds.
+    SlowFsync,
+    /// fsync fails transiently with an I/O error. Loud: the writer sees the
+    /// error; a retry draws a fresh decision, so backoff repairs it.
+    FsyncFail,
+    /// The device is out of space. Loud and *not* transient: the spill loop
+    /// must degrade gracefully (warn + continue on in-memory checkpoints)
+    /// rather than retry or abort.
+    NoSpace,
+}
+
+/// Seeded, deterministic per-write storage-fault decisions for the durable
+/// checkpoint store — the disk-side counterpart of [`FaultPlan`]. Each
+/// write attempt is numbered by the store; the fault drawn for attempt `k`
+/// is a pure hash of `(seed, k)`, so a chaos run replays identically.
+///
+/// Two deterministic overrides sit in front of the probabilistic draw:
+/// [`Self::scheduled`] pins an exact fault to an exact attempt (the recovery
+/// tests use this to tear precisely the write they mean to), and
+/// [`Self::nospace_after`] makes every attempt from an index onward fail
+/// with [`StorageFault::NoSpace`] (a full disk does not un-fill itself).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StorageFaultPlan {
+    /// Seed of the per-attempt draws.
+    pub seed: u64,
+    /// Probability a write lands torn (prefix only, silent success).
+    pub torn_p: f64,
+    /// Probability a landed write has one bit flipped (silent success).
+    pub flip_p: f64,
+    /// Probability a write vanishes entirely (silent success).
+    pub lose_p: f64,
+    /// Probability fsync stalls for [`Self::fsync_delay_ms`] then succeeds.
+    pub slow_fsync_p: f64,
+    /// Probability fsync fails transiently (loud error, retryable).
+    pub fsync_fail_p: f64,
+    /// Stall applied by a slow fsync, in milliseconds.
+    pub fsync_delay_ms: u64,
+    /// Every write attempt `>= n` fails with `NoSpace` (persistent
+    /// disk-full).
+    pub nospace_after: Option<u64>,
+    /// Exact-attempt faults: `(attempt index, fault)`. Checked before the
+    /// probabilistic draw, so tests can place a torn write surgically.
+    pub scheduled: Vec<(u64, StorageFault)>,
+}
+
+impl StorageFaultPlan {
+    /// A plan that injects nothing (useful as a base for struct update).
+    pub fn quiet(seed: u64) -> Self {
+        StorageFaultPlan {
+            seed,
+            ..StorageFaultPlan::default()
+        }
+    }
+
+    /// Decides the fate of write attempt `attempt` (a store-scoped counter).
+    /// Returns the fault, if any, plus an auxiliary hash (torn-write keep
+    /// length, bit-flip position). Pure function: replays are identical.
+    pub fn decide(&self, attempt: u64) -> (Option<StorageFault>, u64) {
+        let h = splitmix64(self.seed ^ splitmix64(attempt));
+        let aux = splitmix64(h);
+        if let Some(&(_, fault)) = self.scheduled.iter().find(|&&(a, _)| a == attempt) {
+            return (Some(fault), aux);
+        }
+        if let Some(n) = self.nospace_after {
+            if attempt >= n {
+                return (Some(StorageFault::NoSpace), aux);
+            }
+        }
+        let total =
+            self.torn_p + self.flip_p + self.lose_p + self.slow_fsync_p + self.fsync_fail_p;
+        assert!(
+            (0.0..=1.0).contains(&total),
+            "storage fault probabilities must sum into [0, 1], got {total}"
+        );
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let mut edge = self.torn_p;
+        if u < edge {
+            return (Some(StorageFault::TornWrite), aux);
+        }
+        edge += self.flip_p;
+        if u < edge {
+            return (Some(StorageFault::BitFlip), aux);
+        }
+        edge += self.lose_p;
+        if u < edge {
+            return (Some(StorageFault::LoseWrite), aux);
+        }
+        edge += self.slow_fsync_p;
+        if u < edge {
+            return (Some(StorageFault::SlowFsync), aux);
+        }
+        edge += self.fsync_fail_p;
+        if u < edge {
+            return (Some(StorageFault::FsyncFail), aux);
+        }
+        (None, aux)
     }
 }
 
@@ -693,5 +815,74 @@ mod tests {
             corrupt_p: 0.5,
             ..ChaosConfig::default()
         });
+    }
+
+    #[test]
+    fn storage_plan_is_deterministic_and_respects_rates() {
+        let plan = StorageFaultPlan {
+            seed: 7,
+            torn_p: 0.1,
+            flip_p: 0.1,
+            lose_p: 0.1,
+            slow_fsync_p: 0.1,
+            fsync_fail_p: 0.1,
+            ..StorageFaultPlan::default()
+        };
+        let plan2 = plan.clone();
+        let mut counts = [0usize; 6];
+        let n = 20_000u64;
+        for attempt in 0..n {
+            let (f, _) = plan.decide(attempt);
+            assert_eq!(f, plan2.decide(attempt).0, "plan must be a pure function");
+            counts[match f {
+                None => 0,
+                Some(StorageFault::TornWrite) => 1,
+                Some(StorageFault::BitFlip) => 2,
+                Some(StorageFault::LoseWrite) => 3,
+                Some(StorageFault::SlowFsync) => 4,
+                Some(StorageFault::FsyncFail) => 5,
+                Some(StorageFault::NoSpace) => unreachable!("not configured"),
+            }] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            let rate = c as f64 / n as f64;
+            assert!(
+                (rate - 0.1).abs() < 0.02,
+                "storage fault class {i} rate {rate} far from configured 0.1"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_plan_overrides_take_precedence() {
+        let plan = StorageFaultPlan {
+            seed: 1,
+            scheduled: vec![(3, StorageFault::TornWrite)],
+            nospace_after: Some(10),
+            ..StorageFaultPlan::default()
+        };
+        // Quiet except the overrides.
+        assert_eq!(plan.decide(0).0, None);
+        assert_eq!(plan.decide(3).0, Some(StorageFault::TornWrite));
+        assert_eq!(plan.decide(9).0, None);
+        assert_eq!(plan.decide(10).0, Some(StorageFault::NoSpace));
+        assert_eq!(plan.decide(11_000).0, Some(StorageFault::NoSpace));
+        // A scheduled fault wins even past the disk-full horizon.
+        let plan = StorageFaultPlan {
+            scheduled: vec![(12, StorageFault::BitFlip)],
+            ..plan
+        };
+        assert_eq!(plan.decide(12).0, Some(StorageFault::BitFlip));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum into")]
+    fn overfull_storage_probabilities_are_rejected() {
+        StorageFaultPlan {
+            torn_p: 0.9,
+            flip_p: 0.5,
+            ..StorageFaultPlan::default()
+        }
+        .decide(0);
     }
 }

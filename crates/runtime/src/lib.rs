@@ -43,7 +43,9 @@ pub mod taskcheck;
 pub mod taskgraph;
 pub mod topology;
 
-pub use chaos::{ChaosConfig, ChaosRuntime, CrashPhase, CrashSpec, FaultPlan};
+pub use chaos::{
+    ChaosConfig, ChaosRuntime, CrashPhase, CrashSpec, FaultPlan, StorageFault, StorageFaultPlan,
+};
 pub use cluster::{
     tags, CommError, CommGroup, GroupEndpoint, LocalCluster, Packet, RankEndpoint, RecvHandle,
 };

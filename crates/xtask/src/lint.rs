@@ -24,7 +24,15 @@
 //! 7. every `docs/results/*.md` file referenced from the narrative
 //!    documents ([`DOC_LINK_SOURCES`]) exists — the design docs cite
 //!    results notes as evidence, and a citation to a note nobody wrote
-//!    (or that a rename orphaned) silently breaks the audit trail.
+//!    (or that a rename orphaned) silently breaks the audit trail;
+//! 8. *(advisory)* checkpoint/manifest files are never written with bare
+//!    `fs::write`/`File::create` outside the sanctioned writer modules
+//!    ([`DURABLE_WRITER_ALLOWLIST`]) — durability requires the
+//!    temp + fsync + atomic-rename sequence in `core::durable`, and a
+//!    bare write is exactly the torn-on-crash hazard that subsystem
+//!    exists to remove. Advisory because test harnesses legitimately
+//!    corrupt checkpoint files on purpose; non-test code flagged here
+//!    should be routed through `DiskStore::write_atomic`.
 //!
 //! The scanner also emits one *advisory* (never-failing) metric: the
 //! `unwrap()`/`expect()` count in the non-test code of the network-facing
@@ -98,6 +106,23 @@ const UNWRAP_AUDIT: &[&str] = &[
     "crates/fab/src/plan.rs",
 ];
 
+/// Modules sanctioned to open checkpoint/manifest files for writing (rule
+/// 8): the checkpoint serializer and the atomic-rename durable writer.
+/// Everything else must go through `crocco_solver::durable::DiskStore`.
+const DURABLE_WRITER_ALLOWLIST: &[&str] = &[
+    "crates/core/src/io.rs",
+    "crates/core/src/durable.rs",
+];
+
+/// Raw write entry points rule 8 looks for (in the code channel, so string
+/// and comment mentions don't count).
+const BARE_WRITE_TOKENS: &[&str] = &["fs::write", "File::create"];
+
+/// Checkpoint-ish name fragments that make a bare write suspicious (matched
+/// case-insensitively against the *raw* line — the filename usually lives in
+/// a string literal, which the code channel blanks).
+const CKPT_NAME_HINTS: &[&str] = &["chk", "checkpoint", "manifest", "spill", ".ckpt"];
+
 /// Narrative documents whose `docs/results/*.md` references must resolve
 /// (rule 7). References are workspace-root-relative wherever they appear, so
 /// one spelling stays greppable across all the documents.
@@ -123,6 +148,10 @@ pub struct Report {
     /// Advisory `unwrap()`/`expect()` counts for the [`UNWRAP_AUDIT`] files
     /// (non-test code only). Informational — never fails the lint.
     pub unwrap_audit: Vec<(PathBuf, usize)>,
+    /// Advisory rule-8 findings: bare `fs::write`/`File::create` on
+    /// checkpoint/manifest-looking paths outside the sanctioned writer
+    /// modules (non-test code only). Informational — never fails the lint.
+    pub durability_advisories: Vec<Diagnostic>,
 }
 
 /// Lints every `.rs` file under `root` (minus [`SKIP_DIRS`]) plus the
@@ -137,6 +166,7 @@ pub fn lint_root(root: &Path) -> Report {
         files_scanned: files.len(),
         unsafe_sites: 0,
         unwrap_audit: Vec::new(),
+        durability_advisories: Vec::new(),
     };
     let roots = crate_roots(root);
     for rel in &files {
@@ -205,6 +235,15 @@ fn lint_file(rel: &Path, rel_str: &str, src: &str, is_crate_root: bool, report: 
     let stripped = strip(src);
     let allowlisted = UNSAFE_ALLOWLIST.contains(&rel_str);
     let view_allowed = RAW_VIEW_ALLOWLIST.contains(&rel_str);
+    let durable_writer = DURABLE_WRITER_ALLOWLIST.contains(&rel_str);
+    // Rule 8 scopes to non-test code: the durable-restart suites corrupt
+    // checkpoint files *on purpose* (they are the storage adversary).
+    let test_start = stripped
+        .code
+        .iter()
+        .position(|l| l.split_whitespace().collect::<String>() == "#[cfg(test)]")
+        .unwrap_or(usize::MAX);
+    let raw_lines: Vec<&str> = src.lines().collect();
 
     for (idx, line) in stripped.code.iter().enumerate() {
         let lineno = idx + 1;
@@ -248,6 +287,21 @@ fn lint_file(rel: &Path, rel_str: &str, src: &str, is_crate_root: bool, report: 
                          through stable lane-array loops, not per-ISA \
                          intrinsics or nightly SIMD (DESIGN.md §4h)"
                     ),
+                });
+            }
+        }
+        if !durable_writer && idx < test_start && !rel_str.contains("/tests/") {
+            let bare_write = BARE_WRITE_TOKENS.iter().any(|t| line.contains(t));
+            let raw_lower = raw_lines.get(idx).map(|l| l.to_lowercase()).unwrap_or_default();
+            if bare_write && CKPT_NAME_HINTS.iter().any(|h| raw_lower.contains(h)) {
+                report.durability_advisories.push(Diagnostic {
+                    path: rel.to_path_buf(),
+                    line: lineno,
+                    message: "bare fs::write/File::create on a checkpoint/manifest \
+                              path; durable writes must go through \
+                              `crocco_solver::durable::DiskStore::write_atomic` \
+                              (temp + fsync + atomic rename)"
+                        .to_string(),
                 });
             }
         }
@@ -777,6 +831,52 @@ mod tests {
             msgs[0].contains("`FabRw::from_mut` outside the fab view layer"),
             "{msgs:?}"
         );
+    }
+
+    #[test]
+    fn fixture_bare_checkpoint_writes_are_advised() {
+        let fx = Fixture::new();
+        fx.write("Cargo.toml", "[package]\nname = \"fx\"\n");
+        fx.write("src/lib.rs", "#![forbid(unsafe_code)]\n");
+        fx.write("crates/core/Cargo.toml", "[package]\nname = \"core\"\n");
+        fx.write(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod durable;\npub mod rogue;\n",
+        );
+        // A bare write to a checkpoint-looking path outside the durable
+        // writer modules draws an advisory; the same call on an unrelated
+        // path, inside #[cfg(test)], or in the allowlisted module does not.
+        fx.write(
+            "crates/core/src/rogue.rs",
+            "pub fn spill(dir: &std::path::Path, b: &[u8]) {\n    \
+                 std::fs::write(dir.join(\"chk_A\"), b).unwrap();\n    \
+                 std::fs::write(dir.join(\"trace.log\"), b).unwrap();\n}\n\
+             #[cfg(test)]\n\
+             mod tests {\n    \
+                 fn corrupt(d: &std::path::Path) { std::fs::write(d.join(\"MANIFEST\"), b\"x\").unwrap(); }\n\
+             }\n",
+        );
+        fx.write(
+            "crates/core/src/durable.rs",
+            "pub fn write_atomic(p: &std::path::Path, b: &[u8]) {\n    \
+                 std::fs::write(p.join(\"chk_B.tmp\"), b).unwrap();\n}\n",
+        );
+        let report = lint_root(&fx.root);
+        assert!(report.diagnostics.is_empty(), "{:?}", messages(&report));
+        assert_eq!(
+            report.durability_advisories.len(),
+            1,
+            "{:?}",
+            report
+                .durability_advisories
+                .iter()
+                .map(|d| format!("{}:{}: {}", d.path.display(), d.line, d.message))
+                .collect::<Vec<_>>()
+        );
+        let adv = &report.durability_advisories[0];
+        assert!(adv.path.ends_with("rogue.rs"));
+        assert_eq!(adv.line, 2);
+        assert!(adv.message.contains("write_atomic"));
     }
 
     #[test]

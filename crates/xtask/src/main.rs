@@ -22,6 +22,14 @@ fn main() -> ExitCode {
             for d in &report.diagnostics {
                 eprintln!("{}:{}: {}", d.path.display(), d.line, d.message);
             }
+            for d in &report.durability_advisories {
+                eprintln!(
+                    "xtask lint: advisory — {}:{}: {}",
+                    d.path.display(),
+                    d.line,
+                    d.message
+                );
+            }
             for (path, n) in &report.unwrap_audit {
                 eprintln!(
                     "xtask lint: advisory — {}: {} unwrap()/expect() call(s) in non-test code",
@@ -54,8 +62,11 @@ fn main() -> ExitCode {
             eprintln!("          unsafe_code, no stray debug/stub macros, raw fab");
             eprintln!("          views only in the fab view layer (DESIGN.md §4i),");
             eprintln!("          every docs/results/*.md cited by the narrative");
-            eprintln!("          documents exists, plus an advisory unwrap()/expect()");
-            eprintln!("          census of the network-facing runtime modules");
+            eprintln!("          documents exists, no bare fs::write/File::create on");
+            eprintln!("          checkpoint/manifest paths outside the durable writer");
+            eprintln!("          (advisory, DESIGN.md §4j), plus an advisory");
+            eprintln!("          unwrap()/expect() census of the network-facing");
+            eprintln!("          runtime modules");
             ExitCode::FAILURE
         }
     }
